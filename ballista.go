@@ -1,0 +1,273 @@
+// Package ballista is the public facade of the Ballista Win32/POSIX
+// robustness-testing reproduction: it wires the data-type test suite,
+// the per-OS API implementations and the campaign engine together, and
+// exposes the paper's reporting pipeline (Tables 1-3, Figures 1-2).
+//
+// Quick start:
+//
+//	res, err := ballista.Run(ballista.Win98, ballista.WithCap(500))
+//	fmt.Println(ballista.Table1(map[ballista.OS]*ballista.Result{ballista.Win98: res}))
+package ballista
+
+import (
+	"fmt"
+
+	"ballista/internal/catalog"
+	"ballista/internal/clib"
+	"ballista/internal/core"
+	"ballista/internal/hinder"
+	"ballista/internal/osprofile"
+	"ballista/internal/posixapi"
+	"ballista/internal/report"
+	"ballista/internal/suite"
+	"ballista/internal/vote"
+	"ballista/internal/winapi"
+)
+
+// OS identifies a simulated operating-system variant.
+type OS = osprofile.OS
+
+// The seven systems under test.
+const (
+	Linux   = osprofile.Linux
+	Win95   = osprofile.Win95
+	Win98   = osprofile.Win98
+	Win98SE = osprofile.Win98SE
+	WinNT   = osprofile.WinNT
+	Win2000 = osprofile.Win2000
+	WinCE   = osprofile.WinCE
+)
+
+// AllOSes lists every variant in the paper's reporting order.
+func AllOSes() []OS { return osprofile.All() }
+
+// DesktopWindows lists the five desktop Windows variants (the Figure 2
+// voting set).
+func DesktopWindows() []OS { return osprofile.DesktopWindows() }
+
+// Result is one OS variant's full campaign outcome.
+type Result = core.OSResult
+
+// MuTResult is one Module under Test's campaign outcome.
+type MuTResult = core.MuTResult
+
+// RawClass re-exports the per-case outcome classification.
+type RawClass = core.RawClass
+
+// Per-case outcome classes.
+const (
+	Clean        = core.RawClean
+	ErrorReturn  = core.RawError
+	Abort        = core.RawAbort
+	Restart      = core.RawRestart
+	Catastrophic = core.RawCatastrophic
+	Skip         = core.RawSkip
+)
+
+// Option configures a campaign.
+type Option func(*core.Config)
+
+// WithCap overrides the 5000-cases-per-MuT limit (the paper's cap).
+func WithCap(n int) Option {
+	return func(c *core.Config) { c.Cap = n }
+}
+
+// WithIsolation boots a fresh machine for every test case — the paper's
+// single-test-program reproduction mode, in which the Table 3 "*"
+// failures do not reproduce.
+func WithIsolation() Option {
+	return func(c *core.Config) { c.Isolated = true }
+}
+
+// WithContinueAfterCrash keeps testing a MuT after a Catastrophic
+// failure instead of abandoning its campaign (the paper stopped).
+func WithContinueAfterCrash() Option {
+	return func(c *core.Config) { c.StopMuTOnCrash = false }
+}
+
+// Dispatch resolves any catalog MuT to its implementation.
+func Dispatch(m catalog.MuT) (core.Impl, bool) {
+	switch m.API {
+	case catalog.CLib:
+		impl, ok := clibImpls[m.Name]
+		return impl, ok
+	case catalog.Win32:
+		impl, ok := win32Impls[m.Name]
+		return impl, ok
+	case catalog.POSIX:
+		impl, ok := posixImpls[m.Name]
+		return impl, ok
+	default:
+		return nil, false
+	}
+}
+
+// The implementation registries are immutable after init.
+var (
+	clibImpls  = clib.Impls()
+	win32Impls = winapi.Impls()
+	posixImpls = posixapi.Impls()
+)
+
+// suiteRegistry builds the full data-type registry (exposed for tests
+// and tools that need value indices).
+func suiteRegistry() *core.Registry { return suite.NewRegistry() }
+
+// Registry returns the full Ballista data-type registry.
+func Registry() *core.Registry { return suiteRegistry() }
+
+// NewRunner builds a campaign runner for one OS variant.
+func NewRunner(o OS, opts ...Option) *core.Runner {
+	cfg := core.Config{OS: o, Cap: core.DefaultCap, StopMuTOnCrash: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.NewRunner(cfg, suite.NewRegistry(), Dispatch, suite.SetupFixtures)
+}
+
+// Run executes the full campaign for one OS variant: every supported MuT
+// (plus UNICODE variants on Windows CE), capped test case generation,
+// shared machine, reboot on Catastrophic failures.
+func Run(o OS, opts ...Option) (*Result, error) {
+	return NewRunner(o, opts...).RunAll()
+}
+
+// RunAll executes campaigns for every OS variant.
+func RunAll(opts ...Option) (map[OS]*Result, error) {
+	out := make(map[OS]*Result, 7)
+	for _, o := range AllOSes() {
+		r, err := Run(o, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("campaign for %s: %w", o, err)
+		}
+		out[o] = r
+	}
+	return out, nil
+}
+
+// Summaries computes Table 1 rows for a result set in reporting order.
+func Summaries(results map[OS]*Result) []report.Summary {
+	var out []report.Summary
+	for _, o := range AllOSes() {
+		if r, ok := results[o]; ok {
+			out = append(out, report.Summarize(o, r))
+		}
+	}
+	return out
+}
+
+// Table1 renders the Table 1 reproduction.
+func Table1(results map[OS]*Result) string {
+	return report.FormatTable1(Summaries(results))
+}
+
+// GroupMatrix computes the Table 2 / Figure 1 rate matrix.
+func GroupMatrix(results map[OS]*Result) map[OS]map[catalog.Group]report.GroupRate {
+	out := make(map[OS]map[catalog.Group]report.GroupRate, len(results))
+	for o, r := range results {
+		out[o] = report.GroupRates(r)
+	}
+	return out
+}
+
+// Table2 renders the Table 2 reproduction.
+func Table2(results map[OS]*Result) string {
+	var oses []OS
+	for _, o := range AllOSes() {
+		if _, ok := results[o]; ok {
+			oses = append(oses, o)
+		}
+	}
+	return report.FormatTable2(oses, GroupMatrix(results))
+}
+
+// Figure1 renders the Figure 1 reproduction (ASCII bars).
+func Figure1(results map[OS]*Result) string {
+	var oses []OS
+	for _, o := range AllOSes() {
+		if _, ok := results[o]; ok {
+			oses = append(oses, o)
+		}
+	}
+	return report.FormatFigure1(oses, GroupMatrix(results))
+}
+
+// Table3 renders the Catastrophic-function inventory.
+func Table3(results map[OS]*Result) string {
+	var invs []report.CatastrophicInventory
+	for _, o := range AllOSes() {
+		if r, ok := results[o]; ok {
+			invs = append(invs, report.Inventory(o, r)...)
+		}
+	}
+	return report.FormatTable3(invs)
+}
+
+// EstimateSilent votes identical test cases across the given variants
+// (default: the five desktop Windows systems) and returns per-OS
+// estimated Silent statistics.
+func EstimateSilent(results map[OS]*Result, oses ...OS) map[OS][]vote.SilentStats {
+	if len(oses) == 0 {
+		oses = DesktopWindows()
+	}
+	return vote.Estimate(results, oses)
+}
+
+// Figure2 renders the Figure 2 reproduction: Abort+Restart+estimated-
+// Silent group rates for the desktop Windows variants.
+func Figure2(results map[OS]*Result) string {
+	return report.FormatFigure2(DesktopWindows(), GroupMatrix(results), silentGroupRates(results))
+}
+
+func silentGroupRates(results map[OS]*Result) map[OS]map[catalog.Group]float64 {
+	est := EstimateSilent(results)
+	out := make(map[OS]map[catalog.Group]float64, len(est))
+	for o, stats := range est {
+		out[o] = vote.GroupSilentRates(stats)
+	}
+	return out
+}
+
+// osprofileGet exposes the OS profile for tools and tests.
+func osprofileGet(o OS) *osprofile.Profile { return osprofile.Get(o) }
+
+// Profile returns the behaviour profile of an OS variant.
+func Profile(o OS) *osprofile.Profile { return osprofile.Get(o) }
+
+// LoadProfile re-exports the heavy-load campaign configuration.
+type LoadProfile = core.LoadProfile
+
+// WithLoad runs the campaign under resource pressure (memory quota,
+// filesystem fill, handle-table pressure) — the paper's §5 future work on
+// "dependability problems caused by heavy load conditions".
+func WithLoad(lp LoadProfile) Option {
+	return func(c *core.Config) { c.Load = &lp }
+}
+
+// DefaultLoad approximates a heavily loaded 64 MB Pentium of the paper's
+// era: a tight per-process memory quota, a filled filesystem, and a
+// large population of live kernel objects.
+func DefaultLoad() LoadProfile {
+	return LoadProfile{
+		ProcessMemoryQuota: 192 << 10, // 48 pages per process
+		PreloadFiles:       512,
+		HandlePressure:     256,
+	}
+}
+
+// WithProfile overrides the OS behaviour profile — the hook for ablation
+// studies such as osprofile.AblateProbing.
+func WithProfile(p *osprofile.Profile) Option {
+	return func(c *core.Config) { c.Profile = p }
+}
+
+// HinderResult re-exports the Hindering-failure probe outcome.
+type HinderResult = hinder.Result
+
+// AuditHindering runs the Hindering-failure oracle (CRASH's "H": wrong
+// error codes) against one OS variant.  The paper could only measure
+// these manually "in some situations"; the oracle mechanizes those
+// situations.
+func AuditHindering(o OS) ([]HinderResult, error) {
+	return hinder.Audit(NewRunner(o), Registry(), o)
+}

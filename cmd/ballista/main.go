@@ -1,0 +1,124 @@
+// Command ballista runs robustness-testing campaigns against the
+// simulated operating systems.
+//
+//	ballista -os win98                 # full campaign on one OS
+//	ballista -os linux -mut read      # one Module under Test
+//	ballista -os wince -cap 1000 -v   # verbose per-class counts
+//	ballista -os win98 -isolated      # fresh machine per test case
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ballista"
+	"ballista/internal/catalog"
+	"ballista/internal/osprofile"
+	"ballista/internal/report"
+)
+
+func main() {
+	osFlag := flag.String("os", "win98", "target OS: linux win95 win98 win98se winnt win2000 wince")
+	mutFlag := flag.String("mut", "", "test a single Module under Test by name")
+	capFlag := flag.Int("cap", 5000, "test cases per MuT (paper: 5000)")
+	isolated := flag.Bool("isolated", false, "fresh machine per test case (single-test reproduction mode)")
+	verbose := flag.Bool("v", false, "per-MuT output")
+	hinderFlag := flag.Bool("hinder", false, "run the Hindering-failure (wrong error code) oracle")
+	flag.Parse()
+
+	target, ok := osprofile.Parse(*osFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ballista: unknown OS %q\n", *osFlag)
+		os.Exit(2)
+	}
+	opts := []ballista.Option{ballista.WithCap(*capFlag)}
+	if *isolated {
+		opts = append(opts, ballista.WithIsolation())
+	}
+	runner := ballista.NewRunner(target, opts...)
+
+	if *hinderFlag {
+		rs, err := ballista.AuditHindering(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			os.Exit(1)
+		}
+		bad := 0
+		for _, r := range rs {
+			mark := "ok"
+			if r.Hindering {
+				mark = "HINDERING"
+				bad++
+			}
+			fmt.Printf("  %-24s %-40s code=%-4d %s\n", r.Probe.MuT, r.Probe.Desc, r.Code, mark)
+		}
+		fmt.Printf("%s: %d of %d probes misreport their error code\n", target, bad, len(rs))
+		return
+	}
+
+	if *mutFlag != "" {
+		runSingle(runner, target, *mutFlag)
+		return
+	}
+
+	start := time.Now()
+	res, err := runner.RunAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d MuTs, %d test cases, %d reboots, %v\n",
+		target, len(res.Results), res.CasesRun, res.Reboots, time.Since(start).Round(time.Millisecond))
+	s := report.Summarize(target, res)
+	fmt.Printf("system calls: %d tested, %d Catastrophic, abort %.1f%%, restart %.2f%%\n",
+		s.SysTested, s.SysCatastrophic, s.SysAbortPct, s.SysRestartPct)
+	fmt.Printf("C library:    %d tested, %d Catastrophic, abort %.1f%%, restart %.2f%%\n",
+		s.CLibTested, s.CLibCatastrophic, s.CLibAbortPct, s.CLibRestartPct)
+	if names := res.CatastrophicMuTs(); len(names) > 0 {
+		fmt.Printf("Catastrophic: %s\n", strings.Join(names, " "))
+	}
+	if *verbose {
+		fmt.Println()
+		for _, mr := range res.Results {
+			fmt.Printf("  %-30s cases=%-5d abort=%5.1f%% restart=%5.2f%% catastrophic=%v\n",
+				mr.Name(), mr.Executed(), 100*mr.AbortRate(), 100*mr.RestartRate(), mr.Catastrophic())
+		}
+	}
+}
+
+func runSingle(runner interface {
+	RunMuT(m catalog.MuT, wide bool) (*ballista.MuTResult, error)
+}, target ballista.OS, name string) {
+	var mut catalog.MuT
+	found := false
+	for _, m := range catalog.MuTsFor(target) {
+		if m.Name == name {
+			mut, found = m, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "ballista: %q is not tested on %s\n", name, target)
+		os.Exit(2)
+	}
+	res, err := runner.RunMuT(mut, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %s: %d cases\n", name, target, res.Executed())
+	for _, cls := range []ballista.RawClass{
+		ballista.Catastrophic, ballista.Restart, ballista.Abort,
+		ballista.ErrorReturn, ballista.Clean, ballista.Skip,
+	} {
+		if n := res.Count(cls); n > 0 {
+			fmt.Printf("  %-14s %d\n", cls, n)
+		}
+	}
+	if res.Incomplete {
+		fmt.Println("  campaign incomplete: a Catastrophic failure interrupted testing (paper §4)")
+	}
+}

@@ -1,0 +1,40 @@
+// Command ballistad serves the Ballista testing service over HTTP — the
+// architecture the paper's §2 describes: "a central testing server and a
+// portable testing client".
+//
+//	ballistad -addr :8717
+//
+// Then, from any client:
+//
+//	curl localhost:8717/api/oses
+//	curl localhost:8717/api/muts?os=wince
+//	curl -d '{"os":"win98","mut":"ReadFile","cap":1000}' localhost:8717/api/campaign
+//	curl -d '{"os":"win98","mut":"GetThreadContext","case":[5,0]}' localhost:8717/api/case
+//	curl 'localhost:8717/api/summary?os=winnt&cap=500'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"ballista/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8717", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("ballistad: Ballista testing service on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "ballistad:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Command crashdemo reproduces the paper's Listing 1 — the one-line C
+// program that blue-screened Windows 95, Windows 98 and Windows CE every
+// time it ran:
+//
+//	GetThreadContext(GetCurrentThread(), NULL);
+//
+// It executes that exact call on all seven simulated systems and reports
+// each machine's fate.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ballista"
+	"ballista/internal/api"
+	"ballista/internal/osprofile"
+	"ballista/internal/sim/kern"
+	"ballista/internal/winapi"
+)
+
+func main() {
+	fmt.Println("Listing 1.  GetThreadContext(GetCurrentThread(), NULL);")
+	fmt.Println()
+	impls := winapi.Impls()
+	exit := 0
+	for _, o := range ballista.AllOSes() {
+		if o == ballista.Linux {
+			fmt.Printf("  %-14s (no GetThreadContext in the POSIX API)\n", o)
+			continue
+		}
+		p := osprofile.Get(o)
+		k := p.NewKernel()
+		proc := k.NewProcess()
+
+		// GetCurrentThread()
+		cur := &api.Call{K: k, P: proc, Name: "GetCurrentThread", Traits: p.Traits}
+		impls["GetCurrentThread"](cur)
+
+		// GetThreadContext(<that handle>, NULL)
+		c := &api.Call{
+			K: k, P: proc, Name: "GetThreadContext", Traits: p.Traits,
+			Def:  p.Defect("GetThreadContext"),
+			Args: []api.Arg{api.HandleArg(kern.Handle(uint32(cur.Out.Ret))), api.Ptr(0)},
+		}
+		impls["GetThreadContext"](c)
+
+		switch {
+		case k.Crashed():
+			fmt.Printf("  %-14s CATASTROPHIC — %s\n", o, k.CrashReason())
+		case c.Out.Exception != 0:
+			fmt.Printf("  %-14s Abort — unhandled exception %#08x in the caller\n", o, c.Out.Exception)
+		default:
+			fmt.Printf("  %-14s %s\n", o, c.Out.String())
+			exit = 1
+		}
+	}
+	fmt.Println()
+	fmt.Println("Paper: \"a representative test case that has crashed Windows 98 every")
+	fmt.Println("time it has been run\" — while NT and 2000 take an access violation.")
+	os.Exit(exit)
+}

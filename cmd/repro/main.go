@@ -1,0 +1,83 @@
+// Command repro regenerates every table and figure from the paper:
+//
+//	repro              # everything, full 5000-case cap
+//	repro -cap 500     # faster, smaller campaigns
+//	repro -table 1     # just Table 1
+//	repro -figure 2    # just Figure 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ballista"
+	"ballista/internal/report"
+)
+
+func main() {
+	capFlag := flag.Int("cap", 5000, "test cases per Module under Test (paper: 5000)")
+	table := flag.Int("table", 0, "render only this table (1-3)")
+	figure := flag.Int("figure", 0, "render only this figure (1-2)")
+	csvDir := flag.String("csv", "", "also write machine-readable muts.csv and groups.csv into this directory")
+	flag.Parse()
+
+	start := time.Now()
+	results, err := ballista.RunAll(ballista.WithCap(*capFlag))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	cases := 0
+	for _, r := range results {
+		cases += r.CasesRun
+	}
+	fmt.Printf("Ballista campaigns complete: %d test cases across %d operating systems in %v\n\n",
+		cases, len(results), time.Since(start).Round(time.Millisecond))
+
+	all := *table == 0 && *figure == 0
+	if all || *table == 1 {
+		fmt.Println(ballista.Table1(results))
+	}
+	if all || *table == 2 {
+		fmt.Println(ballista.Table2(results))
+	}
+	if all || *figure == 1 {
+		fmt.Println(ballista.Figure1(results))
+	}
+	if all || *table == 3 {
+		fmt.Println(ballista.Table3(results))
+	}
+	if all || *figure == 2 {
+		fmt.Println(ballista.Figure2(results))
+	}
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, results); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV written to %s/muts.csv and %s/groups.csv\n", *csvDir, *csvDir)
+	}
+}
+
+func writeCSVs(dir string, results map[ballista.OS]*ballista.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	muts, err := os.Create(filepath.Join(dir, "muts.csv"))
+	if err != nil {
+		return err
+	}
+	defer muts.Close()
+	if err := report.WriteMuTCSV(muts, results); err != nil {
+		return err
+	}
+	groups, err := os.Create(filepath.Join(dir, "groups.csv"))
+	if err != nil {
+		return err
+	}
+	defer groups.Close()
+	return report.WriteGroupCSV(groups, results)
+}

@@ -1,0 +1,98 @@
+// Command seqhunt implements the paper's §5 future work: "we will
+// attempt to find ways to reproduce the elusive crashes that we have
+// observed to occur ... outside of the current robustness testing
+// framework" — i.e. state- and sequence-dependent failures.
+//
+// It runs ordered pairs of test cases inside one process and reports
+// calls whose CRASH classification changes because of what ran first.
+// On the 9x family this rediscovers the Table 3 "*" crashes as concrete
+// two-call reproduction recipes.
+//
+//	seqhunt -os win98
+//	seqhunt -os win98 -muts strncpy,fwrite,DuplicateHandle -cases 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ballista"
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+	"ballista/internal/sequence"
+)
+
+func main() {
+	osFlag := flag.String("os", "win98", "target OS")
+	mutsFlag := flag.String("muts", "strncpy,fwrite,DuplicateHandle,MsgWaitForMultipleObjectsEx,DeleteFile,CreateFile",
+		"comma-separated MuT names to pair up")
+	casesFlag := flag.Int("cases", 8, "sampled cases per MuT")
+	maxPairs := flag.Int("maxpairs", 20000, "pair budget")
+	top := flag.Int("top", 15, "findings to print")
+	flag.Parse()
+
+	target, ok := osprofile.Parse(*osFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "seqhunt: unknown OS %q\n", *osFlag)
+		os.Exit(2)
+	}
+	var muts []catalog.MuT
+	for _, name := range strings.Split(*mutsFlag, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, m := range catalog.MuTsFor(target) {
+			if m.Name == name {
+				muts = append(muts, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "seqhunt: %q is not tested on %s (skipping)\n", name, target)
+		}
+	}
+	if len(muts) == 0 {
+		fmt.Fprintln(os.Stderr, "seqhunt: no MuTs to pair")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	ex := sequence.New(
+		func() *core.Runner { return ballista.NewRunner(target) },
+		muts,
+		sequence.Config{CasesPerMuT: *casesFlag, MaxPairs: *maxPairs},
+	)
+	findings, err := ex.Explore(ballista.Registry())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqhunt:", err)
+		os.Exit(1)
+	}
+	crashes := sequence.CatastrophicFindings(findings)
+	fmt.Printf("%s: %d sequence-dependent divergences (%d machine crashes) in %v\n\n",
+		target, len(findings), len(crashes), time.Since(start).Round(time.Millisecond))
+	if len(crashes) > 0 {
+		fmt.Println("Sequence-induced machine crashes (the paper's 'elusive' inter-test interference):")
+		for i, f := range crashes {
+			if i >= *top {
+				fmt.Printf("  ... and %d more\n", len(crashes)-i)
+				break
+			}
+			fmt.Printf("  %s\n", f)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Most severe divergences:")
+	for i, f := range findings {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %s\n", f)
+	}
+	if len(findings) == 0 {
+		fmt.Println("  none — every call behaves identically in isolation and in sequence")
+	}
+}

@@ -1,0 +1,116 @@
+// missioncritical interprets Ballista results the way the paper's
+// introduction motivates: "The United States Navy has adopted Windows NT
+// as the official OS to be incorporated into onboard computer systems"
+// [15, the Smart Ship dead-in-the-water incident], and "these results
+// should be interpreted in light of the degree to which those failures
+// affect any particular application".
+//
+// It models a small shipboard data-logger with a fixed API usage profile
+// (the calls it makes and roughly how often per hour), then folds each
+// OS's measured per-call failure rates through that profile to estimate
+// exposure: expected Aborts per day, and whether any call in the profile
+// can take the whole machine down.
+//
+//	go run ./examples/missioncritical
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ballista"
+	"ballista/internal/catalog"
+)
+
+// profileEntry is one call in the application's usage profile.
+type profileEntry struct {
+	win32, posix string // the call on each API surface ("" = unused)
+	perHour      float64
+}
+
+// The logger: samples sensors, appends records, rotates files, signals a
+// watchdog.  Rates are calls per hour of operation.
+var usage = []profileEntry{
+	{"CreateFile", "open", 60},
+	{"WriteFile", "write", 3600},
+	{"ReadFile", "read", 1200},
+	{"SetFilePointer", "lseek", 600},
+	{"CloseHandle", "close", 60},
+	{"GetFileSize", "fstat", 120},
+	{"MoveFile", "rename", 6},
+	{"WaitForSingleObject", "nanosleep", 3600},
+	{"SetEvent", "kill", 3600},
+	{"GetSystemTime", "times", 3600},
+	// The watchdog snapshots its worker thread's context for the crash
+	// log once a minute — the Listing 1 call.
+	{"GetThreadContext", "", 60},
+}
+
+// hostileFraction is the assumed fraction of calls that carry an
+// exceptional argument in the field (sensor glitches, corrupted
+// configuration, truncated files).  Ballista rates are conditional on
+// exceptional input; exposure scales linearly with this assumption.
+const hostileFraction = 0.001
+
+func main() {
+	fmt.Println("Mission-critical exposure assessment (paper §1 / [15])")
+	fmt.Printf("Application profile: %d API calls, %.0f calls/hour, hostile-input fraction %.3f%%\n\n",
+		len(usage), totalPerHour(), 100*hostileFraction)
+	fmt.Printf("%-14s %16s %18s %s\n", "OS", "aborts/day", "crash exposure", "verdict")
+
+	for _, o := range ballista.AllOSes() {
+		runner := ballista.NewRunner(o, ballista.WithCap(1000))
+		var abortsPerDay float64
+		var crashCalls []string
+		for _, entry := range usage {
+			name := entry.win32
+			api := catalog.Win32
+			if o == ballista.Linux {
+				name = entry.posix
+				api = catalog.POSIX
+			}
+			if name == "" {
+				continue // no counterpart on this API surface
+			}
+			m, ok := catalog.ByName(api, name)
+			if !ok {
+				continue
+			}
+			if !catalog.Supported(o, m) {
+				continue
+			}
+			res, err := runner.RunMuT(m, false)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			// Exceptional-call rate × per-call failure probability.
+			hostilePerDay := entry.perHour * 24 * hostileFraction
+			abortsPerDay += hostilePerDay * res.AbortRate()
+			if res.Catastrophic() {
+				crashCalls = append(crashCalls, name)
+			}
+		}
+		verdict := "task restarts only"
+		crash := "none"
+		if len(crashCalls) > 0 {
+			crash = fmt.Sprint(crashCalls)
+			verdict = "CAN GO DEAD IN THE WATER"
+		}
+		fmt.Printf("%-14s %16.3f %18s %s\n", o, abortsPerDay, crash, verdict)
+	}
+
+	fmt.Println("\nReading: Abort exposure means watchdog-recoverable task restarts;")
+	fmt.Println("a nonzero crash exposure means a single exceptional argument to a")
+	fmt.Println("profiled call can require a reboot of the whole machine — the")
+	fmt.Println("paper's case that the 9x/CE family was unfit for such deployments")
+	fmt.Println("while NT/2000/Linux had reached a different plateau.")
+}
+
+func totalPerHour() float64 {
+	var sum float64
+	for _, e := range usage {
+		sum += e.perHour
+	}
+	return sum
+}

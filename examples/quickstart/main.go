@@ -1,0 +1,53 @@
+// Quickstart: run Ballista against a single Win32 call on one OS and
+// inspect how each exceptional test case was handled.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ballista"
+	"ballista/internal/catalog"
+)
+
+func main() {
+	// Test ReadFile on Windows 98 with the paper's 5000-case cap.
+	mut, ok := catalog.ByName(catalog.Win32, "ReadFile")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "ReadFile not in catalog")
+		os.Exit(1)
+	}
+	runner := ballista.NewRunner(ballista.Win98)
+	res, err := runner.RunMuT(mut, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Ballista: %s on %s\n", mut.Name, ballista.Win98)
+	fmt.Printf("  parameters: %v\n", mut.Params)
+	fmt.Printf("  test cases executed: %d\n\n", res.Executed())
+	fmt.Println("CRASH-scale outcome distribution:")
+	for _, cls := range []ballista.RawClass{
+		ballista.Catastrophic, ballista.Restart, ballista.Abort,
+		ballista.ErrorReturn, ballista.Clean,
+	} {
+		n := res.Count(cls)
+		pct := 100 * float64(n) / float64(res.Executed())
+		fmt.Printf("  %-14s %6d  (%5.1f%%)\n", cls, n, pct)
+	}
+	fmt.Printf("\nper-MuT robustness failure rates: abort=%.1f%% restart=%.2f%%\n",
+		100*res.AbortRate(), 100*res.RestartRate())
+
+	// Now the same function on Linux's closest counterpart, read().
+	posixMut, _ := catalog.ByName(catalog.POSIX, "read")
+	lres, err := ballista.NewRunner(ballista.Linux).RunMuT(posixMut, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nLinux read() for comparison: abort=%.1f%% (EFAULT error returns instead: %d cases)\n",
+		100*lres.AbortRate(), lres.Count(ballista.ErrorReturn))
+}

@@ -1,0 +1,3 @@
+module ballista
+
+go 1.22

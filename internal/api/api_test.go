@@ -1,0 +1,310 @@
+package api
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/mem"
+)
+
+func newCall(t *testing.T, arch kern.Arch, traits Traits) *Call {
+	t.Helper()
+	k := kern.New(arch)
+	return &Call{K: k, P: k.NewProcess(), Name: "TestFn", Traits: traits}
+}
+
+var (
+	ntTraits   = Traits{OSName: "Windows NT", ProbeKernel: true}
+	unixTraits = Traits{OSName: "Linux", Unix: true, ProbeKernel: true}
+	n9xTraits  = Traits{OSName: "Windows 98", SharedArena: true, StubErrorBP: 4200, StubSilentBP: 3300}
+)
+
+func TestTerminalOutcomesAreSticky(t *testing.T) {
+	c := newCall(t, kern.ArchNT, ntTraits)
+	c.Ret(42)
+	c.FailWin(ErrorInvalidHandle) // must be a no-op after Ret
+	if c.Out.Ret != 42 || c.Out.ErrReported {
+		t.Errorf("second terminal overwrote the first: %+v", c.Out)
+	}
+}
+
+func TestFailWinSetsLastError(t *testing.T) {
+	c := newCall(t, kern.ArchNT, ntTraits)
+	c.FailWin(ErrorAccessDenied)
+	if c.P.LastError != ErrorAccessDenied || !c.Out.ErrReported || c.Out.Ret != 0 {
+		t.Errorf("FailWin: %+v lastError=%d", c.Out, c.P.LastError)
+	}
+}
+
+func TestFailErrno(t *testing.T) {
+	c := newCall(t, kern.ArchUnix, unixTraits)
+	c.FailErrno(ENOENT)
+	if c.P.Errno != int32(ENOENT) || c.Out.Ret != -1 {
+		t.Errorf("FailErrno: %+v errno=%d", c.Out, c.P.Errno)
+	}
+}
+
+func TestMemFaultPersonality(t *testing.T) {
+	c := newCall(t, kern.ArchUnix, unixTraits)
+	c.MemFault(&mem.Fault{Addr: 0x100, Kind: mem.FaultUnmapped})
+	if !c.Out.IsSignal || c.Out.Exception != SIGSEGV {
+		t.Errorf("unix fault: %+v", c.Out)
+	}
+	c2 := newCall(t, kern.ArchNT, ntTraits)
+	c2.MemFault(&mem.Fault{Addr: 0x100, Kind: mem.FaultUnmapped})
+	if c2.Out.IsSignal || c2.Out.Exception != ExcAccessViolation {
+		t.Errorf("windows fault: %+v", c2.Out)
+	}
+}
+
+func TestCopyOutProbing(t *testing.T) {
+	// Linux: EFAULT error return.  NT: thrown access violation.
+	lc := newCall(t, kern.ArchUnix, unixTraits)
+	if lc.CopyOut(0, 0, []byte{1}) {
+		t.Fatal("CopyOut to NULL succeeded")
+	}
+	if lc.Out.Exception != 0 || !lc.Out.ErrReported || lc.Out.Err != EFAULT {
+		t.Errorf("Linux CopyOut(NULL): %+v", lc.Out)
+	}
+
+	nc := newCall(t, kern.ArchNT, ntTraits)
+	if nc.CopyOut(0, 0, []byte{1}) {
+		t.Fatal("CopyOut to NULL succeeded")
+	}
+	if nc.Out.Exception != ExcAccessViolation {
+		t.Errorf("NT CopyOut(NULL): %+v", nc.Out)
+	}
+}
+
+func TestCopyOutValid(t *testing.T) {
+	for _, arch := range []kern.Arch{kern.ArchNT, kern.ArchUnix, kern.Arch9x} {
+		traits := ntTraits
+		switch arch.Name {
+		case "unix":
+			traits = unixTraits
+		case "9x":
+			traits = n9xTraits
+		}
+		c := newCall(t, arch, traits)
+		a, _ := c.P.AS.Alloc(64, mem.ProtRW)
+		if !c.CopyOut(0, a, []byte("data")) {
+			t.Errorf("%s: CopyOut to valid memory failed: %+v", arch.Name, c.Out)
+		}
+		got, _ := c.P.AS.Read(a, 4)
+		if string(got) != "data" {
+			t.Errorf("%s: CopyOut wrote %q", arch.Name, got)
+		}
+	}
+}
+
+// TestNineXStubPolicyPartition: across many sites, the 9x stub policy
+// produces all three behaviours with roughly the configured frequencies.
+func TestNineXStubPolicyPartition(t *testing.T) {
+	var errs, silents, aborts int
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		c := newCall(t, kern.Arch9x, n9xTraits)
+		c.Name = "Fn" + string(rune('A'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i%7))
+		ok := c.CopyOut(i%4, 0x7F000000, []byte{1, 2, 3, 4})
+		switch {
+		case ok && !c.Done():
+			silents++
+		case c.Out.Exception != 0:
+			aborts++
+		case c.Out.ErrReported:
+			errs++
+		}
+	}
+	if errs == 0 || silents == 0 || aborts == 0 {
+		t.Fatalf("stub policy degenerate: errors=%d silents=%d aborts=%d", errs, silents, aborts)
+	}
+	// Roughly 42% / 33% / 25%.
+	if errs < trials/4 || silents < trials/6 || aborts < trials/10 {
+		t.Errorf("stub policy skewed: errors=%d silents=%d aborts=%d", errs, silents, aborts)
+	}
+}
+
+// TestStubPolicyDeterministic: the same OS+function+site decides the same
+// way every time (the paper's results were "highly repeatable").
+func TestStubPolicyDeterministic(t *testing.T) {
+	prop := func(fnIdx uint8, param uint8) bool {
+		name := "Fn" + string(rune('A'+fnIdx%26))
+		run := func() Outcome {
+			c := newCall(t, kern.Arch9x, n9xTraits)
+			c.Name = name
+			c.CopyOut(int(param%4), 0x7F000000, []byte{1})
+			return c.Out
+		}
+		a, b := run(), run()
+		return a.Exception == b.Exception && a.ErrReported == b.ErrReported
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefectRawOutCrashesSharedArena(t *testing.T) {
+	c := newCall(t, kern.Arch9x, Traits{OSName: "Windows 98", SharedArena: true})
+	c.Def = &DefectSpec{Mech: MechRawOut, Param: 1}
+	if c.CopyOut(1, 0, []byte("CONTEXT")) {
+		t.Fatal("defect CopyOut(NULL) reported success")
+	}
+	if !c.Out.Crashed {
+		t.Fatalf("defect CopyOut(NULL) on 9x should be Catastrophic: %+v", c.Out)
+	}
+}
+
+func TestDefectWrongParamIsInert(t *testing.T) {
+	c := newCall(t, kern.Arch9x, n9xTraits)
+	c.Def = &DefectSpec{Mech: MechRawOut, Param: 3}
+	c.CopyOut(1, 0, []byte{1}) // different parameter: normal stub path
+	if c.Out.Crashed {
+		t.Error("defect on param 3 fired for param 1")
+	}
+}
+
+func TestDefectWideOnly(t *testing.T) {
+	c := newCall(t, kern.ArchCE, Traits{OSName: "Windows CE", SharedArena: true})
+	c.Def = &DefectSpec{Mech: MechCorrupt, Amount: 1000, WideOnly: true}
+	if c.DefectCorrupt(true) {
+		t.Fatal("wide-only defect fired on narrow call")
+	}
+	c.Wide = true
+	if !c.DefectCorrupt(true) {
+		t.Fatal("wide-only defect did not fire on wide call")
+	}
+	if !c.Out.Crashed {
+		t.Error("immediate corruption amount did not crash")
+	}
+}
+
+func TestDefectCorruptAccumulates(t *testing.T) {
+	k := kern.New(kern.Arch9x)
+	fire := func() bool {
+		c := &Call{K: k, P: k.NewProcess(), Name: "DuplicateHandle",
+			Traits: n9xTraits, Def: &DefectSpec{Mech: MechCorrupt, Amount: kern.CorruptionStep}}
+		return c.DefectCorrupt(true)
+	}
+	if fire() {
+		t.Fatal("first trigger crashed (should only accumulate)")
+	}
+	if !fire() {
+		t.Fatal("second trigger should cross the threshold")
+	}
+}
+
+func TestFailMaybeSilent(t *testing.T) {
+	// Probing kernels always report the error.
+	c := newCall(t, kern.ArchNT, ntTraits)
+	c.FailMaybeSilent(0, ErrorInvalidHandle, 1)
+	if !c.Out.ErrReported {
+		t.Error("NT FailMaybeSilent did not report")
+	}
+	// On 9x, across many functions, some sites are silent.
+	silent := 0
+	for i := 0; i < 200; i++ {
+		c := newCall(t, kern.Arch9x, n9xTraits)
+		c.Name = "Api" + string(rune('A'+i%26)) + string(rune('a'+i/26))
+		c.FailMaybeSilent(0, ErrorInvalidHandle, 1)
+		if !c.Out.ErrReported && c.Out.Ret == 1 {
+			silent++
+		}
+	}
+	if silent == 0 || silent == 200 {
+		t.Errorf("9x FailMaybeSilent silent count = %d", silent)
+	}
+}
+
+func TestUserWriteSharedArena(t *testing.T) {
+	// A 9x user write into a mapped system-arena page succeeds.
+	c := newCall(t, kern.Arch9x, n9xTraits)
+	a, err := c.P.AS.AllocSystem(4096, mem.ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.UserWrite(a, []byte("scribble")) {
+		t.Fatalf("9x write to mapped system arena failed: %+v", c.Out)
+	}
+	if c.K.Crashed() {
+		t.Error("benign scribble crashed the machine")
+	}
+	// On NT, the same address is simply not mapped: access violation.
+	c2 := newCall(t, kern.ArchNT, ntTraits)
+	if c2.UserWrite(0x80002000, []byte("scribble")) {
+		t.Fatal("NT write to system arena succeeded")
+	}
+	if c2.Out.Exception != ExcAccessViolation {
+		t.Errorf("NT system-arena write: %+v", c2.Out)
+	}
+}
+
+func TestArgAccessors(t *testing.T) {
+	c := newCall(t, kern.ArchNT, ntTraits)
+	c.Args = []Arg{Int(-1), Ptr(0x1000), HandleArg(0xFFFFFFFE), Float(2.5)}
+	if c.Int(0) != -1 || c.U32(0) != 0xFFFFFFFF {
+		t.Error("Int/U32 accessors")
+	}
+	if c.PtrArg(1) != 0x1000 {
+		t.Error("PtrArg accessor")
+	}
+	if c.HandleAt(2) != kern.PseudoThread {
+		t.Error("HandleAt accessor")
+	}
+	if c.FloatArg(3) != 2.5 {
+		t.Error("FloatArg accessor")
+	}
+	// Out-of-range arguments read as zero words.
+	if c.Int(99) != 0 || c.PtrArg(-1) != 0 {
+		t.Error("out-of-range args should be zero")
+	}
+	// Integer reinterpreted as float.
+	if c.FloatArg(0) != -1 {
+		t.Error("int-as-float reinterpretation")
+	}
+}
+
+func TestCopyInStringWalks(t *testing.T) {
+	c := newCall(t, kern.ArchUnix, unixTraits)
+	a, _ := c.P.AS.Alloc(64, mem.ProtRW)
+	_ = c.P.AS.WriteCString(a, "/bl/readable.txt")
+	s, ok := c.CopyInString(0, a)
+	if !ok || s != "/bl/readable.txt" {
+		t.Errorf("CopyInString = %q, ok=%v", s, ok)
+	}
+	if _, ok := c.CopyInString(0, 0); ok {
+		t.Error("CopyInString(NULL) succeeded")
+	}
+	if c.Out.Err != EFAULT {
+		t.Errorf("CopyInString(NULL) errno = %d", c.Out.Err)
+	}
+}
+
+func TestDivideByZeroPersonality(t *testing.T) {
+	c := newCall(t, kern.ArchUnix, unixTraits)
+	c.DivideByZero()
+	if c.Out.Exception != SIGFPE || !c.Out.IsSignal {
+		t.Errorf("unix: %+v", c.Out)
+	}
+	c2 := newCall(t, kern.ArchNT, ntTraits)
+	c2.DivideByZero()
+	if c2.Out.Exception != ExcIntDivideByZero {
+		t.Errorf("windows: %+v", c2.Out)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{Outcome{Crashed: true, CrashReason: "bsod"}, "CATASTROPHIC: bsod"},
+		{Outcome{Hung: true}, "hang"},
+		{Outcome{Exception: 11, IsSignal: true}, "signal 11"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package api
+
+// Win32 structured exception codes (values match winnt.h).
+const (
+	ExcAccessViolation       uint32 = 0xC0000005
+	ExcDatatypeMisalignment  uint32 = 0x80000002
+	ExcArrayBoundsExceeded   uint32 = 0xC000008C
+	ExcFltDenormalOperand    uint32 = 0xC000008D
+	ExcFltDivideByZero       uint32 = 0xC000008E
+	ExcFltInvalidOperation   uint32 = 0xC0000090
+	ExcFltOverflow           uint32 = 0xC0000091
+	ExcIntDivideByZero       uint32 = 0xC0000094
+	ExcIntOverflow           uint32 = 0xC0000095
+	ExcStackOverflow         uint32 = 0xC00000FD
+	ExcInvalidHandle         uint32 = 0xC0000008
+	ExcIllegalInstruction    uint32 = 0xC000001D
+	ExcInPageError           uint32 = 0xC0000006
+	ExcNoncontinuable        uint32 = 0xC0000025
+	ExcPrivilegedInstruction uint32 = 0xC0000096
+)
+
+// POSIX signal numbers (Linux x86 values).
+const (
+	SIGHUP  uint32 = 1
+	SIGINT  uint32 = 2
+	SIGQUIT uint32 = 3
+	SIGILL  uint32 = 4
+	SIGABRT uint32 = 6
+	SIGBUS  uint32 = 7
+	SIGFPE  uint32 = 8
+	SIGKILL uint32 = 9
+	SIGSEGV uint32 = 11
+	SIGPIPE uint32 = 13
+	SIGTERM uint32 = 15
+	SIGCHLD uint32 = 17
+)
+
+// Win32 error codes for GetLastError (values match winerror.h).
+const (
+	ErrorSuccess            uint32 = 0
+	ErrorInvalidFunction    uint32 = 1
+	ErrorFileNotFound       uint32 = 2
+	ErrorPathNotFound       uint32 = 3
+	ErrorTooManyOpenFiles   uint32 = 4
+	ErrorAccessDenied       uint32 = 5
+	ErrorInvalidHandle      uint32 = 6
+	ErrorNotEnoughMemory    uint32 = 8
+	ErrorInvalidBlock       uint32 = 9
+	ErrorBadEnvironment     uint32 = 10
+	ErrorInvalidAccess      uint32 = 12
+	ErrorInvalidData        uint32 = 13
+	ErrorOutOfMemory        uint32 = 14
+	ErrorWriteProtect       uint32 = 19
+	ErrorNotReady           uint32 = 21
+	ErrorBadLength          uint32 = 24
+	ErrorWriteFault         uint32 = 29
+	ErrorReadFault          uint32 = 30
+	ErrorSharingViolation   uint32 = 32
+	ErrorLockViolation      uint32 = 33
+	ErrorHandleEOF          uint32 = 38
+	ErrorNotSupported       uint32 = 50
+	ErrorFileExists         uint32 = 80
+	ErrorInvalidParameter   uint32 = 87
+	ErrorBrokenPipe         uint32 = 109
+	ErrorOpenFailed         uint32 = 110
+	ErrorBufferOverflow     uint32 = 111
+	ErrorDiskFull           uint32 = 112
+	ErrorCallNotImplemented uint32 = 120
+	ErrorInsufficientBuffer uint32 = 122
+	ErrorInvalidName        uint32 = 123
+	ErrorNegativeSeek       uint32 = 131
+	ErrorDirNotEmpty        uint32 = 145
+	ErrorBadPathname        uint32 = 161
+	ErrorBusy               uint32 = 170
+	ErrorAlreadyExists      uint32 = 183
+	ErrorEnvVarNotFound     uint32 = 203
+	ErrorFilenameExcedRange uint32 = 206
+	ErrorMoreData           uint32 = 234
+	ErrorNoMoreItems        uint32 = 259
+	ErrorInvalidAddress     uint32 = 487
+	ErrorArithmeticOverflow uint32 = 534
+	ErrorNoaccess           uint32 = 998
+	ErrorNotAllAssigned     uint32 = 1300
+)
+
+// WaitTimeoutCode is the WAIT_TIMEOUT return value.
+const WaitTimeoutCode uint32 = 258
+
+// WaitFailed is the WAIT_FAILED return value.
+const WaitFailed uint32 = 0xFFFFFFFF
+
+// WaitObject0 is the WAIT_OBJECT_0 return value.
+const WaitObject0 uint32 = 0
+
+// POSIX errno values (Linux x86 values).
+const (
+	EPERM        uint32 = 1
+	ENOENT       uint32 = 2
+	ESRCH        uint32 = 3
+	EINTR        uint32 = 4
+	EIO          uint32 = 5
+	ENXIO        uint32 = 6
+	E2BIG        uint32 = 7
+	ENOEXEC      uint32 = 8
+	EBADF        uint32 = 9
+	ECHILD       uint32 = 10
+	EAGAIN       uint32 = 11
+	ENOMEM       uint32 = 12
+	EACCES       uint32 = 13
+	EFAULT       uint32 = 14
+	ENOTBLK      uint32 = 15
+	EBUSY        uint32 = 16
+	EEXIST       uint32 = 17
+	EXDEV        uint32 = 18
+	ENODEV       uint32 = 19
+	ENOTDIR      uint32 = 20
+	EISDIR       uint32 = 21
+	EINVAL       uint32 = 22
+	ENFILE       uint32 = 23
+	EMFILE       uint32 = 24
+	ENOTTY       uint32 = 25
+	ETXTBSY      uint32 = 26
+	EFBIG        uint32 = 27
+	ENOSPC       uint32 = 28
+	ESPIPE       uint32 = 29
+	EROFS        uint32 = 30
+	EMLINK       uint32 = 31
+	EPIPE        uint32 = 32
+	EDOM         uint32 = 33
+	ERANGE       uint32 = 34
+	EDEADLK      uint32 = 35
+	ENAMETOOLONG uint32 = 36
+	ENOLCK       uint32 = 37
+	ENOSYS       uint32 = 38
+	ENOTEMPTY    uint32 = 39
+)
+
+// Additional Win32 error codes used by the API surface.
+const (
+	ErrorNoMoreFiles  uint32 = 18
+	ErrorNotLocked    uint32 = 158
+	ErrorProcNotFound uint32 = 127
+	ErrorNotOwner     uint32 = 288
+	ErrorTooManyPosts uint32 = 298
+	ErrorStillActive  uint32 = 259
+)
+
+// StatusNoMemory is the SEH code HeapAlloc raises under
+// HEAP_GENERATE_EXCEPTIONS.
+const StatusNoMemory uint32 = 0xC0000017

@@ -1,0 +1,156 @@
+package catalog
+
+import (
+	"testing"
+
+	"ballista/internal/osprofile"
+)
+
+// TestPaperCounts pins the catalog to the paper's Table 1 census.
+func TestPaperCounts(t *testing.T) {
+	tests := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"Win32 system calls", len(Win32MuTs()), 143},
+		{"POSIX system calls", len(POSIXMuTs()), 91},
+		{"C library functions", len(CLibMuTs()), 94},
+		{"Windows 95 MuTs", len(catalogFor(osprofile.Win95)), 227},
+		{"Windows 98 MuTs", len(catalogFor(osprofile.Win98)), 237},
+		{"Windows NT MuTs", len(catalogFor(osprofile.WinNT)), 237},
+		{"Windows 2000 MuTs", len(catalogFor(osprofile.Win2000)), 237},
+		{"Windows CE MuTs", len(catalogFor(osprofile.WinCE)), 153},
+		{"Linux MuTs", len(catalogFor(osprofile.Linux)), 185},
+		{"CE wide pairs", WidePairCount(osprofile.WinCE), 26},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func catalogFor(o osprofile.OS) []MuT { return MuTsFor(o) }
+
+func TestGroupCounts(t *testing.T) {
+	count := func(api API, g Group) int {
+		n := 0
+		for _, m := range ForAPI(api) {
+			if m.Group == g {
+				n++
+			}
+		}
+		return n
+	}
+	tests := []struct {
+		api  API
+		g    Group
+		want int
+	}{
+		// The paper's published I/O Primitives lists.
+		{Win32, GrpIOPrimitives, 15},
+		{POSIX, GrpIOPrimitives, 10},
+		// C library groups per §4 (CE tested 10 of the file I/O group and
+		// all 14 stream functions).
+		{CLib, GrpCChar, 13},
+		{CLib, GrpCString, 14},
+		{CLib, GrpCMemory, 9},
+		{CLib, GrpCMath, 22},
+		{CLib, GrpCTime, 9},
+		{CLib, GrpCFileIO, 13},
+		{CLib, GrpCStreamIO, 14},
+	}
+	for _, tt := range tests {
+		if got := count(tt.api, tt.g); got != tt.want {
+			t.Errorf("%v %v = %d, want %d", tt.api, tt.g, got, tt.want)
+		}
+	}
+}
+
+// TestCESubsetCounts checks CE's split: 71 system calls + 82 C functions,
+// 108 C functions counting UNICODE/ASCII pairs separately.
+func TestCESubsetCounts(t *testing.T) {
+	sys, clib, wide := 0, 0, 0
+	for _, m := range MuTsFor(osprofile.WinCE) {
+		switch m.API {
+		case Win32:
+			sys++
+		case CLib:
+			clib++
+			if m.HasWide {
+				wide++
+			}
+		}
+	}
+	if sys != 71 {
+		t.Errorf("CE system calls = %d, want 71", sys)
+	}
+	if clib != 82 {
+		t.Errorf("CE C functions = %d, want 82", clib)
+	}
+	if clib+wide != 108 {
+		t.Errorf("CE C functions counting pairs separately = %d, want 108", clib+wide)
+	}
+}
+
+// TestDefectFunctionsExist ensures every Table 3 defect names a function
+// that exists (and is supported) on its OS.
+func TestDefectFunctionsExist(t *testing.T) {
+	for _, o := range osprofile.All() {
+		p := osprofile.Get(o)
+		supported := make(map[string]bool)
+		for _, m := range MuTsFor(o) {
+			supported[m.Name] = true
+		}
+		for _, fn := range p.DefectFunctions() {
+			if !supported[fn] {
+				t.Errorf("%s: defect function %q not in its catalog", o, fn)
+			}
+		}
+	}
+}
+
+// TestTable3CatastrophicCounts pins the per-OS Catastrophic MuT counts
+// from Table 1: W95=8, W98=7, W98SE=7, CE=28 (10 system calls + 17 FILE*
+// functions + UNICODE strncpy), Linux/NT/2000 = 0.
+func TestTable3CatastrophicCounts(t *testing.T) {
+	staticCounts := map[osprofile.OS]int{
+		osprofile.Linux:   0,
+		osprofile.Win95:   8,
+		osprofile.Win98:   7,
+		osprofile.Win98SE: 7,
+		osprofile.WinNT:   0,
+		osprofile.Win2000: 0,
+		osprofile.WinCE:   11, // 10 system calls + strncpy (wide)
+	}
+	for o, want := range staticCounts {
+		if got := len(osprofile.Get(o).DefectFunctions()); got != want {
+			t.Errorf("%s: defect table size = %d, want %d", o, got, want)
+		}
+	}
+
+	// CE's seventeen FILE* functions come from the StdioRawKernel trait.
+	unique := make(map[string]bool)
+	sep := 0
+	for _, m := range CLibMuTs() {
+		if !Supported(osprofile.WinCE, m) {
+			continue
+		}
+		if CEStdioRawKernel(m.Name, false) {
+			unique[m.Name] = true
+			sep++
+		}
+		if m.HasWide && CEStdioRawKernel(m.Name, true) {
+			unique[m.Name] = true
+			sep++
+		}
+	}
+	if len(unique) != 17 {
+		t.Errorf("CE raw-stream FILE* functions = %d, want 17", len(unique))
+	}
+	// Plus UNICODE strncpy: 18 unique, 27 counting variants separately.
+	if got := sep + 1; got != 27 {
+		t.Errorf("CE Catastrophic C functions counting variants separately = %d, want 27", got)
+	}
+}

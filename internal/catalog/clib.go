@@ -1,0 +1,200 @@
+package catalog
+
+// CLibMuTs returns the 94 C library functions tested with identical test
+// cases on both the Win32 and POSIX sides (paper §1).  HasWide marks the
+// 26 functions with both ASCII and UNICODE implementations on Windows CE.
+func CLibMuTs() []MuT {
+	var m []MuT
+	m = append(m, clibChar()...)
+	m = append(m, clibString()...)
+	m = append(m, clibMemory()...)
+	m = append(m, clibMath()...)
+	m = append(m, clibTime()...)
+	m = append(m, clibFileIO()...)
+	m = append(m, clibStreamIO()...)
+	return m
+}
+
+func wide(m MuT) MuT {
+	m.HasWide = true
+	return m
+}
+
+func clibChar() []MuT { // 13 functions
+	g := GrpCChar
+	return []MuT{
+		mut(CLib, g, "isalnum", "CINT"),
+		mut(CLib, g, "isalpha", "CINT"),
+		mut(CLib, g, "iscntrl", "CINT"),
+		mut(CLib, g, "isdigit", "CINT"),
+		mut(CLib, g, "isgraph", "CINT"),
+		mut(CLib, g, "islower", "CINT"),
+		mut(CLib, g, "isprint", "CINT"),
+		mut(CLib, g, "ispunct", "CINT"),
+		mut(CLib, g, "isspace", "CINT"),
+		mut(CLib, g, "isupper", "CINT"),
+		mut(CLib, g, "isxdigit", "CINT"),
+		wide(mut(CLib, g, "tolower", "CINT")),
+		mut(CLib, g, "toupper", "CINT"),
+	}
+}
+
+func clibString() []MuT { // 14 functions, all with CE UNICODE siblings
+	g := GrpCString
+	return []MuT{
+		wide(mut(CLib, g, "strcat", "STRBUF", "CSTRING")),
+		wide(mut(CLib, g, "strchr", "CSTRING", "CINT")),
+		wide(mut(CLib, g, "strcmp", "CSTRING", "CSTRING")),
+		wide(mut(CLib, g, "strcpy", "STRBUF", "CSTRING")),
+		wide(mut(CLib, g, "strcspn", "CSTRING", "CSTRING")),
+		wide(mut(CLib, g, "strlen", "CSTRING")),
+		wide(mut(CLib, g, "strncat", "STRBUF", "CSTRING", "SIZE_T")),
+		wide(mut(CLib, g, "strncmp", "CSTRING", "CSTRING", "SIZE_T")),
+		wide(mut(CLib, g, "strncpy", "STRBUF", "CSTRING", "SIZE_T")),
+		wide(mut(CLib, g, "strpbrk", "CSTRING", "CSTRING")),
+		wide(mut(CLib, g, "strrchr", "CSTRING", "CINT")),
+		wide(mut(CLib, g, "strspn", "CSTRING", "CSTRING")),
+		wide(mut(CLib, g, "strstr", "CSTRING", "CSTRING")),
+		wide(mut(CLib, g, "strtok", "TOKBUF", "CSTRING")),
+	}
+}
+
+func clibMemory() []MuT { // 9 functions
+	g := GrpCMemory
+	return []MuT{
+		mut(CLib, g, "malloc", "SIZE_T"),
+		mut(CLib, g, "calloc", "SIZE_T", "SIZE_T"),
+		mut(CLib, g, "realloc", "HEAPBLK", "SIZE_T"),
+		mut(CLib, g, "free", "HEAPBLK"),
+		mut(CLib, g, "memcpy", "MEMBUF", "CMEMBUF", "MEMLEN"),
+		mut(CLib, g, "memmove", "MEMBUF", "CMEMBUF", "MEMLEN"),
+		mut(CLib, g, "memset", "MEMBUF", "CINT", "MEMLEN"),
+		mut(CLib, g, "memcmp", "CMEMBUF", "CMEMBUF", "MEMLEN"),
+		mut(CLib, g, "memchr", "CMEMBUF", "CINT", "MEMLEN"),
+	}
+}
+
+func clibMath() []MuT { // 22 functions
+	g := GrpCMath
+	return []MuT{
+		mut(CLib, g, "abs", "CINT"),
+		mut(CLib, g, "labs", "CLONG"),
+		mut(CLib, g, "div", "CINT", "CINT"),
+		mut(CLib, g, "ldiv", "CLONG", "CLONG"),
+		mut(CLib, g, "fabs", "DOUBLE"),
+		mut(CLib, g, "ceil", "DOUBLE"),
+		mut(CLib, g, "floor", "DOUBLE"),
+		mut(CLib, g, "fmod", "DOUBLE", "DOUBLE"),
+		mut(CLib, g, "sqrt", "DOUBLE"),
+		mut(CLib, g, "pow", "DOUBLE", "DOUBLE"),
+		mut(CLib, g, "exp", "DOUBLE"),
+		mut(CLib, g, "log", "DOUBLE"),
+		mut(CLib, g, "log10", "DOUBLE"),
+		mut(CLib, g, "sin", "DOUBLE"),
+		mut(CLib, g, "cos", "DOUBLE"),
+		mut(CLib, g, "tan", "DOUBLE"),
+		mut(CLib, g, "asin", "DOUBLE"),
+		mut(CLib, g, "acos", "DOUBLE"),
+		mut(CLib, g, "atan", "DOUBLE"),
+		mut(CLib, g, "atan2", "DOUBLE", "DOUBLE"),
+		mut(CLib, g, "frexp", "DOUBLE", "INTPTR"),
+		mut(CLib, g, "modf", "DOUBLE", "DOUBLEPTR"),
+	}
+}
+
+func clibTime() []MuT { // 9 functions (group unsupported on Windows CE)
+	g := GrpCTime
+	return []MuT{
+		mut(CLib, g, "time", "TIMETPTR"),
+		mut(CLib, g, "clock"),
+		mut(CLib, g, "difftime", "TIME_T", "TIME_T"),
+		mut(CLib, g, "mktime", "TMPTR"),
+		mut(CLib, g, "asctime", "TMPTR"),
+		mut(CLib, g, "ctime", "TIMETPTR"),
+		mut(CLib, g, "gmtime", "TIMETPTR"),
+		mut(CLib, g, "localtime", "TIMETPTR"),
+		mut(CLib, g, "strftime", "STRBUF", "SIZE_T", "FMT", "TMPTR"),
+	}
+}
+
+func clibFileIO() []MuT { // 13 functions
+	g := GrpCFileIO
+	return []MuT{
+		wide(mut(CLib, g, "fopen", "PATH", "FILEMODE")),
+		wide(mut(CLib, g, "freopen", "PATH", "FILEMODE", "FILEPTR")),
+		mut(CLib, g, "fclose", "FILEPTR"),
+		mut(CLib, g, "fflush", "FILEPTR"),
+		mut(CLib, g, "fseek", "FILEPTR", "CLONG", "SEEKORIGIN"),
+		mut(CLib, g, "ftell", "FILEPTR"),
+		mut(CLib, g, "rewind", "FILEPTR"),
+		mut(CLib, g, "fgetpos", "FILEPTR", "FPOSPTR"),
+		mut(CLib, g, "fsetpos", "FILEPTR", "FPOSPTR"),
+		mut(CLib, g, "clearerr", "FILEPTR"),
+		mut(CLib, g, "feof", "FILEPTR"),
+		mut(CLib, g, "ferror", "FILEPTR"),
+		mut(CLib, g, "setvbuf", "FILEPTR", "MEMBUF", "BUFMODE", "SIZE_T"),
+	}
+}
+
+func clibStreamIO() []MuT { // 14 functions
+	g := GrpCStreamIO
+	return []MuT{
+		mut(CLib, g, "fread", "MEMBUF", "SIZE_T", "SIZE_T", "FILEPTR"),
+		mut(CLib, g, "fwrite", "CMEMBUF", "SIZE_T", "SIZE_T", "FILEPTR"),
+		wide(mut(CLib, g, "fgetc", "FILEPTR")),
+		wide(mut(CLib, g, "fgets", "STRBUF", "CINT", "FILEPTR")),
+		wide(mut(CLib, g, "fputc", "CINT", "FILEPTR")),
+		wide(mut(CLib, g, "fputs", "CSTRING", "FILEPTR")),
+		wide(mut(CLib, g, "getc", "FILEPTR")),
+		wide(mut(CLib, g, "putc", "CINT", "FILEPTR")),
+		wide(mut(CLib, g, "ungetc", "CINT", "FILEPTR")),
+		wide(mut(CLib, g, "fprintf", "FILEPTR", "FMT")),
+		wide(mut(CLib, g, "fscanf", "FILEPTR", "FMT")),
+		mut(CLib, g, "sprintf", "STRBUF", "FMT"),
+		mut(CLib, g, "sscanf", "CSTRING", "FMT"),
+		mut(CLib, g, "puts", "CSTRING"),
+	}
+}
+
+// ceCLibExcluded lists the 12 C functions Windows CE does not support:
+// the whole C time group (9) plus three file-I/O management functions,
+// leaving CE's 82 (and, per the paper, 10 testable functions in the C
+// file I/O management group and 14 in C stream I/O).
+var ceCLibExcluded = map[string]bool{
+	"time": true, "clock": true, "difftime": true, "mktime": true,
+	"asctime": true, "ctime": true, "gmtime": true, "localtime": true,
+	"strftime": true,
+	"rewind":   true, "fgetpos": true, "fsetpos": true,
+}
+
+// CERawStreamNarrow/CERawStreamWide mark the seventeen C functions whose
+// Windows CE implementations hand stream state to the kernel without
+// probing — the paper's seventeen Catastrophic FILE* functions.  The
+// narrow set covers functions whose ASCII variant crashed; the wide set
+// those whose UNICODE variant crashed (freopen crashed only as
+// _wfreopen; the nine character-oriented stream functions crashed in
+// both variants).
+var (
+	ceRawStreamNarrow = map[string]bool{
+		"clearerr": true, "fclose": true, "fflush": true,
+		"fseek": true, "ftell": true, "fread": true, "fwrite": true,
+		"fgetc": true, "fgets": true, "fprintf": true, "fputc": true,
+		"fputs": true, "fscanf": true, "getc": true, "putc": true,
+		"ungetc": true,
+	}
+	ceRawStreamWide = map[string]bool{
+		"freopen": true,
+		"fgetc":   true, "fgets": true, "fprintf": true, "fputc": true,
+		"fputs": true, "fscanf": true, "getc": true, "putc": true,
+		"ungetc": true,
+	}
+)
+
+// CEStdioRawKernel reports whether a C function's CE implementation (in
+// the given variant) reaches the kernel through unprobed stream state.
+func CEStdioRawKernel(name string, wide bool) bool {
+	if wide {
+		return ceRawStreamWide[name]
+	}
+	return ceRawStreamNarrow[name]
+}

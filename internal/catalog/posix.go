@@ -1,0 +1,137 @@
+package catalog
+
+// POSIXMuTs returns the 91 POSIX system calls tested on Linux, grouped
+// into the same five system-call categories for the paper's normalized
+// comparison.  The I/O Primitives group is the paper's own published
+// list.
+func POSIXMuTs() []MuT {
+	var m []MuT
+	m = append(m, posixIOPrimitives()...)
+	m = append(m, posixMemoryManagement()...)
+	m = append(m, posixFileDirAccess()...)
+	m = append(m, posixProcessPrimitives()...)
+	m = append(m, posixProcessEnvironment()...)
+	return m
+}
+
+// posixIOPrimitives is the paper's exact I/O Primitives list (10 calls).
+func posixIOPrimitives() []MuT {
+	g := GrpIOPrimitives
+	return []MuT{
+		mut(POSIX, g, "close", "FD"),
+		mut(POSIX, g, "dup", "FD"),
+		mut(POSIX, g, "dup2", "FD", "FD"),
+		mut(POSIX, g, "fcntl", "FD", "FCNTL_CMD", "FCNTL_ARG"),
+		mut(POSIX, g, "fdatasync", "FD"),
+		mut(POSIX, g, "fsync", "FD"),
+		mut(POSIX, g, "lseek", "FD", "OFF_T", "WHENCE"),
+		mut(POSIX, g, "pipe", "PIPEFDS"),
+		mut(POSIX, g, "read", "FD", "BUF", "SIZE_T"),
+		mut(POSIX, g, "write", "FD", "CBUF", "SIZE_T"),
+	}
+}
+
+func posixMemoryManagement() []MuT { // 7 calls
+	g := GrpMemoryManagement
+	return []MuT{
+		mut(POSIX, g, "mmap", "MAPADDR", "SIZE_T", "MPROT", "MFLAGS", "FD", "OFF_T"),
+		mut(POSIX, g, "munmap", "MAPADDR", "SIZE_T"),
+		mut(POSIX, g, "mprotect", "MAPADDR", "SIZE_T", "MPROT"),
+		mut(POSIX, g, "msync", "MAPADDR", "SIZE_T", "MSFLAGS"),
+		mut(POSIX, g, "mlock", "MAPADDR", "SIZE_T"),
+		mut(POSIX, g, "munlock", "MAPADDR", "SIZE_T"),
+		mut(POSIX, g, "brk", "MAPADDR"),
+	}
+}
+
+func posixFileDirAccess() []MuT { // 30 calls
+	g := GrpFileDirAccess
+	return []MuT{
+		mut(POSIX, g, "open", "PATH", "OPEN_FLAGS", "MODE_T"),
+		mut(POSIX, g, "creat", "PATH", "MODE_T"),
+		mut(POSIX, g, "unlink", "PATH"),
+		mut(POSIX, g, "link", "PATH", "PATH"),
+		mut(POSIX, g, "symlink", "PATH", "PATH"),
+		mut(POSIX, g, "readlink", "PATH", "STRBUF", "SIZE_T"),
+		mut(POSIX, g, "rename", "PATH", "PATH"),
+		mut(POSIX, g, "mkdir", "PATH", "MODE_T"),
+		mut(POSIX, g, "rmdir", "PATH"),
+		mut(POSIX, g, "chdir", "PATH"),
+		mut(POSIX, g, "fchdir", "FD"),
+		mut(POSIX, g, "getcwd", "STRBUF", "SIZE_T"),
+		mut(POSIX, g, "chmod", "PATH", "MODE_T"),
+		mut(POSIX, g, "fchmod", "FD", "MODE_T"),
+		mut(POSIX, g, "chown", "PATH", "UID", "GID"),
+		mut(POSIX, g, "fchown", "FD", "UID", "GID"),
+		mut(POSIX, g, "lchown", "PATH", "UID", "GID"),
+		mut(POSIX, g, "stat", "PATH", "STATBUF"),
+		mut(POSIX, g, "lstat", "PATH", "STATBUF"),
+		mut(POSIX, g, "fstat", "FD", "STATBUF"),
+		mut(POSIX, g, "access", "PATH", "AMODE"),
+		mut(POSIX, g, "utime", "PATH", "UTIMBUF"),
+		mut(POSIX, g, "utimes", "PATH", "TIMEVALARR"),
+		mut(POSIX, g, "truncate", "PATH", "OFF_T"),
+		mut(POSIX, g, "ftruncate", "FD", "OFF_T"),
+		mut(POSIX, g, "opendir", "PATH"),
+		mut(POSIX, g, "readdir", "DIRP"),
+		mut(POSIX, g, "closedir", "DIRP"),
+		mut(POSIX, g, "rewinddir", "DIRP"),
+		mut(POSIX, g, "mkfifo", "PATH", "MODE_T"),
+	}
+}
+
+func posixProcessPrimitives() []MuT { // 21 calls
+	g := GrpProcessPrimitives
+	return []MuT{
+		mut(POSIX, g, "fork"),
+		mut(POSIX, g, "vfork"),
+		mut(POSIX, g, "execv", "PATH", "ARGV"),
+		mut(POSIX, g, "execve", "PATH", "ARGV", "ENVP"),
+		mut(POSIX, g, "execvp", "PATH", "ARGV"),
+		mut(POSIX, g, "waitpid", "PID", "STATUSPTR", "WAITOPTS"),
+		mut(POSIX, g, "wait", "STATUSPTR"),
+		mut(POSIX, g, "wait4", "PID", "STATUSPTR", "WAITOPTS", "RUSAGEPTR"),
+		mut(POSIX, g, "kill", "PID", "SIG"),
+		mut(POSIX, g, "killpg", "PID", "SIG"),
+		mut(POSIX, g, "raise", "SIG"),
+		mut(POSIX, g, "sigaction", "SIG", "SIGACTPTR", "SIGACTPTR"),
+		mut(POSIX, g, "sigprocmask", "SIGHOW", "SIGSETPTR", "SIGSETPTR"),
+		mut(POSIX, g, "sigpending", "SIGSETPTR"),
+		mut(POSIX, g, "alarm", "SECONDS"),
+		mut(POSIX, g, "sleep", "SECONDS"),
+		mut(POSIX, g, "nanosleep", "TIMESPECPTR", "TIMESPECPTR"),
+		mut(POSIX, g, "sched_yield"),
+		mut(POSIX, g, "getitimer", "ITIMER_WHICH", "ITIMERPTR"),
+		mut(POSIX, g, "setitimer", "ITIMER_WHICH", "ITIMERPTR", "ITIMERPTR"),
+		mut(POSIX, g, "ptrace", "PTRACE_REQ", "PID", "MAPADDR", "MAPADDR"),
+	}
+}
+
+func posixProcessEnvironment() []MuT { // 23 calls
+	g := GrpProcessEnvironment
+	return []MuT{
+		mut(POSIX, g, "getpid"),
+		mut(POSIX, g, "getppid"),
+		mut(POSIX, g, "getuid"),
+		mut(POSIX, g, "geteuid"),
+		mut(POSIX, g, "getgid"),
+		mut(POSIX, g, "getegid"),
+		mut(POSIX, g, "setuid", "UID"),
+		mut(POSIX, g, "setgid", "GID"),
+		mut(POSIX, g, "seteuid", "UID"),
+		mut(POSIX, g, "setegid", "GID"),
+		mut(POSIX, g, "getgroups", "COUNT32S", "GIDARR"),
+		mut(POSIX, g, "setgroups", "SIZE_T", "GIDARR"),
+		mut(POSIX, g, "getpgrp"),
+		mut(POSIX, g, "setpgid", "PID", "PID"),
+		mut(POSIX, g, "setsid"),
+		mut(POSIX, g, "getsid", "PID"),
+		mut(POSIX, g, "getrlimit", "RLIMIT_RES", "RLIMITPTR"),
+		mut(POSIX, g, "setrlimit", "RLIMIT_RES", "RLIMITPTR"),
+		mut(POSIX, g, "times", "TMSPTR"),
+		mut(POSIX, g, "uname", "UTSNAMEPTR"),
+		mut(POSIX, g, "sysconf", "SYSCONF_NAME"),
+		mut(POSIX, g, "pathconf", "PATH", "PATHCONF_NAME"),
+		mut(POSIX, g, "fpathconf", "FD", "PATHCONF_NAME"),
+	}
+}

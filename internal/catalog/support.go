@@ -1,0 +1,65 @@
+package catalog
+
+import "ballista/internal/osprofile"
+
+// Supported reports whether an OS variant implements a MuT, reproducing
+// the paper's support matrix: Windows 95 lacks 10 Win32 system calls;
+// Windows CE supports 71 system calls and 82 C functions; Linux tests
+// the POSIX surface plus the shared C library.
+func Supported(o osprofile.OS, m MuT) bool {
+	switch m.API {
+	case POSIX:
+		return o == osprofile.Linux
+	case Win32:
+		switch o {
+		case osprofile.Linux:
+			return false
+		case osprofile.Win95:
+			return !win95Missing[m.Name]
+		case osprofile.WinCE:
+			return ceSystemCalls[m.Name]
+		default:
+			return true
+		}
+	case CLib:
+		if o == osprofile.WinCE {
+			return !ceCLibExcluded[m.Name]
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// MuTsFor returns every MuT an OS variant tests, in catalog order:
+// Win32 (or POSIX) system calls followed by the C library.
+func MuTsFor(o osprofile.OS) []MuT {
+	var out []MuT
+	sys := Win32MuTs()
+	if o == osprofile.Linux {
+		sys = POSIXMuTs()
+	}
+	for _, m := range sys {
+		if Supported(o, m) {
+			out = append(out, m)
+		}
+	}
+	for _, m := range CLibMuTs() {
+		if Supported(o, m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WidePairCount returns the number of C functions with both ASCII and
+// UNICODE implementations among those an OS supports (26 on Windows CE).
+func WidePairCount(o osprofile.OS) int {
+	n := 0
+	for _, m := range CLibMuTs() {
+		if m.HasWide && Supported(o, m) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,246 @@
+package catalog
+
+// Win32MuTs returns the 143 Win32 system calls under test, grouped per
+// the paper's five system-call categories.  The I/O Primitives group is
+// the paper's own published list; the other groups were reconstructed to
+// the paper's counts from the common kernel services named in its §1
+// (memory management, file and directory management, I/O, and process
+// execution/control).
+func Win32MuTs() []MuT {
+	var m []MuT
+	m = append(m, win32IOPrimitives()...)
+	m = append(m, win32MemoryManagement()...)
+	m = append(m, win32FileDirAccess()...)
+	m = append(m, win32ProcessPrimitives()...)
+	m = append(m, win32ProcessEnvironment()...)
+	return m
+}
+
+// win32IOPrimitives is the paper's exact I/O Primitives list (15 calls).
+func win32IOPrimitives() []MuT {
+	g := GrpIOPrimitives
+	return []MuT{
+		mut(Win32, g, "AttachThreadInput", "TID", "TID", "BOOL"),
+		mut(Win32, g, "CloseHandle", "HANDLE"),
+		mut(Win32, g, "DuplicateHandle", "HPROCESS", "HANDLE", "HPROCESS", "LPHANDLE", "ACCESS_MASK", "BOOL", "DUP_FLAGS"),
+		mut(Win32, g, "FlushFileBuffers", "HFILE"),
+		mut(Win32, g, "GetStdHandle", "STD_SLOT"),
+		mut(Win32, g, "LockFile", "HFILE", "OFF32", "OFF32", "LEN32", "LEN32"),
+		mut(Win32, g, "LockFileEx", "HFILE", "LOCK_FLAGS", "DWORD0", "LEN32", "LEN32", "LPOVERLAPPED"),
+		mut(Win32, g, "ReadFile", "HFILE", "LPVOID", "LEN32", "LPDWORD", "LPOVERLAPPED"),
+		mut(Win32, g, "ReadFileEx", "HFILE", "LPVOID", "LEN32", "LPOVERLAPPED", "FUNCPTR"),
+		mut(Win32, g, "SetFilePointer", "HFILE", "OFF32S", "LPLONG", "SEEK_METHOD"),
+		mut(Win32, g, "SetStdHandle", "STD_SLOT", "HANDLE"),
+		mut(Win32, g, "UnlockFile", "HFILE", "OFF32", "OFF32", "LEN32", "LEN32"),
+		mut(Win32, g, "UnlockFileEx", "HFILE", "DWORD0", "LEN32", "LEN32", "LPOVERLAPPED"),
+		mut(Win32, g, "WriteFile", "HFILE", "LPCVOID", "LEN32", "LPDWORD", "LPOVERLAPPED"),
+		mut(Win32, g, "WriteFileEx", "HFILE", "LPCVOID", "LEN32", "LPOVERLAPPED", "FUNCPTR"),
+	}
+}
+
+func win32MemoryManagement() []MuT { // 25 calls
+	g := GrpMemoryManagement
+	return []MuT{
+		mut(Win32, g, "VirtualAlloc", "LPVOID_BASE", "SIZE32", "ALLOC_TYPE", "PROT_FLAGS"),
+		mut(Win32, g, "VirtualFree", "LPVOID_BASE", "SIZE32", "FREE_TYPE"),
+		mut(Win32, g, "VirtualProtect", "LPVOID_BASE", "SIZE32", "PROT_FLAGS", "LPDWORD"),
+		mut(Win32, g, "VirtualQuery", "LPCVOID", "LPMEMBASICINFO", "SIZE32"),
+		mut(Win32, g, "VirtualLock", "LPVOID_BASE", "SIZE32"),
+		mut(Win32, g, "VirtualUnlock", "LPVOID_BASE", "SIZE32"),
+		mut(Win32, g, "HeapCreate", "HEAP_FLAGS", "SIZE32", "SIZE32"),
+		mut(Win32, g, "HeapDestroy", "HHEAP"),
+		mut(Win32, g, "HeapAlloc", "HHEAP", "HEAP_FLAGS", "SIZE32"),
+		mut(Win32, g, "HeapFree", "HHEAP", "HEAP_FLAGS", "HEAPPTR"),
+		mut(Win32, g, "HeapReAlloc", "HHEAP", "HEAP_FLAGS", "HEAPPTR", "SIZE32"),
+		mut(Win32, g, "HeapSize", "HHEAP", "HEAP_FLAGS", "HEAPPTR"),
+		mut(Win32, g, "HeapValidate", "HHEAP", "HEAP_FLAGS", "HEAPPTR"),
+		mut(Win32, g, "HeapCompact", "HHEAP", "HEAP_FLAGS"),
+		mut(Win32, g, "GlobalAlloc", "GMEM_FLAGS", "SIZE32"),
+		mut(Win32, g, "GlobalFree", "HGLOBAL"),
+		mut(Win32, g, "GlobalReAlloc", "HGLOBAL", "SIZE32", "GMEM_FLAGS"),
+		mut(Win32, g, "GlobalSize", "HGLOBAL"),
+		mut(Win32, g, "LocalAlloc", "GMEM_FLAGS", "SIZE32"),
+		mut(Win32, g, "LocalFree", "HGLOBAL"),
+		mut(Win32, g, "LocalReAlloc", "HGLOBAL", "SIZE32", "GMEM_FLAGS"),
+		mut(Win32, g, "LocalSize", "HGLOBAL"),
+		mut(Win32, g, "GlobalMemoryStatus", "LPMEMORYSTATUS"),
+		mut(Win32, g, "IsBadReadPtr", "LPCVOID", "SIZE32"),
+		mut(Win32, g, "IsBadWritePtr", "LPVOID", "SIZE32"),
+	}
+}
+
+func win32FileDirAccess() []MuT { // 34 calls
+	g := GrpFileDirAccess
+	return []MuT{
+		mut(Win32, g, "CreateFile", "LPPATH", "ACCESS_MASK", "SHARE_FLAGS", "LPSECURITY_ATTRIBUTES", "CREATE_DISP", "FILE_ATTRS", "HANDLE"),
+		mut(Win32, g, "DeleteFile", "LPPATH"),
+		mut(Win32, g, "CopyFile", "LPPATH", "LPPATH", "BOOL"),
+		mut(Win32, g, "MoveFile", "LPPATH", "LPPATH"),
+		mut(Win32, g, "MoveFileEx", "LPPATH", "LPPATH", "MOVE_FLAGS"),
+		mut(Win32, g, "CreateDirectory", "LPPATH", "LPSECURITY_ATTRIBUTES"),
+		mut(Win32, g, "CreateDirectoryEx", "LPPATH", "LPPATH", "LPSECURITY_ATTRIBUTES"),
+		mut(Win32, g, "RemoveDirectory", "LPPATH"),
+		mut(Win32, g, "GetFileAttributes", "LPPATH"),
+		mut(Win32, g, "SetFileAttributes", "LPPATH", "FILE_ATTRS"),
+		mut(Win32, g, "GetFileSize", "HFILE", "LPDWORD"),
+		mut(Win32, g, "GetFileTime", "HFILE", "LPFILETIME", "LPFILETIME", "LPFILETIME"),
+		mut(Win32, g, "SetFileTime", "HFILE", "LPFILETIME", "LPFILETIME", "LPFILETIME"),
+		mut(Win32, g, "FileTimeToSystemTime", "LPFILETIME", "LPSYSTEMTIME"),
+		mut(Win32, g, "SystemTimeToFileTime", "LPSYSTEMTIME", "LPFILETIME"),
+		mut(Win32, g, "FileTimeToLocalFileTime", "LPFILETIME", "LPFILETIME"),
+		mut(Win32, g, "LocalFileTimeToFileTime", "LPFILETIME", "LPFILETIME"),
+		mut(Win32, g, "CompareFileTime", "LPFILETIME", "LPFILETIME"),
+		mut(Win32, g, "GetFileInformationByHandle", "HFILE", "LPBYHANDLEINFO"),
+		mut(Win32, g, "GetFileType", "HFILE"),
+		mut(Win32, g, "FindFirstFile", "LPPATH", "LPFINDDATA"),
+		mut(Win32, g, "FindNextFile", "HFIND", "LPFINDDATA"),
+		mut(Win32, g, "FindClose", "HFIND"),
+		mut(Win32, g, "GetCurrentDirectory", "LEN32", "LPSTRBUF"),
+		mut(Win32, g, "SetCurrentDirectory", "LPPATH"),
+		mut(Win32, g, "GetFullPathName", "LPPATH", "LEN32", "LPSTRBUF", "LPLPSTR"),
+		mut(Win32, g, "GetTempPath", "LEN32", "LPSTRBUF"),
+		mut(Win32, g, "GetTempFileName", "LPPATH", "LPCSTR", "UINT32", "LPSTRBUF"),
+		mut(Win32, g, "SearchPath", "LPPATH", "LPCSTR", "LPCSTR", "LEN32", "LPSTRBUF", "LPLPSTR"),
+		mut(Win32, g, "GetDriveType", "LPPATH"),
+		mut(Win32, g, "GetDiskFreeSpace", "LPPATH", "LPDWORD", "LPDWORD", "LPDWORD", "LPDWORD"),
+		mut(Win32, g, "GetLogicalDrives"),
+		mut(Win32, g, "SetEndOfFile", "HFILE"),
+		mut(Win32, g, "GetShortPathName", "LPPATH", "LPSTRBUF", "LEN32"),
+	}
+}
+
+func win32ProcessPrimitives() []MuT { // 33 calls
+	g := GrpProcessPrimitives
+	return []MuT{
+		mut(Win32, g, "CreateProcess", "LPPATH", "LPSTRBUF", "LPSECURITY_ATTRIBUTES", "LPSECURITY_ATTRIBUTES", "BOOL", "CREATE_FLAGS", "LPVOID", "LPPATH", "LPSTARTUPINFO", "LPPROCINFO"),
+		mut(Win32, g, "OpenProcess", "ACCESS_MASK", "BOOL", "PID32"),
+		mut(Win32, g, "TerminateProcess", "HPROCESS", "EXITCODE"),
+		mut(Win32, g, "GetExitCodeProcess", "HPROCESS", "LPDWORD"),
+		mut(Win32, g, "CreateThread", "LPSECURITY_ATTRIBUTES", "SIZE32", "FUNCPTR", "LPVOID", "CREATE_FLAGS", "LPDWORD"),
+		mut(Win32, g, "TerminateThread", "HTHREAD", "EXITCODE"),
+		mut(Win32, g, "GetExitCodeThread", "HTHREAD", "LPDWORD"),
+		mut(Win32, g, "SuspendThread", "HTHREAD"),
+		mut(Win32, g, "ResumeThread", "HTHREAD"),
+		mut(Win32, g, "SetThreadPriority", "HTHREAD", "PRIORITY"),
+		mut(Win32, g, "GetThreadPriority", "HTHREAD"),
+		mut(Win32, g, "WaitForSingleObject", "HWAITABLE", "TIMEOUT"),
+		mut(Win32, g, "WaitForMultipleObjects", "COUNT32", "LPHANDLEARR", "BOOL", "TIMEOUT"),
+		mut(Win32, g, "WaitForMultipleObjectsEx", "COUNT32", "LPHANDLEARR", "BOOL", "TIMEOUT", "BOOL"),
+		mut(Win32, g, "MsgWaitForMultipleObjects", "COUNT32", "LPHANDLEARR", "BOOL", "TIMEOUT", "WAKE_MASK"),
+		mut(Win32, g, "MsgWaitForMultipleObjectsEx", "COUNT32", "LPHANDLEARR", "TIMEOUT", "WAKE_MASK", "MWMO_FLAGS"),
+		mut(Win32, g, "SignalObjectAndWait", "HWAITABLE", "HWAITABLE", "TIMEOUT", "BOOL"),
+		mut(Win32, g, "Sleep", "TIMEOUT"),
+		mut(Win32, g, "SleepEx", "TIMEOUT", "BOOL"),
+		mut(Win32, g, "CreateEvent", "LPSECURITY_ATTRIBUTES", "BOOL", "BOOL", "LPCSTR"),
+		mut(Win32, g, "SetEvent", "HEVENT"),
+		mut(Win32, g, "ResetEvent", "HEVENT"),
+		mut(Win32, g, "PulseEvent", "HEVENT"),
+		mut(Win32, g, "OpenEvent", "ACCESS_MASK", "BOOL", "LPCSTR"),
+		mut(Win32, g, "CreateMutex", "LPSECURITY_ATTRIBUTES", "BOOL", "LPCSTR"),
+		mut(Win32, g, "ReleaseMutex", "HMUTEX"),
+		mut(Win32, g, "OpenMutex", "ACCESS_MASK", "BOOL", "LPCSTR"),
+		mut(Win32, g, "CreateSemaphore", "LPSECURITY_ATTRIBUTES", "COUNT32S", "COUNT32S", "LPCSTR"),
+		mut(Win32, g, "ReleaseSemaphore", "HSEM", "COUNT32S", "LPLONG"),
+		mut(Win32, g, "OpenSemaphore", "ACCESS_MASK", "BOOL", "LPCSTR"),
+		mut(Win32, g, "ReadProcessMemory", "HPROCESS", "LPCVOID", "LPVOID", "SIZE32", "LPDWORD"),
+		mut(Win32, g, "WriteProcessMemory", "HPROCESS", "LPVOID", "LPCVOID", "SIZE32", "LPDWORD"),
+		mut(Win32, g, "GetProcessTimes", "HPROCESS", "LPFILETIME", "LPFILETIME", "LPFILETIME", "LPFILETIME"),
+	}
+}
+
+func win32ProcessEnvironment() []MuT { // 36 calls
+	g := GrpProcessEnvironment
+	return []MuT{
+		mut(Win32, g, "GetThreadContext", "HTHREAD", "LPCONTEXT"),
+		mut(Win32, g, "SetThreadContext", "HTHREAD", "LPCONTEXT"),
+		mut(Win32, g, "InterlockedIncrement", "LPLONG"),
+		mut(Win32, g, "InterlockedDecrement", "LPLONG"),
+		mut(Win32, g, "InterlockedExchange", "LPLONG", "LONG32"),
+		mut(Win32, g, "GetEnvironmentVariable", "ENVNAME", "LPSTRBUF", "LEN32"),
+		mut(Win32, g, "SetEnvironmentVariable", "ENVNAME", "LPCSTR"),
+		mut(Win32, g, "ExpandEnvironmentStrings", "LPCSTR", "LPSTRBUF", "LEN32"),
+		mut(Win32, g, "GetEnvironmentStrings"),
+		mut(Win32, g, "FreeEnvironmentStrings", "ENVBLOCK"),
+		mut(Win32, g, "GetSystemInfo", "LPSYSTEMINFO"),
+		mut(Win32, g, "GetComputerName", "LPSTRBUF", "LPDWORD"),
+		mut(Win32, g, "GetSystemDirectory", "LPSTRBUF", "LEN32"),
+		mut(Win32, g, "GetWindowsDirectory", "LPSTRBUF", "LEN32"),
+		mut(Win32, g, "GetVersion"),
+		mut(Win32, g, "GetVersionEx", "LPOSVERSIONINFO"),
+		mut(Win32, g, "GetSystemTime", "LPSYSTEMTIME"),
+		mut(Win32, g, "GetLocalTime", "LPSYSTEMTIME"),
+		mut(Win32, g, "SetSystemTime", "LPSYSTEMTIME"),
+		mut(Win32, g, "SetLocalTime", "LPSYSTEMTIME"),
+		mut(Win32, g, "GetSystemTimeAsFileTime", "LPFILETIME"),
+		mut(Win32, g, "GetTickCount"),
+		mut(Win32, g, "GetCurrentProcess"),
+		mut(Win32, g, "GetCurrentThread"),
+		mut(Win32, g, "GetCurrentProcessId"),
+		mut(Win32, g, "GetCurrentThreadId"),
+		mut(Win32, g, "GetModuleFileName", "HMODULE", "LPSTRBUF", "LEN32"),
+		mut(Win32, g, "GetModuleHandle", "LPCSTR"),
+		mut(Win32, g, "GetProcAddress", "HMODULE", "LPCSTR"),
+		mut(Win32, g, "TlsAlloc"),
+		mut(Win32, g, "TlsFree", "TLSINDEX"),
+		mut(Win32, g, "TlsGetValue", "TLSINDEX"),
+		mut(Win32, g, "TlsSetValue", "TLSINDEX", "LPVOID"),
+		mut(Win32, g, "SetErrorMode", "ERRMODE"),
+		mut(Win32, g, "GetPriorityClass", "HPROCESS"),
+		mut(Win32, g, "SetPriorityClass", "HPROCESS", "PRIOCLASS"),
+	}
+}
+
+// win95Missing lists the ten Win32 calls the paper notes were "not
+// supported by Windows 95" but tested on the other desktop variants.
+var win95Missing = map[string]bool{
+	"MsgWaitForMultipleObjectsEx": true,
+	"SignalObjectAndWait":         true,
+	"WaitForMultipleObjectsEx":    true,
+	"MoveFileEx":                  true,
+	"CreateDirectoryEx":           true,
+	"GetSystemTimeAsFileTime":     true,
+	"GetProcessTimes":             true,
+	"HeapCompact":                 true,
+	"VirtualLock":                 true,
+	"VirtualUnlock":               true,
+}
+
+// ceSystemCalls lists the 71 Win32 system calls the Windows CE 2.11
+// subset supports.
+var ceSystemCalls = map[string]bool{
+	// I/O Primitives (8 of 15)
+	"CloseHandle": true, "DuplicateHandle": true, "FlushFileBuffers": true,
+	"GetStdHandle": true, "ReadFile": true, "SetFilePointer": true,
+	"SetStdHandle": true, "WriteFile": true,
+	// Memory Management (13 of 25)
+	"VirtualAlloc": true, "VirtualFree": true, "VirtualProtect": true,
+	"VirtualQuery": true, "HeapCreate": true, "HeapDestroy": true,
+	"HeapAlloc": true, "HeapFree": true, "HeapReAlloc": true,
+	"HeapSize": true, "LocalAlloc": true, "LocalFree": true,
+	"LocalReAlloc": true,
+	// File/Directory Access (21 of 34)
+	"CreateFile": true, "DeleteFile": true, "CopyFile": true,
+	"MoveFile": true, "CreateDirectory": true, "RemoveDirectory": true,
+	"GetFileAttributes": true, "SetFileAttributes": true,
+	"GetFileSize": true, "GetFileTime": true, "SetFileTime": true,
+	"FileTimeToSystemTime": true, "SystemTimeToFileTime": true,
+	"FileTimeToLocalFileTime": true, "LocalFileTimeToFileTime": true,
+	"CompareFileTime": true, "GetFileInformationByHandle": true,
+	"FindFirstFile": true, "FindNextFile": true, "FindClose": true,
+	"GetTempFileName": true,
+	// Process Primitives (19 of 33)
+	"ReadProcessMemory": true,
+	"CreateProcess":     true, "OpenProcess": true, "TerminateProcess": true,
+	"GetExitCodeProcess": true, "CreateThread": true, "TerminateThread": true,
+	"GetExitCodeThread": true, "SuspendThread": true, "ResumeThread": true,
+	"SetThreadPriority": true, "GetThreadPriority": true,
+	"WaitForSingleObject": true, "WaitForMultipleObjects": true,
+	"MsgWaitForMultipleObjects": true, "MsgWaitForMultipleObjectsEx": true,
+	"Sleep": true, "CreateEvent": true, "SetEvent": true,
+	// Process Environment (10 of 36)
+	"GetThreadContext": true, "SetThreadContext": true,
+	"InterlockedIncrement": true, "InterlockedDecrement": true,
+	"InterlockedExchange": true, "GetVersionEx": true,
+	"GetSystemTime": true, "GetLocalTime": true,
+	"GetTickCount": true, "GetCurrentProcess": true,
+}

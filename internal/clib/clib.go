@@ -1,0 +1,32 @@
+// Package clib implements the 94 C library functions under test, over
+// the simulated address space and kernel, in two personalities selected
+// by the OS profile's traits:
+//
+//   - glibc (Linux): dereference-first stdio and heap, raw ctype table
+//     lookups, blocking console reads;
+//   - msvcrt (desktop Windows): validated FILE magic and heap blocks,
+//     bounds-checked ctype tables, SEH floating-point domain errors.
+//
+// The Windows CE CRT is msvcrt-like but its stdio layer hands stream
+// buffer pointers to the kernel without probing (Traits.StdioRawKernel),
+// which is the paper's root cause for seventeen Catastrophic C functions
+// ("an invalid C file pointer — a string buffer typecast to a file
+// pointer").
+package clib
+
+import "ballista/internal/api"
+
+// Impl is a C function implementation.
+type Impl = func(c *api.Call)
+
+// Impls returns the implementation registry, keyed by function name.
+func Impls() map[string]Impl {
+	m := make(map[string]Impl, 94)
+	registerCtype(m)
+	registerString(m)
+	registerMemory(m)
+	registerMath(m)
+	registerTime(m)
+	registerStdio(m)
+	return m
+}

@@ -1,0 +1,390 @@
+package clib
+
+import (
+	"math"
+	"testing"
+
+	"ballista/internal/api"
+	"ballista/internal/osprofile"
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/mem"
+)
+
+var impls = Impls()
+
+// call runs a C function on a fresh process of the given OS and returns
+// the call frame.
+func call(t *testing.T, o osprofile.OS, k *kern.Kernel, name string, wide bool, args ...api.Arg) *api.Call {
+	t.Helper()
+	p := osprofile.Get(o)
+	if k == nil {
+		k = p.NewKernel()
+	}
+	c := &api.Call{
+		K: k, P: k.NewProcess(), Name: name, Args: args,
+		Traits: p.Traits, Def: p.Defect(name), Wide: wide,
+	}
+	impl, ok := impls[name]
+	if !ok {
+		t.Fatalf("no implementation for %q", name)
+	}
+	impl(c)
+	if !c.Done() {
+		c.Ret(0)
+	}
+	return c
+}
+
+func cstr(t *testing.T, p *kern.Process, s string) mem.Addr {
+	t.Helper()
+	a, err := p.AS.Alloc(uint32(len(s)+1), mem.ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.AS.WriteCString(a, s); f != nil {
+		t.Fatal(f)
+	}
+	return a
+}
+
+func TestImplCensus(t *testing.T) {
+	if len(impls) != 94 {
+		t.Errorf("C library registry has %d functions, want 94", len(impls))
+	}
+}
+
+// --- ctype ---
+
+func TestCtypePersonalities(t *testing.T) {
+	// Windows bounds-checks the table; glibc faults outside [-128, 255].
+	c := call(t, osprofile.WinNT, nil, "isalpha", false, api.Int(1000000))
+	if c.Out.Exception != 0 {
+		t.Errorf("Windows isalpha(1000000) aborted: %+v", c.Out)
+	}
+	c = call(t, osprofile.Linux, nil, "isalpha", false, api.Int(1000000))
+	if c.Out.Exception != api.SIGSEGV {
+		t.Errorf("glibc isalpha(1000000) should SIGSEGV: %+v", c.Out)
+	}
+	// In-range values are fine everywhere, including EOF and the signed
+	// -128..255 span.
+	for _, v := range []int64{-128, -1, 0, 'A', 255} {
+		c = call(t, osprofile.Linux, nil, "isalpha", false, api.Int(v))
+		if c.Out.Exception != 0 {
+			t.Errorf("glibc isalpha(%d) aborted", v)
+		}
+	}
+}
+
+func TestCtypeResults(t *testing.T) {
+	tests := []struct {
+		fn   string
+		ch   int64
+		want int64
+	}{
+		{"isalpha", 'x', 1},
+		{"isalpha", '5', 0},
+		{"isdigit", '5', 1},
+		{"isspace", ' ', 1},
+		{"isupper", 'a', 0},
+		{"islower", 'a', 1},
+		{"isxdigit", 'f', 1},
+		{"ispunct", ',', 1},
+		{"tolower", 'A', 'a'},
+		{"toupper", 'a', 'A'},
+		{"tolower", '7', '7'},
+	}
+	for _, tt := range tests {
+		c := call(t, osprofile.WinNT, nil, tt.fn, false, api.Int(tt.ch))
+		if c.Out.Ret != tt.want {
+			t.Errorf("%s(%q) = %d, want %d", tt.fn, rune(tt.ch), c.Out.Ret, tt.want)
+		}
+	}
+}
+
+// --- string ---
+
+func TestStrlenBasics(t *testing.T) {
+	k := osprofile.Get(osprofile.Linux).NewKernel()
+	p := osprofile.Get(osprofile.Linux)
+	_ = p
+	c := &api.Call{K: k, P: k.NewProcess(), Name: "strlen", Traits: osprofile.Get(osprofile.Linux).Traits}
+	a := cstr(t, c.P, "ballista")
+	c.Args = []api.Arg{api.Ptr(a)}
+	impls["strlen"](c)
+	if c.Out.Ret != 8 {
+		t.Errorf("strlen = %d", c.Out.Ret)
+	}
+}
+
+func TestStrcpyOverrunFaults(t *testing.T) {
+	// Destination with 8 bytes before the guard page; a 44-char source
+	// overruns and faults on every OS.
+	for _, o := range []osprofile.OS{osprofile.Linux, osprofile.WinNT, osprofile.Win98} {
+		k := osprofile.Get(o).NewKernel()
+		proc := k.NewProcess()
+		base, _ := proc.AS.Alloc(mem.PageSize, mem.ProtRW)
+		dst := base + mem.PageSize - 8
+		src := cstr(t, proc, "a string that is much longer than eight bytes")
+		c := &api.Call{K: k, P: proc, Name: "strcpy", Traits: osprofile.Get(o).Traits}
+		c.Args = []api.Arg{api.Ptr(dst), api.Ptr(src)}
+		impls["strcpy"](c)
+		if c.Out.Exception == 0 {
+			t.Errorf("%s: overrun strcpy did not abort: %+v", o, c.Out)
+		}
+	}
+}
+
+func TestStrWordReadAsymmetry(t *testing.T) {
+	// A string whose terminator is the last byte of the page: byte-wise
+	// glibc is safe, the MSVC intrinsic's trailing word read faults.
+	run := func(o osprofile.OS) *api.Call {
+		k := osprofile.Get(o).NewKernel()
+		proc := k.NewProcess()
+		base, _ := proc.AS.Alloc(mem.PageSize, mem.ProtRW)
+		at := base + mem.PageSize - 4
+		_ = proc.AS.Write(at, []byte{'a', 'b', 'c', 0})
+		c := &api.Call{K: k, P: proc, Name: "strlen", Traits: osprofile.Get(o).Traits}
+		c.Args = []api.Arg{api.Ptr(at)}
+		impls["strlen"](c)
+		return c
+	}
+	if c := run(osprofile.Linux); c.Out.Exception != 0 || c.Out.Ret != 3 {
+		t.Errorf("glibc strlen at page end: %+v", c.Out)
+	}
+	if c := run(osprofile.WinNT); c.Out.Exception == 0 {
+		t.Errorf("msvcrt strlen at page end should fault: %+v", c.Out)
+	}
+}
+
+func TestStrtok(t *testing.T) {
+	k := osprofile.Get(osprofile.Linux).NewKernel()
+	proc := k.NewProcess()
+	s := cstr(t, proc, "aa,bb")
+	d := cstr(t, proc, ",")
+	c := &api.Call{K: k, P: proc, Name: "strtok", Traits: osprofile.Get(osprofile.Linux).Traits,
+		Args: []api.Arg{api.Ptr(s), api.Ptr(d)}}
+	impls["strtok"](c)
+	if mem.Addr(uint32(c.Out.Ret)) != s {
+		t.Errorf("strtok returned %#x, want %#x", c.Out.Ret, uint32(s))
+	}
+	// The delimiter was overwritten with NUL.
+	got, _ := proc.AS.CString(s)
+	if got != "aa" {
+		t.Errorf("strtok did not terminate token: %q", got)
+	}
+	// NULL continuation returns NULL.
+	c2 := call(t, osprofile.Linux, nil, "strtok", false, api.Ptr(0), api.Ptr(d))
+	if c2.Out.Ret != 0 {
+		t.Errorf("strtok(NULL) = %d", c2.Out.Ret)
+	}
+}
+
+// --- memory ---
+
+func TestHeapPersonalities(t *testing.T) {
+	// free(garbage): msvcrt validates and reports; glibc aborts.
+	c := call(t, osprofile.WinNT, nil, "free", false, api.Ptr(0x7F000000))
+	if c.Out.Exception != 0 || !c.Out.ErrReported {
+		t.Errorf("msvcrt free(garbage): %+v", c.Out)
+	}
+	c = call(t, osprofile.Linux, nil, "free", false, api.Ptr(0x7F000000))
+	if c.Out.Exception == 0 {
+		t.Errorf("glibc free(garbage) should abort: %+v", c.Out)
+	}
+	// free(NULL) is defined everywhere.
+	for _, o := range []osprofile.OS{osprofile.Linux, osprofile.WinNT} {
+		c = call(t, o, nil, "free", false, api.Ptr(0))
+		if c.Out.Exception != 0 || c.Out.ErrReported {
+			t.Errorf("%s free(NULL): %+v", o, c.Out)
+		}
+	}
+}
+
+func TestGlibcFreeNotABlockAborts(t *testing.T) {
+	k := osprofile.Get(osprofile.Linux).NewKernel()
+	proc := k.NewProcess()
+	base, _ := proc.AS.Alloc(2*mem.PageSize, mem.ProtRW)
+	c := &api.Call{K: k, P: proc, Name: "free", Traits: osprofile.Get(osprofile.Linux).Traits,
+		Args: []api.Arg{api.Ptr(base + mem.PageSize)}}
+	impls["free"](c)
+	if c.Out.Exception != api.SIGABRT {
+		t.Errorf("glibc free(interior mapped ptr) should SIGABRT: %+v", c.Out)
+	}
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	k := osprofile.Get(osprofile.Linux).NewKernel()
+	proc := k.NewProcess()
+	traits := osprofile.Get(osprofile.Linux).Traits
+	c := &api.Call{K: k, P: proc, Name: "malloc", Traits: traits, Args: []api.Arg{api.Int(128)}}
+	impls["malloc"](c)
+	if c.Out.Ret == 0 {
+		t.Fatalf("malloc failed: %+v", c.Out)
+	}
+	a := mem.Addr(uint32(c.Out.Ret))
+	c2 := &api.Call{K: k, P: proc, Name: "free", Traits: traits, Args: []api.Arg{api.Ptr(a)}}
+	impls["free"](c2)
+	if c2.Out.Exception != 0 {
+		t.Fatalf("free of malloc'd block aborted: %+v", c2.Out)
+	}
+	if proc.AS.BlockSize(a) != 0 {
+		t.Error("block still live after free")
+	}
+}
+
+func TestMallocHugeReturnsNULL(t *testing.T) {
+	c := call(t, osprofile.Linux, nil, "malloc", false, api.Int(0x7FFFFFFF))
+	if c.Out.Ret != 0 || c.Out.Err != api.ENOMEM {
+		t.Errorf("malloc(huge): %+v", c.Out)
+	}
+}
+
+func TestMemcpyOverrun(t *testing.T) {
+	k := osprofile.Get(osprofile.WinNT).NewKernel()
+	proc := k.NewProcess()
+	traits := osprofile.Get(osprofile.WinNT).Traits
+	dst, _ := proc.AS.Alloc(mem.PageSize, mem.ProtRW)
+	src, _ := proc.AS.Alloc(mem.PageSize, mem.ProtRW)
+	// n = 0xFFFFFFFF overruns both mappings.
+	c := &api.Call{K: k, P: proc, Name: "memcpy", Traits: traits,
+		Args: []api.Arg{api.Ptr(dst), api.Ptr(src), api.Int(-1)}}
+	impls["memcpy"](c)
+	if c.Out.Exception == 0 {
+		t.Errorf("memcpy(MAXUINT32) should fault: %+v", c.Out)
+	}
+	// n=0 touches nothing, even with wild pointers.
+	c2 := call(t, osprofile.WinNT, nil, "memcpy", false, api.Ptr(0), api.Ptr(0), api.Int(0))
+	if c2.Out.Exception != 0 {
+		t.Errorf("memcpy(NULL, NULL, 0) aborted: %+v", c2.Out)
+	}
+}
+
+// --- math ---
+
+func TestMathPersonalities(t *testing.T) {
+	// sqrt(-1): SEH exception on Windows, SIGFPE trap on Linux.
+	c := call(t, osprofile.WinNT, nil, "sqrt", false, api.Float(-1))
+	if c.Out.Exception != api.ExcFltInvalidOperation {
+		t.Errorf("msvcrt sqrt(-1): %+v", c.Out)
+	}
+	c = call(t, osprofile.Linux, nil, "sqrt", false, api.Float(-1))
+	if !c.Out.IsSignal || c.Out.Exception != api.SIGFPE {
+		t.Errorf("glibc sqrt(-1): %+v", c.Out)
+	}
+	// NaN input: quiet propagation on glibc, exception on msvcrt.
+	c = call(t, osprofile.Linux, nil, "sin", false, api.Float(math.NaN()))
+	if c.Out.Exception != 0 || !math.IsNaN(c.Out.RetF) {
+		t.Errorf("glibc sin(NaN): %+v", c.Out)
+	}
+	c = call(t, osprofile.WinNT, nil, "sin", false, api.Float(math.NaN()))
+	if c.Out.Exception != api.ExcFltInvalidOperation {
+		t.Errorf("msvcrt sin(NaN): %+v", c.Out)
+	}
+	// Ordinary values compute everywhere.
+	c = call(t, osprofile.Linux, nil, "sqrt", false, api.Float(9))
+	if c.Out.RetF != 3 {
+		t.Errorf("sqrt(9) = %v", c.Out.RetF)
+	}
+}
+
+func TestDivByZeroTrapsEverywhere(t *testing.T) {
+	c := call(t, osprofile.Linux, nil, "div", false, api.Int(5), api.Int(0))
+	if c.Out.Exception != api.SIGFPE {
+		t.Errorf("glibc div by zero: %+v", c.Out)
+	}
+	c = call(t, osprofile.Win98, nil, "div", false, api.Int(5), api.Int(0))
+	if c.Out.Exception != api.ExcIntDivideByZero {
+		t.Errorf("win div by zero: %+v", c.Out)
+	}
+	// INT_MIN / -1 also traps (x86 IDIV overflow).
+	c = call(t, osprofile.Linux, nil, "div", false, api.Int(-2147483648), api.Int(-1))
+	if c.Out.Exception != api.SIGFPE {
+		t.Errorf("INT_MIN/-1: %+v", c.Out)
+	}
+	c = call(t, osprofile.Linux, nil, "div", false, api.Int(7), api.Int(2))
+	if c.Out.Exception != 0 || int32(uint32(c.Out.Ret)) != 3 {
+		t.Errorf("div(7,2): %+v", c.Out)
+	}
+}
+
+func TestModfWritesThroughPointer(t *testing.T) {
+	k := osprofile.Get(osprofile.Linux).NewKernel()
+	proc := k.NewProcess()
+	out, _ := proc.AS.Alloc(8, mem.ProtRW)
+	c := &api.Call{K: k, P: proc, Name: "modf", Traits: osprofile.Get(osprofile.Linux).Traits,
+		Args: []api.Arg{api.Float(2.75), api.Ptr(out)}}
+	impls["modf"](c)
+	if c.Out.Exception != 0 || c.Out.RetF != 0.75 {
+		t.Fatalf("modf: %+v", c.Out)
+	}
+	bits, _ := proc.AS.ReadU64(out)
+	if math.Float64frombits(bits) != 2 {
+		t.Errorf("modf int part = %v", math.Float64frombits(bits))
+	}
+	// Bad pointer aborts.
+	c2 := call(t, osprofile.Linux, nil, "modf", false, api.Float(2.75), api.Ptr(0))
+	if c2.Out.Exception == 0 {
+		t.Errorf("modf(NULL) should abort: %+v", c2.Out)
+	}
+}
+
+// --- time ---
+
+func TestTimeArchitectureSplit(t *testing.T) {
+	// time() with a bad pointer: EFAULT error on Linux (kernel probes),
+	// access violation on Windows (user-mode write).
+	c := call(t, osprofile.Linux, nil, "time", false, api.Ptr(0x7F000000))
+	if c.Out.Exception != 0 || c.Out.Err != api.EFAULT {
+		t.Errorf("Linux time(bad): %+v", c.Out)
+	}
+	c = call(t, osprofile.WinNT, nil, "time", false, api.Ptr(0x7F000000))
+	if c.Out.Exception != api.ExcAccessViolation {
+		t.Errorf("Windows time(bad): %+v", c.Out)
+	}
+	// NULL is legitimate for time() everywhere.
+	for _, o := range []osprofile.OS{osprofile.Linux, osprofile.WinNT} {
+		c = call(t, o, nil, "time", false, api.Ptr(0))
+		if c.Out.Exception != 0 || c.Out.Ret == 0 {
+			t.Errorf("%s time(NULL): %+v", o, c.Out)
+		}
+	}
+}
+
+func TestCtimeNULLPersonality(t *testing.T) {
+	c := call(t, osprofile.Linux, nil, "ctime", false, api.Ptr(0))
+	if c.Out.Exception != 0 {
+		t.Errorf("glibc ctime(NULL) should return NULL gracefully: %+v", c.Out)
+	}
+	c = call(t, osprofile.WinNT, nil, "ctime", false, api.Ptr(0))
+	if c.Out.Exception == 0 {
+		t.Errorf("msvcrt ctime(NULL) should abort: %+v", c.Out)
+	}
+}
+
+func TestAsctimeTableWalk(t *testing.T) {
+	mk := func(o osprofile.OS, mon int32) *api.Call {
+		k := osprofile.Get(o).NewKernel()
+		proc := k.NewProcess()
+		buf := make([]byte, 36)
+		putI32 := func(off int, v int32) { copy(buf[off:], u32le(uint32(v))) }
+		putI32(tmOffMday, 15)
+		putI32(tmOffMon, mon)
+		putI32(tmOffYear, 99)
+		putI32(tmOffWday, 2)
+		a, _ := proc.AS.Alloc(36, mem.ProtRW)
+		_ = proc.AS.Write(a, buf)
+		c := &api.Call{K: k, P: proc, Name: "asctime", Traits: osprofile.Get(o).Traits,
+			Args: []api.Arg{api.Ptr(a)}}
+		impls["asctime"](c)
+		return c
+	}
+	if c := mk(osprofile.Linux, 5); c.Out.Exception != 0 || c.Out.Ret == 0 {
+		t.Errorf("glibc asctime(valid): %+v", c.Out)
+	}
+	if c := mk(osprofile.Linux, 13); c.Out.Exception != api.SIGSEGV {
+		t.Errorf("glibc asctime(mon=13) should walk off the table: %+v", c.Out)
+	}
+	if c := mk(osprofile.WinNT, 13); c.Out.Exception != 0 || !c.Out.ErrReported {
+		t.Errorf("msvcrt asctime(mon=13) should validate: %+v", c.Out)
+	}
+}

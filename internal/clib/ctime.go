@@ -1,0 +1,260 @@
+package clib
+
+import (
+	"fmt"
+
+	"ballista/internal/api"
+	"ballista/internal/sim/mem"
+)
+
+// Simulated epoch base: 2000-01-01T00:00:00Z, with the machine tick
+// counter supplying deterministic forward motion.
+const epochBase = 946684800
+
+// struct tm layout (9 int32 fields, 36 bytes):
+// sec, min, hour, mday, mon, year, wday, yday, isdst.
+const (
+	tmOffSec   = 0
+	tmOffMin   = 4
+	tmOffHour  = 8
+	tmOffMday  = 12
+	tmOffMon   = 16
+	tmOffYear  = 20
+	tmOffWday  = 24
+	tmOffYday  = 28
+	tmOffIsdst = 32
+	tmSize     = 36
+)
+
+func nowSeconds(c *api.Call) int64 {
+	return epochBase + int64(c.K.Ticks()/1000)
+}
+
+func registerTime(m map[string]Impl) {
+	m["time"] = cTime
+	m["clock"] = func(c *api.Call) { c.Ret(int64(c.K.Ticks())) }
+	m["difftime"] = func(c *api.Call) {
+		c.RetF(float64(c.Int(0)) - float64(c.Int(1)))
+	}
+	m["mktime"] = cMktime
+	m["asctime"] = cAsctime
+	m["ctime"] = cCtime
+	m["gmtime"] = cGmtime
+	m["localtime"] = cGmtime // no timezone model; identical behaviour
+	m["strftime"] = cStrftime
+}
+
+// cTime reproduces the architectural split the paper's C-time numbers
+// show: on Linux, time() is a system call and the kernel probes the
+// out-pointer (bad pointer = EFAULT error return); the Windows CRT
+// computes in user mode and writes through the pointer raw.
+func cTime(c *api.Call) {
+	now := nowSeconds(c)
+	t := c.PtrArg(0)
+	if t == 0 {
+		c.Ret(now)
+		return
+	}
+	if c.Traits.Unix {
+		if !c.CopyOut(0, t, u32le(uint32(now))) {
+			return
+		}
+		c.Ret(now)
+		return
+	}
+	if !c.UserWrite(t, u32le(uint32(now))) {
+		return
+	}
+	c.Ret(now)
+}
+
+type tmValue struct {
+	sec, min, hour, mday, mon, year, wday, yday, isdst int32
+}
+
+func readTM(c *api.Call, a mem.Addr) (tmValue, bool) {
+	b, ok := c.UserRead(a, tmSize)
+	if !ok {
+		return tmValue{}, false
+	}
+	return tmValue{
+		sec:   int32(le32(b[tmOffSec:])),
+		min:   int32(le32(b[tmOffMin:])),
+		hour:  int32(le32(b[tmOffHour:])),
+		mday:  int32(le32(b[tmOffMday:])),
+		mon:   int32(le32(b[tmOffMon:])),
+		year:  int32(le32(b[tmOffYear:])),
+		wday:  int32(le32(b[tmOffWday:])),
+		yday:  int32(le32(b[tmOffYday:])),
+		isdst: int32(le32(b[tmOffIsdst:])),
+	}, true
+}
+
+func writeTM(c *api.Call, a mem.Addr, v tmValue) bool {
+	b := make([]byte, 0, tmSize)
+	for _, f := range []int32{v.sec, v.min, v.hour, v.mday, v.mon, v.year, v.wday, v.yday, v.isdst} {
+		b = append(b, u32le(uint32(f))...)
+	}
+	return c.UserWrite(a, b)
+}
+
+func (v tmValue) plausible() bool {
+	return v.sec >= 0 && v.sec <= 61 && v.min >= 0 && v.min <= 59 &&
+		v.hour >= 0 && v.hour <= 23 && v.mday >= 1 && v.mday <= 31 &&
+		v.mon >= 0 && v.mon <= 11 && v.year >= 0 && v.year < 1100
+}
+
+func cMktime(c *api.Call) {
+	v, ok := readTM(c, c.PtrArg(0))
+	if !ok {
+		return
+	}
+	if !v.plausible() {
+		// Both CRTs normalize moderate overflow but reject garbage.
+		c.FailErrnoRet(-1, api.ERANGE)
+		return
+	}
+	days := int64(v.year-70)*365 + int64(v.mon)*30 + int64(v.mday)
+	c.Ret(days*86400 + int64(v.hour)*3600 + int64(v.min)*60 + int64(v.sec))
+}
+
+var monthNames = [12]string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+var dayNames = [7]string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+
+// cAsctime: glibc's asctime indexes its month/day name tables with the
+// struct's raw fields — out-of-range values walk off the table (a real
+// historic defect).  The Windows CRT validates and returns NULL.
+func cAsctime(c *api.Call) {
+	v, ok := readTM(c, c.PtrArg(0))
+	if !ok {
+		return
+	}
+	if v.mon < 0 || v.mon > 11 || v.wday < 0 || v.wday > 6 {
+		if c.Traits.CLibValidatesStreams { // msvcrt personality
+			c.FailErrnoRet(0, api.EINVAL)
+			return
+		}
+		c.Signal(api.SIGSEGV)
+		return
+	}
+	s := fmt.Sprintf("%s %s %2d %02d:%02d:%02d %d\n",
+		dayNames[v.wday], monthNames[v.mon], v.mday, v.hour, v.min, v.sec, 1900+int(v.year))
+	out, err := c.P.AS.Alloc(uint32(len(s)+1), mem.ProtRW)
+	if err != nil {
+		c.FailErrnoRet(0, api.ENOMEM)
+		return
+	}
+	_ = c.P.AS.WriteCString(out, s)
+	c.Ret(int64(uint32(out)))
+}
+
+// cCtime: glibc's localtime path tolerates a NULL operand (returning
+// NULL), while the MSVC CRT dereferences it — one contributor to the
+// paper's higher Windows C-time Abort rates.
+func cCtime(c *api.Call) {
+	t := c.PtrArg(0)
+	if t == 0 && !c.Traits.CLibValidatesStreams {
+		c.FailErrnoRet(0, api.EINVAL)
+		return
+	}
+	b, ok := c.UserRead(t, 4)
+	if !ok {
+		return
+	}
+	v := tmFromEpoch(int64(int32(le32(b))))
+	s := fmt.Sprintf("%s %s %2d %02d:%02d:%02d %d\n",
+		dayNames[v.wday], monthNames[v.mon], v.mday, v.hour, v.min, v.sec, 1900+int(v.year))
+	out, err := c.P.AS.Alloc(uint32(len(s)+1), mem.ProtRW)
+	if err != nil {
+		c.FailErrnoRet(0, api.ENOMEM)
+		return
+	}
+	_ = c.P.AS.WriteCString(out, s)
+	c.Ret(int64(uint32(out)))
+}
+
+func cGmtime(c *api.Call) {
+	t := c.PtrArg(0)
+	if t == 0 && !c.Traits.CLibValidatesStreams {
+		c.FailErrnoRet(0, api.EINVAL)
+		return
+	}
+	b, ok := c.UserRead(t, 4)
+	if !ok {
+		return
+	}
+	v := tmFromEpoch(int64(int32(le32(b))))
+	out, err := c.P.AS.Alloc(tmSize, mem.ProtRW)
+	if err != nil {
+		c.FailErrnoRet(0, api.ENOMEM)
+		return
+	}
+	if !writeTM(c, out, v) {
+		return
+	}
+	c.Ret(int64(uint32(out)))
+}
+
+func cStrftime(c *api.Call) {
+	maxn := uint64(c.U32(1))
+	format, ok := c.UserString(c.PtrArg(2))
+	if !ok {
+		return
+	}
+	v, ok := readTM(c, c.PtrArg(3))
+	if !ok {
+		return
+	}
+	var out []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' || i+1 >= len(format) {
+			out = append(out, format[i])
+			continue
+		}
+		i++
+		switch format[i] {
+		case 'Y':
+			out = append(out, fmt.Sprintf("%d", 1900+int(v.year))...)
+		case 'm':
+			out = append(out, fmt.Sprintf("%02d", v.mon+1)...)
+		case 'd':
+			out = append(out, fmt.Sprintf("%02d", v.mday)...)
+		case 'H':
+			out = append(out, fmt.Sprintf("%02d", v.hour)...)
+		case 'M':
+			out = append(out, fmt.Sprintf("%02d", v.min)...)
+		case 'S':
+			out = append(out, fmt.Sprintf("%02d", v.sec)...)
+		case '%':
+			out = append(out, '%')
+		default:
+			out = append(out, '%', format[i])
+		}
+	}
+	if uint64(len(out)+1) > maxn {
+		c.Ret(0) // buffer too small: contents unspecified, returns 0
+		return
+	}
+	if !c.UserWrite(c.PtrArg(0), append(out, 0)) {
+		return
+	}
+	c.Ret(int64(len(out)))
+}
+
+func tmFromEpoch(t int64) tmValue {
+	if t < 0 {
+		t = 0
+	}
+	days := t / 86400
+	rem := t % 86400
+	return tmValue{
+		sec:  int32(rem % 60),
+		min:  int32((rem / 60) % 60),
+		hour: int32(rem / 3600),
+		mday: int32(days%30 + 1),
+		mon:  int32((days / 30) % 12),
+		year: int32(70 + days/365),
+		wday: int32((days + 4) % 7),
+		yday: int32(days % 365),
+	}
+}

@@ -1,0 +1,167 @@
+package clib
+
+import (
+	gomath "math"
+
+	"ballista/internal/api"
+)
+
+// mathFail reports a floating-point domain/range problem in the
+// personality's style: the Windows CRT raises a structured exception
+// (the paper's high Windows C-math Abort rates), glibc sets errno and
+// returns a quiet value (a robust error report).
+func mathFail(c *api.Call, exc uint32, errno uint32, quiet float64) {
+	if c.Traits.MathSEH {
+		c.Raise(exc)
+		return
+	}
+	// glibc with the x87 exception mask the Ballista harness ran under:
+	// invalid-operation and divide-by-zero trap as SIGFPE; overflow is
+	// reported through errno.
+	if exc == api.ExcFltInvalidOperation || exc == api.ExcFltDivideByZero {
+		c.Signal(api.SIGFPE)
+		return
+	}
+	c.FailErrnoRet(0, errno)
+	c.Out.RetF = quiet
+}
+
+// checkFloat screens NaN/Inf inputs: msvcrt's checked math raises
+// EXCEPTION_FLT_INVALID_OPERATION on a signalling operand; glibc
+// propagates quiet NaNs without complaint.
+func checkFloat(c *api.Call, xs ...float64) bool {
+	for _, x := range xs {
+		if gomath.IsNaN(x) || gomath.IsInf(x, 0) {
+			if c.Traits.MathSEH {
+				c.Raise(api.ExcFltInvalidOperation)
+				return false
+			}
+			c.RetF(x) // quiet propagation
+			return false
+		}
+	}
+	return true
+}
+
+func unary(f func(float64) float64, domain func(float64) bool) Impl {
+	return func(c *api.Call) {
+		x := c.FloatArg(0)
+		if !checkFloat(c, x) {
+			return
+		}
+		if domain != nil && !domain(x) {
+			mathFail(c, api.ExcFltInvalidOperation, api.EDOM, gomath.NaN())
+			return
+		}
+		v := f(x)
+		if gomath.IsInf(v, 0) {
+			mathFail(c, api.ExcFltOverflow, api.ERANGE, v)
+			return
+		}
+		c.RetF(v)
+	}
+}
+
+func registerMath(m map[string]Impl) {
+	m["abs"] = func(c *api.Call) {
+		x := c.Int(0)
+		if x < 0 {
+			x = -x // INT_MIN stays INT_MIN, as in C
+		}
+		c.Ret(int64(x))
+	}
+	m["labs"] = func(c *api.Call) {
+		x := c.Int(0)
+		if x < 0 {
+			x = -x
+		}
+		c.Ret(int64(x))
+	}
+	m["div"] = cDiv
+	m["ldiv"] = cDiv
+	m["fabs"] = unary(gomath.Abs, nil)
+	m["ceil"] = unary(gomath.Ceil, nil)
+	m["floor"] = unary(gomath.Floor, nil)
+	m["sqrt"] = unary(gomath.Sqrt, func(x float64) bool { return x >= 0 })
+	m["exp"] = unary(gomath.Exp, nil)
+	m["log"] = unary(gomath.Log, func(x float64) bool { return x > 0 })
+	m["log10"] = unary(gomath.Log10, func(x float64) bool { return x > 0 })
+	m["sin"] = unary(gomath.Sin, nil)
+	m["cos"] = unary(gomath.Cos, nil)
+	m["tan"] = unary(gomath.Tan, nil)
+	m["asin"] = unary(gomath.Asin, func(x float64) bool { return x >= -1 && x <= 1 })
+	m["acos"] = unary(gomath.Acos, func(x float64) bool { return x >= -1 && x <= 1 })
+	m["atan"] = unary(gomath.Atan, nil)
+	m["atan2"] = func(c *api.Call) {
+		y, x := c.FloatArg(0), c.FloatArg(1)
+		if !checkFloat(c, y, x) {
+			return
+		}
+		c.RetF(gomath.Atan2(y, x))
+	}
+	m["fmod"] = func(c *api.Call) {
+		x, y := c.FloatArg(0), c.FloatArg(1)
+		if !checkFloat(c, x, y) {
+			return
+		}
+		if y == 0 {
+			mathFail(c, api.ExcFltDivideByZero, api.EDOM, gomath.NaN())
+			return
+		}
+		c.RetF(gomath.Mod(x, y))
+	}
+	m["pow"] = func(c *api.Call) {
+		x, y := c.FloatArg(0), c.FloatArg(1)
+		if !checkFloat(c, x, y) {
+			return
+		}
+		if x == 0 && y < 0 {
+			mathFail(c, api.ExcFltDivideByZero, api.EDOM, gomath.Inf(1))
+			return
+		}
+		if x < 0 && y != gomath.Trunc(y) {
+			mathFail(c, api.ExcFltInvalidOperation, api.EDOM, gomath.NaN())
+			return
+		}
+		v := gomath.Pow(x, y)
+		if gomath.IsInf(v, 0) {
+			mathFail(c, api.ExcFltOverflow, api.ERANGE, v)
+			return
+		}
+		c.RetF(v)
+	}
+	m["frexp"] = func(c *api.Call) {
+		x := c.FloatArg(0)
+		if !checkFloat(c, x) {
+			return
+		}
+		frac, exp := gomath.Frexp(x)
+		if !c.UserWrite(c.PtrArg(1), u32le(uint32(int32(exp)))) {
+			return
+		}
+		c.RetF(frac)
+	}
+	m["modf"] = func(c *api.Call) {
+		x := c.FloatArg(0)
+		if !checkFloat(c, x) {
+			return
+		}
+		intPart, frac := gomath.Modf(x)
+		if !c.UserWrite(c.PtrArg(1), u64le(gomath.Float64bits(intPart))) {
+			return
+		}
+		c.RetF(frac)
+	}
+}
+
+// cDiv models div/ldiv: an x86 IDIV with a zero divisor or an INT_MIN/-1
+// overflow traps on every OS.
+func cDiv(c *api.Call) {
+	num, den := c.Int(0), c.Int(1)
+	if den == 0 || (num == -2147483648 && den == -1) {
+		c.DivideByZero()
+		return
+	}
+	q, r := num/den, num%den
+	c.Ret(int64(uint32(q)) | int64(uint32(r))<<32)
+}

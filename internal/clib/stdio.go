@@ -1,0 +1,712 @@
+package clib
+
+import (
+	"errors"
+	"strings"
+
+	"ballista/internal/api"
+	"ballista/internal/sim/fs"
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/mem"
+)
+
+// EOF is the C EOF value.
+const EOF = -1
+
+// garbageVararg is the stand-in address a printf/scanf conversion reads
+// its missing variadic argument from: calling fprintf(f, "%s") with no
+// argument dereferences stack garbage.
+const garbageVararg = mem.Addr(0x6B6B6B6B)
+
+// maxSpan bounds size*count I/O so a huge request against a small mapped
+// buffer faults at the guard page instead of grinding.
+const maxSpan = 1 << 20
+
+func registerStdio(m map[string]Impl) {
+	m["fopen"] = cFopen
+	m["freopen"] = cFreopen
+	m["fclose"] = cFclose
+	m["fflush"] = cFflush
+	m["fseek"] = cFseek
+	m["ftell"] = cFtell
+	m["rewind"] = cRewind
+	m["fgetpos"] = cFgetpos
+	m["fsetpos"] = cFsetpos
+	m["clearerr"] = cClearerr
+	m["feof"] = cFeof
+	m["ferror"] = cFerror
+	m["setvbuf"] = cSetvbuf
+
+	m["fread"] = cFread
+	m["fwrite"] = cFwrite
+	m["fgetc"] = cFgetc
+	m["getc"] = cFgetc
+	m["fgets"] = cFgets
+	m["fputc"] = cFputc
+	m["putc"] = cFputc
+	m["fputs"] = cFputs
+	m["ungetc"] = cUngetc
+	m["fprintf"] = cFprintf
+	m["fscanf"] = cFscanf
+	m["sprintf"] = cSprintf
+	m["sscanf"] = cSscanf
+	m["puts"] = cPuts
+}
+
+// parseMode interprets an fopen mode string.
+func parseMode(mode string) (readable, writable, appendTo, trunc, create bool, ok bool) {
+	if mode == "" {
+		return false, false, false, false, false, false
+	}
+	switch mode[0] {
+	case 'r':
+		readable = true
+	case 'w':
+		writable, trunc, create = true, true, true
+	case 'a':
+		writable, appendTo, create = true, true, true
+	default:
+		return false, false, false, false, false, false
+	}
+	for _, ch := range mode[1:] {
+		switch ch {
+		case '+':
+			readable, writable = true, true
+		case 'b', 't':
+		default:
+			return false, false, false, false, false, false
+		}
+	}
+	return readable, writable, appendTo, trunc, create, true
+}
+
+func openStream(c *api.Call, path, mode string) (int64, bool) {
+	readable, writable, appendTo, trunc, create, ok := parseMode(mode)
+	if !ok {
+		c.FailErrnoRet(0, api.EINVAL)
+		return 0, false
+	}
+	fsys := c.K.FS
+	if create {
+		if _, err := fsys.Create(path, 0o6, trunc); err != nil {
+			c.FailErrnoRet(0, fsErrno(err))
+			return 0, false
+		}
+	}
+	of, err := fsys.Open(path, readable, writable)
+	if err != nil {
+		c.FailErrnoRet(0, fsErrno(err))
+		return 0, false
+	}
+	of.Append = appendTo
+	fd := c.P.AddFD(&kern.FD{File: of, Read: readable, Write: writable})
+	f, ferr := MakeFile(c.P, fd, readable, writable)
+	if ferr != nil {
+		c.FailErrnoRet(0, api.ENOMEM)
+		return 0, false
+	}
+	return int64(uint32(f)), true
+}
+
+func cFopen(c *api.Call) {
+	path, ok := c.UserString(c.PtrArg(0))
+	if !ok {
+		return
+	}
+	mode, ok := c.UserString(c.PtrArg(1))
+	if !ok {
+		return
+	}
+	if f, ok := openStream(c, path, mode); ok {
+		c.Ret(f)
+	}
+}
+
+func cFreopen(c *api.Call) {
+	path, ok := c.UserString(c.PtrArg(0))
+	if !ok {
+		return
+	}
+	mode, ok := c.UserString(c.PtrArg(1))
+	if !ok {
+		return
+	}
+	f := c.PtrArg(2)
+	s, serr := load(c, f, true)
+	if serr != streamOK {
+		rejectStream(c, serr, 0)
+		return
+	}
+	// Close the old descriptor, reuse the FILE struct.
+	c.P.CloseFD(s.fd)
+	readable, writable, appendTo, trunc, create, ok := parseMode(mode)
+	if !ok {
+		c.FailErrnoRet(0, api.EINVAL)
+		return
+	}
+	fsys := c.K.FS
+	if create {
+		if _, err := fsys.Create(path, 0o6, trunc); err != nil {
+			c.FailErrnoRet(0, fsErrno(err))
+			return
+		}
+	}
+	of, err := fsys.Open(path, readable, writable)
+	if err != nil {
+		c.FailErrnoRet(0, fsErrno(err))
+		return
+	}
+	of.Append = appendTo
+	fd := c.P.AddFD(&kern.FD{File: of, Read: readable, Write: writable})
+	var flags uint32
+	if readable {
+		flags |= fFlagRead
+	}
+	if writable {
+		flags |= fFlagWrite
+	}
+	if !c.UserWrite(f+fOffFD, u32le(uint32(fd))) {
+		return
+	}
+	if !c.UserWrite(f+fOffFlags, u32le(flags)) {
+		return
+	}
+	c.Ret(int64(uint32(f)))
+}
+
+// load wraps loadStream with the CE raw-kernel gate for this function.
+func load(c *api.Call, f mem.Addr, touchBuf bool) (stream, streamErr) {
+	if !touchBuf {
+		return loadFields(c, f)
+	}
+	return loadStream(c, f, ceRaw(c))
+}
+
+// loadFields reads the FILE struct without touching the stream buffer
+// (feof/ferror/setvbuf semantics: even glibc only reads flag fields).
+func loadFields(c *api.Call, f mem.Addr) (stream, streamErr) {
+	var s stream
+	s.addr = f
+	b, ok := c.UserRead(f, FileSize)
+	if !ok {
+		return s, streamFault
+	}
+	s.fd = int(int32(le32(b[fOffFD:])))
+	s.flags = le32(b[fOffFlags:])
+	s.buf = mem.Addr(le32(b[fOffBuf:]))
+	s.ungot = int32(le32(b[fOffUngot:]))
+	s.state = le32(b[fOffState:])
+	if c.Traits.CLibValidatesStreams {
+		if le32(b[fOffMagic:]) != FileMagic || c.P.FD(s.fd) == nil {
+			return s, streamBadMagic
+		}
+	}
+	return s, streamOK
+}
+
+// rejectStream reports a validated-personality rejection (bad magic /
+// closed stream) with the conventional error value.
+func rejectStream(c *api.Call, serr streamErr, errRet int64) {
+	if serr == streamBadMagic {
+		c.FailErrnoRet(errRet, api.EBADF)
+	}
+	// streamFault / streamCrashed already set a terminal outcome.
+}
+
+func cFclose(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, EOF)
+		return
+	}
+	CloseFile(c.P, c.Traits.CLibValidatesStreams, s.addr)
+	c.Ret(0)
+}
+
+func cFflush(c *api.Call) {
+	if c.PtrArg(0) == 0 {
+		c.Ret(0) // fflush(NULL) flushes all streams; always succeeds here
+		return
+	}
+	_, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, EOF)
+		return
+	}
+	c.Ret(0)
+}
+
+func cFseek(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, -1)
+		return
+	}
+	whence := int(c.Int(2))
+	if whence < 0 || whence > 2 {
+		c.FailErrno(api.EINVAL)
+		return
+	}
+	fd := c.P.FD(s.fd)
+	if fd == nil || fd.File == nil {
+		c.FailErrno(api.ESPIPE)
+		return
+	}
+	if _, err := fd.File.Seek(int64(c.Int(1)), whence); err != nil {
+		c.FailErrno(api.EINVAL)
+		return
+	}
+	_ = c.P.AS.WriteU32(s.addr+fOffUngot, 0xFFFFFFFF)
+	c.Ret(0)
+}
+
+func cFtell(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, -1)
+		return
+	}
+	fd := c.P.FD(s.fd)
+	if fd == nil || fd.File == nil {
+		c.FailErrno(api.ESPIPE)
+		return
+	}
+	c.Ret(fd.File.Pos())
+}
+
+func cRewind(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, 0)
+		return
+	}
+	if fd := c.P.FD(s.fd); fd != nil && fd.File != nil {
+		_, _ = fd.File.Seek(0, 0)
+	}
+	c.Ret(0)
+}
+
+func cFgetpos(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, -1)
+		return
+	}
+	var pos int64
+	if fd := c.P.FD(s.fd); fd != nil && fd.File != nil {
+		pos = fd.File.Pos()
+	}
+	if !c.UserWrite(c.PtrArg(1), u64le(uint64(pos))) {
+		return
+	}
+	c.Ret(0)
+}
+
+func cFsetpos(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, -1)
+		return
+	}
+	b, ok := c.UserRead(c.PtrArg(1), 8)
+	if !ok {
+		return
+	}
+	pos := int64(le32(b)) | int64(le32(b[4:]))<<32
+	if pos < 0 {
+		c.FailErrno(api.EINVAL)
+		return
+	}
+	if fd := c.P.FD(s.fd); fd != nil && fd.File != nil {
+		_, _ = fd.File.Seek(pos, 0)
+	}
+	c.Ret(0)
+}
+
+func cClearerr(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, 0)
+		return
+	}
+	s.state = 0
+	_ = c.P.AS.WriteU32(s.addr+fOffState, 0)
+	c.Ret(0)
+}
+
+func cFeof(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), false)
+	if serr != streamOK {
+		rejectStream(c, serr, 0)
+		return
+	}
+	if s.state&fStateEOF != 0 {
+		c.Ret(1)
+		return
+	}
+	c.Ret(0)
+}
+
+func cFerror(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), false)
+	if serr != streamOK {
+		rejectStream(c, serr, 0)
+		return
+	}
+	if s.state&fStateErr != 0 {
+		c.Ret(1)
+		return
+	}
+	c.Ret(0)
+}
+
+func cSetvbuf(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), false)
+	if serr != streamOK {
+		rejectStream(c, serr, -1)
+		return
+	}
+	mode := int(c.Int(2))
+	if mode < 0 || mode > 2 {
+		c.FailErrno(api.EINVAL)
+		return
+	}
+	buf := c.PtrArg(1)
+	if buf != 0 {
+		if !c.UserWrite(s.addr+fOffBuf, u32le(uint32(buf))) {
+			return
+		}
+	}
+	c.Ret(0)
+}
+
+func cFread(c *api.Call) {
+	s, serr := load(c, c.PtrArg(3), true)
+	if serr != streamOK {
+		rejectStream(c, serr, 0)
+		return
+	}
+	size, count := uint64(c.U32(1)), uint64(c.U32(2))
+	span := size * count
+	if span == 0 {
+		c.Ret(0)
+		return
+	}
+	if span > maxSpan {
+		span = maxSpan
+	}
+	data, ok := streamRead(c, &s, int(span))
+	if !ok {
+		return
+	}
+	if len(data) > 0 && !c.UserWrite(c.PtrArg(0), data) {
+		return
+	}
+	c.Ret(int64(uint64(len(data)) / size))
+}
+
+func cFwrite(c *api.Call) {
+	s, serr := load(c, c.PtrArg(3), true)
+	if serr == streamBadMagic {
+		// Table 3: fwrite on Windows 95/98 corrupted kernel state when
+		// handed a garbage stream before msvcrt's check could reject it.
+		if c.DefectCorrupt(true) {
+			return
+		}
+		rejectStream(c, serr, 0)
+		return
+	}
+	if serr != streamOK {
+		return
+	}
+	size, count := uint64(c.U32(1)), uint64(c.U32(2))
+	span := size * count
+	if span == 0 {
+		c.Ret(0)
+		return
+	}
+	if span > maxSpan {
+		span = maxSpan
+	}
+	data, ok := c.UserRead(c.PtrArg(0), uint32(span))
+	if !ok {
+		return
+	}
+	if _, ok := streamWrite(c, &s, data); !ok {
+		return
+	}
+	c.Ret(int64(uint64(len(data)) / size))
+}
+
+func cFgetc(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, EOF)
+		return
+	}
+	data, ok := streamRead(c, &s, 1)
+	if !ok {
+		return
+	}
+	if len(data) == 0 {
+		c.Ret(EOF)
+		return
+	}
+	c.Ret(int64(data[0]))
+}
+
+func cFgets(c *api.Call) {
+	n := int(c.Int(1))
+	s, serr := load(c, c.PtrArg(2), true)
+	if serr != streamOK {
+		rejectStream(c, serr, 0)
+		return
+	}
+	if n <= 0 {
+		c.FailErrnoRet(0, api.EINVAL)
+		return
+	}
+	want := n - 1
+	if want > maxSpan {
+		want = maxSpan
+	}
+	data, ok := streamRead(c, &s, want)
+	if !ok {
+		return
+	}
+	if i := indexByte(data, '\n'); i >= 0 {
+		data = data[:i+1]
+	}
+	buf := c.PtrArg(0)
+	if !c.UserWrite(buf, append(data, 0)) {
+		return
+	}
+	if len(data) == 0 {
+		c.Ret(0) // EOF: returns NULL
+		return
+	}
+	c.Ret(int64(uint32(buf)))
+}
+
+func cFputc(c *api.Call) {
+	ch := c.Int(0)
+	s, serr := load(c, c.PtrArg(1), true)
+	if serr != streamOK {
+		rejectStream(c, serr, EOF)
+		return
+	}
+	if _, ok := streamWrite(c, &s, []byte{byte(ch)}); !ok {
+		return
+	}
+	c.Ret(int64(byte(ch)))
+}
+
+func cFputs(c *api.Call) {
+	str, ok := c.UserString(c.PtrArg(0))
+	if !ok {
+		return
+	}
+	s, serr := load(c, c.PtrArg(1), true)
+	if serr != streamOK {
+		rejectStream(c, serr, EOF)
+		return
+	}
+	if _, ok := streamWrite(c, &s, []byte(str)); !ok {
+		return
+	}
+	c.Ret(0)
+}
+
+func cUngetc(c *api.Call) {
+	ch := c.Int(0)
+	s, serr := load(c, c.PtrArg(1), true)
+	if serr != streamOK {
+		rejectStream(c, serr, EOF)
+		return
+	}
+	if ch == EOF {
+		c.Ret(EOF)
+		return
+	}
+	if !c.UserWrite(s.addr+fOffUngot, u32le(uint32(byte(ch)))) {
+		return
+	}
+	c.Ret(int64(byte(ch)))
+}
+
+func cFprintf(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, -1)
+		return
+	}
+	format, ok := c.UserString(c.PtrArg(1))
+	if !ok {
+		return
+	}
+	out, ok := expandFormat(c, format)
+	if !ok {
+		return
+	}
+	if _, ok := streamWrite(c, &s, []byte(out)); !ok {
+		return
+	}
+	c.Ret(int64(len(out)))
+}
+
+func cFscanf(c *api.Call) {
+	s, serr := load(c, c.PtrArg(0), true)
+	if serr != streamOK {
+		rejectStream(c, serr, EOF)
+		return
+	}
+	format, ok := c.UserString(c.PtrArg(1))
+	if !ok {
+		return
+	}
+	if !strings.ContainsRune(format, '%') {
+		c.Ret(0)
+		return
+	}
+	// A conversion needs input first...
+	if _, ok := streamRead(c, &s, 64); !ok {
+		return
+	}
+	// ...and then stores through a variadic pointer that was never
+	// passed.
+	c.MemFault(&mem.Fault{Addr: garbageVararg, Write: true, Kind: mem.FaultUnmapped})
+}
+
+func cSprintf(c *api.Call) {
+	format, ok := c.UserString(c.PtrArg(1))
+	if !ok {
+		return
+	}
+	out, ok := expandFormat(c, format)
+	if !ok {
+		return
+	}
+	if !c.UserWrite(c.PtrArg(0), append([]byte(out), 0)) {
+		return
+	}
+	c.Ret(int64(len(out)))
+}
+
+func cSscanf(c *api.Call) {
+	if _, ok := c.UserString(c.PtrArg(0)); !ok {
+		return
+	}
+	format, ok := c.UserString(c.PtrArg(1))
+	if !ok {
+		return
+	}
+	if !strings.ContainsRune(format, '%') {
+		c.Ret(0)
+		return
+	}
+	c.MemFault(&mem.Fault{Addr: garbageVararg, Write: true, Kind: mem.FaultUnmapped})
+}
+
+func cPuts(c *api.Call) {
+	str, ok := c.UserString(c.PtrArg(0))
+	if !ok {
+		return
+	}
+	if fd := c.P.FD(1); fd != nil && fd.Pipe != nil {
+		room := fd.Pipe.Capacity - len(fd.Pipe.Buf)
+		if room > len(str)+1 {
+			fd.Pipe.Buf = append(fd.Pipe.Buf, str...)
+			fd.Pipe.Buf = append(fd.Pipe.Buf, '\n')
+		}
+	}
+	c.Ret(int64(len(str) + 1))
+}
+
+// expandFormat renders a format string with no variadic arguments:
+// numeric conversions read stack garbage (rendered as 0); %s and %n
+// dereference a garbage pointer and abort, which is what the paper's
+// format-string test values provoke.
+func expandFormat(c *api.Call, format string) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' {
+			b.WriteByte(ch)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		// Skip flags/width/precision.
+		for i < len(format) && (format[i] == '-' || format[i] == '+' ||
+			format[i] == ' ' || format[i] == '#' || format[i] == '.' ||
+			(format[i] >= '0' && format[i] <= '9')) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			b.WriteByte('%')
+		case 's', 'n':
+			c.MemFault(&mem.Fault{Addr: garbageVararg, Write: format[i] == 'n', Kind: mem.FaultUnmapped})
+			return "", false
+		case 'd', 'i', 'u', 'x', 'X', 'o', 'c':
+			b.WriteByte('0')
+		case 'f', 'e', 'E', 'g', 'G':
+			b.WriteString("0.000000")
+		case 'p':
+			b.WriteString("00000000")
+		default:
+			b.WriteByte(format[i])
+		}
+	}
+	return b.String(), true
+}
+
+func indexByte(b []byte, ch byte) int {
+	for i, v := range b {
+		if v == ch {
+			return i
+		}
+	}
+	return -1
+}
+
+func u32le(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+func u64le(v uint64) []byte {
+	return append(u32le(uint32(v)), u32le(uint32(v>>32))...)
+}
+
+// fsErrno maps filesystem errors onto errno values.
+func fsErrno(err error) uint32 {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, fs.ErrNotFound):
+		return api.ENOENT
+	case errors.Is(err, fs.ErrExists):
+		return api.EEXIST
+	case errors.Is(err, fs.ErrIsDir):
+		return api.EISDIR
+	case errors.Is(err, fs.ErrNotDir):
+		return api.ENOTDIR
+	case errors.Is(err, fs.ErrNotEmpty):
+		return api.ENOTEMPTY
+	case errors.Is(err, fs.ErrPerm):
+		return api.EACCES
+	case errors.Is(err, fs.ErrInvalidPath):
+		return api.EINVAL
+	case errors.Is(err, fs.ErrClosed), errors.Is(err, fs.ErrNotOpen):
+		return api.EBADF
+	case errors.Is(err, fs.ErrLocked):
+		return api.EACCES
+	default:
+		return api.EIO
+	}
+}

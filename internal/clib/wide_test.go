@@ -1,0 +1,118 @@
+package clib
+
+import (
+	"testing"
+
+	"ballista/internal/api"
+	"ballista/internal/osprofile"
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/mem"
+)
+
+// wstr materializes a UTF-16 string.
+func wstr(t *testing.T, k *osKernel, s string) mem.Addr {
+	t.Helper()
+	b := make([]byte, 0, 2*len(s)+2)
+	for _, r := range s {
+		b = append(b, byte(r), byte(uint16(r)>>8))
+	}
+	b = append(b, 0, 0)
+	a, err := k.p.AS.Alloc(uint32(len(b)), mem.ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = k.p.AS.Write(a, b)
+	return a
+}
+
+type osKernel struct {
+	o osprofile.OS
+	k *kern.Kernel
+	p *kern.Process
+}
+
+func newWide(t *testing.T, o osprofile.OS) *osKernel {
+	t.Helper()
+	k := osprofile.Get(o).NewKernel()
+	return &osKernel{o: o, k: k, p: k.NewProcess()}
+}
+
+func (k *osKernel) call(t *testing.T, name string, args ...api.Arg) *api.Call {
+	t.Helper()
+	prof := osprofile.Get(k.o)
+	c := &api.Call{K: k.k, P: k.p, Name: name, Args: args,
+		Traits: prof.Traits, Def: prof.Defect(name), Wide: true}
+	impl, ok := impls[name]
+	if !ok {
+		t.Fatalf("no impl %q", name)
+	}
+	impl(c)
+	if !c.Done() {
+		c.Ret(0)
+	}
+	return c
+}
+
+func TestWideStrlen(t *testing.T) {
+	k := newWide(t, osprofile.WinCE)
+	s := wstr(t, k, "ballista")
+	c := k.call(t, "strlen", api.Ptr(s))
+	if c.Out.Ret != 8 {
+		t.Errorf("wcslen = %d: %+v", c.Out.Ret, c.Out)
+	}
+}
+
+func TestWideStrcpyEncodesUTF16(t *testing.T) {
+	k := newWide(t, osprofile.WinCE)
+	src := wstr(t, k, "hi")
+	dst, _ := k.p.AS.Alloc(64, mem.ProtRW)
+	c := k.call(t, "strcpy", api.Ptr(dst), api.Ptr(src))
+	if c.Out.Exception != 0 {
+		t.Fatalf("wcscpy: %+v", c.Out)
+	}
+	u, f := k.p.AS.WString(dst)
+	if f != nil || len(u) != 2 || u[0] != 'h' || u[1] != 'i' {
+		t.Errorf("wcscpy wrote %v", u)
+	}
+	// The terminator is two bytes.
+	b, _ := k.p.AS.Read(dst, 6)
+	if b[4] != 0 || b[5] != 0 {
+		t.Errorf("terminator bytes = %v", b[4:6])
+	}
+}
+
+// TestWideStrncpyDefectCE: the paper's *_tcsncpy — the UNICODE strncpy
+// corrupts CE kernel state on overrun (twice the byte reach of the ASCII
+// variant), while ASCII strncpy merely aborts.
+func TestWideStrncpyDefectCE(t *testing.T) {
+	k := newWide(t, osprofile.WinCE)
+	trigger := func() *api.Call {
+		base, _ := k.p.AS.Alloc(mem.PageSize, mem.ProtRW)
+		dst := base + mem.PageSize - 8
+		src := wstr(t, k, "x")
+		return k.call(t, "strncpy", api.Ptr(dst), api.Ptr(src), api.Int(4096))
+	}
+	c := trigger()
+	if c.Out.Crashed {
+		t.Fatal("first _tcsncpy overrun crashed immediately (should accumulate)")
+	}
+	c = trigger()
+	if !c.Out.Crashed {
+		t.Error("accumulated _tcsncpy overruns should crash Windows CE")
+	}
+}
+
+// TestWideWordReadAtPageEnd: the word-read overrun check accounts for
+// the 2-byte character width.
+func TestWideWordReadAtPageEnd(t *testing.T) {
+	k := newWide(t, osprofile.WinCE)
+	// A 1-char wide string whose terminator's second byte is the last
+	// byte of the page.
+	base, _ := k.p.AS.Alloc(mem.PageSize, mem.ProtRW)
+	at := base + mem.PageSize - 4
+	_ = k.p.AS.Write(at, []byte{'w', 0, 0, 0})
+	c := k.call(t, "strlen", api.Ptr(at))
+	if c.Out.Exception == 0 {
+		t.Errorf("CE wide strlen at page end should fault (word reads): %+v", c.Out)
+	}
+}

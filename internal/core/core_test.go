@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ballista/internal/api"
+)
+
+func TestCaseCount(t *testing.T) {
+	tests := []struct {
+		sizes []int
+		limit int
+		want  int
+	}{
+		{nil, 5000, 1},
+		{[]int{3}, 5000, 3},
+		{[]int{10, 10}, 5000, 100},
+		{[]int{10, 10, 10, 10}, 5000, 5001}, // saturates
+		{[]int{0}, 5000, 0},
+	}
+	for _, tt := range tests {
+		if got := CaseCount(tt.sizes, tt.limit); got != tt.want {
+			t.Errorf("CaseCount(%v) = %d, want %d", tt.sizes, got, tt.want)
+		}
+	}
+}
+
+func TestExhaustiveGeneration(t *testing.T) {
+	cases := GenerateCases("small", []int{2, 3}, 5000)
+	if len(cases) != 6 {
+		t.Fatalf("exhaustive count = %d, want 6", len(cases))
+	}
+	seen := make(map[[2]int]bool)
+	for _, c := range cases {
+		seen[[2]int{c[0], c[1]}] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("duplicates in exhaustive generation: %d unique", len(seen))
+	}
+}
+
+func TestSampledGeneration(t *testing.T) {
+	sizes := []int{10, 10, 10, 10, 10} // 100k combinations
+	cases := GenerateCases("BigFunction", sizes, 5000)
+	if len(cases) != 5000 {
+		t.Fatalf("sampled count = %d, want 5000", len(cases))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cases {
+		key := ""
+		for _, v := range c {
+			if v < 0 || v >= 10 {
+				t.Fatalf("index out of range: %v", c)
+			}
+			key += string(rune('0' + v))
+		}
+		seen[key] = true
+	}
+	if len(seen) != 5000 {
+		t.Errorf("sampled cases not distinct: %d unique", len(seen))
+	}
+}
+
+// TestSamplingIdenticalAcrossVariants pins the paper's arrangement: "the
+// same pseudorandom sampling of test cases was performed in the same
+// order for each system call or C function tested across the different
+// Windows variants" — the seed depends only on the MuT name.
+func TestSamplingIdenticalAcrossVariants(t *testing.T) {
+	sizes := []int{12, 11, 9, 8}
+	a := GenerateCases("ReadFile", sizes, 1000)
+	b := GenerateCases("ReadFile", sizes, 1000)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("case %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+	// And a different MuT name samples differently.
+	c := GenerateCases("WriteFile", sizes, 1000)
+	same := 0
+	for i := range c {
+		eq := true
+		for j := range c[i] {
+			if a[i][j] != c[i][j] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Error("different MuT names produced identical samples")
+	}
+}
+
+// TestSampledCoverageProperty: sampling visits every pool value of every
+// parameter when the cap is large relative to the pool sizes.
+func TestSampledCoverageProperty(t *testing.T) {
+	prop := func(seed uint8) bool {
+		name := "Fn" + string(rune('A'+seed%26))
+		sizes := []int{5, 6, 7, 8}
+		cases := GenerateCases(name, sizes, 2000)
+		for p, n := range sizes {
+			hit := make([]bool, n)
+			for _, c := range cases {
+				hit[c[p]] = true
+			}
+			for _, h := range hit {
+				if !h {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name string
+		o    api.Outcome
+		want RawClass
+	}{
+		{"crash", api.Outcome{Crashed: true}, RawCatastrophic},
+		{"hang", api.Outcome{Hung: true}, RawRestart},
+		{"signal", api.Outcome{Exception: 11, IsSignal: true}, RawAbort},
+		{"seh", api.Outcome{Exception: 0xC0000005}, RawAbort},
+		{"error", api.Outcome{Completed: true, ErrReported: true, Err: 5}, RawError},
+		{"clean", api.Outcome{Completed: true, Ret: 1}, RawClean},
+		// Crash wins over everything (the machine is down regardless of
+		// what else the call did).
+		{"crash+exception", api.Outcome{Crashed: true, Exception: 11}, RawCatastrophic},
+		{"hang beats abort", api.Outcome{Hung: true, Exception: 0}, RawRestart},
+	}
+	for _, tt := range tests {
+		if got := Classify(&tt.o); got != tt.want {
+			t.Errorf("%s: Classify = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+// TestClassifyTotalityProperty: every outcome classifies to a defined
+// class (never panics, never an unknown value).
+func TestClassifyTotalityProperty(t *testing.T) {
+	prop := func(crashed, hung, isSignal, errRep bool, exc uint32) bool {
+		o := api.Outcome{Crashed: crashed, Hung: hung, IsSignal: isSignal, ErrReported: errRep, Exception: exc}
+		c := Classify(&o)
+		return c <= RawSkip
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMuTResultStats(t *testing.T) {
+	r := &MuTResult{
+		Cases: []RawClass{RawClean, RawError, RawAbort, RawAbort, RawRestart, RawSkip},
+	}
+	if r.Executed() != 5 {
+		t.Errorf("Executed = %d", r.Executed())
+	}
+	if got := r.AbortRate(); got != 0.4 {
+		t.Errorf("AbortRate = %v", got)
+	}
+	if got := r.RestartRate(); got != 0.2 {
+		t.Errorf("RestartRate = %v", got)
+	}
+	if r.Catastrophic() {
+		t.Error("spurious Catastrophic")
+	}
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	r := NewRegistry()
+	dt := &DataType{Name: "X", Values: []TestValue{{Name: "v", Make: func(*Env) (api.Arg, error) { return api.Arg{}, nil }}}}
+	if err := r.Add(dt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(dt); err == nil {
+		t.Error("duplicate Add succeeded")
+	}
+	if err := r.Add(&DataType{Name: "empty"}); err == nil {
+		t.Error("empty pool accepted")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	if newRNG(0).next() == 0 {
+		t.Error("zero seed not remapped")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import "hash/fnv"
+
+// DefaultCap is the paper's limit of 5000 test cases per Module under
+// Test; MuTs whose full cross-product is smaller are tested exhaustively.
+const DefaultCap = 5000
+
+// Case is one test case: the chosen value index for each parameter.
+type Case []int
+
+// rng is a small deterministic PRNG (xorshift64*), so test case sampling
+// is reproducible and independent of Go's rand package evolution.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// SeedFor derives the sampling seed from the MuT name only, so — as in
+// the paper — "the same pseudorandom sampling of test cases was performed
+// in the same order for each system call or C function tested across the
+// different Windows variants", regardless of campaign order.
+func SeedFor(mutName string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(mutName))
+	return h.Sum64()
+}
+
+// CaseCount returns the size of the full cross-product, saturating at
+// limit+1 to avoid overflow on many-parameter MuTs.
+func CaseCount(sizes []int, limit int) int {
+	if len(sizes) == 0 {
+		return 1
+	}
+	total := 1
+	for _, n := range sizes {
+		if n <= 0 {
+			return 0
+		}
+		total *= n
+		if total > limit {
+			return limit + 1
+		}
+	}
+	return total
+}
+
+// GenerateCases produces the test case list for a MuT with the given
+// per-parameter pool sizes: the exhaustive cross-product when it fits in
+// cap, otherwise cap distinct pseudorandom cases drawn with the
+// name-derived seed.
+func GenerateCases(mutName string, sizes []int, cap int) []Case {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	total := CaseCount(sizes, cap)
+	if total <= cap {
+		return exhaustive(sizes, total)
+	}
+	return sampled(mutName, sizes, cap)
+}
+
+func exhaustive(sizes []int, total int) []Case {
+	out := make([]Case, 0, total)
+	cur := make(Case, len(sizes))
+	for {
+		c := make(Case, len(cur))
+		copy(c, cur)
+		out = append(out, c)
+		// Odometer increment.
+		i := len(sizes) - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < sizes[i] {
+				break
+			}
+			cur[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+func sampled(mutName string, sizes []int, cap int) []Case {
+	r := newRNG(SeedFor(mutName))
+	seen := make(map[string]bool, cap)
+	out := make([]Case, 0, cap)
+	key := make([]byte, len(sizes))
+	// Pools hold well under 256 values, so one byte per parameter keys a
+	// case uniquely.
+	for len(out) < cap {
+		c := make(Case, len(sizes))
+		for i, n := range sizes {
+			c[i] = r.intn(n)
+			key[i] = byte(c[i])
+		}
+		k := string(key)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"ballista/internal/catalog"
+)
+
+// RawClass is the harness-observable outcome of one test case.  The
+// CRASH scale's Silent and Hindering categories cannot be observed from
+// a single execution (paper §2); Silent failures are estimated afterwards
+// by cross-version voting (package vote).
+type RawClass uint8
+
+// Raw outcome classes.
+const (
+	// RawClean: the call completed and reported success.
+	RawClean RawClass = iota
+	// RawError: the call completed and reported an error — robust
+	// behaviour for an exceptional input.
+	RawError
+	// RawAbort: an unhandled exception or signal terminated the task.
+	RawAbort
+	// RawRestart: the task hung and required a restart.
+	RawRestart
+	// RawCatastrophic: the machine crashed and required a reboot.
+	RawCatastrophic
+	// RawSkip: a constructor could not materialize a value; the case was
+	// not executed.
+	RawSkip
+)
+
+// String names the class.
+func (c RawClass) String() string {
+	switch c {
+	case RawClean:
+		return "clean"
+	case RawError:
+		return "error-return"
+	case RawAbort:
+		return "abort"
+	case RawRestart:
+		return "restart"
+	case RawCatastrophic:
+		return "catastrophic"
+	case RawSkip:
+		return "skip"
+	default:
+		return fmt.Sprintf("RawClass(%d)", uint8(c))
+	}
+}
+
+// MuTResult is the outcome of one Module under Test's campaign on one OS.
+type MuTResult struct {
+	MuT  catalog.MuT
+	Wide bool
+	// Cases holds one class per executed test case, in generation order.
+	Cases []RawClass
+	// Exceptional marks cases containing at least one exceptional value.
+	Exceptional []bool
+	// Incomplete: a Catastrophic failure interrupted the campaign, so the
+	// case list is truncated (the paper excludes such MuTs from failure
+	// rate averages).
+	Incomplete bool
+}
+
+// Name returns the MuT name, with the CE UNICODE convention applied.
+func (r *MuTResult) Name() string {
+	if r.Wide {
+		return "_w" + r.MuT.Name
+	}
+	return r.MuT.Name
+}
+
+// Count returns how many cases landed in a class.
+func (r *MuTResult) Count(c RawClass) int {
+	n := 0
+	for _, got := range r.Cases {
+		if got == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns the number of cases actually run (excludes skips).
+func (r *MuTResult) Executed() int {
+	return len(r.Cases) - r.Count(RawSkip)
+}
+
+// Catastrophic reports whether any case crashed the machine.
+func (r *MuTResult) Catastrophic() bool { return r.Count(RawCatastrophic) > 0 }
+
+// AbortRate returns abort failures / executed cases.
+func (r *MuTResult) AbortRate() float64 { return r.rate(RawAbort) }
+
+// RestartRate returns restart failures / executed cases.
+func (r *MuTResult) RestartRate() float64 { return r.rate(RawRestart) }
+
+func (r *MuTResult) rate(c RawClass) float64 {
+	n := r.Executed()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Count(c)) / float64(n)
+}
+
+// OSResult is a full campaign over one OS variant.
+type OSResult struct {
+	OS      string
+	Results []*MuTResult
+	// Reboots counts how many times the machine had to be restarted.
+	Reboots int
+	// CasesRun counts all executed test cases.
+	CasesRun int
+}
+
+// ByName finds a MuT's result (narrow variant) by name.
+func (o *OSResult) ByName(name string) *MuTResult {
+	for _, r := range o.Results {
+		if r.MuT.Name == name && !r.Wide {
+			return r
+		}
+	}
+	return nil
+}
+
+// CatastrophicMuTs lists the names of MuTs that crashed the machine,
+// using the paper's convention for CE UNICODE variants.
+func (o *OSResult) CatastrophicMuTs() []string {
+	var out []string
+	for _, r := range o.Results {
+		if r.Catastrophic() {
+			out = append(out, r.Name())
+		}
+	}
+	return out
+}

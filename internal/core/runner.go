@@ -1,0 +1,428 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ballista/internal/api"
+	"ballista/internal/catalog"
+	"ballista/internal/osprofile"
+	"ballista/internal/sim/kern"
+)
+
+// Impl is one API function implementation.  It must drive the call to a
+// terminal outcome (return, error, exception, hang, or crash).
+type Impl func(c *api.Call)
+
+// Dispatcher resolves a MuT to its implementation for the OS under test.
+type Dispatcher func(m catalog.MuT) (Impl, bool)
+
+// Fixture prepares machine state before each test case: (re)creating the
+// fixture file tree constructors rely on and clearing scratch space, so
+// every case starts from the same disk state even though — as on the
+// paper's physical machines — the kernel itself persists across cases.
+type Fixture func(k *kern.Kernel)
+
+// Config configures a campaign.
+type Config struct {
+	OS osprofile.OS
+	// Cap limits test cases per MuT (DefaultCap = the paper's 5000).
+	Cap int
+	// Isolated boots a fresh kernel for every test case instead of
+	// sharing the machine across the campaign.  The paper's "*" failures
+	// reproduce only in shared mode; Isolated is the single-test-program
+	// mode in which they could not be reproduced.
+	Isolated bool
+	// StopMuTOnCrash stops a MuT's campaign at its first Catastrophic
+	// failure, as the paper did ("the system crash interrupts the testing
+	// process"), leaving the result Incomplete.
+	StopMuTOnCrash bool
+	// Load, when non-nil, runs the campaign under resource pressure — the
+	// paper's §5 future work ("dependability problems caused by heavy
+	// load conditions").
+	Load *LoadProfile
+	// Profile overrides the OS profile (ablation studies); nil selects
+	// the canonical osprofile.Get(OS).
+	Profile *osprofile.Profile
+}
+
+// LoadProfile describes the heavy-load conditions a campaign runs under.
+type LoadProfile struct {
+	// ProcessMemoryQuota bounds each test process's mapped bytes; the
+	// paper's machines had 64 MB, so a small quota models a loaded box.
+	ProcessMemoryQuota uint64
+	// PreloadFiles fills the machine's filesystem with this many extra
+	// files before testing starts.
+	PreloadFiles int
+	// HandlePressure pre-opens this many kernel objects in every test
+	// process.
+	HandlePressure int
+}
+
+// Runner executes Ballista campaigns against one OS variant.
+type Runner struct {
+	cfg      Config
+	profile  *osprofile.Profile
+	registry *Registry
+	dispatch Dispatcher
+	fixture  Fixture
+
+	kernel *kern.Kernel
+}
+
+// ErrUnknownType reports a catalog parameter type missing from the
+// registry.
+var ErrUnknownType = errors.New("core: unknown data type")
+
+// ErrNoImpl reports a MuT without an implementation.
+var ErrNoImpl = errors.New("core: no implementation")
+
+// NewRunner assembles a campaign runner.
+func NewRunner(cfg Config, reg *Registry, dispatch Dispatcher, fixture Fixture) *Runner {
+	if cfg.Cap <= 0 {
+		cfg.Cap = DefaultCap
+	}
+	profile := cfg.Profile
+	if profile == nil {
+		profile = osprofile.Get(cfg.OS)
+	}
+	return &Runner{
+		cfg:      cfg,
+		profile:  profile,
+		registry: reg,
+		dispatch: dispatch,
+		fixture:  fixture,
+	}
+}
+
+// Profile exposes the runner's OS profile.
+func (r *Runner) Profile() *osprofile.Profile { return r.profile }
+
+func (r *Runner) machine() *kern.Kernel {
+	if r.kernel == nil || r.cfg.Isolated {
+		r.kernel = r.profile.NewKernel()
+	}
+	return r.kernel
+}
+
+// bind resolves a MuT's parameter types.
+func (r *Runner) bind(m catalog.MuT) ([]*DataType, error) {
+	types := make([]*DataType, len(m.Params))
+	for i, name := range m.Params {
+		dt, ok := r.registry.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q (MuT %s param %d)", ErrUnknownType, name, m.Name, i)
+		}
+		types[i] = dt
+	}
+	return types, nil
+}
+
+// RunMuT executes the full (capped) campaign for one MuT.
+func (r *Runner) RunMuT(m catalog.MuT, wide bool) (*MuTResult, error) {
+	impl, ok := r.dispatch(m)
+	if !ok {
+		return nil, fmt.Errorf("%w for %s %q", ErrNoImpl, m.API, m.Name)
+	}
+	types, err := r.bind(m)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, len(types))
+	for i, dt := range types {
+		sizes[i] = len(dt.Values)
+	}
+	cases := GenerateCases(m.Name, sizes, r.cfg.Cap)
+
+	res := &MuTResult{
+		MuT:         m,
+		Wide:        wide,
+		Cases:       make([]RawClass, 0, len(cases)),
+		Exceptional: make([]bool, 0, len(cases)),
+	}
+	for _, tc := range cases {
+		cls := r.runCase(m, impl, types, tc, wide)
+		res.Cases = append(res.Cases, cls)
+		res.Exceptional = append(res.Exceptional, exceptionalCase(types, tc))
+		if cls == RawCatastrophic {
+			// Reboot the machine and, as the paper did, abandon the
+			// MuT's campaign unless configured to continue (the kernel
+			// epoch tracks total reboots for the OSResult).
+			r.kernel.Reboot()
+			if r.cfg.StopMuTOnCrash {
+				res.Incomplete = true
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunCase executes a single identified test case (the paper's
+// single-test-program reproduction mode).
+func (r *Runner) RunCase(m catalog.MuT, tc Case, wide bool) (RawClass, error) {
+	impl, ok := r.dispatch(m)
+	if !ok {
+		return RawSkip, fmt.Errorf("%w for %s %q", ErrNoImpl, m.API, m.Name)
+	}
+	types, err := r.bind(m)
+	if err != nil {
+		return RawSkip, err
+	}
+	for i, dt := range types {
+		if tc[i] < 0 || tc[i] >= len(dt.Values) {
+			return RawSkip, fmt.Errorf("core: case index %d out of range for %s param %d", tc[i], m.Name, i)
+		}
+	}
+	cls := r.runCase(m, impl, types, tc, wide)
+	if cls == RawCatastrophic {
+		r.kernel.Reboot()
+	}
+	return cls, nil
+}
+
+func (r *Runner) runCase(m catalog.MuT, impl Impl, types []*DataType, tc Case, wide bool) RawClass {
+	k := r.machine()
+	if r.fixture != nil {
+		r.fixture(k)
+	}
+	env := &Env{K: k, P: k.NewProcess(), Profile: r.profile, Wide: wide}
+	defer env.Cleanup()
+	r.applyLoad(env)
+
+	args := make([]api.Arg, len(types))
+	for i, dt := range types {
+		a, err := dt.Values[tc[i]].Make(env)
+		if err != nil {
+			return RawSkip
+		}
+		args[i] = a
+	}
+
+	call := &api.Call{
+		K:      k,
+		P:      env.P,
+		Name:   m.Name,
+		Args:   args,
+		Traits: r.profile.Traits,
+		Def:    r.profile.Defect(m.Name),
+		Wide:   wide,
+	}
+	impl(call)
+	if !call.Done() {
+		// An implementation that falls off the end returned normally.
+		call.Ret(0)
+	}
+	// Corruption-driven crashes may land after the implementation's last
+	// explicit check.
+	if k.Crashed() && !call.Out.Crashed {
+		call.Out.Crashed = true
+		call.Out.CrashReason = k.CrashReason()
+	}
+	return Classify(&call.Out)
+}
+
+// Classify maps a call outcome onto the observable CRASH classes.
+func Classify(o *api.Outcome) RawClass {
+	switch {
+	case o.Crashed:
+		return RawCatastrophic
+	case o.Hung:
+		return RawRestart
+	case o.Exception != 0:
+		return RawAbort
+	case o.ErrReported:
+		return RawError
+	default:
+		return RawClean
+	}
+}
+
+func exceptionalCase(types []*DataType, tc Case) bool {
+	for i, dt := range types {
+		if dt.Exceptional(tc[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAll executes campaigns for every MuT the OS supports, including the
+// UNICODE variants of paired C functions on Windows CE.
+func (r *Runner) RunAll() (*OSResult, error) {
+	out := &OSResult{OS: r.profile.Name}
+	for _, m := range catalog.MuTsFor(r.cfg.OS) {
+		res, err := r.RunMuT(m, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, res)
+		out.CasesRun += res.Executed()
+		if r.profile.Traits.WidePreferred && m.HasWide {
+			wres, err := r.RunMuT(m, true)
+			if err != nil {
+				return nil, err
+			}
+			out.Results = append(out.Results, wres)
+			out.CasesRun += wres.Executed()
+		}
+	}
+	out.Reboots = r.epoch()
+	return out, nil
+}
+
+func (r *Runner) epoch() int {
+	if r.kernel == nil {
+		return 0
+	}
+	return r.kernel.Epoch
+}
+
+// RunSequence executes several calls back to back inside one process on
+// the shared machine, classifying each — the paper's §5 future-work
+// direction ("state- and sequence-dependent failures").  Unlike RunMuT,
+// the calls observe each other's process and machine state: an earlier
+// call's kernel-state damage or filesystem mutation changes what a later
+// call sees.  A Catastrophic failure ends the sequence (the machine is
+// down); remaining calls classify as RawSkip.
+func (r *Runner) RunSequence(ms []catalog.MuT, cases []Case, wide bool) ([]RawClass, error) {
+	if len(ms) != len(cases) {
+		return nil, fmt.Errorf("core: %d MuTs with %d cases", len(ms), len(cases))
+	}
+	k := r.machine()
+	if r.fixture != nil {
+		r.fixture(k)
+	}
+	env := &Env{K: k, P: k.NewProcess(), Profile: r.profile, Wide: wide}
+	defer env.Cleanup()
+	r.applyLoad(env)
+
+	out := make([]RawClass, len(ms))
+	for i, m := range ms {
+		if k.Crashed() {
+			out[i] = RawSkip
+			continue
+		}
+		impl, ok := r.dispatch(m)
+		if !ok {
+			return nil, fmt.Errorf("%w for %s %q", ErrNoImpl, m.API, m.Name)
+		}
+		types, err := r.bind(m)
+		if err != nil {
+			return nil, err
+		}
+		tc := cases[i]
+		if len(tc) != len(types) {
+			return nil, fmt.Errorf("core: case arity %d for %s (want %d)", len(tc), m.Name, len(types))
+		}
+		args := make([]api.Arg, len(types))
+		skip := false
+		for pi, dt := range types {
+			if tc[pi] < 0 || tc[pi] >= len(dt.Values) {
+				return nil, fmt.Errorf("core: case index out of range for %s param %d", m.Name, pi)
+			}
+			a, err := dt.Values[tc[pi]].Make(env)
+			if err != nil {
+				skip = true
+				break
+			}
+			args[pi] = a
+		}
+		if skip {
+			out[i] = RawSkip
+			continue
+		}
+		call := &api.Call{
+			K: k, P: env.P, Name: m.Name, Args: args,
+			Traits: r.profile.Traits, Def: r.profile.Defect(m.Name), Wide: wide,
+		}
+		impl(call)
+		if !call.Done() {
+			call.Ret(0)
+		}
+		if k.Crashed() && !call.Out.Crashed {
+			call.Out.Crashed = true
+			call.Out.CrashReason = k.CrashReason()
+		}
+		out[i] = Classify(&call.Out)
+	}
+	if k.Crashed() {
+		k.Reboot()
+	}
+	return out, nil
+}
+
+// applyLoad imposes the configured resource pressure on a fresh test
+// process and (once per machine) on the filesystem.
+func (r *Runner) applyLoad(env *Env) {
+	lp := r.cfg.Load
+	if lp == nil {
+		return
+	}
+	if lp.ProcessMemoryQuota > 0 {
+		env.P.AS.SetQuota(lp.ProcessMemoryQuota)
+	}
+	for i := 0; i < lp.HandlePressure; i++ {
+		env.P.AddHandle(&kern.Object{Kind: kern.KEvent})
+	}
+	if lp.PreloadFiles > 0 {
+		fsys := env.K.FS
+		if _, err := fsys.Stat("/load"); err != nil {
+			_ = fsys.MkdirAll("/load", 0o7)
+			for i := 0; i < lp.PreloadFiles; i++ {
+				if n, err := fsys.Create(fmt.Sprintf("/load/f%05d.dat", i), 0o6, false); err == nil {
+					n.Data = []byte("load fixture")
+				}
+			}
+		}
+	}
+}
+
+// RunProbe executes one identified test case and additionally returns
+// the error code the call reported (errno or GetLastError) — used by the
+// Hindering-failure oracle, which must inspect codes, not just classes.
+func (r *Runner) RunProbe(m catalog.MuT, tc Case, wide bool) (RawClass, uint32, error) {
+	impl, ok := r.dispatch(m)
+	if !ok {
+		return RawSkip, 0, fmt.Errorf("%w for %s %q", ErrNoImpl, m.API, m.Name)
+	}
+	types, err := r.bind(m)
+	if err != nil {
+		return RawSkip, 0, err
+	}
+	k := r.machine()
+	if r.fixture != nil {
+		r.fixture(k)
+	}
+	env := &Env{K: k, P: k.NewProcess(), Profile: r.profile, Wide: wide}
+	defer env.Cleanup()
+	r.applyLoad(env)
+
+	args := make([]api.Arg, len(types))
+	for i, dt := range types {
+		if tc[i] < 0 || tc[i] >= len(dt.Values) {
+			return RawSkip, 0, fmt.Errorf("core: case index out of range for %s param %d", m.Name, i)
+		}
+		a, err := dt.Values[tc[i]].Make(env)
+		if err != nil {
+			return RawSkip, 0, nil
+		}
+		args[i] = a
+	}
+	call := &api.Call{
+		K: k, P: env.P, Name: m.Name, Args: args,
+		Traits: r.profile.Traits, Def: r.profile.Defect(m.Name), Wide: wide,
+	}
+	impl(call)
+	if !call.Done() {
+		call.Ret(0)
+	}
+	if k.Crashed() {
+		if !call.Out.Crashed {
+			call.Out.Crashed = true
+			call.Out.CrashReason = k.CrashReason()
+		}
+		k.Reboot()
+	}
+	return Classify(&call.Out), call.Out.Err, nil
+}

@@ -1,0 +1,177 @@
+// Package hinder detects the CRASH scale's Hindering failures — calls
+// that report an *incorrect* error indication, "such as the wrong error
+// reporting code" (paper §2).  The paper could measure these "in only
+// some situations" requiring manual analysis; this package mechanizes
+// that analysis as an oracle of single-exceptional-value probes whose
+// correct error code is unambiguous from the API documentation.
+package hinder
+
+import (
+	"fmt"
+
+	"ballista/internal/api"
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+// Probe is one oracle entry: a call, a specific test case identified by
+// pool value names, and the set of acceptable error codes.
+type Probe struct {
+	API    catalog.API
+	MuT    string
+	Values []string // one pool value name per parameter
+	// Expect is the set of documented-correct error codes (GetLastError
+	// values for Win32, errno for POSIX/C).
+	Expect []uint32
+	// Desc says what the probe checks.
+	Desc string
+}
+
+// Result is a probe's outcome.
+type Result struct {
+	Probe Probe
+	// Class is the observed CRASH class; only RawError results can be
+	// judged for Hindering.
+	Class core.RawClass
+	// Code is the reported error code.
+	Code uint32
+	// Hindering: an error was reported with a wrong code.
+	Hindering bool
+}
+
+// Win32Probes is the oracle for the Win32 surface.
+func Win32Probes() []Probe {
+	return []Probe{
+		{catalog.Win32, "CloseHandle", []string{"GARBAGE"},
+			[]uint32{api.ErrorInvalidHandle}, "garbage handle -> ERROR_INVALID_HANDLE"},
+		{catalog.Win32, "FlushFileBuffers", []string{"GARBAGE"},
+			[]uint32{api.ErrorInvalidHandle}, "garbage handle -> ERROR_INVALID_HANDLE"},
+		{catalog.Win32, "SetEvent", []string{"CLOSED"},
+			[]uint32{api.ErrorInvalidHandle}, "closed handle -> ERROR_INVALID_HANDLE"},
+		{catalog.Win32, "DeleteFile", []string{"MISSING_DIR_COMPONENT"},
+			[]uint32{api.ErrorFileNotFound, api.ErrorPathNotFound}, "missing path -> *_NOT_FOUND"},
+		{catalog.Win32, "DeleteFile", []string{"ILLEGAL_CHARS"},
+			[]uint32{api.ErrorInvalidName}, "wildcard chars -> ERROR_INVALID_NAME"},
+		{catalog.Win32, "RemoveDirectory", []string{"READONLY_FILE"},
+			[]uint32{api.ErrorPathNotFound, api.ErrorDirNotEmpty, api.ErrorAccessDenied},
+			"file as directory"},
+		{catalog.Win32, "GetStdHandle", []string{"ZERO"},
+			[]uint32{api.ErrorInvalidParameter}, "bad slot -> ERROR_INVALID_PARAMETER"},
+		{catalog.Win32, "TlsFree", []string{"MAXDWORD"},
+			[]uint32{api.ErrorInvalidParameter}, "wild index -> ERROR_INVALID_PARAMETER"},
+		{catalog.Win32, "GetFileAttributes", []string{"MISSING_DIR_COMPONENT"},
+			[]uint32{api.ErrorFileNotFound, api.ErrorPathNotFound}, "missing path"},
+		{catalog.Win32, "SetFilePointer", []string{"FILE_READ", "MAXINT", "NULL", "THREE"},
+			[]uint32{api.ErrorInvalidParameter}, "bad move method"},
+	}
+}
+
+// POSIXProbes is the oracle for the Linux surface.
+func POSIXProbes() []Probe {
+	return []Probe{
+		{catalog.POSIX, "close", []string{"NEG_ONE"},
+			[]uint32{api.EBADF}, "bad fd -> EBADF"},
+		{catalog.POSIX, "fsync", []string{"UNOPENED_99"},
+			[]uint32{api.EBADF}, "unopened fd -> EBADF"},
+		{catalog.POSIX, "unlink", []string{"MISSING_DIR_COMPONENT"},
+			[]uint32{api.ENOENT}, "missing path -> ENOENT"},
+		{catalog.POSIX, "lseek", []string{"OPEN_FILE", "ZERO", "THREE"},
+			[]uint32{api.EINVAL}, "bad whence -> EINVAL"},
+		{catalog.POSIX, "kill", []string{"SELF", "SIXTY_FOUR"},
+			[]uint32{api.EINVAL}, "bad signal -> EINVAL"},
+		{catalog.POSIX, "rmdir", []string{"READONLY_FILE"},
+			[]uint32{api.ENOTDIR}, "file as directory -> ENOTDIR"},
+	}
+}
+
+// ProbesFor returns the oracle for one OS variant.
+func ProbesFor(o osprofile.OS) []Probe {
+	if o == osprofile.Linux {
+		return POSIXProbes()
+	}
+	probes := Win32Probes()
+	out := probes[:0]
+	supported := make(map[string]bool)
+	for _, m := range catalog.MuTsFor(o) {
+		supported[m.Name] = true
+	}
+	for _, p := range probes {
+		if supported[p.MuT] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Audit runs every oracle probe against a runner and classifies
+// Hindering failures.
+func Audit(runner *core.Runner, reg *core.Registry, o osprofile.OS) ([]Result, error) {
+	var out []Result
+	for _, p := range ProbesFor(o) {
+		m, ok := catalog.ByName(p.API, p.MuT)
+		if !ok {
+			return nil, fmt.Errorf("hinder: unknown MuT %q", p.MuT)
+		}
+		tc, err := caseFor(reg, m, p.Values)
+		if err != nil {
+			return nil, err
+		}
+		// A fresh process per probe: run in isolation and read the
+		// reported code via a single-call sequence (the error code
+		// lives in the outcome, surfaced through RunProbe).
+		cls, code, err := runner.RunProbe(m, tc, false)
+		if err != nil {
+			return nil, err
+		}
+		r := Result{Probe: p, Class: cls, Code: code}
+		if cls == core.RawError {
+			r.Hindering = true
+			for _, want := range p.Expect {
+				if code == want {
+					r.Hindering = false
+					break
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// HinderingCount tallies misreported codes.
+func HinderingCount(rs []Result) int {
+	n := 0
+	for _, r := range rs {
+		if r.Hindering {
+			n++
+		}
+	}
+	return n
+}
+
+func caseFor(reg *core.Registry, m catalog.MuT, values []string) (core.Case, error) {
+	if len(values) != len(m.Params) {
+		return nil, fmt.Errorf("hinder: %s has %d params, probe names %d values",
+			m.Name, len(m.Params), len(values))
+	}
+	tc := make(core.Case, len(values))
+	for i, want := range values {
+		dt, ok := reg.Lookup(m.Params[i])
+		if !ok {
+			return nil, fmt.Errorf("hinder: unknown type %q", m.Params[i])
+		}
+		found := false
+		for vi, v := range dt.Values {
+			if v.Name == want {
+				tc[i] = vi
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("hinder: value %s/%s not in pool", m.Params[i], want)
+		}
+	}
+	return tc, nil
+}

@@ -1,0 +1,91 @@
+package hinder
+
+import (
+	"testing"
+
+	"ballista/internal/catalog"
+	"ballista/internal/clib"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+	"ballista/internal/posixapi"
+	"ballista/internal/suite"
+	"ballista/internal/winapi"
+)
+
+var (
+	clibImpls  = clib.Impls()
+	win32Impls = winapi.Impls()
+	posixImpls = posixapi.Impls()
+)
+
+func dispatch(m catalog.MuT) (core.Impl, bool) {
+	switch m.API {
+	case catalog.CLib:
+		impl, ok := clibImpls[m.Name]
+		return impl, ok
+	case catalog.Win32:
+		impl, ok := win32Impls[m.Name]
+		return impl, ok
+	case catalog.POSIX:
+		impl, ok := posixImpls[m.Name]
+		return impl, ok
+	default:
+		return nil, false
+	}
+}
+
+func audit(t *testing.T, o osprofile.OS) []Result {
+	t.Helper()
+	runner := core.NewRunner(
+		core.Config{OS: o, Cap: core.DefaultCap, StopMuTOnCrash: true},
+		suite.NewRegistry(), dispatch, suite.SetupFixtures)
+	rs, err := Audit(runner, suite.NewRegistry(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("empty oracle")
+	}
+	return rs
+}
+
+// TestPlateauSystemsReportCorrectCodes: Linux and the NT family pass the
+// whole oracle — every probed error carries a documented code.
+func TestPlateauSystemsReportCorrectCodes(t *testing.T) {
+	for _, o := range []osprofile.OS{osprofile.Linux, osprofile.WinNT, osprofile.Win2000} {
+		for _, r := range audit(t, o) {
+			if r.Hindering {
+				t.Errorf("%s: %s %v reported code %d (%s)", o, r.Probe.MuT, r.Probe.Values, r.Code, r.Probe.Desc)
+			}
+			if r.Class != core.RawError {
+				t.Errorf("%s: probe %s %v classified %v, want an error return", o, r.Probe.MuT, r.Probe.Values, r.Class)
+			}
+		}
+	}
+}
+
+// TestNineXMisreportsSomeCodes: the 9x family exhibits Hindering
+// failures — wrong GetLastError codes on a deterministic subset of error
+// sites (paper §2's "incorrect error indication such as the wrong error
+// reporting code").
+func TestNineXMisreportsSomeCodes(t *testing.T) {
+	total := 0
+	for _, o := range []osprofile.OS{osprofile.Win95, osprofile.Win98, osprofile.Win98SE, osprofile.WinCE} {
+		total += HinderingCount(audit(t, o))
+	}
+	if total == 0 {
+		t.Error("no Hindering failures found across the 9x family")
+	}
+}
+
+// TestHinderingDeterministic: the same probe misreports the same way on
+// every run.
+func TestHinderingDeterministic(t *testing.T) {
+	a := audit(t, osprofile.Win98)
+	b := audit(t, osprofile.Win98)
+	for i := range a {
+		if a[i].Code != b[i].Code || a[i].Hindering != b[i].Hindering {
+			t.Errorf("probe %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

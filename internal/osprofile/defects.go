@@ -1,0 +1,98 @@
+package osprofile
+
+import (
+	"ballista/internal/api"
+	"ballista/internal/sim/kern"
+)
+
+// The defect tables below transcribe the paper's Table 3: every function
+// that exhibited Catastrophic failures, per OS.  Mechanisms:
+//
+//   - MechRawOut / MechRawIn — the kernel accesses the given parameter
+//     without probing.  On a shared-arena machine an invalid pointer
+//     crashes the OS immediately; these failures reproduce from a single
+//     test case (e.g. Listing 1).
+//   - MechCorrupt with Amount=kern.CorruptionStep — the trigger damages
+//     shared kernel state; one hit survives, a campaign's worth crosses
+//     the crash threshold.  These are the paper's "*" entries, which
+//     "could not be reproduced outside of the test harness".
+//   - MechCorrupt with an Amount above the crash threshold — an immediate
+//     crash not routed through a raw pointer access (HeapCreate's and
+//     VirtualAlloc's size-driven crashes).
+//
+// ImmediateCorrupt is used for the latter.
+const ImmediateCorrupt = kern.DefaultCorruptionLimit + 1
+
+func harnessOnly() api.DefectSpec {
+	return api.DefectSpec{Mech: api.MechCorrupt, Amount: kern.CorruptionStep}
+}
+
+func rawOut(param int) api.DefectSpec {
+	return api.DefectSpec{Mech: api.MechRawOut, Param: param}
+}
+
+func rawIn(param int) api.DefectSpec {
+	return api.DefectSpec{Mech: api.MechRawIn, Param: param}
+}
+
+// desktopDefects returns the Table 3 rows for Windows 95 / 98 / 98 SE.
+func desktopDefects(o OS) map[string]api.DefectSpec {
+	d := map[string]api.DefectSpec{
+		// Shared by all three 9x variants.
+		"DuplicateHandle":            harnessOnly(), // I/O Primitives, "*"
+		"GetFileInformationByHandle": rawOut(1),     // File/Directory Access
+		"GetThreadContext":           rawOut(1),     // Process Environment (Listing 1)
+		"MsgWaitForMultipleObjects":  rawIn(1),      // Process Primitives
+	}
+	switch o {
+	case Win95:
+		d["FileTimeToSystemTime"] = rawOut(1)                                             // File/Directory Access
+		d["HeapCreate"] = api.DefectSpec{Mech: api.MechCorrupt, Amount: ImmediateCorrupt} // Memory Management
+		d["ReadProcessMemory"] = harnessOnly()                                            // Process Primitives, "*"
+		d["fwrite"] = harnessOnly()                                                       // C I/O stream, "*"
+	case Win98:
+		d["MsgWaitForMultipleObjectsEx"] = harnessOnly() // "*" (not in Win95's API)
+		d["fwrite"] = harnessOnly()                      // "*"
+		d["strncpy"] = harnessOnly()                     // C string, "*"
+	case Win98SE:
+		d["MsgWaitForMultipleObjectsEx"] = harnessOnly() // "*"
+		d["CreateThread"] = harnessOnly()                // "*" (new in SE)
+		d["strncpy"] = harnessOnly()                     // "*" (fwrite fixed in SE)
+	}
+	return d
+}
+
+// ceDefects returns the Table 3 rows for Windows CE 2.11.  The seventeen
+// Catastrophic C functions sharing the invalid-FILE* cause are not listed
+// here: they arise mechanically from the CE CRT's StdioRawKernel trait
+// (see internal/clib).
+func ceDefects() map[string]api.DefectSpec {
+	return map[string]api.DefectSpec{
+		"CreateThread":                harnessOnly(), // "*"
+		"GetThreadContext":            rawOut(1),
+		"SetThreadContext":            rawIn(1),
+		"InterlockedIncrement":        harnessOnly(), // "*"
+		"InterlockedDecrement":        harnessOnly(), // "*"
+		"InterlockedExchange":         harnessOnly(), // "*"
+		"MsgWaitForMultipleObjects":   rawIn(1),
+		"MsgWaitForMultipleObjectsEx": harnessOnly(), // "*"
+		"ReadProcessMemory":           harnessOnly(), // "*"
+		"VirtualAlloc":                {Mech: api.MechCorrupt, Amount: ImmediateCorrupt},
+		// The UNICODE strncpy (_tcsncpy/wcsncpy) crashed where the ASCII
+		// variant did not.
+		"strncpy": {Mech: api.MechCorrupt, Amount: kern.CorruptionStep, WideOnly: true},
+	}
+}
+
+// CatastrophicByOS returns, for documentation and the Table 3
+// reproduction, the defect-listed function names per OS (the CE stdio
+// seventeen are contributed by the clib layer at runtime and are not in
+// this static table).
+func CatastrophicByOS() map[OS][]string {
+	out := make(map[OS][]string)
+	for _, o := range All() {
+		p := Get(o)
+		out[o] = p.DefectFunctions()
+	}
+	return out
+}

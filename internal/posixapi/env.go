@@ -1,0 +1,196 @@
+package posixapi
+
+import "ballista/internal/api"
+
+// Identity model: the test task runs as an unprivileged user.
+const (
+	curUID = 1000
+	curGID = 1000
+)
+
+func registerEnv(m map[string]Impl) {
+	m["getpid"] = func(c *api.Call) { c.Ret(int64(c.P.PID)) }
+	m["getppid"] = func(c *api.Call) { c.Ret(1) }
+	m["getuid"] = func(c *api.Call) { c.Ret(curUID) }
+	m["geteuid"] = func(c *api.Call) { c.Ret(curUID) }
+	m["getgid"] = func(c *api.Call) { c.Ret(curGID) }
+	m["getegid"] = func(c *api.Call) { c.Ret(curGID) }
+	m["setuid"] = setID(curUID)
+	m["seteuid"] = setID(curUID)
+	m["setgid"] = setID(curGID)
+	m["setegid"] = setID(curGID)
+	m["getgroups"] = func(c *api.Call) {
+		n := int(c.Int(0))
+		if n < 0 {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		if n == 0 {
+			c.Ret(1) // number of supplementary groups
+			return
+		}
+		if !c.CopyOut(1, c.PtrArg(1), u32b(curGID)) {
+			return
+		}
+		c.Ret(1)
+	}
+	m["setgroups"] = func(c *api.Call) {
+		n := c.U32(0)
+		if n > 65536 {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		if n > 0 {
+			if _, ok := c.CopyIn(1, c.PtrArg(1), minU32(4*n, 4096)); !ok {
+				return
+			}
+		}
+		c.FailErrno(api.EPERM) // not root
+	}
+	m["getpgrp"] = func(c *api.Call) { c.Ret(int64(c.P.PID)) }
+	m["setpgid"] = func(c *api.Call) {
+		pid, pgid := int(c.Int(0)), int(c.Int(1))
+		if pgid < 0 {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		if pid != 0 && pid != c.P.PID {
+			c.FailErrno(api.ESRCH)
+			return
+		}
+		c.Ret(0)
+	}
+	m["setsid"] = func(c *api.Call) {
+		// The caller is already a process-group leader in the model.
+		c.FailErrno(api.EPERM)
+	}
+	m["getsid"] = func(c *api.Call) {
+		pid := int(c.Int(0))
+		if pid != 0 && pid != c.P.PID {
+			c.FailErrno(api.ESRCH)
+			return
+		}
+		c.Ret(int64(c.P.PID))
+	}
+	m["getrlimit"] = func(c *api.Call) {
+		if !validRlimit(int(c.Int(0))) {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		out := make([]byte, 16)
+		copy(out, u32b(1<<20))
+		copy(out[8:], u32b(1<<22))
+		if !c.CopyOut(1, c.PtrArg(1), out) {
+			return
+		}
+		c.Ret(0)
+	}
+	m["setrlimit"] = func(c *api.Call) {
+		if !validRlimit(int(c.Int(0))) {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		b, ok := c.CopyIn(1, c.PtrArg(1), 16)
+		if !ok {
+			return
+		}
+		cur, maxv := le32(b), le32(b[8:])
+		if cur > maxv {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		c.Ret(0)
+	}
+	m["times"] = func(c *api.Call) {
+		out := make([]byte, 16)
+		copy(out, u32b(uint32(c.K.Ticks())))
+		if !c.CopyOut(0, c.PtrArg(0), out) {
+			return
+		}
+		c.Ret(int64(uint32(c.K.Ticks())))
+	}
+	m["uname"] = func(c *api.Call) {
+		out := make([]byte, 320)
+		fill := func(off int, s string) { copy(out[off:], s) }
+		fill(0, "Linux")
+		fill(65, "ballista")
+		fill(130, "2.2.5")
+		fill(195, "#1 SMP")
+		fill(260, "i686")
+		if !c.CopyOut(0, c.PtrArg(0), out) {
+			return
+		}
+		c.Ret(0)
+	}
+	m["sysconf"] = func(c *api.Call) {
+		switch c.Int(0) {
+		case 0: // _SC_ARG_MAX
+			c.Ret(131072)
+		case 1: // _SC_CHILD_MAX
+			c.Ret(999)
+		case 2: // _SC_CLK_TCK
+			c.Ret(100)
+		case 4: // _SC_OPEN_MAX
+			c.Ret(1024)
+		case 30: // _SC_PAGESIZE
+			c.Ret(4096)
+		default:
+			if c.Int(0) >= 0 && c.Int(0) < 200 {
+				c.Ret(-1) // unsupported name: -1 with errno unchanged
+				return
+			}
+			c.FailErrno(api.EINVAL)
+		}
+	}
+	m["pathconf"] = func(c *api.Call) {
+		path, ok := pathArg(c, 0)
+		if !ok {
+			return
+		}
+		if _, err := c.K.FS.Stat(path); err != nil {
+			c.FailErrno(errnoFor(err))
+			return
+		}
+		pathconfName(c, int(c.Int(1)))
+	}
+	m["fpathconf"] = func(c *api.Call) {
+		if fdArg(c, 0) == nil {
+			return
+		}
+		pathconfName(c, int(c.Int(1)))
+	}
+}
+
+func setID(cur int64) Impl {
+	return func(c *api.Call) {
+		v := int(c.Int(0))
+		if v < 0 {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		if int64(v) != cur {
+			c.FailErrno(api.EPERM) // unprivileged
+			return
+		}
+		c.Ret(0)
+	}
+}
+
+func validRlimit(r int) bool { return r >= 0 && r <= 10 }
+
+func pathconfName(c *api.Call, name int) {
+	switch name {
+	case 0: // _PC_LINK_MAX
+		c.Ret(127)
+	case 3: // _PC_NAME_MAX
+		c.Ret(255)
+	case 4: // _PC_PATH_MAX
+		c.Ret(4096)
+	default:
+		if name >= 0 && name < 20 {
+			c.Ret(-1)
+			return
+		}
+		c.FailErrno(api.EINVAL)
+	}
+}

@@ -1,0 +1,94 @@
+// Package posixapi implements the 91 POSIX system calls tested on the
+// simulated Linux variant.  The Linux kernel architecture probes every
+// user pointer at the system-call boundary and returns EFAULT instead of
+// faulting — the reason the paper measured far lower Abort rates for
+// Linux system calls than for any Windows variant.
+package posixapi
+
+import (
+	"errors"
+
+	"ballista/internal/api"
+	"ballista/internal/sim/fs"
+	"ballista/internal/sim/kern"
+)
+
+// Impl is a POSIX call implementation.
+type Impl = func(c *api.Call)
+
+// Impls returns the implementation registry, keyed by call name.
+func Impls() map[string]Impl {
+	m := make(map[string]Impl, 91)
+	registerIOPrim(m)
+	registerMemMgmt(m)
+	registerFileDir(m)
+	registerProc(m)
+	registerEnv(m)
+	return m
+}
+
+// ioClamp bounds single-transfer sizes (see winapi).
+const ioClamp = 1 << 20
+
+// errnoFor maps filesystem errors onto errno values.
+func errnoFor(err error) uint32 {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, fs.ErrNotFound):
+		return api.ENOENT
+	case errors.Is(err, fs.ErrExists):
+		return api.EEXIST
+	case errors.Is(err, fs.ErrIsDir):
+		return api.EISDIR
+	case errors.Is(err, fs.ErrNotDir):
+		return api.ENOTDIR
+	case errors.Is(err, fs.ErrNotEmpty):
+		return api.ENOTEMPTY
+	case errors.Is(err, fs.ErrPerm):
+		return api.EACCES
+	case errors.Is(err, fs.ErrInvalidPath):
+		return api.EINVAL
+	case errors.Is(err, fs.ErrClosed), errors.Is(err, fs.ErrNotOpen):
+		return api.EBADF
+	case errors.Is(err, fs.ErrLocked):
+		return api.EAGAIN
+	default:
+		return api.EIO
+	}
+}
+
+// fdArg resolves a descriptor argument.
+func fdArg(c *api.Call, param int) *kern.FD {
+	f := c.P.FD(int(c.Int(param)))
+	if f == nil {
+		c.FailErrno(api.EBADF)
+		return nil
+	}
+	return f
+}
+
+// pathArg reads a path argument with kernel probing.
+func pathArg(c *api.Call, param int) (string, bool) {
+	s, ok := c.CopyInString(param, c.PtrArg(param))
+	if !ok {
+		return "", false
+	}
+	if s == "" {
+		c.FailErrno(api.ENOENT)
+		return "", false
+	}
+	if len(s) > 255 {
+		c.FailErrno(api.ENAMETOOLONG)
+		return "", false
+	}
+	return s, true
+}
+
+func u32b(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,277 @@
+package posixapi
+
+import (
+	"testing"
+
+	"ballista/internal/api"
+	"ballista/internal/sim/mem"
+)
+
+func TestSigactionValidation(t *testing.T) {
+	k, p := newProc(t)
+	act, _ := p.AS.Alloc(16, mem.ProtRW)
+	old, _ := p.AS.Alloc(16, mem.ProtRW)
+	c := run(t, k, p, "sigaction", api.Int(15), api.Ptr(act), api.Ptr(old))
+	if c.Out.Ret != 0 {
+		t.Fatalf("sigaction(SIGTERM): %+v", c.Out)
+	}
+	// SIGKILL and SIGSTOP cannot be caught.
+	for _, sig := range []int64{9, 19} {
+		c = run(t, k, p, "sigaction", api.Int(sig), api.Ptr(act), api.Ptr(old))
+		if c.Out.Err != api.EINVAL {
+			t.Errorf("sigaction(%d): %+v", sig, c.Out)
+		}
+	}
+	// Out-of-range signal.
+	c = run(t, k, p, "sigaction", api.Int(64), api.Ptr(act), api.Ptr(old))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("sigaction(64): %+v", c.Out)
+	}
+	// Bad act pointer probes to EFAULT.
+	c = run(t, k, p, "sigaction", api.Int(15), api.Ptr(0x7F000000), api.Ptr(old))
+	if c.Out.Err != api.EFAULT {
+		t.Errorf("sigaction bad act: %+v", c.Out)
+	}
+	// NULL/NULL is a pure query and succeeds.
+	c = run(t, k, p, "sigaction", api.Int(15), api.Ptr(0), api.Ptr(0))
+	if c.Out.Ret != 0 {
+		t.Errorf("sigaction query: %+v", c.Out)
+	}
+}
+
+func TestSigprocmask(t *testing.T) {
+	k, p := newProc(t)
+	set, _ := p.AS.Alloc(8, mem.ProtRW)
+	c := run(t, k, p, "sigprocmask", api.Int(0), api.Ptr(set), api.Ptr(0))
+	if c.Out.Ret != 0 {
+		t.Fatalf("sigprocmask: %+v", c.Out)
+	}
+	c = run(t, k, p, "sigprocmask", api.Int(99), api.Ptr(set), api.Ptr(0))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("bad how: %+v", c.Out)
+	}
+	// how is ignored when set is NULL (Linux semantics).
+	c = run(t, k, p, "sigprocmask", api.Int(99), api.Ptr(0), api.Ptr(0))
+	if c.Out.Ret != 0 {
+		t.Errorf("NULL set ignores how: %+v", c.Out)
+	}
+}
+
+func TestNanosleepValidation(t *testing.T) {
+	k, p := newProc(t)
+	ts, _ := p.AS.Alloc(16, mem.ProtRW)
+	_ = p.AS.WriteU32(ts, 1) // 1 second
+	c := run(t, k, p, "nanosleep", api.Ptr(ts), api.Ptr(0))
+	if c.Out.Ret != 0 {
+		t.Fatalf("nanosleep: %+v", c.Out)
+	}
+	// Negative seconds.
+	_ = p.AS.WriteU32(ts, 0xFFFFFFFF)
+	c = run(t, k, p, "nanosleep", api.Ptr(ts), api.Ptr(0))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("negative tv_sec: %+v", c.Out)
+	}
+	// tv_nsec out of range.
+	_ = p.AS.WriteU32(ts, 0)
+	_ = p.AS.WriteU32(ts+4, 2_000_000_000)
+	c = run(t, k, p, "nanosleep", api.Ptr(ts), api.Ptr(0))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("tv_nsec too big: %+v", c.Out)
+	}
+	// A multi-week sleep can never return within a campaign.
+	_ = p.AS.WriteU32(ts, 10_000_000)
+	_ = p.AS.WriteU32(ts+4, 0)
+	c = run(t, k, p, "nanosleep", api.Ptr(ts), api.Ptr(0))
+	if !c.Out.Hung {
+		t.Errorf("multi-week nanosleep should hang: %+v", c.Out)
+	}
+}
+
+func TestSleepHugeHangs(t *testing.T) {
+	k, p := newProc(t)
+	c := run(t, k, p, "sleep", api.Int(0xFFFFFFFF))
+	if !c.Out.Hung {
+		t.Errorf("sleep(MAXUINT) should hang: %+v", c.Out)
+	}
+	c = run(t, k, p, "sleep", api.Int(1))
+	if c.Out.Hung || c.Out.Ret != 0 {
+		t.Errorf("sleep(1): %+v", c.Out)
+	}
+}
+
+func TestItimers(t *testing.T) {
+	k, p := newProc(t)
+	tv, _ := p.AS.Alloc(16, mem.ProtRW)
+	c := run(t, k, p, "getitimer", api.Int(0), api.Ptr(tv))
+	if c.Out.Ret != 0 {
+		t.Fatalf("getitimer: %+v", c.Out)
+	}
+	c = run(t, k, p, "getitimer", api.Int(3), api.Ptr(tv))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("bad which: %+v", c.Out)
+	}
+	// setitimer validates tv_usec < 1e6.
+	_ = p.AS.WriteU32(tv+4, 2_000_000)
+	c = run(t, k, p, "setitimer", api.Int(0), api.Ptr(tv), api.Ptr(0))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("usec too big: %+v", c.Out)
+	}
+}
+
+func TestPtrace(t *testing.T) {
+	k, p := newProc(t)
+	c := run(t, k, p, "ptrace", api.Int(0), api.Int(0), api.Ptr(0), api.Ptr(0))
+	if c.Out.Ret != 0 {
+		t.Errorf("PTRACE_TRACEME: %+v", c.Out)
+	}
+	// PEEKTEXT on own mapped memory.
+	a, _ := p.AS.Alloc(8, mem.ProtRW)
+	_ = p.AS.WriteU32(a, 0xFEEDC0DE)
+	c = run(t, k, p, "ptrace", api.Int(1), api.Int(int64(p.PID)), api.Ptr(a), api.Ptr(0))
+	if uint32(c.Out.Ret) != 0xFEEDC0DE {
+		t.Errorf("PEEKTEXT = %#x: %+v", uint32(c.Out.Ret), c.Out)
+	}
+	// PEEKTEXT on a wild address: EIO per ptrace convention.
+	c = run(t, k, p, "ptrace", api.Int(1), api.Int(int64(p.PID)), api.Ptr(0), api.Ptr(0))
+	if c.Out.Err != api.EIO {
+		t.Errorf("PEEKTEXT wild: %+v", c.Out)
+	}
+	c = run(t, k, p, "ptrace", api.Int(1), api.Int(424242), api.Ptr(a), api.Ptr(0))
+	if c.Out.Err != api.ESRCH {
+		t.Errorf("PEEKTEXT foreign pid: %+v", c.Out)
+	}
+}
+
+func TestRlimits(t *testing.T) {
+	k, p := newProc(t)
+	rl, _ := p.AS.Alloc(16, mem.ProtRW)
+	c := run(t, k, p, "getrlimit", api.Int(2), api.Ptr(rl))
+	if c.Out.Ret != 0 {
+		t.Fatalf("getrlimit: %+v", c.Out)
+	}
+	cur, _ := p.AS.ReadU32(rl)
+	maxv, _ := p.AS.ReadU32(rl + 8)
+	if cur == 0 || maxv < cur {
+		t.Errorf("rlimit values %d/%d", cur, maxv)
+	}
+	// setrlimit rejects cur > max.
+	_ = p.AS.WriteU32(rl, maxv+1000)
+	c = run(t, k, p, "setrlimit", api.Int(2), api.Ptr(rl))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("cur > max: %+v", c.Out)
+	}
+	c = run(t, k, p, "getrlimit", api.Int(99), api.Ptr(rl))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("bad resource: %+v", c.Out)
+	}
+}
+
+func TestUnameFillsStruct(t *testing.T) {
+	k, p := newProc(t)
+	buf, _ := p.AS.Alloc(320, mem.ProtRW)
+	c := run(t, k, p, "uname", api.Ptr(buf))
+	if c.Out.Ret != 0 {
+		t.Fatalf("uname: %+v", c.Out)
+	}
+	sys, _ := p.AS.CString(buf)
+	rel, _ := p.AS.CString(buf + 130)
+	if sys != "Linux" || rel != "2.2.5" {
+		t.Errorf("uname = %q %q (paper: RedHat 6.0, kernel 2.2.5)", sys, rel)
+	}
+}
+
+func TestProcessGroups(t *testing.T) {
+	k, p := newProc(t)
+	c := run(t, k, p, "getpgrp")
+	if c.Out.Ret != int64(p.PID) {
+		t.Errorf("getpgrp = %d", c.Out.Ret)
+	}
+	c = run(t, k, p, "setpgid", api.Int(0), api.Int(0))
+	if c.Out.Ret != 0 {
+		t.Errorf("setpgid(0,0): %+v", c.Out)
+	}
+	c = run(t, k, p, "setpgid", api.Int(424242), api.Int(0))
+	if c.Out.Err != api.ESRCH {
+		t.Errorf("setpgid foreign: %+v", c.Out)
+	}
+	c = run(t, k, p, "setsid")
+	if c.Out.Err != api.EPERM {
+		t.Errorf("setsid as leader: %+v", c.Out)
+	}
+	c = run(t, k, p, "getsid", api.Int(0))
+	if c.Out.Ret != int64(p.PID) {
+		t.Errorf("getsid: %+v", c.Out)
+	}
+}
+
+func TestGroupsRoundTrip(t *testing.T) {
+	k, p := newProc(t)
+	// Size query.
+	c := run(t, k, p, "getgroups", api.Int(0), api.Ptr(0))
+	if c.Out.Ret != 1 {
+		t.Fatalf("getgroups(0): %+v", c.Out)
+	}
+	buf, _ := p.AS.Alloc(16, mem.ProtRW)
+	c = run(t, k, p, "getgroups", api.Int(4), api.Ptr(buf))
+	if c.Out.Ret != 1 {
+		t.Fatalf("getgroups: %+v", c.Out)
+	}
+	gid, _ := p.AS.ReadU32(buf)
+	if gid != 1000 {
+		t.Errorf("group = %d", gid)
+	}
+	c = run(t, k, p, "getgroups", api.Int(-1), api.Ptr(buf))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("negative size: %+v", c.Out)
+	}
+	// setgroups requires privilege.
+	c = run(t, k, p, "setgroups", api.Int(1), api.Ptr(buf))
+	if c.Out.Err != api.EPERM {
+		t.Errorf("setgroups: %+v", c.Out)
+	}
+}
+
+func TestFcntlDupfd(t *testing.T) {
+	k, p := newProc(t)
+	path := cstr(t, p, "/bl/readable.txt")
+	c := run(t, k, p, "open", api.Ptr(path), api.Int(0), api.Int(0))
+	fd := c.Out.Ret
+	c = run(t, k, p, "fcntl", api.Int(fd), api.Int(0), api.Int(0))
+	if c.Out.Ret <= fd {
+		t.Errorf("F_DUPFD = %d", c.Out.Ret)
+	}
+	c = run(t, k, p, "fcntl", api.Int(fd), api.Int(2), api.Int(1))
+	if c.Out.Ret != 0 {
+		t.Fatalf("F_SETFD: %+v", c.Out)
+	}
+	c = run(t, k, p, "fcntl", api.Int(fd), api.Int(1), api.Int(0))
+	if c.Out.Ret != 1 {
+		t.Errorf("F_GETFD = %d", c.Out.Ret)
+	}
+	c = run(t, k, p, "fcntl", api.Int(fd), api.Int(99), api.Int(0))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("bad cmd: %+v", c.Out)
+	}
+}
+
+func TestAccessModes(t *testing.T) {
+	k, p := newProc(t)
+	path := cstr(t, p, "/bl/readable.txt")
+	c := run(t, k, p, "access", api.Ptr(path), api.Int(4))
+	if c.Out.Ret != 0 {
+		t.Errorf("access R_OK: %+v", c.Out)
+	}
+	c = run(t, k, p, "access", api.Ptr(path), api.Int(1))
+	if c.Out.Err != api.EACCES {
+		t.Errorf("access X_OK on data file: %+v", c.Out)
+	}
+	c = run(t, k, p, "access", api.Ptr(path), api.Int(0xFF))
+	if c.Out.Err != api.EINVAL {
+		t.Errorf("bad amode: %+v", c.Out)
+	}
+	missing := cstr(t, p, "/nope")
+	c = run(t, k, p, "access", api.Ptr(missing), api.Int(0))
+	if c.Out.Err != api.ENOENT {
+		t.Errorf("access missing: %+v", c.Out)
+	}
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+// WriteMuTCSV emits one row per Module under Test with its CRASH-class
+// counts — the machine-readable companion to the rendered tables, in a
+// stable (OS, name) order.
+func WriteMuTCSV(w io.Writer, results map[osprofile.OS]*core.OSResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"os", "api", "group", "mut", "wide", "cases",
+		"clean", "error", "abort", "restart", "catastrophic", "skip",
+		"abort_rate", "restart_rate", "incomplete",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	var oses []osprofile.OS
+	for o := range results {
+		oses = append(oses, o)
+	}
+	sort.Slice(oses, func(i, j int) bool { return oses[i] < oses[j] })
+	for _, o := range oses {
+		r := results[o]
+		for _, mr := range r.Results {
+			row := []string{
+				o.String(),
+				mr.MuT.API.String(),
+				mr.MuT.Group.String(),
+				mr.MuT.Name,
+				strconv.FormatBool(mr.Wide),
+				strconv.Itoa(mr.Executed()),
+				strconv.Itoa(mr.Count(core.RawClean)),
+				strconv.Itoa(mr.Count(core.RawError)),
+				strconv.Itoa(mr.Count(core.RawAbort)),
+				strconv.Itoa(mr.Count(core.RawRestart)),
+				strconv.Itoa(mr.Count(core.RawCatastrophic)),
+				strconv.Itoa(mr.Count(core.RawSkip)),
+				fmt.Sprintf("%.6f", mr.AbortRate()),
+				fmt.Sprintf("%.6f", mr.RestartRate()),
+				strconv.FormatBool(mr.Incomplete),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGroupCSV emits the Table 2 matrix as CSV (one row per OS × group).
+func WriteGroupCSV(w io.Writer, results map[osprofile.OS]*core.OSResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"os", "group", "pct", "catastrophic", "tested", "na"}); err != nil {
+		return err
+	}
+	var oses []osprofile.OS
+	for o := range results {
+		oses = append(oses, o)
+	}
+	sort.Slice(oses, func(i, j int) bool { return oses[i] < oses[j] })
+	for _, o := range oses {
+		rates := GroupRates(results[o])
+		for _, g := range catalog.Groups() {
+			gr := rates[g]
+			row := []string{
+				o.String(), g.String(),
+				fmt.Sprintf("%.3f", gr.Pct),
+				strconv.FormatBool(gr.Catastrophic),
+				strconv.Itoa(gr.Tested),
+				strconv.FormatBool(gr.NA),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+func csvFixture() map[osprofile.OS]*core.OSResult {
+	return map[osprofile.OS]*core.OSResult{
+		osprofile.Win98: {OS: "Windows 98", Results: []*core.MuTResult{
+			mkResult("ReadFile", catalog.GrpIOPrimitives,
+				core.RawClean, core.RawAbort, core.RawError, core.RawSkip),
+			mkResult("strncpy", catalog.GrpCString, core.RawCatastrophic),
+		}},
+		osprofile.Linux: {OS: "Linux", Results: []*core.MuTResult{
+			mkResult("read", catalog.GrpIOPrimitives, core.RawError, core.RawError),
+		}},
+	}
+}
+
+func TestWriteMuTCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMuTCSV(&b, csvFixture()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 MuTs
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "os" || rows[0][12] != "abort_rate" {
+		t.Errorf("header = %v", rows[0])
+	}
+	// Stable order: Linux (OS 0) first, then Windows 98.
+	if rows[1][0] != "Linux" || rows[2][0] != "Windows 98" {
+		t.Errorf("order: %v / %v", rows[1][0], rows[2][0])
+	}
+	// ReadFile row: 3 executed (one skip), 1 abort -> rate 1/3.
+	var readfile []string
+	for _, r := range rows[1:] {
+		if r[3] == "ReadFile" {
+			readfile = r
+		}
+	}
+	if readfile == nil {
+		t.Fatal("ReadFile row missing")
+	}
+	if readfile[5] != "3" || readfile[8] != "1" || !strings.HasPrefix(readfile[12], "0.333") {
+		t.Errorf("ReadFile row = %v", readfile)
+	}
+}
+
+func TestWriteGroupCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteGroupCSV(&b, csvFixture()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 2 OSes × 12 groups
+	if len(rows) != 1+2*12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The crashed C string group is flagged for Windows 98.
+	found := false
+	for _, r := range rows[1:] {
+		if r[0] == "Windows 98" && r[1] == "C string" {
+			found = true
+			if r[3] != "true" || r[5] != "true" { // catastrophic, NA (1/1 crashed)
+				t.Errorf("C string row = %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("Windows 98 / C string row missing")
+	}
+}

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"ballista/internal/catalog"
+	"ballista/internal/osprofile"
+)
+
+// FormatFigure2 renders the Figure 2 reproduction: Abort+Restart group
+// rates stacked with the voting-estimated Silent rates for the desktop
+// Windows variants.
+func FormatFigure2(
+	oses []osprofile.OS,
+	rates map[osprofile.OS]map[catalog.Group]GroupRate,
+	silent map[osprofile.OS]map[catalog.Group]float64,
+) string {
+	var b strings.Builder
+	b.WriteString("Figure 2. Abort, Restart, and estimated Silent failure rates for Windows desktop operating systems\n")
+	b.WriteString("(columns: Abort+Restart%, estimated Silent%, total%)\n")
+	for _, g := range catalog.Groups() {
+		fmt.Fprintf(&b, "%s\n", g)
+		for _, o := range oses {
+			gr := rates[o][g]
+			sil := silent[o][g]
+			if gr.NA {
+				fmt.Fprintf(&b, "  %-14s %8s\n", o, "N/A")
+				continue
+			}
+			total := gr.Pct + sil
+			bar := strings.Repeat("#", int(gr.Pct/2)) + strings.Repeat("s", int(sil/2))
+			fmt.Fprintf(&b, "  %-14s %6.1f%% +%5.1f%% = %6.1f%% %s\n", o, gr.Pct, sil, total, bar)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,373 @@
+// Package report computes the paper's normalized failure-rate statistics
+// and renders its tables and figures: per-MuT failure rates averaged with
+// uniform weights (§3.3), the twelve functional groupings of Table 2 /
+// Figure 1, the Catastrophic-function inventory of Table 3, and the
+// Figure 2 series including estimated Silent failures.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ballista/internal/api"
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+	"ballista/internal/sim/kern"
+)
+
+// MuTStats summarizes one MuT campaign for reporting.
+type MuTStats struct {
+	Name         string
+	Group        catalog.Group
+	SystemCall   bool
+	Executed     int
+	Abort        int
+	Restart      int
+	ErrorReturn  int
+	Clean        int
+	Catastrophic bool
+	Incomplete   bool
+}
+
+// Rates computes the per-MuT failure rates (failed cases / executed
+// cases).
+func (s *MuTStats) Rates() (abort, restart float64) {
+	if s.Executed == 0 {
+		return 0, 0
+	}
+	return float64(s.Abort) / float64(s.Executed), float64(s.Restart) / float64(s.Executed)
+}
+
+// Stats flattens an OSResult.
+func Stats(r *core.OSResult) []MuTStats {
+	out := make([]MuTStats, 0, len(r.Results))
+	for _, mr := range r.Results {
+		out = append(out, MuTStats{
+			Name:         mr.Name(),
+			Group:        mr.MuT.Group,
+			SystemCall:   mr.MuT.Group.SystemCallGroup(),
+			Executed:     mr.Executed(),
+			Abort:        mr.Count(core.RawAbort),
+			Restart:      mr.Count(core.RawRestart),
+			ErrorReturn:  mr.Count(core.RawError),
+			Clean:        mr.Count(core.RawClean),
+			Catastrophic: mr.Catastrophic(),
+			Incomplete:   mr.Incomplete,
+		})
+	}
+	return out
+}
+
+// Summary carries the Table 1 row values for one OS.
+type Summary struct {
+	OS osprofile.OS
+
+	SysTested, SysCatastrophic   int
+	SysAbortPct, SysRestartPct   float64
+	CLibTested, CLibCatastrophic int
+	CLibAbortPct, CLibRestartPct float64
+
+	TotalTested, TotalCatastrophic     int
+	OverallAbortPct, OverallRestartPct float64
+
+	CasesRun int
+	Reboots  int
+}
+
+// Summarize computes Table 1 statistics.  Following the paper, MuTs with
+// Catastrophic failures are excluded from the failure-rate averages
+// (their campaigns are incomplete), but counted in the census.
+func Summarize(o osprofile.OS, r *core.OSResult) Summary {
+	s := Summary{OS: o, CasesRun: r.CasesRun, Reboots: r.Reboots}
+	var sysA, sysR, clibA, clibR float64
+	var sysN, clibN int
+	for _, ms := range Stats(r) {
+		if ms.SystemCall {
+			s.SysTested++
+			if ms.Catastrophic {
+				s.SysCatastrophic++
+				continue
+			}
+			a, rr := ms.Rates()
+			sysA += a
+			sysR += rr
+			sysN++
+		} else {
+			s.CLibTested++
+			if ms.Catastrophic {
+				s.CLibCatastrophic++
+				continue
+			}
+			a, rr := ms.Rates()
+			clibA += a
+			clibR += rr
+			clibN++
+		}
+	}
+	if sysN > 0 {
+		s.SysAbortPct = 100 * sysA / float64(sysN)
+		s.SysRestartPct = 100 * sysR / float64(sysN)
+	}
+	if clibN > 0 {
+		s.CLibAbortPct = 100 * clibA / float64(clibN)
+		s.CLibRestartPct = 100 * clibR / float64(clibN)
+	}
+	s.TotalTested = s.SysTested + s.CLibTested
+	s.TotalCatastrophic = s.SysCatastrophic + s.CLibCatastrophic
+	if n := sysN + clibN; n > 0 {
+		s.OverallAbortPct = 100 * (sysA + clibA) / float64(n)
+		s.OverallRestartPct = 100 * (sysR + clibR) / float64(n)
+	}
+	return s
+}
+
+// GroupRate is one Table 2 cell.
+type GroupRate struct {
+	// Pct is the uniform-weight average Abort+Restart rate across the
+	// group's MuTs, Catastrophic MuTs excluded, in percent.
+	Pct float64
+	// Catastrophic marks the paper's "*": the group contains at least one
+	// MuT with Catastrophic failures.
+	Catastrophic bool
+	// Tested is the number of MuTs contributing.
+	Tested int
+	// NA: the OS supports no MuT in this group (CE's C time group), or
+	// too many of its MuTs crashed to report a rate (the paper's CE
+	// stream groups).
+	NA bool
+}
+
+// naCrashFraction: the paper declined to report group rates where most
+// MuTs crashed ("too many functions with Catastrophic failures to report
+// accurate group failure rates").
+const naCrashFraction = 0.5
+
+// GroupRates computes the Table 2 / Figure 1 matrix row for one OS.
+func GroupRates(r *core.OSResult) map[catalog.Group]GroupRate {
+	type acc struct {
+		sum   float64
+		n     int
+		crash int
+		total int
+	}
+	accs := make(map[catalog.Group]*acc)
+	for _, g := range catalog.Groups() {
+		accs[g] = &acc{}
+	}
+	for _, ms := range Stats(r) {
+		a := accs[ms.Group]
+		a.total++
+		if ms.Catastrophic {
+			a.crash++
+			continue
+		}
+		ab, rr := ms.Rates()
+		a.sum += ab + rr
+		a.n++
+	}
+	out := make(map[catalog.Group]GroupRate, len(accs))
+	for g, a := range accs {
+		gr := GroupRate{Catastrophic: a.crash > 0, Tested: a.total}
+		switch {
+		case a.total == 0:
+			gr.NA = true
+		case float64(a.crash) >= naCrashFraction*float64(a.total):
+			gr.NA = true
+		default:
+			gr.Pct = 100 * a.sum / float64(a.n)
+		}
+		out[g] = gr
+	}
+	return out
+}
+
+// CatastrophicInventory is the Table 3 reproduction: Catastrophic
+// function names per OS and group, with the harness-only marker.
+type CatastrophicInventory struct {
+	OS          osprofile.OS
+	Group       catalog.Group
+	Function    string
+	HarnessOnly bool
+}
+
+// Inventory lists every Catastrophic MuT observed in a result set,
+// marking harness-only entries from the profile's defect mechanics (a
+// MechCorrupt defect with a sub-threshold amount only crashes under
+// accumulation).
+func Inventory(o osprofile.OS, r *core.OSResult) []CatastrophicInventory {
+	p := osprofile.Get(o)
+	var out []CatastrophicInventory
+	for _, mr := range r.Results {
+		if !mr.Catastrophic() {
+			continue
+		}
+		harnessOnly := false
+		if d := p.Defect(mr.MuT.Name); d != nil {
+			harnessOnly = d.Mech == api.MechCorrupt && d.Amount <= kern.DefaultCorruptionLimit
+		}
+		out = append(out, CatastrophicInventory{
+			OS:          o,
+			Group:       mr.MuT.Group,
+			Function:    mr.Name(),
+			HarnessOnly: harnessOnly,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Function < out[j].Function
+	})
+	return out
+}
+
+// pctCell renders a Table 2 cell.
+func pctCell(gr GroupRate) string {
+	if gr.NA {
+		if gr.Tested == 0 {
+			return "N/A"
+		}
+		return "*"
+	}
+	star := ""
+	if gr.Catastrophic {
+		star = "*"
+	}
+	return fmt.Sprintf("%s%.1f%%", star, gr.Pct)
+}
+
+// FormatTable1 renders the Table 1 reproduction.
+func FormatTable1(sums []Summary) string {
+	var b strings.Builder
+	b.WriteString("Table 1. Robustness failure rates by Module under Test (MuT)\n")
+	fmt.Fprintf(&b, "%-14s %7s %5s %7s %8s | %7s %5s %7s %8s | %6s %5s %7s %8s\n",
+		"OS", "SysTst", "SysCat", "Sys%Rst", "Sys%Abt",
+		"LibTst", "LibCat", "Lib%Rst", "Lib%Abt",
+		"Total", "Cat", "All%Rst", "All%Abt")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "%-14s %7d %5d %6.2f%% %7.1f%% | %7d %5d %6.2f%% %7.1f%% | %6d %5d %6.2f%% %7.1f%%\n",
+			s.OS, s.SysTested, s.SysCatastrophic, s.SysRestartPct, s.SysAbortPct,
+			s.CLibTested, s.CLibCatastrophic, s.CLibRestartPct, s.CLibAbortPct,
+			s.TotalTested, s.TotalCatastrophic, s.OverallRestartPct, s.OverallAbortPct)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the Table 2 / Figure 1 matrix (rows = OS, columns
+// = the twelve functional groups).
+func FormatTable2(oses []osprofile.OS, rates map[osprofile.OS]map[catalog.Group]GroupRate) string {
+	var b strings.Builder
+	b.WriteString("Table 2. Overall robustness failure rates by functional category\n")
+	b.WriteString("(* = group contains function(s) with Catastrophic failures, excluded from the average)\n")
+	fmt.Fprintf(&b, "%-14s", "OS")
+	for _, g := range catalog.Groups() {
+		fmt.Fprintf(&b, " %*s", colWidth(g), shortGroup(g))
+	}
+	b.WriteString("\n")
+	for _, o := range oses {
+		fmt.Fprintf(&b, "%-14s", o)
+		row := rates[o]
+		for _, g := range catalog.Groups() {
+			fmt.Fprintf(&b, " %*s", colWidth(g), pctCell(row[g]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func shortGroup(g catalog.Group) string {
+	switch g {
+	case catalog.GrpMemoryManagement:
+		return "MemMgmt"
+	case catalog.GrpFileDirAccess:
+		return "File/Dir"
+	case catalog.GrpIOPrimitives:
+		return "IOPrim"
+	case catalog.GrpProcessPrimitives:
+		return "ProcPrim"
+	case catalog.GrpProcessEnvironment:
+		return "ProcEnv"
+	case catalog.GrpCChar:
+		return "Cchar"
+	case catalog.GrpCFileIO:
+		return "CfileIO"
+	case catalog.GrpCMemory:
+		return "Cmem"
+	case catalog.GrpCStreamIO:
+		return "Cstream"
+	case catalog.GrpCMath:
+		return "Cmath"
+	case catalog.GrpCTime:
+		return "Ctime"
+	case catalog.GrpCString:
+		return "Cstr"
+	default:
+		return g.String()
+	}
+}
+
+func colWidth(g catalog.Group) int {
+	w := len(shortGroup(g))
+	if w < 7 {
+		w = 7
+	}
+	return w
+}
+
+// FormatTable3 renders the Catastrophic inventory.
+func FormatTable3(invs []CatastrophicInventory) string {
+	var b strings.Builder
+	b.WriteString("Table 3. Functions that exhibited Catastrophic failures by OS and group\n")
+	b.WriteString("(* = failure reproduces only under the full test harness)\n")
+	byGroup := make(map[catalog.Group]map[string][]string)
+	for _, inv := range invs {
+		if byGroup[inv.Group] == nil {
+			byGroup[inv.Group] = make(map[string][]string)
+		}
+		name := inv.Function
+		if inv.HarnessOnly {
+			name = "*" + name
+		}
+		byGroup[inv.Group][name] = append(byGroup[inv.Group][name], inv.OS.String())
+	}
+	for _, g := range catalog.Groups() {
+		fns := byGroup[g]
+		if len(fns) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", g)
+		names := make([]string, 0, len(fns))
+		for n := range fns {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			oses := fns[n]
+			sort.Strings(oses)
+			fmt.Fprintf(&b, "  %-34s %s\n", n, strings.Join(oses, ", "))
+		}
+	}
+	return b.String()
+}
+
+// FormatFigure1 renders the Figure 1 series as an ASCII bar chart of
+// Abort+Restart group rates.
+func FormatFigure1(oses []osprofile.OS, rates map[osprofile.OS]map[catalog.Group]GroupRate) string {
+	var b strings.Builder
+	b.WriteString("Figure 1. Comparative Windows and Linux robustness failure rates by functional category\n")
+	for _, g := range catalog.Groups() {
+		fmt.Fprintf(&b, "%s\n", g)
+		for _, o := range oses {
+			gr := rates[o][g]
+			if gr.NA {
+				fmt.Fprintf(&b, "  %-14s %8s\n", o, pctCell(gr))
+				continue
+			}
+			bar := strings.Repeat("#", int(gr.Pct/2))
+			fmt.Fprintf(&b, "  %-14s %7.1f%% %s\n", o, gr.Pct, bar)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+func mkResult(name string, g catalog.Group, classes ...core.RawClass) *core.MuTResult {
+	m := catalog.MuT{Name: name, Group: g, API: catalog.Win32}
+	if !g.SystemCallGroup() {
+		m.API = catalog.CLib
+	}
+	return &core.MuTResult{MuT: m, Cases: classes, Exceptional: make([]bool, len(classes))}
+}
+
+func TestSummarizeExcludesCatastrophicMuTs(t *testing.T) {
+	r := &core.OSResult{OS: "Test", Results: []*core.MuTResult{
+		mkResult("A", catalog.GrpIOPrimitives, core.RawAbort, core.RawAbort, core.RawClean, core.RawClean),
+		mkResult("B", catalog.GrpIOPrimitives, core.RawCatastrophic), // excluded
+		mkResult("c1", catalog.GrpCString, core.RawRestart, core.RawClean, core.RawClean, core.RawClean),
+	}}
+	s := Summarize(osprofile.Win98, r)
+	if s.SysTested != 2 || s.SysCatastrophic != 1 {
+		t.Errorf("sys census: %+v", s)
+	}
+	if s.SysAbortPct != 50 {
+		t.Errorf("sys abort = %.1f, want 50 (catastrophic MuT excluded)", s.SysAbortPct)
+	}
+	if s.CLibRestartPct != 25 {
+		t.Errorf("clib restart = %.1f, want 25", s.CLibRestartPct)
+	}
+	if s.OverallAbortPct != 25 { // (50 + 0) / 2 MuTs
+		t.Errorf("overall abort = %.1f, want 25", s.OverallAbortPct)
+	}
+}
+
+func TestGroupRatesUniformWeighting(t *testing.T) {
+	// Per the paper §3.3: group rate is the uniform average of per-MuT
+	// rates, not the pooled case ratio.
+	r := &core.OSResult{Results: []*core.MuTResult{
+		// 100% abort over 1 case.
+		mkResult("A", catalog.GrpCMath, core.RawAbort),
+		// 0% abort over 3 cases.
+		mkResult("B", catalog.GrpCMath, core.RawClean, core.RawClean, core.RawClean),
+	}}
+	rates := GroupRates(r)
+	if got := rates[catalog.GrpCMath].Pct; got != 50 {
+		t.Errorf("group rate = %.1f, want uniform-weight 50", got)
+	}
+}
+
+func TestGroupRatesNA(t *testing.T) {
+	r := &core.OSResult{Results: []*core.MuTResult{
+		mkResult("A", catalog.GrpCStreamIO, core.RawCatastrophic),
+		mkResult("B", catalog.GrpCStreamIO, core.RawCatastrophic),
+		mkResult("C", catalog.GrpCStreamIO, core.RawClean),
+	}}
+	rates := GroupRates(r)
+	gr := rates[catalog.GrpCStreamIO]
+	if !gr.NA {
+		t.Error("group with 2/3 Catastrophic MuTs should be N/A (paper: CE stream groups)")
+	}
+	if !gr.Catastrophic {
+		t.Error("Catastrophic marker missing")
+	}
+	// Empty group is also N/A.
+	if !rates[catalog.GrpCTime].NA {
+		t.Error("empty group should be N/A")
+	}
+}
+
+// TestGroupRateBoundsProperty: rates always land in [0, 100].
+func TestGroupRateBoundsProperty(t *testing.T) {
+	prop := func(classes []uint8) bool {
+		if len(classes) == 0 {
+			return true
+		}
+		cases := make([]core.RawClass, len(classes))
+		for i, c := range classes {
+			cases[i] = core.RawClass(c % 6)
+		}
+		r := &core.OSResult{Results: []*core.MuTResult{
+			mkResult("X", catalog.GrpCMath, cases...),
+		}}
+		gr := GroupRates(r)[catalog.GrpCMath]
+		return gr.NA || (gr.Pct >= 0 && gr.Pct <= 100)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInventoryHarnessOnlyMarker(t *testing.T) {
+	r := &core.OSResult{Results: []*core.MuTResult{
+		mkResult("DuplicateHandle", catalog.GrpIOPrimitives, core.RawCatastrophic),        // "*" defect
+		mkResult("GetThreadContext", catalog.GrpProcessEnvironment, core.RawCatastrophic), // immediate
+	}}
+	invs := Inventory(osprofile.Win98, r)
+	if len(invs) != 2 {
+		t.Fatalf("inventory size = %d", len(invs))
+	}
+	for _, inv := range invs {
+		wantStar := inv.Function == "DuplicateHandle"
+		if inv.HarnessOnly != wantStar {
+			t.Errorf("%s: HarnessOnly=%v, want %v", inv.Function, inv.HarnessOnly, wantStar)
+		}
+	}
+}
+
+func TestFormatTable3(t *testing.T) {
+	invs := []CatastrophicInventory{
+		{OS: osprofile.Win98, Group: catalog.GrpCStreamIO, Function: "fwrite", HarnessOnly: true},
+		{OS: osprofile.Win95, Group: catalog.GrpCStreamIO, Function: "fwrite", HarnessOnly: true},
+	}
+	out := FormatTable3(invs)
+	if !strings.Contains(out, "*fwrite") {
+		t.Errorf("missing harness-only marker:\n%s", out)
+	}
+	if !strings.Contains(out, "Windows 95, Windows 98") {
+		t.Errorf("missing OS list:\n%s", out)
+	}
+}
+
+func TestFormatTable2Cells(t *testing.T) {
+	rates := map[osprofile.OS]map[catalog.Group]GroupRate{
+		osprofile.WinCE: func() map[catalog.Group]GroupRate {
+			m := make(map[catalog.Group]GroupRate)
+			for _, g := range catalog.Groups() {
+				m[g] = GroupRate{Pct: 12.3, Tested: 3}
+			}
+			m[catalog.GrpCTime] = GroupRate{NA: true}
+			m[catalog.GrpCStreamIO] = GroupRate{NA: true, Tested: 14, Catastrophic: true}
+			m[catalog.GrpCString] = GroupRate{Pct: 5, Tested: 14, Catastrophic: true}
+			return m
+		}(),
+	}
+	out := FormatTable2([]osprofile.OS{osprofile.WinCE}, rates)
+	for _, want := range []string{"N/A", "*5.0%", "12.3%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}

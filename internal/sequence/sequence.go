@@ -1,0 +1,169 @@
+// Package sequence implements the paper's §5 future-work direction:
+// hunting for "state- and sequence-dependent failures" — cases where a
+// call's robustness response changes because of what ran before it in
+// the same process, which the paper suspected behind the crashes it
+// "could not reproduce ... outside of the current robustness testing
+// framework".
+//
+// The explorer runs ordered pairs (first, second) of test cases inside
+// one process on one machine, and compares the second call's CRASH
+// classification against its isolated baseline.  A divergence is a
+// sequence-dependent outcome; a divergence to Catastrophic is exactly
+// the paper's elusive inter-test-interference crash.
+package sequence
+
+import (
+	"fmt"
+	"sort"
+
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+)
+
+// Finding records one sequence-dependent divergence.
+type Finding struct {
+	First      string
+	FirstCase  core.Case
+	Second     string
+	SecondCase core.Case
+	// Isolated is the second call's class when run on a fresh machine.
+	Isolated core.RawClass
+	// Sequenced is its class when run after First in the same process.
+	Sequenced core.RawClass
+}
+
+// Severity orders findings: a divergence into Catastrophic outranks one
+// into Abort, etc.
+func (f Finding) Severity() int {
+	rank := map[core.RawClass]int{
+		core.RawCatastrophic: 5,
+		core.RawRestart:      4,
+		core.RawAbort:        3,
+		core.RawError:        2,
+		core.RawClean:        1,
+		core.RawSkip:         0,
+	}
+	return rank[f.Sequenced]*10 - rank[f.Isolated]
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s%v ; %s%v : %v -> %v",
+		f.First, []int(f.FirstCase), f.Second, []int(f.SecondCase), f.Isolated, f.Sequenced)
+}
+
+// Config bounds an exploration.
+type Config struct {
+	// CasesPerMuT samples this many cases per MuT for both positions
+	// (default 8).
+	CasesPerMuT int
+	// MaxPairs stops after this many executed pairs (default 20000).
+	MaxPairs int
+}
+
+// Explorer drives sequence testing over a fixed MuT subset.
+type Explorer struct {
+	cfg Config
+	// newRunner builds a fresh runner (fresh machine) for each probe, so
+	// pair outcomes do not contaminate each other.
+	newRunner func() *core.Runner
+	muts      []catalog.MuT
+	cases     map[string][]core.Case
+	baseline  map[string][]core.RawClass
+}
+
+// New builds an explorer over the given MuTs.  newRunner must return a
+// runner for the target OS whose machine state is fresh (e.g. the
+// ballista facade's NewRunner).
+func New(newRunner func() *core.Runner, muts []catalog.MuT, cfg Config) *Explorer {
+	if cfg.CasesPerMuT <= 0 {
+		cfg.CasesPerMuT = 8
+	}
+	if cfg.MaxPairs <= 0 {
+		cfg.MaxPairs = 20000
+	}
+	return &Explorer{cfg: cfg, newRunner: newRunner, muts: muts}
+}
+
+// prepare samples cases and computes isolated baselines.
+func (e *Explorer) prepare(reg *core.Registry) error {
+	e.cases = make(map[string][]core.Case, len(e.muts))
+	e.baseline = make(map[string][]core.RawClass, len(e.muts))
+	for _, m := range e.muts {
+		sizes := make([]int, len(m.Params))
+		for i, tn := range m.Params {
+			dt, ok := reg.Lookup(tn)
+			if !ok {
+				return fmt.Errorf("sequence: unknown type %q", tn)
+			}
+			sizes[i] = len(dt.Values)
+		}
+		cases := core.GenerateCases(m.Name, sizes, e.cfg.CasesPerMuT)
+		e.cases[m.Name] = cases
+		classes := make([]core.RawClass, len(cases))
+		for i, tc := range cases {
+			// Isolated baseline: fresh machine, single call.
+			cls, err := e.newRunner().RunCase(m, tc, false)
+			if err != nil {
+				return err
+			}
+			classes[i] = cls
+		}
+		e.baseline[m.Name] = classes
+	}
+	return nil
+}
+
+// Explore runs all ordered pairs (bounded by MaxPairs) and returns the
+// divergent findings, most severe first.
+func (e *Explorer) Explore(reg *core.Registry) ([]Finding, error) {
+	if err := e.prepare(reg); err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	pairs := 0
+	for _, first := range e.muts {
+		for _, second := range e.muts {
+			for _, fc := range e.cases[first.Name] {
+				for si, sc := range e.cases[second.Name] {
+					if pairs >= e.cfg.MaxPairs {
+						return sorted(findings), nil
+					}
+					pairs++
+					classes, err := e.newRunner().RunSequence(
+						[]catalog.MuT{first, second},
+						[]core.Case{fc, sc}, false)
+					if err != nil {
+						return nil, err
+					}
+					iso := e.baseline[second.Name][si]
+					seq := classes[1]
+					if seq != iso && seq != core.RawSkip {
+						findings = append(findings, Finding{
+							First: first.Name, FirstCase: fc,
+							Second: second.Name, SecondCase: sc,
+							Isolated: iso, Sequenced: seq,
+						})
+					}
+				}
+			}
+		}
+	}
+	return sorted(findings), nil
+}
+
+func sorted(fs []Finding) []Finding {
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Severity() > fs[j].Severity() })
+	return fs
+}
+
+// CatastrophicFindings filters for sequence-induced machine crashes —
+// the paper's inter-test-interference signature.
+func CatastrophicFindings(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Sequenced == core.RawCatastrophic && f.Isolated != core.RawCatastrophic {
+			out = append(out, f)
+		}
+	}
+	return out
+}

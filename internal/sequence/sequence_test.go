@@ -1,0 +1,123 @@
+package sequence
+
+import (
+	"testing"
+
+	"ballista"
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+	"ballista/internal/suite"
+)
+
+func newRunner(o osprofile.OS) func() *core.Runner {
+	return func() *core.Runner { return ballista.NewRunner(o) }
+}
+
+func mutsByName(t *testing.T, o osprofile.OS, names ...string) []catalog.MuT {
+	t.Helper()
+	var out []catalog.MuT
+	for _, n := range names {
+		found := false
+		for _, m := range catalog.MuTsFor(o) {
+			if m.Name == n {
+				out = append(out, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("MuT %q not on %s", n, o)
+		}
+	}
+	return out
+}
+
+// TestFindsHarnessOnlyCrashPairs: the explorer rediscovers the paper's
+// inter-test-interference crashes on Windows 98 — two strncpy overruns
+// in sequence cross the corruption threshold even though each is
+// harmless in isolation.
+func TestFindsHarnessOnlyCrashPairs(t *testing.T) {
+	muts := mutsByName(t, osprofile.Win98, "strncpy")
+	ex := New(newRunner(osprofile.Win98), muts, Config{CasesPerMuT: 12, MaxPairs: 400})
+	findings, err := ex.Explore(suite.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := CatastrophicFindings(findings)
+	if len(crashes) == 0 {
+		t.Fatal("explorer failed to find the strncpy;strncpy crash pair on Windows 98")
+	}
+	f := crashes[0]
+	if f.First != "strncpy" || f.Second != "strncpy" {
+		t.Errorf("unexpected crash pair: %v", f)
+	}
+	if f.Isolated == core.RawCatastrophic {
+		t.Error("baseline for the crash case should not itself be Catastrophic")
+	}
+}
+
+// TestNoSequenceCrashesOnNT: the NT family's probed architecture has no
+// accumulation mechanism; no pair of calls crashes it.
+func TestNoSequenceCrashesOnNT(t *testing.T) {
+	muts := mutsByName(t, osprofile.WinNT, "strncpy", "DuplicateHandle", "GetThreadContext")
+	ex := New(newRunner(osprofile.WinNT), muts, Config{CasesPerMuT: 6, MaxPairs: 1500})
+	findings, err := ex.Explore(suite.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashes := CatastrophicFindings(findings); len(crashes) != 0 {
+		t.Errorf("NT crashed in sequence: %v", crashes[0])
+	}
+}
+
+// TestFilesystemSequenceDependence: DeleteFile then CreateFile over the
+// same fixture path diverges from the isolated baseline — an ordinary
+// (non-catastrophic) state dependence.
+func TestFilesystemSequenceDependence(t *testing.T) {
+	muts := mutsByName(t, osprofile.WinNT, "DeleteFile", "GetFileAttributes")
+	ex := New(newRunner(osprofile.WinNT), muts, Config{CasesPerMuT: 11, MaxPairs: 2000})
+	findings, err := ex.Explore(suite.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.First == "DeleteFile" && f.Second == "GetFileAttributes" &&
+			f.Isolated == core.RawClean && f.Sequenced == core.RawError {
+			return // found the expected divergence
+		}
+	}
+	t.Error("DeleteFile;GetFileAttributes divergence not found")
+}
+
+// TestSequenceDeterminism: the same pair always diverges the same way.
+func TestSequenceDeterminism(t *testing.T) {
+	muts := mutsByName(t, osprofile.Win98, "strncpy")
+	run := func() []Finding {
+		ex := New(newRunner(osprofile.Win98), muts, Config{CasesPerMuT: 8, MaxPairs: 100})
+		fs, err := ex.Explore(suite.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("finding counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("finding %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	crash := Finding{Isolated: core.RawClean, Sequenced: core.RawCatastrophic}
+	abort := Finding{Isolated: core.RawClean, Sequenced: core.RawAbort}
+	errf := Finding{Isolated: core.RawClean, Sequenced: core.RawError}
+	if !(crash.Severity() > abort.Severity() && abort.Severity() > errf.Severity()) {
+		t.Errorf("severity ordering broken: %d %d %d",
+			crash.Severity(), abort.Severity(), errf.Severity())
+	}
+}

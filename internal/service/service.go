@@ -1,0 +1,274 @@
+// Package service exposes the Ballista harness the way the paper's §2
+// describes the original: "publicly available as an Internet-based
+// testing service involving a central testing server and a portable
+// testing client".  The server owns the campaign machinery; clients
+// submit a Module under Test (or a single identified test case — the
+// paper's single-test reproduction programs) and receive the CRASH
+// classification over HTTP.
+//
+// Endpoints:
+//
+//	GET  /api/oses                      the seven systems under test
+//	GET  /api/muts?os=<name>            the MuT catalog for one OS
+//	POST /api/campaign                  run one MuT's capped campaign
+//	POST /api/case                      run one identified test case
+//	GET  /api/summary?os=<name>&cap=N   Table 1 row for one OS
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ballista"
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+	"ballista/internal/report"
+)
+
+// CampaignRequest asks the server to test one MuT.
+type CampaignRequest struct {
+	OS       string `json:"os"`
+	MuT      string `json:"mut"`
+	Wide     bool   `json:"wide,omitempty"`
+	Cap      int    `json:"cap,omitempty"`
+	Isolated bool   `json:"isolated,omitempty"`
+}
+
+// CampaignResponse carries one MuT's campaign outcome.
+type CampaignResponse struct {
+	OS           string  `json:"os"`
+	MuT          string  `json:"mut"`
+	Group        string  `json:"group"`
+	Cases        int     `json:"cases"`
+	Clean        int     `json:"clean"`
+	ErrorReturn  int     `json:"error_return"`
+	Abort        int     `json:"abort"`
+	Restart      int     `json:"restart"`
+	Catastrophic int     `json:"catastrophic"`
+	Skip         int     `json:"skip"`
+	AbortRate    float64 `json:"abort_rate"`
+	RestartRate  float64 `json:"restart_rate"`
+	Incomplete   bool    `json:"incomplete"`
+}
+
+// CaseRequest asks for one identified test case (the paper's
+// single-test-program mode; Listing 1 is {"os":"win98",
+// "mut":"GetThreadContext","case":[3,0]} with the pseudo-handle and NULL
+// value indices).
+type CaseRequest struct {
+	OS   string `json:"os"`
+	MuT  string `json:"mut"`
+	Case []int  `json:"case"`
+	Wide bool   `json:"wide,omitempty"`
+}
+
+// CaseResponse reports the CRASH classification of a single case.
+type CaseResponse struct {
+	Class string `json:"class"`
+}
+
+// MuTInfo describes one catalog entry on the wire.
+type MuTInfo struct {
+	Name    string   `json:"name"`
+	API     string   `json:"api"`
+	Group   string   `json:"group"`
+	Params  []string `json:"params"`
+	HasWide bool     `json:"has_wide,omitempty"`
+}
+
+// SummaryResponse is a Table 1 row.
+type SummaryResponse struct {
+	OS                string  `json:"os"`
+	SysTested         int     `json:"sys_tested"`
+	SysCatastrophic   int     `json:"sys_catastrophic"`
+	SysAbortPct       float64 `json:"sys_abort_pct"`
+	SysRestartPct     float64 `json:"sys_restart_pct"`
+	CLibTested        int     `json:"clib_tested"`
+	CLibCatastrophic  int     `json:"clib_catastrophic"`
+	CLibAbortPct      float64 `json:"clib_abort_pct"`
+	CLibRestartPct    float64 `json:"clib_restart_pct"`
+	TotalCatastrophic int     `json:"total_catastrophic"`
+	CasesRun          int     `json:"cases_run"`
+	Reboots           int     `json:"reboots"`
+}
+
+// Server is the Ballista testing service.  The zero value is not usable;
+// call NewServer.
+type Server struct {
+	mux *http.ServeMux
+}
+
+// NewServer builds the service with all routes installed.
+func NewServer() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/oses", s.handleOSes)
+	s.mux.HandleFunc("GET /api/muts", s.handleMuTs)
+	s.mux.HandleFunc("POST /api/campaign", s.handleCampaign)
+	s.mux.HandleFunc("POST /api/case", s.handleCase)
+	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleOSes(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, 7)
+	for _, o := range ballista.AllOSes() {
+		names = append(names, o.WireName())
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+func (s *Server) handleMuTs(w http.ResponseWriter, r *http.Request) {
+	o, ok := parseOS(r.URL.Query().Get("os"))
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown or missing os")
+		return
+	}
+	var out []MuTInfo
+	for _, m := range catalog.MuTsFor(o) {
+		out = append(out, MuTInfo{
+			Name: m.Name, API: m.API.String(), Group: m.Group.String(),
+			Params: m.Params, HasWide: m.HasWide,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	o, ok := parseOS(req.OS)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown os")
+		return
+	}
+	m, ok := mutFor(o, req.MuT)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("%q is not tested on %s", req.MuT, o))
+		return
+	}
+	opts := []ballista.Option{}
+	if req.Cap > 0 {
+		opts = append(opts, ballista.WithCap(req.Cap))
+	}
+	if req.Isolated {
+		opts = append(opts, ballista.WithIsolation())
+	}
+	res, err := ballista.NewRunner(o, opts...).RunMuT(m, req.Wide)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CampaignResponse{
+		OS: o.String(), MuT: res.Name(), Group: m.Group.String(),
+		Cases:        res.Executed(),
+		Clean:        res.Count(core.RawClean),
+		ErrorReturn:  res.Count(core.RawError),
+		Abort:        res.Count(core.RawAbort),
+		Restart:      res.Count(core.RawRestart),
+		Catastrophic: res.Count(core.RawCatastrophic),
+		Skip:         res.Count(core.RawSkip),
+		AbortRate:    res.AbortRate(),
+		RestartRate:  res.RestartRate(),
+		Incomplete:   res.Incomplete,
+	})
+}
+
+func (s *Server) handleCase(w http.ResponseWriter, r *http.Request) {
+	var req CaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	o, ok := parseOS(req.OS)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown os")
+		return
+	}
+	m, ok := mutFor(o, req.MuT)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("%q is not tested on %s", req.MuT, o))
+		return
+	}
+	if len(req.Case) != len(m.Params) {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("%s takes %d parameters, case has %d", m.Name, len(m.Params), len(req.Case)))
+		return
+	}
+	cls, err := ballista.NewRunner(o, ballista.WithIsolation()).RunCase(m, core.Case(req.Case), req.Wide)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CaseResponse{Class: cls.String()})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	o, ok := parseOS(r.URL.Query().Get("os"))
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown or missing os")
+		return
+	}
+	cap := 300
+	if v := r.URL.Query().Get("cap"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "bad cap")
+			return
+		}
+		cap = n
+	}
+	res, err := ballista.Run(o, ballista.WithCap(cap))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sum := report.Summarize(o, res)
+	writeJSON(w, http.StatusOK, SummaryResponse{
+		OS:                o.String(),
+		SysTested:         sum.SysTested,
+		SysCatastrophic:   sum.SysCatastrophic,
+		SysAbortPct:       sum.SysAbortPct,
+		SysRestartPct:     sum.SysRestartPct,
+		CLibTested:        sum.CLibTested,
+		CLibCatastrophic:  sum.CLibCatastrophic,
+		CLibAbortPct:      sum.CLibAbortPct,
+		CLibRestartPct:    sum.CLibRestartPct,
+		TotalCatastrophic: sum.TotalCatastrophic,
+		CasesRun:          res.CasesRun,
+		Reboots:           res.Reboots,
+	})
+}
+
+func parseOS(name string) (ballista.OS, bool) {
+	return osprofile.Parse(name)
+}
+
+func mutFor(o ballista.OS, name string) (catalog.MuT, bool) {
+	for _, m := range catalog.MuTsFor(o) {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return catalog.MuT{}, false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

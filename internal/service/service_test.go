@@ -1,0 +1,169 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ballista"
+	"ballista/internal/core"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func TestOSesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var names []string
+	if code := getJSON(t, ts.URL+"/api/oses", &names); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(names) != 7 {
+		t.Errorf("oses = %v", names)
+	}
+}
+
+func TestMuTsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var muts []MuTInfo
+	if code := getJSON(t, ts.URL+"/api/muts?os=win98", &muts); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(muts) != 237 {
+		t.Errorf("win98 MuTs = %d, want 237", len(muts))
+	}
+	var bad map[string]string
+	if code := getJSON(t, ts.URL+"/api/muts?os=beos", &bad); code != http.StatusBadRequest {
+		t.Errorf("unknown os status %d", code)
+	}
+}
+
+func TestCampaignEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp CampaignResponse
+	code := postJSON(t, ts.URL+"/api/campaign",
+		CampaignRequest{OS: "winnt", MuT: "ReadFile", Cap: 200}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Cases == 0 || resp.Abort == 0 {
+		t.Errorf("campaign response: %+v", resp)
+	}
+	if resp.Catastrophic != 0 {
+		t.Errorf("NT ReadFile crashed: %+v", resp)
+	}
+	// Unknown MuT for the OS.
+	var errResp map[string]string
+	code = postJSON(t, ts.URL+"/api/campaign",
+		CampaignRequest{OS: "linux", MuT: "ReadFile"}, &errResp)
+	if code != http.StatusNotFound {
+		t.Errorf("ReadFile on Linux status %d", code)
+	}
+}
+
+// TestCaseEndpointListing1: the service reproduces Listing 1 remotely,
+// as the paper's testing-service architecture did for its clients.
+func TestCaseEndpointListing1(t *testing.T) {
+	ts := testServer(t)
+	idxHandle, idxNull := listing1Indices(t)
+	for _, tt := range []struct {
+		os   string
+		want string
+	}{
+		{"win95", "catastrophic"},
+		{"win98", "catastrophic"},
+		{"wince", "catastrophic"},
+		{"winnt", "abort"},
+		{"win2000", "abort"},
+	} {
+		var resp CaseResponse
+		code := postJSON(t, ts.URL+"/api/case",
+			CaseRequest{OS: tt.os, MuT: "GetThreadContext", Case: []int{idxHandle, idxNull}}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", tt.os, code)
+		}
+		if resp.Class != tt.want {
+			t.Errorf("%s: class %q, want %q", tt.os, resp.Class, tt.want)
+		}
+	}
+	// Arity validation.
+	var errResp map[string]string
+	code := postJSON(t, ts.URL+"/api/case",
+		CaseRequest{OS: "win98", MuT: "GetThreadContext", Case: []int{0}}, &errResp)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad arity status %d", code)
+	}
+}
+
+func TestSummaryEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp SummaryResponse
+	code := getJSON(t, ts.URL+"/api/summary?os=win98&cap=60", &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.SysTested != 143 || resp.CLibTested != 94 {
+		t.Errorf("summary census: %+v", resp)
+	}
+	if resp.TotalCatastrophic == 0 {
+		t.Error("Windows 98 summary shows no Catastrophic MuTs")
+	}
+}
+
+// listing1Indices finds the pool indices for the Listing 1 case.
+func listing1Indices(t *testing.T) (handleIdx, nullIdx int) {
+	t.Helper()
+	reg := registryForTest()
+	find := func(typeName, valueName string) int {
+		dt, ok := reg.Lookup(typeName)
+		if !ok {
+			t.Fatalf("type %s missing", typeName)
+		}
+		for i, v := range dt.Values {
+			if v.Name == valueName {
+				return i
+			}
+		}
+		t.Fatalf("value %s/%s missing", typeName, valueName)
+		return -1
+	}
+	return find("HTHREAD", "PSEUDO_THREAD"), find("LPCONTEXT", "NULL")
+}
+
+func registryForTest() *core.Registry { return ballista.Registry() }

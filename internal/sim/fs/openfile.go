@@ -1,0 +1,245 @@
+package fs
+
+// OpenFile is one open descriptor/handle onto a node: a file position,
+// the access granted at open time, and any byte-range locks it owns.
+// Both the Win32 handle layer and the POSIX fd layer wrap OpenFile.
+type OpenFile struct {
+	fs   *FileSystem
+	node *Node
+	pos  int64
+
+	Readable  bool
+	Writable  bool
+	Append    bool
+	closed    bool
+	DeleteOnC bool // FILE_FLAG_DELETE_ON_CLOSE
+}
+
+// LockRange is one byte-range lock, held at the node and owned by the
+// OpenFile that created it (Win32 LockFile semantics: locks exclude
+// other handles, not the locking handle itself).
+type LockRange struct {
+	Off, Len  uint64
+	Exclusive bool
+	owner     *OpenFile
+}
+
+// Open creates an OpenFile on the node at path.
+func (f *FileSystem) Open(path string, readable, writable bool) (*OpenFile, error) {
+	n, err := f.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.dir {
+		return nil, ErrIsDir
+	}
+	if writable && n.Attrs&AttrReadOnly != 0 {
+		return nil, ErrPerm
+	}
+	return &OpenFile{fs: f, node: n, Readable: readable, Writable: writable}, nil
+}
+
+// OpenNode wraps an already-resolved node.
+func (f *FileSystem) OpenNode(n *Node, readable, writable bool) *OpenFile {
+	return &OpenFile{fs: f, node: n, Readable: readable, Writable: writable}
+}
+
+// Node returns the underlying node.
+func (o *OpenFile) Node() *Node { return o.node }
+
+// Pos returns the current file position.
+func (o *OpenFile) Pos() int64 { return o.pos }
+
+// Closed reports whether Close has been called.
+func (o *OpenFile) Closed() bool { return o.closed }
+
+// Close marks the descriptor closed and releases its locks.  Further I/O
+// fails with ErrClosed.
+func (o *OpenFile) Close() error {
+	if o.closed {
+		return ErrClosed
+	}
+	o.closed = true
+	kept := o.node.locks[:0]
+	for _, l := range o.node.locks {
+		if l.owner != o {
+			kept = append(kept, l)
+		}
+	}
+	o.node.locks = kept
+	if o.DeleteOnC && o.node.parent != nil {
+		delete(o.node.parent.children, o.node.name)
+	}
+	return nil
+}
+
+// Read copies up to len(p) bytes from the current position.
+func (o *OpenFile) Read(p []byte) (int, error) {
+	if o.closed {
+		return 0, ErrClosed
+	}
+	if !o.Readable {
+		return 0, ErrNotOpen
+	}
+	if o.blockedBy(uint64(o.pos), uint64(len(p)), false) {
+		return 0, ErrLocked
+	}
+	if o.pos >= int64(len(o.node.Data)) {
+		return 0, nil // EOF: zero bytes, no error (Win32/POSIX style)
+	}
+	n := copy(p, o.node.Data[o.pos:])
+	o.pos += int64(n)
+	o.node.AccessTime = o.fs.clock()
+	return n, nil
+}
+
+// Write copies p at the current position, extending the file as needed.
+func (o *OpenFile) Write(p []byte) (int, error) {
+	if o.closed {
+		return 0, ErrClosed
+	}
+	if !o.Writable {
+		return 0, ErrNotOpen
+	}
+	if o.Append {
+		o.pos = int64(len(o.node.Data))
+	}
+	if o.blockedBy(uint64(o.pos), uint64(len(p)), true) {
+		return 0, ErrLocked
+	}
+	end := o.pos + int64(len(p))
+	if end > int64(len(o.node.Data)) {
+		grown := make([]byte, end)
+		copy(grown, o.node.Data)
+		o.node.Data = grown
+	}
+	copy(o.node.Data[o.pos:], p)
+	o.pos = end
+	o.node.WriteTime = o.fs.clock()
+	return len(p), nil
+}
+
+// Seek whence values (match POSIX/Win32).
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Seek moves the file position.  Seeking before 0 is an error; seeking
+// past EOF is allowed (writes extend the file).
+func (o *OpenFile) Seek(off int64, whence int) (int64, error) {
+	if o.closed {
+		return 0, ErrClosed
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = o.pos
+	case SeekEnd:
+		base = int64(len(o.node.Data))
+	default:
+		return 0, ErrInvalidPath
+	}
+	np := base + off
+	if np < 0 {
+		return 0, ErrInvalidPath
+	}
+	o.pos = np
+	return np, nil
+}
+
+// Truncate sets the file length to the current position (Win32
+// SetEndOfFile semantics) when n < 0, or to n otherwise.
+func (o *OpenFile) Truncate(n int64) error {
+	if o.closed {
+		return ErrClosed
+	}
+	if !o.Writable {
+		return ErrNotOpen
+	}
+	if n < 0 {
+		n = o.pos
+	}
+	switch {
+	case n <= int64(len(o.node.Data)):
+		o.node.Data = o.node.Data[:n]
+	default:
+		grown := make([]byte, n)
+		copy(grown, o.node.Data)
+		o.node.Data = grown
+	}
+	o.node.WriteTime = o.fs.clock()
+	return nil
+}
+
+// Lock adds a byte-range lock owned by this OpenFile; overlapping a lock
+// held by any handle (including this one) fails, per Win32 LockFile.
+func (o *OpenFile) Lock(off, length uint64, exclusive bool) error {
+	if o.closed {
+		return ErrClosed
+	}
+	if length == 0 {
+		return ErrInvalidPath
+	}
+	for _, l := range o.node.locks {
+		if rangesOverlap(l.Off, l.Len, off, length) {
+			return ErrLocked
+		}
+	}
+	o.node.locks = append(o.node.locks, LockRange{Off: off, Len: length, Exclusive: exclusive, owner: o})
+	return nil
+}
+
+// Unlock removes a lock owned by this OpenFile that exactly matches
+// (off, length).
+func (o *OpenFile) Unlock(off, length uint64) error {
+	if o.closed {
+		return ErrClosed
+	}
+	for i, l := range o.node.locks {
+		if l.owner == o && l.Off == off && l.Len == length {
+			o.node.locks = append(o.node.locks[:i], o.node.locks[i+1:]...)
+			return nil
+		}
+	}
+	return ErrNotFound
+}
+
+// Locks returns a copy of the locks this OpenFile owns.
+func (o *OpenFile) Locks() []LockRange {
+	var out []LockRange
+	for _, l := range o.node.locks {
+		if l.owner == o {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// blockedBy reports whether another handle's lock excludes an access.
+// Exclusive locks block foreign reads and writes; shared locks block
+// foreign writes only.
+func (o *OpenFile) blockedBy(off, length uint64, write bool) bool {
+	if length == 0 {
+		return false
+	}
+	for _, l := range o.node.locks {
+		if l.owner == o {
+			continue
+		}
+		if !rangesOverlap(l.Off, l.Len, off, length) {
+			continue
+		}
+		if l.Exclusive || write {
+			return true
+		}
+	}
+	return false
+}
+
+func rangesOverlap(aOff, aLen, bOff, bLen uint64) bool {
+	return aOff < bOff+bLen && bOff < aOff+aLen
+}

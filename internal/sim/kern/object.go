@@ -1,0 +1,191 @@
+package kern
+
+import "ballista/internal/sim/fs"
+
+// ObjectKind identifies what a kernel object is.
+type ObjectKind int
+
+// Kernel object kinds.
+const (
+	KInvalid ObjectKind = iota
+	KFile
+	KEvent
+	KMutex
+	KSemaphore
+	KProcess
+	KThread
+	KHeap
+	KFind
+	KPipe
+	KModule
+	KTimer
+)
+
+// String names the kind.
+func (k ObjectKind) String() string {
+	switch k {
+	case KFile:
+		return "file"
+	case KEvent:
+		return "event"
+	case KMutex:
+		return "mutex"
+	case KSemaphore:
+		return "semaphore"
+	case KProcess:
+		return "process"
+	case KThread:
+		return "thread"
+	case KHeap:
+		return "heap"
+	case KFind:
+		return "find"
+	case KPipe:
+		return "pipe"
+	case KModule:
+		return "module"
+	case KTimer:
+		return "timer"
+	default:
+		return "invalid"
+	}
+}
+
+// Object is one kernel object.  Exactly one of the payload fields is set,
+// according to Kind.
+type Object struct {
+	Kind ObjectKind
+	Name string
+
+	// Signaled is the wait state for waitable objects (events, processes,
+	// threads, semaphores with count > 0, unowned mutexes).
+	Signaled bool
+	// ManualReset: event stays signaled after a wait completes.
+	ManualReset bool
+
+	// Count/MaxCount for semaphores; recursion count for mutexes.
+	Count, MaxCount int64
+	// OwnerTID holds the owning thread for mutexes, 0 when unowned.
+	OwnerTID int
+
+	File   *fs.OpenFile
+	Find   *FindState
+	Heap   *Heap
+	Proc   *Process
+	Thread *Thread
+	Pipe   *Pipe
+	Module *Module
+
+	refs   int
+	closed bool
+}
+
+// Closed reports whether the object has been destroyed.
+func (o *Object) Closed() bool { return o.closed }
+
+// Waitable reports whether the object kind supports waiting.
+func (o *Object) Waitable() bool {
+	switch o.Kind {
+	case KEvent, KMutex, KSemaphore, KProcess, KThread, KTimer:
+		return true
+	default:
+		return false
+	}
+}
+
+// FindState carries a FindFirstFile enumeration.
+type FindState struct {
+	Matches []*fs.Node
+	Next    int
+}
+
+// Pipe is an anonymous pipe: a byte queue with reader/writer ends.
+type Pipe struct {
+	Buf         []byte
+	ReadersOpen int
+	WritersOpen int
+	Capacity    int
+	// Input marks a console-input pipe: reading it with no data blocks
+	// (the writer — the user at the keyboard — never writes).  Output
+	// consoles reject reads instead.
+	Input bool
+}
+
+// Module is a loaded library image.
+type Module struct {
+	Path    string
+	Base    uint32
+	Symbols map[string]uint32
+}
+
+// Heap is a Win32 private heap carved out of the process address space.
+type Heap struct {
+	Base   uint32
+	Size   uint32
+	Max    uint32 // 0 means growable
+	Serial bool
+	blocks map[uint32]uint32 // offset -> size
+	brk    uint32
+}
+
+// NewHeap creates a heap descriptor; the API layer maps its pages.
+func NewHeap(base, size, max uint32, serial bool) *Heap {
+	return &Heap{Base: base, Size: size, Max: max, Serial: serial, blocks: make(map[uint32]uint32)}
+}
+
+// Alloc carves a block from the heap, returning its address (0 on
+// exhaustion).
+func (h *Heap) Alloc(size uint32) uint32 {
+	if size == 0 {
+		size = 1
+	}
+	size = (size + 15) &^ 15
+	if h.brk+size > h.Size {
+		return 0
+	}
+	off := h.brk
+	h.brk += size
+	h.blocks[off] = size
+	return h.Base + off
+}
+
+// Free releases a block previously returned by Alloc.
+func (h *Heap) Free(addr uint32) bool {
+	off := addr - h.Base
+	if _, ok := h.blocks[off]; !ok {
+		return false
+	}
+	delete(h.blocks, off)
+	return true
+}
+
+// BlockSize returns the size of a live block, or 0.
+func (h *Heap) BlockSize(addr uint32) uint32 { return h.blocks[addr-h.Base] }
+
+// Live returns the number of live blocks (used by leak checks).
+func (h *Heap) Live() int { return len(h.blocks) }
+
+// ThreadState is a thread's scheduling state.
+type ThreadState int
+
+// Thread states.
+const (
+	ThreadRunning ThreadState = iota
+	ThreadSuspended
+	ThreadExited
+)
+
+// Thread is a simulated thread.
+type Thread struct {
+	Proc     *Process
+	TID      int
+	State    ThreadState
+	Suspend  int // suspension count
+	Priority int
+	ExitCode uint32
+
+	object *Object
+}
+
+// Object returns the kernel object wrapping this thread.
+func (t *Thread) Object() *Object { return t.object }

@@ -1,0 +1,254 @@
+package kern
+
+import (
+	"ballista/internal/sim/fs"
+	"ballista/internal/sim/mem"
+)
+
+// Handle is a Win32-style kernel handle value.
+type Handle uint32
+
+// Pseudo-handles, matching the Win32 constants: GetCurrentProcess()
+// returns (HANDLE)-1 — the same bit pattern as INVALID_HANDLE_VALUE —
+// and GetCurrentThread() returns (HANDLE)-2.
+const (
+	InvalidHandle Handle = 0xFFFFFFFF
+	PseudoProcess Handle = 0xFFFFFFFF
+	PseudoThread  Handle = 0xFFFFFFFE
+)
+
+// Standard handle slots (match STD_INPUT_HANDLE etc. as unsigned).
+const (
+	StdInput  = uint32(0xFFFFFFF6) // (DWORD)-10
+	StdOutput = uint32(0xFFFFFFF5) // (DWORD)-11
+	StdError  = uint32(0xFFFFFFF4) // (DWORD)-12
+)
+
+// FD is one POSIX descriptor table entry.
+type FD struct {
+	File  *fs.OpenFile
+	Pipe  *Pipe
+	Read  bool
+	Write bool
+	// CloseOnExec mirrors FD_CLOEXEC for fcntl.
+	CloseOnExec bool
+	// Flags mirrors O_* status flags for fcntl F_GETFL/F_SETFL.
+	Flags int
+}
+
+// Process is one simulated process: an address space, a handle table, a
+// descriptor table, an environment, and a main thread.  Each Ballista
+// test case runs in a fresh Process, as in the paper.
+type Process struct {
+	K   *Kernel
+	PID int
+	AS  *mem.AddressSpace
+
+	Thread *Thread
+	object *Object
+
+	handles map[Handle]*Object
+	nextH   Handle
+
+	fds    map[int]*FD
+	nextFD int
+
+	Env map[string]string
+	Cwd string
+
+	LastError uint32
+	Errno     int32
+
+	// Umask for POSIX file creation.
+	Umask uint16
+
+	// TLS slots for TlsAlloc/TlsSetValue.
+	TLS      [64]uint32
+	TLSUsed  [64]bool
+	ErrMode  uint32
+	Priority int
+
+	std [3]Handle
+
+	Exited   bool
+	ExitCode uint32
+}
+
+// Object returns the kernel object wrapping this process.
+func (p *Process) Object() *Object { return p.object }
+
+// AddHandle inserts an object into the handle table and returns its new
+// handle.
+func (p *Process) AddHandle(o *Object) Handle {
+	h := p.nextH
+	p.nextH += 4
+	o.refs++
+	p.handles[h] = o
+	return h
+}
+
+// Handle resolves a handle value.  Pseudo-handles resolve to the current
+// process/thread objects.  A closed or unknown handle returns nil.
+func (p *Process) Handle(h Handle) *Object {
+	switch h {
+	case PseudoProcess:
+		return p.object
+	case PseudoThread:
+		return p.Thread.object
+	}
+	o, ok := p.handles[h]
+	if !ok || o.closed {
+		return nil
+	}
+	return o
+}
+
+// CloseHandle removes a handle-table entry, destroying the object when
+// the last reference drops.  It reports whether the handle was live.
+func (p *Process) CloseHandle(h Handle) bool {
+	o, ok := p.handles[h]
+	if !ok || o.closed {
+		return false
+	}
+	delete(p.handles, h)
+	o.refs--
+	if o.refs <= 0 {
+		o.closed = true
+		if o.File != nil && !o.File.Closed() {
+			_ = o.File.Close()
+		}
+		if o.Pipe != nil {
+			o.Pipe.ReadersOpen = 0
+			o.Pipe.WritersOpen = 0
+		}
+	}
+	return true
+}
+
+// HandleCount reports live handle-table entries (used by leak checks).
+func (p *Process) HandleCount() int { return len(p.handles) }
+
+// SetStd assigns a standard handle slot (0=in, 1=out, 2=err).
+func (p *Process) SetStd(slot int, h Handle) {
+	if slot >= 0 && slot < 3 {
+		p.std[slot] = h
+	}
+}
+
+// Std returns a standard handle slot value.
+func (p *Process) Std(slot int) Handle {
+	if slot < 0 || slot >= 3 {
+		return InvalidHandle
+	}
+	return p.std[slot]
+}
+
+// AddFD inserts a descriptor at the lowest free slot >= 0.
+func (p *Process) AddFD(f *FD) int {
+	fd := 0
+	for {
+		if _, ok := p.fds[fd]; !ok {
+			break
+		}
+		fd++
+	}
+	p.fds[fd] = f
+	if fd >= p.nextFD {
+		p.nextFD = fd + 1
+	}
+	return fd
+}
+
+// AddFDAt inserts a descriptor at an exact slot, closing any previous
+// occupant (dup2 semantics).
+func (p *Process) AddFDAt(fd int, f *FD) {
+	p.fds[fd] = f
+}
+
+// FD resolves a descriptor; nil if closed/unknown.
+func (p *Process) FD(fd int) *FD {
+	f, ok := p.fds[fd]
+	if !ok {
+		return nil
+	}
+	return f
+}
+
+// CloseFD removes a descriptor, reporting whether it was live.
+func (p *Process) CloseFD(fd int) bool {
+	f, ok := p.fds[fd]
+	if !ok {
+		return false
+	}
+	delete(p.fds, fd)
+	if f.File != nil && !f.File.Closed() {
+		_ = f.File.Close()
+	}
+	if f.Pipe != nil {
+		if f.Read {
+			f.Pipe.ReadersOpen--
+		}
+		if f.Write {
+			f.Pipe.WritersOpen--
+		}
+	}
+	return true
+}
+
+// FDCount reports live descriptors (used by leak checks).
+func (p *Process) FDCount() int { return len(p.fds) }
+
+// WaitResult reports how a wait ended.
+type WaitResult int
+
+// Wait outcomes.
+const (
+	WaitSignaled WaitResult = iota
+	WaitTimeout
+	// WaitForever means the wait can never complete: the caller has hung
+	// (a Restart failure in CRASH terms).
+	WaitForever
+)
+
+// InfiniteTimeout is the Win32 INFINITE constant.
+const InfiniteTimeout = uint32(0xFFFFFFFF)
+
+// Wait performs a single-object wait.  With no other runnable thread in
+// the simulation, an unsignaled object plus an infinite timeout can never
+// complete.
+func (p *Process) Wait(o *Object, timeoutMS uint32) WaitResult {
+	if o.Signaled || o.Kind == KMutex && o.OwnerTID == 0 {
+		p.consumeWait(o)
+		return WaitSignaled
+	}
+	if o.Kind == KSemaphore && o.Count > 0 {
+		o.Count--
+		if o.Count == 0 {
+			o.Signaled = false
+		}
+		return WaitSignaled
+	}
+	if timeoutMS == InfiniteTimeout {
+		return WaitForever
+	}
+	p.K.ticks += uint64(timeoutMS)
+	return WaitTimeout
+}
+
+func (p *Process) consumeWait(o *Object) {
+	switch o.Kind {
+	case KEvent:
+		if !o.ManualReset {
+			o.Signaled = false
+		}
+	case KMutex:
+		o.OwnerTID = p.Thread.TID
+		o.Count++
+		o.Signaled = false
+	case KSemaphore:
+		o.Count--
+		if o.Count <= 0 {
+			o.Signaled = false
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionOf(t *testing.T) {
+	tests := []struct {
+		addr Addr
+		want Region
+	}{
+		{0, RegionNull},
+		{1, RegionNull},
+		{NullTop, RegionNull},
+		{NullTop + 1, RegionUser},
+		{UserBase, RegionUser},
+		{UserTop, RegionUser},
+		{SystemBase, RegionSystem},
+		{0xA0000000, RegionSystem},
+		{SystemTop, RegionSystem},
+		{KernelBase, RegionKernel},
+		{0xFFFFFFFF, RegionKernel},
+	}
+	for _, tt := range tests {
+		if got := RegionOf(tt.addr); got != tt.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", uint32(tt.addr), got, tt.want)
+		}
+	}
+}
+
+func TestMapReadWrite(t *testing.T) {
+	as := New()
+	if err := as.Map(UserBase, 2*PageSize, ProtRW); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	data := []byte("hello, ballista")
+	if f := as.Write(UserBase+100, data); f != nil {
+		t.Fatalf("Write: %v", f)
+	}
+	got, f := as.Read(UserBase+100, uint32(len(data)))
+	if f != nil {
+		t.Fatalf("Read: %v", f)
+	}
+	if string(got) != string(data) {
+		t.Errorf("Read = %q, want %q", got, data)
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	as := New()
+	if err := as.Map(UserBase, 2*PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	// Straddle the page boundary.
+	at := UserBase + PageSize - 3
+	if f := as.Write(at, []byte("abcdef")); f != nil {
+		t.Fatalf("cross-page Write: %v", f)
+	}
+	got, f := as.Read(at, 6)
+	if f != nil {
+		t.Fatalf("cross-page Read: %v", f)
+	}
+	if string(got) != "abcdef" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	as := New()
+	if err := as.Map(UserBase, PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name  string
+		addr  Addr
+		size  uint32
+		write bool
+		kind  FaultKind
+	}{
+		{"null read", 0, 4, false, FaultUnmapped},
+		{"unmapped read", 0x7F000000, 4, false, FaultUnmapped},
+		{"write to read-only", UserBase, 4, true, FaultProtection},
+		{"kernel read", KernelBase + 16, 4, false, FaultKernelRange},
+		{"read past mapping", UserBase + PageSize - 2, 8, false, FaultUnmapped},
+	}
+	for _, tt := range tests {
+		var f *Fault
+		if tt.write {
+			f = as.Write(tt.addr, make([]byte, tt.size))
+		} else {
+			_, f = as.Read(tt.addr, tt.size)
+		}
+		if f == nil {
+			t.Errorf("%s: expected fault", tt.name)
+			continue
+		}
+		if f.Kind != tt.kind {
+			t.Errorf("%s: fault kind %v, want %v", tt.name, f.Kind, tt.kind)
+		}
+		if f.Write != tt.write {
+			t.Errorf("%s: fault write=%v, want %v", tt.name, f.Write, tt.write)
+		}
+	}
+}
+
+func TestAllocGuardPage(t *testing.T) {
+	as := New()
+	a, err := as.Alloc(PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := as.Write(a+PageSize-1, []byte{1}); f != nil {
+		t.Fatalf("last byte should be writable: %v", f)
+	}
+	if f := as.Write(a+PageSize, []byte{1}); f == nil {
+		t.Error("guard page after allocation should fault")
+	}
+}
+
+func TestAllocZeroed(t *testing.T) {
+	as := New()
+	a, err := as.Alloc(64, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, f := as.Read(a, 64)
+	if f != nil {
+		t.Fatal(f)
+	}
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestFreeUnmaps(t *testing.T) {
+	as := New()
+	a, err := as.Alloc(128, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.BlockSize(a) == 0 {
+		t.Fatal("BlockSize of live block is 0")
+	}
+	if err := as.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if as.BlockSize(a) != 0 {
+		t.Error("BlockSize of freed block nonzero")
+	}
+	if _, f := as.Read(a, 1); f == nil {
+		t.Error("freed block should fault")
+	}
+	if err := as.Free(a); err == nil {
+		t.Error("double Free should fail")
+	}
+}
+
+func TestProtect(t *testing.T) {
+	as := New()
+	a, err := as.Alloc(PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Protect(a, PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if f := as.Write(a, []byte{1}); f == nil {
+		t.Error("write after Protect(ProtRead) should fault")
+	}
+	if _, f := as.Read(a, 1); f != nil {
+		t.Errorf("read after Protect(ProtRead) should succeed: %v", f)
+	}
+	if err := as.Protect(0x7F000000, PageSize, ProtRW); err == nil {
+		t.Error("Protect of unmapped range should fail")
+	}
+}
+
+func TestCString(t *testing.T) {
+	as := New()
+	a, _ := as.Alloc(64, ProtRW)
+	if f := as.WriteCString(a, "ballista"); f != nil {
+		t.Fatal(f)
+	}
+	s, f := as.CString(a)
+	if f != nil || s != "ballista" {
+		t.Errorf("CString = %q, %v", s, f)
+	}
+	// Unterminated string at end of mapping faults.
+	b, _ := as.Alloc(PageSize, ProtRW)
+	fill := make([]byte, PageSize)
+	for i := range fill {
+		fill[i] = 'x'
+	}
+	_ = as.Write(b, fill)
+	if _, f := as.CString(b); f == nil {
+		t.Error("unterminated CString should fault at the guard page")
+	}
+}
+
+func TestWString(t *testing.T) {
+	as := New()
+	a, _ := as.Alloc(64, ProtRW)
+	_ = as.Write(a, []byte{'h', 0, 'i', 0, 0, 0})
+	u, f := as.WString(a)
+	if f != nil || len(u) != 2 || u[0] != 'h' || u[1] != 'i' {
+		t.Errorf("WString = %v, %v", u, f)
+	}
+}
+
+func TestScalars(t *testing.T) {
+	as := New()
+	a, _ := as.Alloc(64, ProtRW)
+	if f := as.WriteU32(a, 0xDEADBEEF); f != nil {
+		t.Fatal(f)
+	}
+	v, f := as.ReadU32(a)
+	if f != nil || v != 0xDEADBEEF {
+		t.Errorf("ReadU32 = %#x, %v", v, f)
+	}
+	if f := as.WriteU64(a+8, 0x0123456789ABCDEF); f != nil {
+		t.Fatal(f)
+	}
+	v64, f := as.ReadU64(a + 8)
+	if f != nil || v64 != 0x0123456789ABCDEF {
+		t.Errorf("ReadU64 = %#x, %v", v64, f)
+	}
+	u16, _ := as.ReadU16(a)
+	if u16 != 0xBEEF {
+		t.Errorf("ReadU16 = %#x", u16)
+	}
+}
+
+// TestReadAfterWriteProperty: anything written to a mapped RW region
+// reads back identically (testing/quick).
+func TestReadAfterWriteProperty(t *testing.T) {
+	as := New()
+	base, err := as.Alloc(16*PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		at := base + Addr(off)
+		if f := as.Write(at, data); f != nil {
+			return false
+		}
+		got, f := as.Read(at, uint32(len(data)))
+		if f != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFaultDeterminismProperty: the same access against the same space
+// yields the same fault classification every time.
+func TestFaultDeterminismProperty(t *testing.T) {
+	as := New()
+	_, _ = as.Alloc(4*PageSize, ProtRW)
+	prop := func(addr uint32, size uint16) bool {
+		sz := uint32(size)%8192 + 1
+		_, f1 := as.Read(Addr(addr), sz)
+		_, f2 := as.Read(Addr(addr), sz)
+		if (f1 == nil) != (f2 == nil) {
+			return false
+		}
+		if f1 != nil && (f1.Kind != f2.Kind || f1.Addr != f2.Addr) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllocDisjointProperty: allocations never overlap.
+func TestAllocDisjointProperty(t *testing.T) {
+	as := New()
+	type block struct {
+		base Addr
+		size uint32
+	}
+	var blocks []block
+	for i := 0; i < 100; i++ {
+		size := uint32(i%7+1) * 512
+		a, err := as.Alloc(size, ProtRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			if a < b.base+Addr(b.size) && b.base < a+Addr(size) {
+				t.Fatalf("allocation %#x+%d overlaps %#x+%d", uint32(a), size, uint32(b.base), b.size)
+			}
+		}
+		blocks = append(blocks, block{a, size})
+	}
+}
+
+func TestMapBadRange(t *testing.T) {
+	as := New()
+	if err := as.Map(UserBase, 0, ProtRW); err == nil {
+		t.Error("Map size 0 should fail")
+	}
+	if err := as.Unmap(UserBase, 0); err == nil {
+		t.Error("Unmap size 0 should fail")
+	}
+	if err := as.Map(0xFFFFF000, 2*PageSize, ProtRW); err == nil {
+		t.Error("wrapping Map should fail")
+	}
+}
+
+func TestAllocSystemArena(t *testing.T) {
+	as := New()
+	a, err := as.AllocSystem(PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RegionOf(a) != RegionSystem {
+		t.Errorf("AllocSystem returned %#x outside the system arena", uint32(a))
+	}
+	if f := as.Write(a, []byte{1, 2, 3}); f != nil {
+		t.Errorf("system arena should be writable: %v", f)
+	}
+}

@@ -1,0 +1,270 @@
+package suite
+
+import (
+	"ballista/internal/api"
+	"ballista/internal/core"
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/mem"
+)
+
+// --- kernel object constructors ---
+
+func handleArg(h kern.Handle) (api.Arg, error) { return api.HandleArg(h), nil }
+
+func makeEvent(e *core.Env, signaled, manual bool) kern.Handle {
+	return e.P.AddHandle(&kern.Object{Kind: kern.KEvent, Signaled: signaled, ManualReset: manual})
+}
+
+func makeMutex(e *core.Env, owned bool) kern.Handle {
+	o := &kern.Object{Kind: kern.KMutex}
+	if owned {
+		o.OwnerTID = e.P.Thread.TID
+		o.Count = 1
+	} else {
+		o.Signaled = true
+	}
+	return e.P.AddHandle(o)
+}
+
+func makeSemaphore(e *core.Env, count, maxCount int64) kern.Handle {
+	return e.P.AddHandle(&kern.Object{
+		Kind: kern.KSemaphore, Count: count, MaxCount: maxCount, Signaled: count > 0,
+	})
+}
+
+func makeFileHandle(e *core.Env, path string, readable, writable bool) (kern.Handle, error) {
+	of, err := e.K.FS.Open(path, readable, writable)
+	if err != nil {
+		return 0, err
+	}
+	return e.P.AddHandle(&kern.Object{Kind: kern.KFile, File: of}), nil
+}
+
+func makeClosedHandle(e *core.Env) kern.Handle {
+	h := makeEvent(e, false, false)
+	e.P.CloseHandle(h)
+	return h
+}
+
+func makeHeapHandle(e *core.Env, size uint32) (kern.Handle, error) {
+	base, err := e.P.AS.Alloc(size, mem.ProtRW)
+	if err != nil {
+		return 0, err
+	}
+	hp := kern.NewHeap(uint32(base), size, 0, false)
+	return e.P.AddHandle(&kern.Object{Kind: kern.KHeap, Heap: hp}), nil
+}
+
+func makeFindHandle(e *core.Env) (kern.Handle, error) {
+	nodes, err := e.K.FS.Glob(FixtureSubdir, "*")
+	if err != nil {
+		return 0, err
+	}
+	return e.P.AddHandle(&kern.Object{Kind: kern.KFind, Find: &kern.FindState{Matches: nodes}}), nil
+}
+
+func makeModuleHandle(e *core.Env) kern.Handle {
+	return e.P.AddHandle(&kern.Object{Kind: kern.KModule, Module: &kern.Module{
+		Path: "KERNEL32.DLL",
+		Base: 0x77E00000,
+		Symbols: map[string]uint32{
+			"CreateFileA": 0x77E01000,
+			"ReadFile":    0x77E02000,
+			"CloseHandle": 0x77E03000,
+		},
+	}})
+}
+
+func makeThreadHandle(e *core.Env, state kern.ThreadState) kern.Handle {
+	t := &kern.Thread{Proc: e.P, TID: e.P.Thread.TID + 2, State: state}
+	o := &kern.Object{Kind: kern.KThread, Thread: t, Signaled: state == kern.ThreadExited}
+	return e.P.AddHandle(o)
+}
+
+// handlePool builds a handle-family pool: the invalid prefix is shared,
+// the tail supplies kind-specific valid and wrong-kind values.
+func handlePool(name string, tail ...core.TestValue) *core.DataType {
+	values := []core.TestValue{
+		value("NULL", true, func(*core.Env) (api.Arg, error) { return handleArg(0) }),
+		value("NEG_ONE", true, func(*core.Env) (api.Arg, error) { return handleArg(kern.InvalidHandle) }),
+		value("GARBAGE", true, func(*core.Env) (api.Arg, error) { return handleArg(0x00BADBAD) }),
+		value("CLOSED", true, func(e *core.Env) (api.Arg, error) { return handleArg(makeClosedHandle(e)) }),
+		value("ODD_BITS", true, func(*core.Env) (api.Arg, error) { return handleArg(0x3) }),
+	}
+	return &core.DataType{Name: name, Values: append(values, tail...)}
+}
+
+func registerWin32(r *core.Registry) {
+	registerWin32Handles(r)
+	registerWin32Pointers(r)
+	registerWin32Scalars(r)
+}
+
+func registerWin32Handles(r *core.Registry) {
+	fileVal := value("FILE_READ", false, func(e *core.Env) (api.Arg, error) {
+		h, err := makeFileHandle(e, FixtureReadable, true, false)
+		if err != nil {
+			return api.Arg{}, err
+		}
+		return handleArg(h)
+	})
+	fileW := value("FILE_WRITE", false, func(e *core.Env) (api.Arg, error) {
+		h, err := makeFileHandle(e, FixtureWritable, true, true)
+		if err != nil {
+			return api.Arg{}, err
+		}
+		return handleArg(h)
+	})
+	eventVal := value("EVENT", false, func(e *core.Env) (api.Arg, error) {
+		return handleArg(makeEvent(e, true, false))
+	})
+
+	r.MustAdd(handlePool("HANDLE",
+		fileVal,
+		eventVal,
+		value("MUTEX", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeMutex(e, false)) }),
+		value("PSEUDO_THREAD", false, func(*core.Env) (api.Arg, error) { return handleArg(kern.PseudoThread) }),
+		value("STDOUT", false, func(e *core.Env) (api.Arg, error) { return handleArg(e.P.Std(1)) }),
+	))
+	r.MustAdd(handlePool("HFILE",
+		fileVal,
+		fileW,
+		value("FILE_READONLY_FS", false, func(e *core.Env) (api.Arg, error) {
+			h, err := makeFileHandle(e, FixtureReadOnly, true, false)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			return handleArg(h)
+		}),
+		value("STDOUT_PIPE", false, func(e *core.Env) (api.Arg, error) { return handleArg(e.P.Std(1)) }),
+		value("WRONG_KIND_EVENT", true, eventMaker()),
+	))
+	r.MustAdd(handlePool("HWAITABLE",
+		value("EVENT_SIGNALED", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeEvent(e, true, false)) }),
+		value("EVENT_UNSIGNALED", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeEvent(e, false, false)) }),
+		value("MUTEX_FREE", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeMutex(e, false)) }),
+		value("SEMAPHORE_ZERO", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeSemaphore(e, 0, 4)) }),
+		value("THREAD_RUNNING", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeThreadHandle(e, kern.ThreadRunning)) }),
+		value("WRONG_KIND_FILE", true, fileMaker()),
+	))
+	r.MustAdd(handlePool("HEVENT",
+		value("EVENT_AUTO", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeEvent(e, false, false)) }),
+		value("EVENT_MANUAL", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeEvent(e, true, true)) }),
+		value("WRONG_KIND_MUTEX", true, func(e *core.Env) (api.Arg, error) { return handleArg(makeMutex(e, false)) }),
+	))
+	r.MustAdd(handlePool("HMUTEX",
+		value("MUTEX_OWNED", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeMutex(e, true)) }),
+		value("MUTEX_FREE", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeMutex(e, false)) }),
+		value("WRONG_KIND_EVENT", true, eventMaker()),
+	))
+	r.MustAdd(handlePool("HSEM",
+		value("SEM_AVAILABLE", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeSemaphore(e, 2, 4)) }),
+		value("SEM_FULL", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeSemaphore(e, 4, 4)) }),
+		value("WRONG_KIND_EVENT", true, eventMaker()),
+	))
+	r.MustAdd(handlePool("HTHREAD",
+		value("PSEUDO_THREAD", false, func(*core.Env) (api.Arg, error) { return handleArg(kern.PseudoThread) }),
+		value("THREAD_RUNNING", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeThreadHandle(e, kern.ThreadRunning)) }),
+		value("THREAD_SUSPENDED", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeThreadHandle(e, kern.ThreadSuspended)) }),
+		value("THREAD_EXITED", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeThreadHandle(e, kern.ThreadExited)) }),
+		value("WRONG_KIND_FILE", true, fileMaker()),
+	))
+	r.MustAdd(handlePool("HPROCESS",
+		value("PSEUDO_PROCESS", false, func(*core.Env) (api.Arg, error) { return handleArg(kern.PseudoProcess) }),
+		value("OWN_PROCESS", false, func(e *core.Env) (api.Arg, error) {
+			return handleArg(e.P.AddHandle(e.P.Object()))
+		}),
+		value("WRONG_KIND_EVENT", true, eventMaker()),
+	))
+	r.MustAdd(handlePool("HHEAP",
+		value("HEAP_VALID", false, func(e *core.Env) (api.Arg, error) {
+			h, err := makeHeapHandle(e, 65536)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			return handleArg(h)
+		}),
+		value("HEAP_DESTROYED", true, func(e *core.Env) (api.Arg, error) {
+			h, err := makeHeapHandle(e, 4096)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			e.P.CloseHandle(h)
+			return handleArg(h)
+		}),
+		value("WRONG_KIND_FILE", true, fileMaker()),
+	))
+	r.MustAdd(handlePool("HFIND",
+		value("FIND_VALID", false, func(e *core.Env) (api.Arg, error) {
+			h, err := makeFindHandle(e)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			return handleArg(h)
+		}),
+		value("FIND_EXHAUSTED", false, func(e *core.Env) (api.Arg, error) {
+			h, err := makeFindHandle(e)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			if o := e.P.Handle(h); o != nil {
+				o.Find.Next = len(o.Find.Matches)
+			}
+			return handleArg(h)
+		}),
+		value("WRONG_KIND_EVENT", true, eventMaker()),
+	))
+	r.MustAdd(handlePool("HMODULE",
+		value("MODULE_VALID", false, func(e *core.Env) (api.Arg, error) { return handleArg(makeModuleHandle(e)) }),
+		value("WRONG_KIND_FILE", true, fileMaker()),
+	))
+	r.MustAdd(&core.DataType{Name: "HGLOBAL", Values: []core.TestValue{
+		value("NULL", true, func(*core.Env) (api.Arg, error) { return api.Ptr(0), nil }),
+		value("GARBAGE", true, func(*core.Env) (api.Arg, error) { return api.Ptr(addrUnmapped), nil }),
+		value("VALID_BLOCK", false, func(e *core.Env) (api.Arg, error) {
+			a, err := allocBuf(e, 256, mem.ProtRW)
+			return api.Ptr(a), err
+		}),
+		value("FREED_BLOCK", true, func(e *core.Env) (api.Arg, error) {
+			a, err := freedBuf(e, 256)
+			return api.Ptr(a), err
+		}),
+		value("INTERIOR", true, func(e *core.Env) (api.Arg, error) {
+			a, err := allocBuf(e, 256, mem.ProtRW)
+			return api.Ptr(a + 16), err
+		}),
+		value("ODD_BITS", true, func(*core.Env) (api.Arg, error) { return api.Ptr(0x3), nil }),
+	}})
+	r.MustAdd(&core.DataType{Name: "TID", Values: []core.TestValue{
+		intVal("ZERO", 0, true),
+		intVal("NEG_ONE", -1, true),
+		value("CURRENT", false, func(e *core.Env) (api.Arg, error) {
+			return api.Int(int64(e.P.Thread.TID)), nil
+		}),
+		intVal("GARBAGE", 12345, true),
+		intVal("HUGE", 0x7FFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "PID32", Values: []core.TestValue{
+		intVal("ZERO", 0, true),
+		intVal("NEG_ONE", -1, true),
+		value("CURRENT", false, func(e *core.Env) (api.Arg, error) {
+			return api.Int(int64(e.P.PID)), nil
+		}),
+		intVal("GARBAGE", 54321, true),
+		intVal("HUGE", 0x7FFFFFFF, true),
+	}})
+}
+
+func eventMaker() core.Constructor {
+	return func(e *core.Env) (api.Arg, error) { return handleArg(makeEvent(e, true, false)) }
+}
+
+func fileMaker() core.Constructor {
+	return func(e *core.Env) (api.Arg, error) {
+		h, err := makeFileHandle(e, FixtureReadable, true, false)
+		if err != nil {
+			return api.Arg{}, err
+		}
+		return handleArg(h)
+	}
+}

@@ -1,0 +1,252 @@
+package suite
+
+import "ballista/internal/core"
+
+// Win32 flag constants used by the scalar pools (values match the SDK).
+const (
+	genericRead  = 0x80000000
+	genericWrite = 0x40000000
+)
+
+func registerWin32Scalars(r *core.Registry) {
+	r.MustAdd(&core.DataType{Name: "BOOL", Values: []core.TestValue{
+		intVal("FALSE", 0, false),
+		intVal("TRUE", 1, false),
+		intVal("NEG_ONE", -1, false),
+		intVal("TWO", 2, false),
+		intVal("MAXINT", 0x7FFFFFFF, false),
+	}})
+	r.MustAdd(&core.DataType{Name: "DWORD0", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("ONE", 1, true),
+		intVal("MAXDWORD", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "UINT32", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("ONE", 1, false),
+		intVal("SMALL", 64, false),
+		intVal("LARGE", 65535, false),
+		intVal("MAXINT", 0x7FFFFFFF, true),
+		intVal("MAXDWORD", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "LEN32", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("ONE", 1, false),
+		intVal("SIXTEEN", 16, false),
+		intVal("K1", 255, false),
+		intVal("PAGE", 4096, false),
+		intVal("BIG64K", 65536, true),
+		intVal("MAXINT", 0x7FFFFFFF, true),
+		intVal("MAXDWORD", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "SIZE32", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("ONE", 1, false),
+		intVal("SIXTEEN", 16, false),
+		intVal("PAGE", 4096, false),
+		intVal("MEG", 1<<20, false),
+		intVal("HUGE", 0x7FFF0000, true),
+		intVal("MAXDWORD", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "COUNT32", Values: []core.TestValue{
+		intVal("ZERO", 0, true),
+		intVal("ONE", 1, false),
+		intVal("THREE", 3, false),
+		intVal("MAX_WAIT_OBJECTS", 64, false),
+		intVal("PAST_MAX", 65, true),
+		intVal("MAXDWORD", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "COUNT32S", Values: []core.TestValue{
+		intVal("NEG_ONE", -1, true),
+		intVal("ZERO", 0, false),
+		intVal("ONE", 1, false),
+		intVal("TEN", 10, false),
+		intVal("MAXINT", 0x7FFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "OFF32", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("ONE", 1, false),
+		intVal("PAGE", 4096, false),
+		intVal("MAXINT", 0x7FFFFFFF, false),
+		intVal("MAXDWORD", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "OFF32S", Values: []core.TestValue{
+		intVal("NEG_ONE", -1, true),
+		intVal("ZERO", 0, false),
+		intVal("HUNDRED", 100, false),
+		intVal("MAXINT", 0x7FFFFFFF, true),
+		intVal("MININT", -0x80000000, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "TIMEOUT", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("ONE_MS", 1, false),
+		intVal("HUNDRED_MS", 100, false),
+		intVal("INFINITE", -1, false), // 0xFFFFFFFF: the hang enabler
+		intVal("MAXINT", 0x7FFFFFFF, false),
+	}})
+	r.MustAdd(&core.DataType{Name: "EXITCODE", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("ONE", 1, false),
+		intVal("NEG_ONE", -1, false),
+		intVal("STILL_ACTIVE", 259, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "LONG32", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("ONE", 1, false),
+		intVal("NEG_ONE", -1, false),
+		intVal("MAXINT", 0x7FFFFFFF, true),
+		intVal("MININT", -0x80000000, true),
+	}})
+
+	// Flag words.
+	r.MustAdd(&core.DataType{Name: "ACCESS_MASK", Values: []core.TestValue{
+		intVal("GENERIC_READ", genericRead, false),
+		intVal("GENERIC_WRITE", genericWrite, false),
+		intVal("GENERIC_RW", genericRead|genericWrite, false),
+		intVal("ZERO", 0, false),
+		intVal("RANDOM_BITS", 0x0DDBA11, true),
+		intVal("ALL_BITS", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "SHARE_FLAGS", Values: []core.TestValue{
+		intVal("NONE", 0, false),
+		intVal("READ", 1, false),
+		intVal("WRITE", 2, false),
+		intVal("READ_WRITE", 3, false),
+		intVal("BAD_BIT", 0x10, true),
+		intVal("ALL_BITS", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "CREATE_DISP", Values: []core.TestValue{
+		intVal("CREATE_NEW", 1, false),
+		intVal("CREATE_ALWAYS", 2, false),
+		intVal("OPEN_EXISTING", 3, false),
+		intVal("OPEN_ALWAYS", 4, false),
+		intVal("TRUNCATE_EXISTING", 5, false),
+		intVal("ZERO", 0, true),
+		intVal("NINETY_NINE", 99, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "FILE_ATTRS", Values: []core.TestValue{
+		intVal("NORMAL", 0x80, false),
+		intVal("READONLY", 0x01, false),
+		intVal("HIDDEN", 0x02, false),
+		intVal("ZERO", 0, false),
+		intVal("ALL_BITS", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "MOVE_FLAGS", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("REPLACE_EXISTING", 1, false),
+		intVal("COPY_ALLOWED", 2, false),
+		intVal("BAD_BITS", 0xFF00, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "ALLOC_TYPE", Values: []core.TestValue{
+		intVal("COMMIT", 0x1000, false),
+		intVal("RESERVE", 0x2000, false),
+		intVal("COMMIT_RESERVE", 0x3000, false),
+		intVal("ZERO", 0, true),
+		intVal("BAD_BITS", 0xFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "FREE_TYPE", Values: []core.TestValue{
+		intVal("DECOMMIT", 0x4000, false),
+		intVal("RELEASE", 0x8000, false),
+		intVal("BOTH", 0xC000, true), // invalid combination
+		intVal("ZERO", 0, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "PROT_FLAGS", Values: []core.TestValue{
+		intVal("NOACCESS", 0x01, false),
+		intVal("READONLY", 0x02, false),
+		intVal("READWRITE", 0x04, false),
+		intVal("EXECUTE_READ", 0x20, false),
+		intVal("ZERO", 0, true),
+		intVal("BAD_COMBO", 0x06, true),
+		intVal("ALL_BITS", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "HEAP_FLAGS", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("NO_SERIALIZE", 0x01, false),
+		intVal("ZERO_MEMORY", 0x08, false),
+		intVal("GENERATE_EXCEPTIONS", 0x04, false),
+		intVal("BAD_BITS", 0xFFF0, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "GMEM_FLAGS", Values: []core.TestValue{
+		intVal("FIXED", 0x0000, false),
+		intVal("MOVEABLE", 0x0002, false),
+		intVal("ZEROINIT", 0x0040, false),
+		intVal("BAD_BITS", 0xFF00, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "LOCK_FLAGS", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("FAIL_IMMEDIATELY", 1, false),
+		intVal("EXCLUSIVE", 2, false),
+		intVal("BOTH", 3, false),
+		intVal("BAD_BITS", 0xF0, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "DUP_FLAGS", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("CLOSE_SOURCE", 1, false),
+		intVal("SAME_ACCESS", 2, false),
+		intVal("BAD_BITS", 0xFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "SEEK_METHOD", Values: []core.TestValue{
+		intVal("FILE_BEGIN", 0, false),
+		intVal("FILE_CURRENT", 1, false),
+		intVal("FILE_END", 2, false),
+		intVal("THREE", 3, true),
+		intVal("MAXDWORD", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "STD_SLOT", Values: []core.TestValue{
+		intVal("STD_INPUT", -10, false),
+		intVal("STD_OUTPUT", -11, false),
+		intVal("STD_ERROR", -12, false),
+		intVal("ZERO", 0, true),
+		intVal("NEG_13", -13, true),
+		intVal("MAXDWORD", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "WAKE_MASK", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("QS_KEY", 0x0001, false),
+		intVal("QS_ALLINPUT", 0x04FF, false),
+		intVal("ALL_BITS", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "MWMO_FLAGS", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("WAITALL", 1, false),
+		intVal("ALERTABLE", 2, false),
+		intVal("BAD_BITS", 0xF0, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "CREATE_FLAGS", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("CREATE_SUSPENDED", 4, false),
+		intVal("DETACHED", 8, false),
+		intVal("BAD_BITS", 0xFFFF0000, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "PRIORITY", Values: []core.TestValue{
+		intVal("NORMAL", 0, false),
+		intVal("ABOVE", 1, false),
+		intVal("BELOW", -1, false),
+		intVal("HIGHEST", 2, false),
+		intVal("IDLE", -15, false),
+		intVal("TIME_CRITICAL", 15, false),
+		intVal("HUNDRED", 100, true),
+		intVal("MAXINT", 0x7FFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "PRIOCLASS", Values: []core.TestValue{
+		intVal("NORMAL", 0x20, false),
+		intVal("IDLE", 0x40, false),
+		intVal("HIGH", 0x80, false),
+		intVal("REALTIME", 0x100, false),
+		intVal("ZERO", 0, true),
+		intVal("BAD_BITS", 0xFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "TLSINDEX", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("SMALL", 5, false),
+		intVal("LAST", 63, false),
+		intVal("PAST_END", 64, true),
+		intVal("MAXDWORD", 0xFFFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "ERRMODE", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("FAILCRITICALERRORS", 1, false),
+		intVal("NOGPFAULTERRORBOX", 2, false),
+		intVal("BAD_BITS", 0x8000, true),
+	}})
+}

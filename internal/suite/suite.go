@@ -1,0 +1,112 @@
+// Package suite defines the concrete Ballista test suite: the data-type
+// test-value pools for the Win32, POSIX and C-library surfaces, and the
+// filesystem fixtures the constructors rely on.
+//
+// Pool contents follow the paper's §3.1 approach: "most of the Windows
+// data types required were minor specializations of fairly generic C
+// data types", so Windows pools reuse the generic pointer/integer pools
+// with the HANDLE family added.  Each pool deliberately mixes exceptional
+// and non-exceptional values (paper §2).  C library pools are identical
+// across operating systems, enabling the paper's like-for-like
+// comparison; only materialization differs (e.g. UTF-16 strings for the
+// Windows CE UNICODE variants).
+package suite
+
+import (
+	"ballista/internal/core"
+	"ballista/internal/sim/fs"
+	"ballista/internal/sim/kern"
+)
+
+// NewRegistry builds the full data-type registry for all three API
+// surfaces.
+func NewRegistry() *core.Registry {
+	r := core.NewRegistry()
+	registerCommon(r)
+	registerCLib(r)
+	registerWin32(r)
+	registerPOSIX(r)
+	return r
+}
+
+// Fixture paths shared by constructors and implementations.
+const (
+	FixtureDir      = "/bl"
+	FixtureReadable = "/bl/readable.txt"
+	FixtureWritable = "/bl/writable.txt"
+	FixtureReadOnly = "/bl/readonly.txt"
+	FixtureSubdir   = "/bl/dir"
+	FixtureExec     = "/bin/true"
+	ScratchDir      = "/scratch"
+	TempDir         = "/tmp"
+)
+
+// FixtureContent is the canonical fixture file body.
+const FixtureContent = "Ballista fixture data: the quick brown fox jumps over the lazy dog.\n"
+
+// SetupFixtures (re)creates the canonical file tree.  It is idempotent
+// and restorative: called before every test case, it guarantees each
+// case starts from identical disk state even though the machine itself
+// persists across a campaign.
+func SetupFixtures(k *kern.Kernel) {
+	f := k.FS
+	_ = f.MkdirAll(FixtureDir, 0o7)
+	_ = f.MkdirAll(FixtureSubdir, 0o7)
+	_ = f.MkdirAll(TempDir, 0o7)
+	_ = f.MkdirAll("/bin", 0o7)
+	_ = f.MkdirAll("/home/ballista", 0o7)
+
+	ensureFile := func(path, content string, mode uint16, attrs fs.Attr) {
+		n, err := f.Stat(path)
+		if err != nil {
+			// Clear a read-only leftover blocking re-creation.
+			if nn, serr := f.Stat(path); serr == nil {
+				nn.Attrs &^= fs.AttrReadOnly
+			}
+			n, err = f.Create(path, mode, true)
+			if err != nil {
+				return
+			}
+		}
+		n.Attrs &^= fs.AttrReadOnly
+		if string(n.Data) != content {
+			n.Data = []byte(content)
+		}
+		n.Mode = mode
+		n.Attrs = attrs
+	}
+
+	ensureFile(FixtureReadable, FixtureContent, 0o6, fs.AttrArchive)
+	ensureFile(FixtureWritable, FixtureContent, 0o6, fs.AttrArchive)
+	ensureFile(FixtureReadOnly, FixtureContent, 0o4, fs.AttrReadOnly)
+	ensureFile(FixtureSubdir+"/a.txt", "alpha\n", 0o6, fs.AttrArchive)
+	ensureFile(FixtureSubdir+"/b.txt", "bravo\n", 0o6, fs.AttrArchive)
+	ensureFile(FixtureSubdir+"/c.dat", "charlie\n", 0o6, fs.AttrArchive)
+	ensureFile(FixtureExec, "#!ballista\n", 0o7, fs.AttrArchive)
+
+	// Scratch space is wiped between cases so "new path" values behave
+	// identically every time.
+	wipe(k, ScratchDir)
+	wipe(k, TempDir)
+	_ = f.MkdirAll(ScratchDir, 0o7)
+	_ = f.MkdirAll(TempDir, 0o7)
+}
+
+func wipe(k *kern.Kernel, dir string) {
+	names, err := k.FS.List(dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		p := dir + "/" + name
+		if n, err := k.FS.Stat(p); err == nil {
+			n.Attrs &^= fs.AttrReadOnly
+			if n.IsDir() {
+				wipe(k, p)
+				_ = k.FS.Rmdir(p)
+			} else {
+				_ = k.FS.Remove(p)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package suite
+
+import (
+	"testing"
+
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+// TestAllCatalogTypesResolve ensures every parameter type named in the
+// catalog has a registered pool.
+func TestAllCatalogTypesResolve(t *testing.T) {
+	r := NewRegistry()
+	for _, a := range []catalog.API{catalog.CLib, catalog.Win32, catalog.POSIX} {
+		for _, m := range catalog.ForAPI(a) {
+			for i, tn := range m.Params {
+				if _, ok := r.Lookup(tn); !ok {
+					t.Errorf("%s %s param %d: type %q not registered", a, m.Name, i, tn)
+				}
+			}
+		}
+	}
+}
+
+// TestAllConstructorsMaterialize runs every test value's constructor on
+// every OS variant (narrow and, on CE, wide) and requires success.
+func TestAllConstructorsMaterialize(t *testing.T) {
+	r := NewRegistry()
+	for _, o := range osprofile.All() {
+		p := osprofile.Get(o)
+		k := p.NewKernel()
+		SetupFixtures(k)
+		wides := []bool{false}
+		if p.Traits.WidePreferred {
+			wides = append(wides, true)
+		}
+		for _, wide := range wides {
+			for _, name := range r.Names() {
+				dt, _ := r.Lookup(name)
+				for _, v := range dt.Values {
+					env := &core.Env{K: k, P: k.NewProcess(), Profile: p, Wide: wide}
+					if _, err := v.Make(env); err != nil {
+						t.Errorf("%s (wide=%v): %s/%s constructor failed: %v", o, wide, name, v.Name, err)
+					}
+					env.Cleanup()
+				}
+			}
+		}
+		if k.Crashed() {
+			t.Errorf("%s: constructors crashed the machine: %s", o, k.CrashReason())
+		}
+	}
+}
+
+// TestPoolsMixExceptional verifies the paper's §2 requirement that pools
+// mix exceptional and non-exceptional values (pure-scalar pools that are
+// entirely benign are permitted).
+func TestPoolsMixExceptional(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range r.Names() {
+		dt, _ := r.Lookup(name)
+		exc, ok := 0, 0
+		for _, v := range dt.Values {
+			if v.Exceptional {
+				exc++
+			} else {
+				ok++
+			}
+		}
+		if ok == 0 {
+			t.Errorf("pool %s has no non-exceptional values (masking risk)", name)
+		}
+		if exc == 0 && name != "BOOL" {
+			t.Logf("note: pool %s has no exceptional values", name)
+		}
+	}
+}

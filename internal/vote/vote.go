@@ -1,0 +1,128 @@
+// Package vote estimates Silent failure rates by voting identical test
+// cases across Windows variants, reproducing the paper's §4 methodology:
+// "if one system reports a pass with no error reported for one particular
+// test case and another system reports a pass with an error or a failure
+// for that identical test case, then we can declare the system that
+// reported no error as having a Silent failure."
+//
+// Voting is sound because the harness runs the same pseudorandom test
+// case list (seeded by MuT name) in the same order on every Windows
+// variant, exactly as the paper arranged.
+package vote
+
+import (
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+// SilentStats carries the estimated Silent count for one MuT on one OS.
+type SilentStats struct {
+	MuT      string
+	Group    catalog.Group
+	Silent   int
+	Compared int
+}
+
+// Rate returns silent cases / compared cases.
+func (s SilentStats) Rate() float64 {
+	if s.Compared == 0 {
+		return 0
+	}
+	return float64(s.Silent) / float64(s.Compared)
+}
+
+// Estimate votes across the given OS variants (the paper uses the five
+// desktop Windows systems; CE is excluded because its API subset differs,
+// and Linux because its API is not identical).  It returns per-OS per-MuT
+// estimated Silent statistics.
+func Estimate(results map[osprofile.OS]*core.OSResult, oses []osprofile.OS) map[osprofile.OS][]SilentStats {
+	// Index results by MuT name per OS (narrow variants only: identical
+	// case lists).
+	type mutKey struct{ name string }
+	perOS := make(map[osprofile.OS]map[mutKey]*core.MuTResult, len(oses))
+	for _, o := range oses {
+		r, ok := results[o]
+		if !ok {
+			return nil
+		}
+		idx := make(map[mutKey]*core.MuTResult)
+		for _, mr := range r.Results {
+			if !mr.Wide {
+				idx[mutKey{mr.MuT.Name}] = mr
+			}
+		}
+		perOS[o] = idx
+	}
+
+	out := make(map[osprofile.OS][]SilentStats, len(oses))
+	// Vote per MuT present on at least two variants.
+	seen := make(map[mutKey]bool)
+	for _, o := range oses {
+		for k := range perOS[o] {
+			seen[k] = true
+		}
+	}
+	for k := range seen {
+		var participants []osprofile.OS
+		var rows []*core.MuTResult
+		minLen := -1
+		for _, o := range oses {
+			if mr, ok := perOS[o][k]; ok {
+				participants = append(participants, o)
+				rows = append(rows, mr)
+				if minLen < 0 || len(mr.Cases) < minLen {
+					minLen = len(mr.Cases)
+				}
+			}
+		}
+		if len(rows) < 2 || minLen <= 0 {
+			continue
+		}
+		silent := make([]int, len(rows))
+		compared := make([]int, len(rows))
+		for ci := 0; ci < minLen; ci++ {
+			anyFlagged := false
+			for _, mr := range rows {
+				switch mr.Cases[ci] {
+				case core.RawError, core.RawAbort, core.RawRestart, core.RawCatastrophic:
+					anyFlagged = true
+				}
+			}
+			for ri, mr := range rows {
+				if mr.Cases[ci] == core.RawSkip {
+					continue
+				}
+				compared[ri]++
+				if anyFlagged && mr.Cases[ci] == core.RawClean {
+					silent[ri]++
+				}
+			}
+		}
+		for ri, mr := range rows {
+			out[participants[ri]] = append(out[participants[ri]], SilentStats{
+				MuT:      mr.MuT.Name,
+				Group:    mr.MuT.Group,
+				Silent:   silent[ri],
+				Compared: compared[ri],
+			})
+		}
+	}
+	return out
+}
+
+// GroupSilentRates averages per-MuT estimated Silent rates into the
+// twelve functional groups with uniform weights (percent).
+func GroupSilentRates(stats []SilentStats) map[catalog.Group]float64 {
+	sums := make(map[catalog.Group]float64)
+	ns := make(map[catalog.Group]int)
+	for _, s := range stats {
+		sums[s.Group] += s.Rate()
+		ns[s.Group]++
+	}
+	out := make(map[catalog.Group]float64, len(sums))
+	for g, sum := range sums {
+		out[g] = 100 * sum / float64(ns[g])
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package vote
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+func mkResult(name string, classes ...core.RawClass) *core.MuTResult {
+	return &core.MuTResult{
+		MuT:   catalog.MuT{Name: name, API: catalog.Win32, Group: catalog.GrpIOPrimitives},
+		Cases: classes,
+	}
+}
+
+func results(perOS map[osprofile.OS][]*core.MuTResult) map[osprofile.OS]*core.OSResult {
+	out := make(map[osprofile.OS]*core.OSResult)
+	for o, rs := range perOS {
+		out[o] = &core.OSResult{OS: o.String(), Results: rs}
+	}
+	return out
+}
+
+// TestPaperRule implements the paper's exact voting rule: a clean return
+// is Silent when any sibling flags the identical case.
+func TestPaperRule(t *testing.T) {
+	rs := results(map[osprofile.OS][]*core.MuTResult{
+		osprofile.Win98: {mkResult("CloseHandle", core.RawClean, core.RawClean, core.RawClean)},
+		osprofile.WinNT: {mkResult("CloseHandle", core.RawError, core.RawClean, core.RawAbort)},
+	})
+	est := Estimate(rs, []osprofile.OS{osprofile.Win98, osprofile.WinNT})
+	w98 := est[osprofile.Win98][0]
+	if w98.Silent != 2 || w98.Compared != 3 {
+		t.Errorf("Win98: silent=%d compared=%d, want 2/3", w98.Silent, w98.Compared)
+	}
+	nt := est[osprofile.WinNT][0]
+	if nt.Silent != 0 {
+		t.Errorf("NT flagged cases must not be Silent: %d", nt.Silent)
+	}
+}
+
+// TestUnanimousCleanIsNotSilent: the paper notes the approach "cannot
+// find instances in which all versions of Windows suffer a Silent
+// failure" — unanimous clean returns are not counted.
+func TestUnanimousCleanIsNotSilent(t *testing.T) {
+	rs := results(map[osprofile.OS][]*core.MuTResult{
+		osprofile.Win98: {mkResult("X", core.RawClean, core.RawClean)},
+		osprofile.WinNT: {mkResult("X", core.RawClean, core.RawClean)},
+	})
+	est := Estimate(rs, []osprofile.OS{osprofile.Win98, osprofile.WinNT})
+	for o, stats := range est {
+		for _, s := range stats {
+			if s.Silent != 0 {
+				t.Errorf("%s: unanimous clean counted as silent", o)
+			}
+		}
+	}
+}
+
+// TestTruncatedCampaignsCompareOnPrefix: a MuT whose campaign stopped at
+// a Catastrophic failure is compared only over the shared prefix.
+func TestTruncatedCampaignsCompareOnPrefix(t *testing.T) {
+	rs := results(map[osprofile.OS][]*core.MuTResult{
+		osprofile.Win98: {mkResult("Y", core.RawClean, core.RawCatastrophic)},
+		osprofile.WinNT: {mkResult("Y", core.RawError, core.RawClean, core.RawClean, core.RawClean)},
+	})
+	est := Estimate(rs, []osprofile.OS{osprofile.Win98, osprofile.WinNT})
+	w98 := est[osprofile.Win98][0]
+	if w98.Compared != 2 {
+		t.Errorf("compared = %d, want the 2-case shared prefix", w98.Compared)
+	}
+	if w98.Silent != 1 {
+		t.Errorf("silent = %d, want 1 (case 0 clean vs NT error)", w98.Silent)
+	}
+}
+
+// TestWideVariantsExcluded: CE UNICODE runs are not comparable and are
+// skipped.
+func TestWideVariantsExcluded(t *testing.T) {
+	wideRes := mkResult("Z", core.RawClean)
+	wideRes.Wide = true
+	rs := results(map[osprofile.OS][]*core.MuTResult{
+		osprofile.Win98: {wideRes},
+		osprofile.WinNT: {mkResult("Z", core.RawError)},
+	})
+	est := Estimate(rs, []osprofile.OS{osprofile.Win98, osprofile.WinNT})
+	if len(est[osprofile.Win98]) != 0 {
+		t.Error("wide variant entered the vote")
+	}
+}
+
+// TestNoSelfSilenceProperty: a system is never assigned more Silent
+// cases than it has clean returns (testing/quick).
+func TestNoSelfSilenceProperty(t *testing.T) {
+	prop := func(aRaw, bRaw []uint8) bool {
+		if len(aRaw) == 0 || len(bRaw) == 0 {
+			return true
+		}
+		mk := func(raw []uint8) *core.MuTResult {
+			cases := make([]core.RawClass, len(raw))
+			for i, v := range raw {
+				cases[i] = core.RawClass(v % 5)
+			}
+			return mkResult("P", cases...)
+		}
+		ra, rb := mk(aRaw), mk(bRaw)
+		rs := results(map[osprofile.OS][]*core.MuTResult{
+			osprofile.Win98: {ra},
+			osprofile.WinNT: {rb},
+		})
+		est := Estimate(rs, []osprofile.OS{osprofile.Win98, osprofile.WinNT})
+		for o, stats := range est {
+			var mr *core.MuTResult
+			if o == osprofile.Win98 {
+				mr = ra
+			} else {
+				mr = rb
+			}
+			for _, s := range stats {
+				if s.Silent > mr.Count(core.RawClean) {
+					return false
+				}
+				if s.Rate() < 0 || s.Rate() > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupSilentRates(t *testing.T) {
+	stats := []SilentStats{
+		{MuT: "A", Group: catalog.GrpIOPrimitives, Silent: 1, Compared: 2},
+		{MuT: "B", Group: catalog.GrpIOPrimitives, Silent: 0, Compared: 10},
+	}
+	got := GroupSilentRates(stats)
+	if got[catalog.GrpIOPrimitives] != 25 { // uniform mean of 50% and 0%
+		t.Errorf("group silent rate = %.1f, want 25", got[catalog.GrpIOPrimitives])
+	}
+}
+
+func TestMissingOSReturnsNil(t *testing.T) {
+	rs := results(map[osprofile.OS][]*core.MuTResult{
+		osprofile.Win98: {mkResult("X", core.RawClean)},
+	})
+	if est := Estimate(rs, []osprofile.OS{osprofile.Win98, osprofile.WinNT}); est != nil {
+		t.Error("Estimate with a missing OS should return nil")
+	}
+}

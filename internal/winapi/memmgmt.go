@@ -1,0 +1,432 @@
+package winapi
+
+import (
+	"ballista/internal/api"
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/mem"
+)
+
+// Virtual* limits.
+const (
+	vaHugeSize   = 0x7F000000
+	heapHugeSize = 0x7FF00000
+	// heapArenaCap bounds a simulated heap's backing store.
+	heapArenaCap = 1 << 20
+)
+
+func registerMemMgmt(m map[string]Impl) {
+	m["VirtualAlloc"] = virtualAlloc
+	m["VirtualFree"] = func(c *api.Call) {
+		base := c.PtrArg(0)
+		size := c.U32(1)
+		ftype := c.U32(2)
+		switch ftype {
+		case 0x4000: // MEM_DECOMMIT
+		case 0x8000: // MEM_RELEASE
+			if size != 0 {
+				c.FailWin(api.ErrorInvalidParameter)
+				return
+			}
+		default:
+			c.FailWin(api.ErrorInvalidParameter)
+			return
+		}
+		if base == 0 {
+			c.FailWin(api.ErrorInvalidAddress)
+			return
+		}
+		if ftype == 0x8000 {
+			if err := c.P.AS.Free(base); err != nil {
+				c.FailWin(api.ErrorInvalidAddress)
+				return
+			}
+			c.Ret(winTrue)
+			return
+		}
+		if size == 0 || !c.P.AS.Mapped(base, size, mem.ProtNone) {
+			// Decommitting unmapped space.
+			if !c.P.AS.Mapped(base, 1, mem.ProtNone) {
+				c.FailWin(api.ErrorInvalidAddress)
+				return
+			}
+		}
+		_ = c.P.AS.Unmap(base, maxU32(size, 1))
+		c.Ret(winTrue)
+	}
+	m["VirtualProtect"] = func(c *api.Call) {
+		base := c.PtrArg(0)
+		size := c.U32(1)
+		prot, ok := winProt(c.U32(2))
+		if !ok {
+			c.FailWin(api.ErrorInvalidParameter)
+			return
+		}
+		if size == 0 {
+			c.FailWin(api.ErrorInvalidParameter)
+			return
+		}
+		if !c.P.AS.Mapped(base, size, mem.ProtNone) {
+			c.FailWin(api.ErrorInvalidAddress)
+			return
+		}
+		old, _ := c.P.AS.ProtAt(base)
+		if !c.CopyOut(3, c.PtrArg(3), u32b(protToWin(old))) {
+			return
+		}
+		_ = c.P.AS.Protect(base, size, prot)
+		c.Ret(winTrue)
+	}
+	m["VirtualQuery"] = func(c *api.Call) {
+		if c.U32(2) < 28 {
+			c.FailWinRet(0, api.ErrorInsufficientBuffer)
+			return
+		}
+		addr := c.PtrArg(0)
+		info := make([]byte, 28)
+		copy(info, u32b(uint32(addr&^0xFFF)))
+		prot, mapped := c.P.AS.ProtAt(addr)
+		state := uint32(0x10000) // MEM_FREE
+		if mapped {
+			state = 0x1000 // MEM_COMMIT
+		}
+		copy(info[12:], u32b(4096))
+		copy(info[16:], u32b(state))
+		copy(info[20:], u32b(protToWin(prot)))
+		if !c.CopyOut(1, c.PtrArg(1), info) {
+			return
+		}
+		c.Ret(28)
+	}
+	m["VirtualLock"] = vLockUnlock
+	m["VirtualUnlock"] = vLockUnlock
+	m["HeapCreate"] = heapCreate
+	m["HeapDestroy"] = func(c *api.Call) {
+		if object(c, 0, kern.KHeap, winTrue) == nil {
+			return
+		}
+		c.P.CloseHandle(c.HandleAt(0))
+		c.Ret(winTrue)
+	}
+	m["HeapAlloc"] = func(c *api.Call) {
+		o := object(c, 0, kern.KHeap, 0)
+		if o == nil {
+			return
+		}
+		if c.U32(1)&^uint32(0x0D) != 0 {
+			c.FailWinRet(0, api.ErrorInvalidParameter)
+			return
+		}
+		a := o.Heap.Alloc(c.U32(2))
+		if a == 0 {
+			if c.U32(1)&0x04 != 0 { // HEAP_GENERATE_EXCEPTIONS
+				c.Raise(api.StatusNoMemory)
+				return
+			}
+			c.FailWinRet(0, api.ErrorNotEnoughMemory)
+			return
+		}
+		c.Ret(int64(a))
+	}
+	m["HeapFree"] = func(c *api.Call) {
+		o := object(c, 0, kern.KHeap, winTrue)
+		if o == nil {
+			return
+		}
+		if !o.Heap.Free(uint32(c.PtrArg(2))) {
+			c.FailMaybeSilent(2, api.ErrorInvalidParameter, winTrue)
+			return
+		}
+		c.Ret(winTrue)
+	}
+	m["HeapReAlloc"] = func(c *api.Call) {
+		o := object(c, 0, kern.KHeap, 0)
+		if o == nil {
+			return
+		}
+		old := uint32(c.PtrArg(2))
+		oldSize := o.Heap.BlockSize(old)
+		if oldSize == 0 {
+			c.FailWinRet(0, api.ErrorInvalidParameter)
+			return
+		}
+		na := o.Heap.Alloc(c.U32(3))
+		if na == 0 {
+			c.FailWinRet(0, api.ErrorNotEnoughMemory)
+			return
+		}
+		o.Heap.Free(old)
+		c.Ret(int64(na))
+	}
+	m["HeapSize"] = func(c *api.Call) {
+		o := object(c, 0, kern.KHeap, 0)
+		if o == nil {
+			return
+		}
+		size := o.Heap.BlockSize(uint32(c.PtrArg(2)))
+		if size == 0 {
+			c.FailWinRet(-1, api.ErrorInvalidParameter)
+			return
+		}
+		c.Ret(int64(size))
+	}
+	m["HeapValidate"] = func(c *api.Call) {
+		o := object(c, 0, kern.KHeap, winFalse)
+		if o == nil {
+			return
+		}
+		p := uint32(c.PtrArg(2))
+		if p == 0 {
+			c.Ret(winTrue) // whole-heap validation always passes here
+			return
+		}
+		if o.Heap.BlockSize(p) == 0 {
+			c.Ret(winFalse) // correctly reports an invalid block
+			return
+		}
+		c.Ret(winTrue)
+	}
+	m["HeapCompact"] = func(c *api.Call) {
+		o := object(c, 0, kern.KHeap, 0)
+		if o == nil {
+			return
+		}
+		c.Ret(int64(o.Heap.Size))
+	}
+	m["GlobalAlloc"] = globalAlloc
+	m["LocalAlloc"] = globalAlloc
+	m["GlobalFree"] = globalFree
+	m["LocalFree"] = globalFree
+	m["GlobalReAlloc"] = globalReAlloc
+	m["LocalReAlloc"] = globalReAlloc
+	m["GlobalSize"] = globalSize
+	m["LocalSize"] = globalSize
+	m["GlobalMemoryStatus"] = func(c *api.Call) {
+		b := make([]byte, 32)
+		copy(b, u32b(32))
+		copy(b[8:], u32b(64<<20)) // dwTotalPhys: the paper's 64 MB machines
+		copy(b[12:], u32b(32<<20))
+		if !c.CopyOut(0, c.PtrArg(0), b) {
+			return
+		}
+		c.Ret(0)
+	}
+	m["IsBadReadPtr"] = func(c *api.Call) {
+		size := c.U32(1)
+		if size == 0 {
+			c.Ret(winFalse)
+			return
+		}
+		if c.P.AS.Mapped(c.PtrArg(0), size, mem.ProtRead) {
+			c.Ret(winFalse)
+			return
+		}
+		c.Ret(winTrue)
+	}
+	m["IsBadWritePtr"] = func(c *api.Call) {
+		size := c.U32(1)
+		if size == 0 {
+			c.Ret(winFalse)
+			return
+		}
+		if c.P.AS.Mapped(c.PtrArg(0), size, mem.ProtWrite) {
+			c.Ret(winFalse)
+			return
+		}
+		c.Ret(winTrue)
+	}
+}
+
+func virtualAlloc(c *api.Call) {
+	base := c.PtrArg(0)
+	size := c.U32(1)
+	atype := c.U32(2)
+	// Table 3: VirtualAlloc on Windows CE crashed the machine outright on
+	// wild reservation requests.
+	if c.DefectCorrupt(size >= vaHugeSize || (base != 0 && mem.RegionOf(base) != mem.RegionUser)) {
+		return
+	}
+	prot, protOK := winProt(c.U32(3))
+	if !protOK || atype == 0 || atype&^uint32(0x3000) != 0 {
+		c.FailWinRet(0, api.ErrorInvalidParameter)
+		return
+	}
+	if size == 0 {
+		c.FailWinRet(0, api.ErrorInvalidParameter)
+		return
+	}
+	if size >= vaHugeSize {
+		c.FailWinRet(0, api.ErrorNotEnoughMemory)
+		return
+	}
+	if base == 0 {
+		a, err := c.P.AS.Alloc(size, prot)
+		if err != nil {
+			c.FailWinRet(0, api.ErrorNotEnoughMemory)
+			return
+		}
+		c.Ret(int64(uint32(a)))
+		return
+	}
+	if mem.RegionOf(base) != mem.RegionUser {
+		c.FailWinRet(0, api.ErrorInvalidAddress)
+		return
+	}
+	aligned := base &^ (mem.PageSize - 1)
+	if err := c.P.AS.Map(aligned, size, prot); err != nil {
+		c.FailWinRet(0, api.ErrorInvalidAddress)
+		return
+	}
+	c.Ret(int64(uint32(aligned)))
+}
+
+func vLockUnlock(c *api.Call) {
+	base := c.PtrArg(0)
+	size := c.U32(1)
+	if size == 0 || !c.P.AS.Mapped(base, size, mem.ProtNone) {
+		c.FailWin(api.ErrorInvalidAddress)
+		return
+	}
+	c.Ret(winTrue)
+}
+
+func heapCreate(c *api.Call) {
+	flags := c.U32(0)
+	initial, maxSize := c.U32(1), c.U32(2)
+	// Table 3: HeapCreate on Windows 95 crashed on wild sizes.
+	if c.DefectCorrupt(initial >= heapHugeSize || maxSize >= heapHugeSize) {
+		return
+	}
+	if flags&^uint32(0x05) != 0 {
+		c.FailWinRet(0, api.ErrorInvalidParameter)
+		return
+	}
+	if maxSize != 0 && initial > maxSize {
+		c.FailWinRet(0, api.ErrorInvalidParameter)
+		return
+	}
+	span := maxSize
+	if span == 0 {
+		span = maxU32(initial, 65536)
+	}
+	if span > heapArenaCap {
+		if initial > heapArenaCap {
+			c.FailWinRet(0, api.ErrorNotEnoughMemory)
+			return
+		}
+		span = heapArenaCap
+	}
+	base, err := c.P.AS.Alloc(span, mem.ProtRW)
+	if err != nil {
+		c.FailWinRet(0, api.ErrorNotEnoughMemory)
+		return
+	}
+	hp := kern.NewHeap(uint32(base), span, maxSize, flags&0x01 == 0)
+	h := c.P.AddHandle(&kern.Object{Kind: kern.KHeap, Heap: hp})
+	c.Ret(int64(uint32(h)))
+}
+
+func globalAlloc(c *api.Call) {
+	flags := c.U32(0)
+	if flags&^uint32(0x2042) != 0 {
+		c.FailWinRet(0, api.ErrorInvalidParameter)
+		return
+	}
+	size := c.U32(1)
+	if size >= vaHugeSize {
+		c.FailWinRet(0, api.ErrorNotEnoughMemory)
+		return
+	}
+	a, err := c.P.AS.Alloc(maxU32(size, 1), mem.ProtRW)
+	if err != nil {
+		c.FailWinRet(0, api.ErrorNotEnoughMemory)
+		return
+	}
+	c.Ret(int64(uint32(a)))
+}
+
+func globalFree(c *api.Call) {
+	a := c.PtrArg(0)
+	if a == 0 {
+		c.Ret(0) // freeing NULL returns NULL (success)
+		return
+	}
+	if err := c.P.AS.Free(a); err != nil {
+		// Failure returns the handle itself.
+		c.FailWinRet(int64(uint32(a)), api.ErrorInvalidHandle)
+		return
+	}
+	c.Ret(0)
+}
+
+func globalReAlloc(c *api.Call) {
+	a := c.PtrArg(0)
+	old := c.P.AS.BlockSize(a)
+	if old == 0 {
+		c.FailWinRet(0, api.ErrorInvalidHandle)
+		return
+	}
+	size := c.U32(1)
+	if size >= vaHugeSize {
+		c.FailWinRet(0, api.ErrorNotEnoughMemory)
+		return
+	}
+	nb, err := c.P.AS.Alloc(maxU32(size, 1), mem.ProtRW)
+	if err != nil {
+		c.FailWinRet(0, api.ErrorNotEnoughMemory)
+		return
+	}
+	n := old
+	if size < n {
+		n = size
+	}
+	if n > 0 {
+		if data, f := c.P.AS.Read(a, n); f == nil {
+			_ = c.P.AS.Write(nb, data)
+		}
+	}
+	_ = c.P.AS.Free(a)
+	c.Ret(int64(uint32(nb)))
+}
+
+func globalSize(c *api.Call) {
+	size := c.P.AS.BlockSize(c.PtrArg(0))
+	if size == 0 {
+		c.FailWinRet(0, api.ErrorInvalidHandle)
+		return
+	}
+	c.Ret(int64(size))
+}
+
+// winProt maps PAGE_* constants onto simulated protections.
+func winProt(v uint32) (mem.Prot, bool) {
+	switch v {
+	case 0x01: // PAGE_NOACCESS
+		return mem.ProtNone, true
+	case 0x02: // PAGE_READONLY
+		return mem.ProtRead, true
+	case 0x04: // PAGE_READWRITE
+		return mem.ProtRW, true
+	case 0x20, 0x40: // PAGE_EXECUTE_READ / EXECUTE_READWRITE
+		return mem.ProtRead, true
+	default:
+		return mem.ProtNone, false
+	}
+}
+
+func protToWin(p mem.Prot) uint32 {
+	switch {
+	case p&mem.ProtWrite != 0:
+		return 0x04
+	case p&mem.ProtRead != 0:
+		return 0x02
+	default:
+		return 0x01
+	}
+}
+
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,305 @@
+package winapi
+
+import (
+	"testing"
+
+	"ballista/internal/api"
+	"ballista/internal/osprofile"
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/mem"
+)
+
+func TestCreateProcessValidation(t *testing.T) {
+	k, p := newProc(t, osprofile.WinNT)
+	_ = k.FS.MkdirAll("/bin", 0o7)
+	if _, err := k.FS.Create("/bin/true", 0o7, false); err != nil {
+		t.Fatal(err)
+	}
+	app := cstr(t, p, "/bin/true")
+	si, _ := p.AS.Alloc(68, mem.ProtRW)
+	_ = p.AS.WriteU32(si, 68) // cb
+	pi, _ := p.AS.Alloc(16, mem.ProtRW)
+
+	mk := func(appPtr, siPtr, piPtr mem.Addr) *api.Call {
+		return run(t, osprofile.WinNT, k, p, "CreateProcess",
+			api.Ptr(appPtr), api.Ptr(0), api.Ptr(0), api.Ptr(0), api.Int(0),
+			api.Int(0), api.Ptr(0), api.Ptr(0), api.Ptr(siPtr), api.Ptr(piPtr))
+	}
+	// Both application name and command line NULL.
+	c := mk(0, si, pi)
+	if c.Out.Err != api.ErrorInvalidParameter {
+		t.Errorf("NULL app+cmdline: %+v", c.Out)
+	}
+	// NULL STARTUPINFO.
+	c = mk(app, 0, pi)
+	if c.Out.Err != api.ErrorInvalidParameter {
+		t.Errorf("NULL si: %+v", c.Out)
+	}
+	// Valid: PROCESS_INFORMATION filled with live handles.
+	c = mk(app, si, pi)
+	if c.Out.Ret != 1 {
+		t.Fatalf("CreateProcess: %+v", c.Out)
+	}
+	hp, _ := p.AS.ReadU32(pi)
+	ht, _ := p.AS.ReadU32(pi + 4)
+	if p.Handle(kern.Handle(hp)) == nil || p.Handle(kern.Handle(ht)) == nil {
+		t.Error("PROCESS_INFORMATION handles do not resolve")
+	}
+	// Missing executable.
+	missing := cstr(t, p, "/bin/nothere")
+	c = mk(missing, si, pi)
+	if c.Out.Err != api.ErrorFileNotFound {
+		t.Errorf("missing exe: %+v", c.Out)
+	}
+	// Non-executable target.
+	noexec := cstr(t, p, "/bl/readable.txt")
+	c = mk(noexec, si, pi)
+	if c.Out.Err != api.ErrorAccessDenied {
+		t.Errorf("non-executable: %+v", c.Out)
+	}
+	// Bad cb field.
+	_ = p.AS.WriteU32(si, 12)
+	c = mk(app, si, pi)
+	if c.Out.Err != api.ErrorInvalidParameter {
+		t.Errorf("bad cb: %+v", c.Out)
+	}
+}
+
+func TestTerminateAndExitCodes(t *testing.T) {
+	k, p := newProc(t, osprofile.WinNT)
+	code, _ := p.AS.Alloc(4, mem.ProtRW)
+	// Own process: STILL_ACTIVE before termination.
+	c := run(t, osprofile.WinNT, k, p, "GetExitCodeProcess",
+		api.HandleArg(kern.PseudoProcess), api.Ptr(code))
+	if c.Out.Ret != 1 {
+		t.Fatalf("GetExitCodeProcess: %+v", c.Out)
+	}
+	v, _ := p.AS.ReadU32(code)
+	if v != 259 {
+		t.Errorf("exit code = %d, want STILL_ACTIVE", v)
+	}
+	c = run(t, osprofile.WinNT, k, p, "TerminateProcess",
+		api.HandleArg(kern.PseudoProcess), api.Int(42))
+	if c.Out.Ret != 1 {
+		t.Fatalf("TerminateProcess: %+v", c.Out)
+	}
+	_ = run(t, osprofile.WinNT, k, p, "GetExitCodeProcess",
+		api.HandleArg(kern.PseudoProcess), api.Ptr(code))
+	v, _ = p.AS.ReadU32(code)
+	if v != 42 {
+		t.Errorf("exit code after termination = %d", v)
+	}
+}
+
+func TestThreadLifecycle(t *testing.T) {
+	k, p := newProc(t, osprofile.WinNT)
+	fn, _ := p.AS.Alloc(64, mem.ProtRead)
+	tid, _ := p.AS.Alloc(4, mem.ProtRW)
+	c := run(t, osprofile.WinNT, k, p, "CreateThread",
+		api.Ptr(0), api.Int(4096), api.Ptr(fn), api.Ptr(0), api.Int(4), api.Ptr(tid))
+	if c.Out.Ret == 0 {
+		t.Fatalf("CreateThread: %+v", c.Out)
+	}
+	h := kern.Handle(uint32(c.Out.Ret))
+	// Created suspended: resume returns the previous suspension... the
+	// model treats CREATE_SUSPENDED as state, count starts at 0.
+	c = run(t, osprofile.WinNT, k, p, "SuspendThread", api.HandleArg(h))
+	if c.Out.Ret != 0 {
+		t.Errorf("SuspendThread prev = %d", c.Out.Ret)
+	}
+	c = run(t, osprofile.WinNT, k, p, "ResumeThread", api.HandleArg(h))
+	if c.Out.Ret != 1 {
+		t.Errorf("ResumeThread prev = %d", c.Out.Ret)
+	}
+	c = run(t, osprofile.WinNT, k, p, "SetThreadPriority", api.HandleArg(h), api.Int(2))
+	if c.Out.Ret != 1 {
+		t.Errorf("SetThreadPriority: %+v", c.Out)
+	}
+	c = run(t, osprofile.WinNT, k, p, "SetThreadPriority", api.HandleArg(h), api.Int(100))
+	if c.Out.Err != api.ErrorInvalidParameter {
+		t.Errorf("bad priority: %+v", c.Out)
+	}
+	c = run(t, osprofile.WinNT, k, p, "GetThreadPriority", api.HandleArg(h))
+	if c.Out.Ret != 2 {
+		t.Errorf("GetThreadPriority = %d", c.Out.Ret)
+	}
+	c = run(t, osprofile.WinNT, k, p, "TerminateThread", api.HandleArg(h), api.Int(7))
+	if c.Out.Ret != 1 {
+		t.Fatalf("TerminateThread: %+v", c.Out)
+	}
+	code, _ := p.AS.Alloc(4, mem.ProtRW)
+	_ = run(t, osprofile.WinNT, k, p, "GetExitCodeThread", api.HandleArg(h), api.Ptr(code))
+	v, _ := p.AS.ReadU32(code)
+	if v != 7 {
+		t.Errorf("thread exit code = %d", v)
+	}
+	// A terminated thread is signaled: waiting on it completes.
+	c = run(t, osprofile.WinNT, k, p, "WaitForSingleObject", api.HandleArg(h), api.Int(-1))
+	if uint32(c.Out.Ret) != api.WaitObject0 {
+		t.Errorf("wait on exited thread: %+v", c.Out)
+	}
+}
+
+func TestWaitForMultipleObjects(t *testing.T) {
+	k, p := newProc(t, osprofile.WinNT)
+	e1 := p.AddHandle(&kern.Object{Kind: kern.KEvent})                 // unsignaled
+	e2 := p.AddHandle(&kern.Object{Kind: kern.KEvent, Signaled: true}) // signaled
+	arr, _ := p.AS.Alloc(8, mem.ProtRW)
+	_ = p.AS.WriteU32(arr, uint32(e1))
+	_ = p.AS.WriteU32(arr+4, uint32(e2))
+
+	// Wait-any: index 1 is ready.
+	c := run(t, osprofile.WinNT, k, p, "WaitForMultipleObjects",
+		api.Int(2), api.Ptr(arr), api.Int(0), api.Int(100))
+	if c.Out.Ret != 1 {
+		t.Errorf("wait-any = %d: %+v", c.Out.Ret, c.Out)
+	}
+	// Wait-all with one unsignaled object times out.
+	_ = p.AS.WriteU32(arr+4, uint32(p.AddHandle(&kern.Object{Kind: kern.KEvent, Signaled: true})))
+	c = run(t, osprofile.WinNT, k, p, "WaitForMultipleObjects",
+		api.Int(2), api.Ptr(arr), api.Int(1), api.Int(50))
+	if uint32(c.Out.Ret) != api.WaitTimeoutCode {
+		t.Errorf("wait-all timeout: %+v", c.Out)
+	}
+	// Count 0 and count > 64 are invalid.
+	for _, n := range []int64{0, 65} {
+		c = run(t, osprofile.WinNT, k, p, "WaitForMultipleObjects",
+			api.Int(n), api.Ptr(arr), api.Int(0), api.Int(0))
+		if c.Out.Err != api.ErrorInvalidParameter {
+			t.Errorf("count=%d: %+v", n, c.Out)
+		}
+	}
+	// Garbage handle inside the array.
+	_ = p.AS.WriteU32(arr, 0xBADBAD)
+	c = run(t, osprofile.WinNT, k, p, "WaitForMultipleObjects",
+		api.Int(2), api.Ptr(arr), api.Int(0), api.Int(0))
+	if c.Out.Err != api.ErrorInvalidHandle {
+		t.Errorf("garbage entry: %+v", c.Out)
+	}
+}
+
+func TestSignalObjectAndWait(t *testing.T) {
+	k, p := newProc(t, osprofile.WinNT)
+	sig := p.AddHandle(&kern.Object{Kind: kern.KEvent})
+	wait := p.AddHandle(&kern.Object{Kind: kern.KEvent, Signaled: true})
+	c := run(t, osprofile.WinNT, k, p, "SignalObjectAndWait",
+		api.HandleArg(sig), api.HandleArg(wait), api.Int(100), api.Int(0))
+	if uint32(c.Out.Ret) != api.WaitObject0 {
+		t.Fatalf("SignalObjectAndWait: %+v", c.Out)
+	}
+	if o := p.Handle(sig); !o.Signaled {
+		t.Error("signal target not signaled")
+	}
+	// Signaling a file handle is invalid.
+	of, _ := k.FS.Open("/bl/readable.txt", true, false)
+	fh := p.AddHandle(&kern.Object{Kind: kern.KFile, File: of})
+	c = run(t, osprofile.WinNT, k, p, "SignalObjectAndWait",
+		api.HandleArg(fh), api.HandleArg(wait), api.Int(0), api.Int(0))
+	if c.Out.Err != api.ErrorInvalidHandle {
+		t.Errorf("signal a file: %+v", c.Out)
+	}
+}
+
+func TestEventOps(t *testing.T) {
+	k, p := newProc(t, osprofile.WinNT)
+	c := run(t, osprofile.WinNT, k, p, "CreateEvent",
+		api.Ptr(0), api.Int(1), api.Int(0), api.Ptr(0))
+	h := kern.Handle(uint32(c.Out.Ret))
+	c = run(t, osprofile.WinNT, k, p, "SetEvent", api.HandleArg(h))
+	if c.Out.Ret != 1 || !p.Handle(h).Signaled {
+		t.Errorf("SetEvent: %+v", c.Out)
+	}
+	c = run(t, osprofile.WinNT, k, p, "ResetEvent", api.HandleArg(h))
+	if c.Out.Ret != 1 || p.Handle(h).Signaled {
+		t.Errorf("ResetEvent: %+v", c.Out)
+	}
+	// Event ops on a mutex handle are invalid.
+	mtx := p.AddHandle(&kern.Object{Kind: kern.KMutex, Signaled: true})
+	c = run(t, osprofile.WinNT, k, p, "SetEvent", api.HandleArg(mtx))
+	if !c.Out.ErrReported {
+		t.Errorf("SetEvent on mutex: %+v", c.Out)
+	}
+	// Open* never finds a name in the fresh per-case namespace.
+	name := cstr(t, p, "Global\\BallistaEvent")
+	c = run(t, osprofile.WinNT, k, p, "OpenEvent", api.Int(0), api.Int(0), api.Ptr(name))
+	if c.Out.Err != api.ErrorFileNotFound {
+		t.Errorf("OpenEvent: %+v", c.Out)
+	}
+}
+
+func TestReadWriteProcessMemory(t *testing.T) {
+	k, p := newProc(t, osprofile.WinNT)
+	src, _ := p.AS.Alloc(64, mem.ProtRW)
+	_ = p.AS.WriteCString(src, "cross-process payload")
+	dst, _ := p.AS.Alloc(64, mem.ProtRW)
+	nread, _ := p.AS.Alloc(4, mem.ProtRW)
+	c := run(t, osprofile.WinNT, k, p, "ReadProcessMemory",
+		api.HandleArg(kern.PseudoProcess), api.Ptr(src), api.Ptr(dst), api.Int(21), api.Ptr(nread))
+	if c.Out.Ret != 1 {
+		t.Fatalf("ReadProcessMemory: %+v", c.Out)
+	}
+	got, _ := p.AS.CString(dst)
+	if got != "cross-process payload" {
+		t.Errorf("RPM data = %q", got)
+	}
+	// NT returns ERROR_NOACCESS for a wild source — no exception, no crash.
+	c = run(t, osprofile.WinNT, k, p, "ReadProcessMemory",
+		api.HandleArg(kern.PseudoProcess), api.Ptr(0x7F000000), api.Ptr(dst), api.Int(16), api.Ptr(nread))
+	if c.Out.Err != api.ErrorNoaccess || c.Out.Exception != 0 {
+		t.Errorf("NT RPM wild source: %+v", c.Out)
+	}
+	// Win95: the same wild source is a "*" defect — corruption accumulates.
+	k95, _ := newProc(t, osprofile.Win95)
+	var crashedAt int
+	for i := 1; i <= 3; i++ {
+		p95 := k95.NewProcess()
+		d95, _ := p95.AS.Alloc(64, mem.ProtRW)
+		c := run(t, osprofile.Win95, k95, p95, "ReadProcessMemory",
+			api.HandleArg(kern.PseudoProcess), api.Ptr(0x7F000000), api.Ptr(d95), api.Int(16), api.Ptr(0))
+		if c.Out.Crashed {
+			crashedAt = i
+			break
+		}
+	}
+	if crashedAt <= 1 {
+		t.Errorf("Win95 RPM defect crashed at %d (want accumulation)", crashedAt)
+	}
+	// WriteProcessMemory round trip.
+	c = run(t, osprofile.WinNT, k, p, "WriteProcessMemory",
+		api.HandleArg(kern.PseudoProcess), api.Ptr(dst), api.Ptr(src), api.Int(8), api.Ptr(0))
+	if c.Out.Ret != 1 {
+		t.Errorf("WriteProcessMemory: %+v", c.Out)
+	}
+}
+
+func TestVirtualProtectQuery(t *testing.T) {
+	k, p := newProc(t, osprofile.WinNT)
+	base, _ := p.AS.Alloc(2*mem.PageSize, mem.ProtRW)
+	old, _ := p.AS.Alloc(4, mem.ProtRW)
+	c := run(t, osprofile.WinNT, k, p, "VirtualProtect",
+		api.Ptr(base), api.Int(4096), api.Int(0x02), api.Ptr(old))
+	if c.Out.Ret != 1 {
+		t.Fatalf("VirtualProtect: %+v", c.Out)
+	}
+	prev, _ := p.AS.ReadU32(old)
+	if prev != 0x04 { // was PAGE_READWRITE
+		t.Errorf("old protection = %#x", prev)
+	}
+	if f := p.AS.Write(base, []byte{1}); f == nil {
+		t.Error("write after VirtualProtect(PAGE_READONLY) succeeded")
+	}
+	info, _ := p.AS.Alloc(28, mem.ProtRW)
+	c = run(t, osprofile.WinNT, k, p, "VirtualQuery",
+		api.Ptr(base), api.Ptr(info), api.Int(28))
+	if c.Out.Ret != 28 {
+		t.Fatalf("VirtualQuery: %+v", c.Out)
+	}
+	state, _ := p.AS.ReadU32(info + 16)
+	if state != 0x1000 { // MEM_COMMIT
+		t.Errorf("state = %#x", state)
+	}
+	prot, _ := p.AS.ReadU32(info + 20)
+	if prot != 0x02 {
+		t.Errorf("prot = %#x", prot)
+	}
+}

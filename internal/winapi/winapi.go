@@ -1,0 +1,149 @@
+// Package winapi implements the 143 Win32 system calls under test, over
+// the simulated kernel.  Exceptional-argument behaviour follows the
+// architecture selected by the OS profile: the NT family probes user
+// pointers and surfaces probe failures as thrown exceptions; the 9x/CE
+// family's user-mode stubs return errors, silently succeed, or pass the
+// pointer through to an access violation — and the functions listed in
+// the paper's Table 3 reach the kernel unprobed (see internal/osprofile).
+package winapi
+
+import (
+	"errors"
+
+	"ballista/internal/api"
+	"ballista/internal/sim/fs"
+	"ballista/internal/sim/kern"
+)
+
+// Impl is a Win32 call implementation.
+type Impl = func(c *api.Call)
+
+// Impls returns the implementation registry, keyed by call name.
+func Impls() map[string]Impl {
+	m := make(map[string]Impl, 143)
+	registerIO(m)
+	registerMemMgmt(m)
+	registerFileDir(m)
+	registerProcess(m)
+	registerProcEnv(m)
+	return m
+}
+
+// TRUE/FALSE, Win32 style.
+const (
+	winFalse = 0
+	winTrue  = 1
+)
+
+// invalidHandleRet is INVALID_HANDLE_VALUE as a signed return.
+const invalidHandleRet = -1
+
+// object resolves a handle argument to a kernel object of a specific
+// kind (kern.KInvalid accepts any kind).  On failure it reports
+// ERROR_INVALID_HANDLE — possibly silently on the 9x family — and
+// returns nil.
+func object(c *api.Call, param int, kind kern.ObjectKind, silentRet int64) *kern.Object {
+	o := c.P.Handle(c.HandleAt(param))
+	if o == nil || (kind != kern.KInvalid && o.Kind != kind) {
+		c.FailMaybeSilent(param, api.ErrorInvalidHandle, silentRet)
+		return nil
+	}
+	return o
+}
+
+// fileObject resolves a handle to a file or pipe object.
+func fileObject(c *api.Call, param int, silentRet int64) *kern.Object {
+	o := c.P.Handle(c.HandleAt(param))
+	if o == nil || (o.Kind != kern.KFile && o.Kind != kern.KPipe) {
+		c.FailMaybeSilent(param, api.ErrorInvalidHandle, silentRet)
+		return nil
+	}
+	return o
+}
+
+// winFSError maps filesystem errors to GetLastError codes.
+func winFSError(err error) uint32 {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, fs.ErrNotFound):
+		return api.ErrorFileNotFound
+	case errors.Is(err, fs.ErrExists):
+		return api.ErrorAlreadyExists
+	case errors.Is(err, fs.ErrIsDir):
+		return api.ErrorAccessDenied
+	case errors.Is(err, fs.ErrNotDir):
+		return api.ErrorPathNotFound
+	case errors.Is(err, fs.ErrNotEmpty):
+		return api.ErrorDirNotEmpty
+	case errors.Is(err, fs.ErrPerm):
+		return api.ErrorAccessDenied
+	case errors.Is(err, fs.ErrInvalidPath):
+		return api.ErrorInvalidName
+	case errors.Is(err, fs.ErrLocked):
+		return api.ErrorLockViolation
+	case errors.Is(err, fs.ErrClosed), errors.Is(err, fs.ErrNotOpen):
+		return api.ErrorInvalidHandle
+	default:
+		return api.ErrorInvalidFunction
+	}
+}
+
+// pathArg reads a path argument at the kernel boundary and applies the
+// common Win32 name validation.
+func pathArg(c *api.Call, param int) (string, bool) {
+	s, ok := c.CopyInString(param, c.PtrArg(param))
+	if !ok {
+		return "", false
+	}
+	if s == "" {
+		c.FailWin(api.ErrorPathNotFound)
+		return "", false
+	}
+	if len(s) > 260 {
+		c.FailWin(api.ErrorFilenameExcedRange)
+		return "", false
+	}
+	for _, ch := range s {
+		if ch == '<' || ch == '>' || ch == '|' || ch == '*' || ch == '?' {
+			c.FailWin(api.ErrorInvalidName)
+			return "", false
+		}
+	}
+	return s, true
+}
+
+// u32b renders a little-endian DWORD.
+func u32b(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+// u64b renders a little-endian QWORD.
+func u64b(v uint64) []byte {
+	return append(u32b(uint32(v)), u32b(uint32(v>>32))...)
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// systemtime renders a 16-byte SYSTEMTIME from kernel ticks.
+func systemtime(ticks uint64) []byte {
+	b := make([]byte, 16)
+	put := func(off int, v uint16) { b[off] = byte(v); b[off+1] = byte(v >> 8) }
+	put(0, 2000)                    // wYear
+	put(2, uint16(1+(ticks/30)%12)) // wMonth
+	put(4, uint16(ticks%7))         // wDayOfWeek
+	put(6, uint16(1+ticks%28))      // wDay
+	put(8, uint16(ticks%24))        // wHour
+	put(10, uint16(ticks%60))       // wMinute
+	put(12, uint16((ticks/60)%60))  // wSecond
+	put(14, uint16(ticks%1000))     // wMilliseconds
+	return b
+}
+
+// filetimeFrom renders an 8-byte FILETIME from kernel ticks.
+func filetimeFrom(ticks uint64) []byte {
+	// 100ns units since 1601; an arbitrary but monotone mapping.
+	return u64b(0x01BE000000000000 + ticks*10_000_000)
+}

@@ -1,0 +1,65 @@
+package ballista
+
+import (
+	"testing"
+
+	"ballista/internal/catalog"
+)
+
+// TestHeavyLoadShiftsOutcomes runs the memory-management groups under the
+// paper's §5 heavy-load conditions and checks the expected shift: more
+// error returns and constructor skips (allocation failures), with no new
+// Catastrophic failures on the crash-free plateau systems.
+func TestHeavyLoadShiftsOutcomes(t *testing.T) {
+	countFor := func(o OS, opts ...Option) (errs, skips, crashes, cases int) {
+		runner := NewRunner(o, append(opts, WithCap(300))...)
+		for _, m := range catalog.MuTsFor(o) {
+			if m.Group != catalog.GrpMemoryManagement {
+				continue
+			}
+			res, err := runner.RunMuT(m, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs += res.Count(ErrorReturn)
+			skips += res.Count(Skip)
+			cases += len(res.Cases)
+			if res.Catastrophic() {
+				crashes++
+			}
+		}
+		return
+	}
+
+	for _, o := range []OS{WinNT, Linux} {
+		baseErrs, baseSkips, baseCrashes, baseCases := countFor(o)
+		loadErrs, loadSkips, loadCrashes, loadCases := countFor(o, WithLoad(DefaultLoad()))
+		if baseCrashes != 0 || loadCrashes != 0 {
+			t.Fatalf("%s: crash-plateau OS crashed under load (%d/%d)", o, baseCrashes, loadCrashes)
+		}
+		baseFrac := float64(baseErrs+baseSkips) / float64(baseCases)
+		loadFrac := float64(loadErrs+loadSkips) / float64(loadCases)
+		if loadFrac <= baseFrac {
+			t.Errorf("%s: load did not increase failure pressure: base %.3f vs loaded %.3f (skips %d -> %d)",
+				o, baseFrac, loadFrac, baseSkips, loadSkips)
+		}
+	}
+}
+
+// TestLoadDeterminism: loaded campaigns remain fully deterministic.
+func TestLoadDeterminism(t *testing.T) {
+	m, _ := catalog.ByName(catalog.Win32, "VirtualAlloc")
+	run := func() []RawClass {
+		res, err := NewRunner(Win98, WithCap(120), WithLoad(DefaultLoad())).RunMuT(m, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cases
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("case %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

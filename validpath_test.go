@@ -1,0 +1,141 @@
+package ballista
+
+import (
+	"testing"
+
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+)
+
+// TestValidArgumentsDoNotFail drives every Module under Test on every OS
+// with an all-non-exceptional test case (the first benign value of each
+// parameter pool) and requires a sane outcome: no Abort, no Restart, no
+// Catastrophic failure.  Ballista only measures responses to exceptional
+// input; an API that misbehaves on valid input would invalidate the
+// whole measurement.
+// canonicalValue names a semantically safe pool value per type for the
+// valid-path sweep.  A pool's first non-exceptional value is benign *per
+// type* but not per combination (div's CINT=0 denominator, ctime's legal
+// NULL), which is exactly Ballista's documented correlated-parameter
+// limitation; the canonical picks sidestep it.
+var canonicalValue = map[string]string{
+	"CINT":      "UPPER_A",
+	"CLONG":     "ONE",
+	"DOUBLE":    "HALF",
+	"TIMETPTR":  "VALID",
+	"TMPTR":     "VALID",
+	"FMT":       "PLAIN",
+	"PATH":      "EXISTING_FILE",
+	"LPPATH":    "EXISTING_FILE",
+	"FILEPTR":   "OPEN_READ",
+	"FILEMODE":  "R",
+	"HEAPBLK":   "VALID",
+	"PID":       "SELF",
+	"UID":       "CURRENT",
+	"GID":       "CURRENT",
+	"SIZE_T":    "SIXTEEN",
+	"MEMLEN":    "SIXTEEN",
+	"COUNT32":   "ONE",
+	"HWAITABLE": "EVENT_SIGNALED",
+	// read(stdin) legitimately blocks; pick a real file descriptor.
+	"FD": "OPEN_FILE",
+	// fgets/sprintf/strncpy into an 8-byte buffer legitimately overflow
+	// (C semantics); give them page-sized room.
+	"STRBUF":  "PAGE4K",
+	"MEMBUF":  "PAGE4K",
+	"CMEMBUF": "PAGE4K",
+}
+
+func TestValidArgumentsDoNotFail(t *testing.T) {
+	reg := Registry()
+	for _, o := range AllOSes() {
+		runner := NewRunner(o)
+		for _, m := range catalog.MuTsFor(o) {
+			tc := make(core.Case, len(m.Params))
+			ok := true
+			for i, tn := range m.Params {
+				dt, found := reg.Lookup(tn)
+				if !found {
+					t.Fatalf("type %s missing", tn)
+				}
+				idx := -1
+				if want := canonicalValue[tn]; want != "" {
+					for vi, v := range dt.Values {
+						if v.Name == want {
+							idx = vi
+							break
+						}
+					}
+				}
+				if idx < 0 {
+					for vi, v := range dt.Values {
+						if !v.Exceptional {
+							idx = vi
+							break
+						}
+					}
+				}
+				if idx < 0 {
+					ok = false
+					break
+				}
+				tc[i] = idx
+			}
+			if !ok {
+				continue
+			}
+			cls, err := runner.RunCase(m, tc, false)
+			if err != nil {
+				t.Fatalf("%s %s: %v", o, m.Name, err)
+			}
+			switch cls {
+			case Abort, Restart, Catastrophic:
+				t.Errorf("%s: %s with all-valid arguments classified %v", o, m.Name, cls)
+			}
+		}
+	}
+}
+
+// TestAllExceptionalFirstValue drives every MuT with the first
+// *exceptional* value in every pool (where one exists) and requires the
+// machine to satisfy the reproduction's invariants: only the Table 3
+// functions may crash, and the harness never loses track of a case.
+func TestAllExceptionalFirstValue(t *testing.T) {
+	reg := Registry()
+	for _, o := range AllOSes() {
+		runner := NewRunner(o, WithIsolation())
+		allowedCrash := make(map[string]bool)
+		for _, fn := range profileDefects(o) {
+			allowedCrash[fn] = true
+		}
+		for _, m := range catalog.MuTsFor(o) {
+			tc := make(core.Case, len(m.Params))
+			for i, tn := range m.Params {
+				dt, _ := reg.Lookup(tn)
+				idx := 0
+				for vi, v := range dt.Values {
+					if v.Exceptional {
+						idx = vi
+						break
+					}
+				}
+				tc[i] = idx
+			}
+			cls, err := runner.RunCase(m, tc, false)
+			if err != nil {
+				t.Fatalf("%s %s: %v", o, m.Name, err)
+			}
+			if cls == Catastrophic && !allowedCrash[m.Name] && !ceStdioCrash(o, m) {
+				t.Errorf("%s: %s crashed outside the Table 3 inventory", o, m.Name)
+			}
+		}
+	}
+}
+
+func profileDefects(o OS) []string {
+	return osprofileGet(o).DefectFunctions()
+}
+
+func ceStdioCrash(o OS, m catalog.MuT) bool {
+	return o == WinCE && m.API == catalog.CLib && catalog.CEStdioRawKernel(m.Name, false)
+}
