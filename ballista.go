@@ -85,6 +85,29 @@ func WithContinueAfterCrash() Option {
 	return func(c *core.Config) { c.StopMuTOnCrash = false }
 }
 
+// Observer re-exports the campaign telemetry hook interface.  Stock
+// implementations live in internal/telemetry: a JSONL trace writer whose
+// records replay through RunCase, a Prometheus-text metrics registry,
+// and a recent-events ring buffer.
+type Observer = core.Observer
+
+// Telemetry event types, re-exported for Observer implementations.
+type (
+	MuTStartEvent = core.MuTStartEvent
+	CaseEvent     = core.CaseEvent
+	RebootEvent   = core.RebootEvent
+	CampaignEvent = core.CampaignEvent
+	KernelSample  = core.KernelSample
+)
+
+// WithObserver attaches a telemetry observer to the campaign.  The
+// observer sees every case (OnCaseDone), MuT campaign start, machine
+// reboot and campaign summary, synchronously and in order.  Passing nil
+// is allowed and costs nothing on the case path.
+func WithObserver(o Observer) Option {
+	return func(c *core.Config) { c.Observer = o }
+}
+
 // Dispatch resolves any catalog MuT to its implementation.
 func Dispatch(m catalog.MuT) (core.Impl, bool) {
 	switch m.API {

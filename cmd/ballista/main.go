@@ -5,11 +5,14 @@
 //	ballista -os linux -mut read      # one Module under Test
 //	ballista -os wince -cap 1000 -v   # verbose per-class counts
 //	ballista -os win98 -isolated      # fresh machine per test case
+//	ballista -os win98 -trace t.jsonl # per-case JSONL trace artifact
+//	ballista -os win98 -metrics-addr :9090   # live Prometheus /metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -18,6 +21,7 @@ import (
 	"ballista/internal/catalog"
 	"ballista/internal/osprofile"
 	"ballista/internal/report"
+	"ballista/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +31,8 @@ func main() {
 	isolated := flag.Bool("isolated", false, "fresh machine per test case (single-test reproduction mode)")
 	verbose := flag.Bool("v", false, "per-MuT output")
 	hinderFlag := flag.Bool("hinder", false, "run the Hindering-failure (wrong error code) oracle")
+	traceFlag := flag.String("trace", "", "write a per-case JSONL trace to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address while the campaign runs")
 	flag.Parse()
 
 	target, ok := osprofile.Parse(*osFlag)
@@ -37,6 +43,38 @@ func main() {
 	opts := []ballista.Option{ballista.WithCap(*capFlag)}
 	if *isolated {
 		opts = append(opts, ballista.WithIsolation())
+	}
+
+	var observers []ballista.Observer
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			os.Exit(1)
+		}
+		tw := telemetry.NewTraceWriter(f)
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ballista: closing trace:", err)
+			}
+		}()
+		observers = append(observers, tw)
+	}
+	var metrics *telemetry.Metrics
+	if *metricsAddr != "" {
+		metrics = telemetry.NewMetrics()
+		observers = append(observers, metrics)
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", metrics.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "ballista: metrics listener:", err)
+			}
+		}()
+		fmt.Printf("ballista: serving /metrics on %s\n", *metricsAddr)
+	}
+	if len(observers) > 0 {
+		opts = append(opts, ballista.WithObserver(telemetry.Multi(observers...)))
 	}
 	runner := ballista.NewRunner(target, opts...)
 

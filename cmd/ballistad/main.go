@@ -3,6 +3,7 @@
 // portable testing client".
 //
 //	ballistad -addr :8717
+//	ballistad -addr :8717 -trace trace.jsonl -metrics-addr :9090
 //
 // Then, from any client:
 //
@@ -11,30 +12,109 @@
 //	curl -d '{"os":"win98","mut":"ReadFile","cap":1000}' localhost:8717/api/campaign
 //	curl -d '{"os":"win98","mut":"GetThreadContext","case":[5,0]}' localhost:8717/api/case
 //	curl 'localhost:8717/api/summary?os=winnt&cap=500'
+//	curl 'localhost:8717/api/events?n=50'
+//	curl localhost:8717/metrics
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight campaigns
+// finish (bounded by a timeout), the trace file is flushed, and the
+// final request counters are logged.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ballista/internal/service"
+	"ballista/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":8717", "listen address")
+	traceFlag := flag.String("trace", "", "append every served campaign's per-case JSONL trace to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on a second listener (it is always on the main mux too)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
+	logger := telemetry.NewLogger(os.Stderr, "ballistad")
+
+	var svcOpts []service.ServerOption
+	svcOpts = append(svcOpts, service.WithLogger(logger))
+	var tw *telemetry.TraceWriter
+	if *traceFlag != "" {
+		f, err := os.OpenFile(*traceFlag, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Errorf("opening trace file: %v", err)
+			os.Exit(1)
+		}
+		tw = telemetry.NewTraceWriter(f)
+		svcOpts = append(svcOpts, service.WithCampaignObserver(tw))
+		logger.Printf("tracing campaigns to %s", *traceFlag)
+	}
+
+	svc := service.NewServer(svcOpts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(),
+		Handler:           svc,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("ballistad: Ballista testing service on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "ballistad:", err)
-		os.Exit(1)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", svc.Metrics().Handler())
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			logger.Printf("metrics listener on %s", *metricsAddr)
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Errorf("metrics listener: %v", err)
+			}
+		}()
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("Ballista testing service on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Errorf("%v", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Printf("signal received, draining for up to %s", *shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Errorf("shutdown: %v", err)
+		}
+		if metricsSrv != nil {
+			_ = metricsSrv.Shutdown(shutdownCtx)
+		}
+	}
+
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			logger.Errorf("closing trace: %v", err)
+		}
+	}
+	logger.Printf("served %d requests; goodbye", servedRequests(svc))
+}
+
+// servedRequests reads the total request count back out of the metrics
+// registry for the shutdown log line.
+func servedRequests(svc *service.Server) uint64 {
+	return svc.Metrics().HTTPRequestCount()
 }

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"time"
+
+	"ballista/internal/api"
+	"ballista/internal/catalog"
+)
+
+// Observer receives campaign telemetry as the runner executes.  The
+// paper's harness "logged every test case executed to disk" so that
+// Catastrophic failures could be replayed as single-test programs (§2,
+// §3.3); Observer is that logging seam.  All hooks are invoked
+// synchronously from the campaign goroutine, in execution order, so an
+// implementation sees a faithful serialized history of one runner.  A
+// nil Observer on the Config is valid and costs nothing on the case
+// path.
+type Observer interface {
+	// OnMuTStart announces one MuT's campaign before its first case.
+	OnMuTStart(ev MuTStartEvent)
+	// OnCaseDone reports every case the runner attempted, including
+	// constructor-failure skips, from RunMuT, RunCase, RunSequence and
+	// RunProbe alike.
+	OnCaseDone(ev CaseEvent)
+	// OnReboot fires each time a Catastrophic failure forces the
+	// machine down and the harness reboots it.
+	OnReboot(ev RebootEvent)
+	// OnCampaignDone closes a full RunAll campaign over one OS.
+	OnCampaignDone(ev CampaignEvent)
+}
+
+// MuTStartEvent announces a Module under Test's campaign.
+type MuTStartEvent struct {
+	// OS is the wire name (osprofile.Parse-compatible), so events can
+	// drive the testing service directly.
+	OS    string
+	MuT   string
+	API   string
+	Group string
+	Wide  bool
+	// Cases is the number of generated test cases about to run.
+	Cases int
+}
+
+// KernelSample is a point-in-time reading of the simulated machine's
+// health counters, taken immediately after a case classifies.
+type KernelSample struct {
+	// Epoch counts reboots since the machine booted.
+	Epoch int
+	// Corruption is the accumulated kernel-heap damage level.
+	Corruption int
+	// LiveHandles is open minus closed handle-table entries, machine-wide.
+	LiveHandles uint64
+	// MappedPages is mapped minus unmapped pages across all address
+	// spaces the machine created.
+	MappedPages uint64
+	// ProbeFaults counts failed syscall-boundary pointer probes.
+	ProbeFaults uint64
+	// HeapBlocks is live (allocated minus freed) heap blocks.
+	HeapBlocks uint64
+}
+
+// CaseEvent records one executed (or skipped) test case.  Its
+// OS/MuT/Case/Wide fields are exactly a service CaseRequest, making
+// every record a replayable single-test program.
+type CaseEvent struct {
+	OS    string
+	MuT   string
+	API   string
+	Group string
+	Wide  bool
+	// Case holds the test value indices, one per parameter.
+	Case Case
+	// Seq is the case ordinal within its MuT campaign (0-based); -1 for
+	// standalone RunCase/RunProbe executions.
+	Seq int
+	// Class is the CRASH classification.
+	Class RawClass
+	// Exceptional marks cases containing at least one exceptional value.
+	Exceptional bool
+	// ErrCode is errno or the GetLastError value when ErrReported.
+	ErrCode     uint32
+	ErrReported bool
+	// Exception is the unhandled SEH code or signal number, if any.
+	Exception uint32
+	IsSignal  bool
+	// CrashReason describes a Catastrophic outcome.
+	CrashReason string
+	// Kernel samples machine health right after classification.
+	Kernel KernelSample
+	// SimTicks is simulated time consumed by the case.
+	SimTicks uint64
+	// Wall is host wall-clock time consumed by the case.
+	Wall time.Duration
+}
+
+// RebootEvent records one machine reboot after a Catastrophic failure.
+type RebootEvent struct {
+	OS  string
+	MuT string
+	// Epoch is the machine's epoch after this reboot.
+	Epoch int
+	// Reason is the crash reason that forced the reboot.
+	Reason string
+}
+
+// CampaignEvent closes a RunAll campaign over one OS variant.
+type CampaignEvent struct {
+	OS       string
+	MuTs     int
+	CasesRun int
+	Reboots  int
+	Wall     time.Duration
+}
+
+// NopObserver implements Observer with no-ops; embed it to implement a
+// subset of the hooks.
+type NopObserver struct{}
+
+// OnMuTStart implements Observer.
+func (NopObserver) OnMuTStart(MuTStartEvent) {}
+
+// OnCaseDone implements Observer.
+func (NopObserver) OnCaseDone(CaseEvent) {}
+
+// OnReboot implements Observer.
+func (NopObserver) OnReboot(RebootEvent) {}
+
+// OnCampaignDone implements Observer.
+func (NopObserver) OnCampaignDone(CampaignEvent) {}
+
+// caseEvent assembles a CaseEvent; called only when an observer is set.
+func (r *Runner) caseEvent(m catalog.MuT, types []*DataType, tc Case, wide bool, seq int,
+	cls RawClass, out *api.Outcome, ticks0 uint64, wall time.Duration) CaseEvent {
+	k := r.kernel
+	ev := CaseEvent{
+		OS:          r.cfg.OS.WireName(),
+		MuT:         m.Name,
+		API:         m.API.String(),
+		Group:       m.Group.String(),
+		Wide:        wide,
+		Case:        tc,
+		Seq:         seq,
+		Class:       cls,
+		Exceptional: exceptionalCase(types, tc),
+		SimTicks:    k.Ticks() - ticks0,
+		Wall:        wall,
+	}
+	if out != nil {
+		ev.ErrCode = out.Err
+		ev.ErrReported = out.ErrReported
+		ev.Exception = out.Exception
+		ev.IsSignal = out.IsSignal
+		ev.CrashReason = out.CrashReason
+	}
+	ks := k.Stats()
+	ev.Kernel = KernelSample{
+		Epoch:       k.Epoch,
+		Corruption:  k.Corruption(),
+		LiveHandles: ks.LiveHandles(),
+		MappedPages: k.MemStats().LivePages(),
+		ProbeFaults: ks.ProbeFaults,
+		HeapBlocks:  k.MemStats().LiveBlocks(),
+	}
+	return ev
+}

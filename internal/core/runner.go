@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"ballista/internal/api"
 	"ballista/internal/catalog"
@@ -44,6 +45,10 @@ type Config struct {
 	// Profile overrides the OS profile (ablation studies); nil selects
 	// the canonical osprofile.Get(OS).
 	Profile *osprofile.Profile
+	// Observer, when non-nil, receives per-case trace events, reboot
+	// notifications and campaign summaries.  A nil Observer adds no
+	// per-case work.
+	Observer Observer
 }
 
 // LoadProfile describes the heavy-load conditions a campaign runs under.
@@ -66,6 +71,7 @@ type Runner struct {
 	registry *Registry
 	dispatch Dispatcher
 	fixture  Fixture
+	obs      Observer
 
 	kernel *kern.Kernel
 }
@@ -92,6 +98,7 @@ func NewRunner(cfg Config, reg *Registry, dispatch Dispatcher, fixture Fixture) 
 		registry: reg,
 		dispatch: dispatch,
 		fixture:  fixture,
+		obs:      cfg.Observer,
 	}
 }
 
@@ -140,15 +147,21 @@ func (r *Runner) RunMuT(m catalog.MuT, wide bool) (*MuTResult, error) {
 		Cases:       make([]RawClass, 0, len(cases)),
 		Exceptional: make([]bool, 0, len(cases)),
 	}
-	for _, tc := range cases {
-		cls := r.runCase(m, impl, types, tc, wide)
+	if r.obs != nil {
+		r.obs.OnMuTStart(MuTStartEvent{
+			OS: r.cfg.OS.WireName(), MuT: m.Name, API: m.API.String(),
+			Group: m.Group.String(), Wide: wide, Cases: len(cases),
+		})
+	}
+	for seq, tc := range cases {
+		cls, _ := r.runCase(m, impl, types, tc, wide, seq)
 		res.Cases = append(res.Cases, cls)
 		res.Exceptional = append(res.Exceptional, exceptionalCase(types, tc))
 		if cls == RawCatastrophic {
 			// Reboot the machine and, as the paper did, abandon the
 			// MuT's campaign unless configured to continue (the kernel
 			// epoch tracks total reboots for the OSResult).
-			r.kernel.Reboot()
+			r.reboot(m.Name)
 			if r.cfg.StopMuTOnCrash {
 				res.Incomplete = true
 				break
@@ -156,6 +169,18 @@ func (r *Runner) RunMuT(m catalog.MuT, wide bool) (*MuTResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// reboot restarts a crashed machine and notifies the observer.
+func (r *Runner) reboot(mutName string) {
+	reason := r.kernel.CrashReason()
+	r.kernel.Reboot()
+	if r.obs != nil {
+		r.obs.OnReboot(RebootEvent{
+			OS: r.cfg.OS.WireName(), MuT: mutName,
+			Epoch: r.kernel.Epoch, Reason: reason,
+		})
+	}
 }
 
 // RunCase executes a single identified test case (the paper's
@@ -174,14 +199,37 @@ func (r *Runner) RunCase(m catalog.MuT, tc Case, wide bool) (RawClass, error) {
 			return RawSkip, fmt.Errorf("core: case index %d out of range for %s param %d", tc[i], m.Name, i)
 		}
 	}
-	cls := r.runCase(m, impl, types, tc, wide)
+	cls, _ := r.runCase(m, impl, types, tc, wide, -1)
 	if cls == RawCatastrophic {
-		r.kernel.Reboot()
+		r.reboot(m.Name)
 	}
 	return cls, nil
 }
 
-func (r *Runner) runCase(m catalog.MuT, impl Impl, types []*DataType, tc Case, wide bool) RawClass {
+// runCase executes one test case and, when an observer is configured,
+// wraps the execution in wall-clock and simulated-time measurement and
+// emits a CaseEvent.  With a nil observer the only extra work over the
+// bare execution is one nil check.
+func (r *Runner) runCase(m catalog.MuT, impl Impl, types []*DataType, tc Case, wide bool, seq int) (RawClass, *api.Outcome) {
+	if r.obs == nil {
+		return r.execCase(m, impl, types, tc, wide)
+	}
+	start := time.Now()
+	// In Isolated mode execCase boots a fresh kernel whose clock starts
+	// at zero, so ticks0 stays zero rather than booting one early here.
+	var ticks0 uint64
+	if !r.cfg.Isolated && r.kernel != nil {
+		ticks0 = r.kernel.Ticks()
+	}
+	cls, out := r.execCase(m, impl, types, tc, wide)
+	r.obs.OnCaseDone(r.caseEvent(m, types, tc, wide, seq, cls, out, ticks0, time.Since(start)))
+	return cls, out
+}
+
+// execCase is the bare single-case execution: fixture, fresh process,
+// constructors, dispatch, classification.  The returned Outcome is nil
+// for constructor-failure skips (the case never ran).
+func (r *Runner) execCase(m catalog.MuT, impl Impl, types []*DataType, tc Case, wide bool) (RawClass, *api.Outcome) {
 	k := r.machine()
 	if r.fixture != nil {
 		r.fixture(k)
@@ -194,7 +242,7 @@ func (r *Runner) runCase(m catalog.MuT, impl Impl, types []*DataType, tc Case, w
 	for i, dt := range types {
 		a, err := dt.Values[tc[i]].Make(env)
 		if err != nil {
-			return RawSkip
+			return RawSkip, nil
 		}
 		args[i] = a
 	}
@@ -219,7 +267,7 @@ func (r *Runner) runCase(m catalog.MuT, impl Impl, types []*DataType, tc Case, w
 		call.Out.Crashed = true
 		call.Out.CrashReason = k.CrashReason()
 	}
-	return Classify(&call.Out)
+	return Classify(&call.Out), &call.Out
 }
 
 // Classify maps a call outcome onto the observable CRASH classes.
@@ -250,6 +298,10 @@ func exceptionalCase(types []*DataType, tc Case) bool {
 // RunAll executes campaigns for every MuT the OS supports, including the
 // UNICODE variants of paired C functions on Windows CE.
 func (r *Runner) RunAll() (*OSResult, error) {
+	var start time.Time
+	if r.obs != nil {
+		start = time.Now()
+	}
 	out := &OSResult{OS: r.profile.Name}
 	for _, m := range catalog.MuTsFor(r.cfg.OS) {
 		res, err := r.RunMuT(m, false)
@@ -268,6 +320,12 @@ func (r *Runner) RunAll() (*OSResult, error) {
 		}
 	}
 	out.Reboots = r.epoch()
+	if r.obs != nil {
+		r.obs.OnCampaignDone(CampaignEvent{
+			OS: r.cfg.OS.WireName(), MuTs: len(out.Results),
+			CasesRun: out.CasesRun, Reboots: out.Reboots, Wall: time.Since(start),
+		})
+	}
 	return out, nil
 }
 
@@ -315,6 +373,12 @@ func (r *Runner) RunSequence(ms []catalog.MuT, cases []Case, wide bool) ([]RawCl
 		if len(tc) != len(types) {
 			return nil, fmt.Errorf("core: case arity %d for %s (want %d)", len(tc), m.Name, len(types))
 		}
+		var start time.Time
+		var ticks0 uint64
+		if r.obs != nil {
+			start = time.Now()
+			ticks0 = k.Ticks()
+		}
 		args := make([]api.Arg, len(types))
 		skip := false
 		for pi, dt := range types {
@@ -330,6 +394,9 @@ func (r *Runner) RunSequence(ms []catalog.MuT, cases []Case, wide bool) ([]RawCl
 		}
 		if skip {
 			out[i] = RawSkip
+			if r.obs != nil {
+				r.obs.OnCaseDone(r.caseEvent(m, types, tc, wide, i, RawSkip, nil, ticks0, time.Since(start)))
+			}
 			continue
 		}
 		call := &api.Call{
@@ -345,9 +412,18 @@ func (r *Runner) RunSequence(ms []catalog.MuT, cases []Case, wide bool) ([]RawCl
 			call.Out.CrashReason = k.CrashReason()
 		}
 		out[i] = Classify(&call.Out)
+		if r.obs != nil {
+			r.obs.OnCaseDone(r.caseEvent(m, types, tc, wide, i, out[i], &call.Out, ticks0, time.Since(start)))
+		}
 	}
 	if k.Crashed() {
-		k.Reboot()
+		crashMuT := ""
+		for i, cls := range out {
+			if cls == RawCatastrophic {
+				crashMuT = ms[i].Name
+			}
+		}
+		r.reboot(crashMuT)
 	}
 	return out, nil
 }
@@ -390,39 +466,18 @@ func (r *Runner) RunProbe(m catalog.MuT, tc Case, wide bool) (RawClass, uint32, 
 	if err != nil {
 		return RawSkip, 0, err
 	}
-	k := r.machine()
-	if r.fixture != nil {
-		r.fixture(k)
-	}
-	env := &Env{K: k, P: k.NewProcess(), Profile: r.profile, Wide: wide}
-	defer env.Cleanup()
-	r.applyLoad(env)
-
-	args := make([]api.Arg, len(types))
 	for i, dt := range types {
 		if tc[i] < 0 || tc[i] >= len(dt.Values) {
 			return RawSkip, 0, fmt.Errorf("core: case index out of range for %s param %d", m.Name, i)
 		}
-		a, err := dt.Values[tc[i]].Make(env)
-		if err != nil {
-			return RawSkip, 0, nil
-		}
-		args[i] = a
 	}
-	call := &api.Call{
-		K: k, P: env.P, Name: m.Name, Args: args,
-		Traits: r.profile.Traits, Def: r.profile.Defect(m.Name), Wide: wide,
+	cls, out := r.runCase(m, impl, types, tc, wide, -1)
+	if r.kernel.Crashed() {
+		r.reboot(m.Name)
 	}
-	impl(call)
-	if !call.Done() {
-		call.Ret(0)
+	var code uint32
+	if out != nil {
+		code = out.Err
 	}
-	if k.Crashed() {
-		if !call.Out.Crashed {
-			call.Out.Crashed = true
-			call.Out.CrashReason = k.CrashReason()
-		}
-		k.Reboot()
-	}
-	return Classify(&call.Out), call.Out.Err, nil
+	return cls, code, nil
 }

@@ -13,6 +13,14 @@
 //	POST /api/campaign                  run one MuT's capped campaign
 //	POST /api/case                      run one identified test case
 //	GET  /api/summary?os=<name>&cap=N   Table 1 row for one OS
+//	GET  /api/events?n=K                most recent K trace events
+//	GET  /metrics                       Prometheus text exposition
+//
+// Every campaign the server runs is observed: per-case trace events
+// land in an in-memory ring (and any attached trace writer), and the
+// metrics registry accumulates CRASH-class counters, latency histograms
+// and sim-kernel gauges.  All requests pass through counting/latency
+// middleware feeding the same registry.
 package service
 
 import (
@@ -20,12 +28,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"ballista"
 	"ballista/internal/catalog"
 	"ballista/internal/core"
 	"ballista/internal/osprofile"
 	"ballista/internal/report"
+	"ballista/internal/telemetry"
 )
 
 // CampaignRequest asks the server to test one MuT.
@@ -95,26 +105,125 @@ type SummaryResponse struct {
 	Reboots           int     `json:"reboots"`
 }
 
+// EventsResponse carries the recent-events ring content.
+type EventsResponse struct {
+	// Seen is the total number of events the server has observed.
+	Seen uint64 `json:"seen"`
+	// Events holds up to the requested number of most recent records,
+	// oldest first.
+	Events []telemetry.TraceRecord `json:"events"`
+}
+
+// DefaultEventRing is how many recent trace events the server retains.
+const DefaultEventRing = 4096
+
 // Server is the Ballista testing service.  The zero value is not usable;
 // call NewServer.
 type Server struct {
-	mux *http.ServeMux
+	mux     *http.ServeMux
+	handler http.Handler
+
+	metrics *telemetry.Metrics
+	ring    *telemetry.Ring
+	extra   core.Observer
+	log     *telemetry.Logger
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithLogger routes server logs (including JSON-encode failures) to lg.
+func WithLogger(lg *telemetry.Logger) ServerOption {
+	return func(s *Server) { s.log = lg }
+}
+
+// WithCampaignObserver attaches an extra observer (e.g. a persistent
+// trace writer) to every campaign the server runs, alongside the
+// built-in metrics registry and event ring.
+func WithCampaignObserver(o core.Observer) ServerOption {
+	return func(s *Server) { s.extra = o }
 }
 
 // NewServer builds the service with all routes installed.
-func NewServer() *Server {
-	s := &Server{mux: http.NewServeMux()}
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		mux:     http.NewServeMux(),
+		metrics: telemetry.NewMetrics(),
+		ring:    telemetry.NewRing(DefaultEventRing),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.log == nil {
+		s.log = telemetry.NewLogger(nil, "ballistad")
+	}
 	s.mux.HandleFunc("GET /api/oses", s.handleOSes)
 	s.mux.HandleFunc("GET /api/muts", s.handleMuTs)
 	s.mux.HandleFunc("POST /api/campaign", s.handleCampaign)
 	s.mux.HandleFunc("POST /api/case", s.handleCase)
 	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
+	s.mux.HandleFunc("GET /api/events", s.handleEvents)
+	s.mux.Handle("GET /metrics", s.metrics.Handler())
+	s.handler = s.instrument(s.mux)
 	return s
+}
+
+// Metrics exposes the server's metrics registry (for a second listener
+// or for tests).
+func (s *Server) Metrics() *telemetry.Metrics { return s.metrics }
+
+// observer bundles the per-campaign telemetry sinks.
+func (s *Server) observer() core.Observer {
+	if s.extra != nil {
+		return telemetry.Multi(s.metrics, s.ring, s.extra)
+	}
+	return telemetry.Multi(s.metrics, s.ring)
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with request-count, latency and in-flight
+// accounting.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.AddInFlight(1)
+		defer s.metrics.AddInFlight(-1)
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		s.metrics.ObserveHTTP(r.Method, r.URL.Path, sr.status, time.Since(start))
+	})
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			s.httpError(w, http.StatusBadRequest, "bad n")
+			return
+		}
+		n = parsed
+	}
+	events := s.ring.Last(n)
+	if events == nil {
+		events = []telemetry.TraceRecord{}
+	}
+	s.writeJSON(w, http.StatusOK, EventsResponse{Seen: s.ring.Seen(), Events: events})
 }
 
 func (s *Server) handleOSes(w http.ResponseWriter, _ *http.Request) {
@@ -122,13 +231,13 @@ func (s *Server) handleOSes(w http.ResponseWriter, _ *http.Request) {
 	for _, o := range ballista.AllOSes() {
 		names = append(names, o.WireName())
 	}
-	writeJSON(w, http.StatusOK, names)
+	s.writeJSON(w, http.StatusOK, names)
 }
 
 func (s *Server) handleMuTs(w http.ResponseWriter, r *http.Request) {
 	o, ok := parseOS(r.URL.Query().Get("os"))
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown or missing os")
+		s.httpError(w, http.StatusBadRequest, "unknown or missing os")
 		return
 	}
 	var out []MuTInfo
@@ -138,26 +247,26 @@ func (s *Server) handleMuTs(w http.ResponseWriter, r *http.Request) {
 			Params: m.Params, HasWide: m.HasWide,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	var req CampaignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		s.httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	o, ok := parseOS(req.OS)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown os")
+		s.httpError(w, http.StatusBadRequest, "unknown os")
 		return
 	}
 	m, ok := mutFor(o, req.MuT)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("%q is not tested on %s", req.MuT, o))
+		s.httpError(w, http.StatusNotFound, fmt.Sprintf("%q is not tested on %s", req.MuT, o))
 		return
 	}
-	opts := []ballista.Option{}
+	opts := []ballista.Option{ballista.WithObserver(s.observer())}
 	if req.Cap > 0 {
 		opts = append(opts, ballista.WithCap(req.Cap))
 	}
@@ -166,10 +275,10 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := ballista.NewRunner(o, opts...).RunMuT(m, req.Wide)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, CampaignResponse{
+	s.writeJSON(w, http.StatusOK, CampaignResponse{
 		OS: o.String(), MuT: res.Name(), Group: m.Group.String(),
 		Cases:        res.Executed(),
 		Clean:        res.Count(core.RawClean),
@@ -187,54 +296,55 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCase(w http.ResponseWriter, r *http.Request) {
 	var req CaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		s.httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	o, ok := parseOS(req.OS)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown os")
+		s.httpError(w, http.StatusBadRequest, "unknown os")
 		return
 	}
 	m, ok := mutFor(o, req.MuT)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("%q is not tested on %s", req.MuT, o))
+		s.httpError(w, http.StatusNotFound, fmt.Sprintf("%q is not tested on %s", req.MuT, o))
 		return
 	}
 	if len(req.Case) != len(m.Params) {
-		httpError(w, http.StatusBadRequest,
+		s.httpError(w, http.StatusBadRequest,
 			fmt.Sprintf("%s takes %d parameters, case has %d", m.Name, len(m.Params), len(req.Case)))
 		return
 	}
-	cls, err := ballista.NewRunner(o, ballista.WithIsolation()).RunCase(m, core.Case(req.Case), req.Wide)
+	runner := ballista.NewRunner(o, ballista.WithIsolation(), ballista.WithObserver(s.observer()))
+	cls, err := runner.RunCase(m, core.Case(req.Case), req.Wide)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		s.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, CaseResponse{Class: cls.String()})
+	s.writeJSON(w, http.StatusOK, CaseResponse{Class: cls.String()})
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	o, ok := parseOS(r.URL.Query().Get("os"))
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown or missing os")
+		s.httpError(w, http.StatusBadRequest, "unknown or missing os")
 		return
 	}
 	cap := 300
 	if v := r.URL.Query().Get("cap"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			httpError(w, http.StatusBadRequest, "bad cap")
+			s.httpError(w, http.StatusBadRequest, "bad cap")
 			return
 		}
 		cap = n
 	}
-	res, err := ballista.Run(o, ballista.WithCap(cap))
+	res, err := ballista.Run(o, ballista.WithCap(cap), ballista.WithObserver(s.observer()))
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	sum := report.Summarize(o, res)
-	writeJSON(w, http.StatusOK, SummaryResponse{
+	s.writeJSON(w, http.StatusOK, SummaryResponse{
 		OS:                o.String(),
 		SysTested:         sum.SysTested,
 		SysCatastrophic:   sum.SysCatastrophic,
@@ -263,12 +373,15 @@ func mutFor(o ballista.OS, name string) (catalog.MuT, bool) {
 	return catalog.MuT{}, false
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is gone; all that is left is diagnosis.
+		s.log.Errorf("encoding %T response: %v", v, err)
+	}
 }
 
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func (s *Server) httpError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
 }

@@ -3,8 +3,11 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strings"
 	"testing"
 
 	"ballista"
@@ -167,3 +170,198 @@ func listing1Indices(t *testing.T) (handleIdx, nullIdx int) {
 }
 
 func registryForTest() *core.Registry { return ballista.Registry() }
+
+// TestHandlerErrors walks every 4xx path the service can produce and
+// checks both the status code and that the error body is well-formed
+// JSON with an "error" key.
+func TestHandlerErrors(t *testing.T) {
+	ts := testServer(t)
+	for _, tt := range []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"campaign bad JSON", "POST", "/api/campaign", `{"os":`, http.StatusBadRequest},
+		{"campaign unknown os", "POST", "/api/campaign", `{"os":"beos","mut":"ReadFile"}`, http.StatusBadRequest},
+		{"campaign unknown mut", "POST", "/api/campaign", `{"os":"win98","mut":"NtQuarks"}`, http.StatusNotFound},
+		{"case bad JSON", "POST", "/api/case", `not json`, http.StatusBadRequest},
+		{"case unknown os", "POST", "/api/case", `{"os":"os2","mut":"ReadFile","case":[0]}`, http.StatusBadRequest},
+		{"case unknown mut", "POST", "/api/case", `{"os":"win98","mut":"NtQuarks","case":[0]}`, http.StatusNotFound},
+		{"case arity mismatch", "POST", "/api/case", `{"os":"win98","mut":"GetThreadContext","case":[0]}`, http.StatusBadRequest},
+		{"muts missing os", "GET", "/api/muts", "", http.StatusBadRequest},
+		{"muts unknown os", "GET", "/api/muts?os=solaris", "", http.StatusBadRequest},
+		{"summary unknown os", "GET", "/api/summary?os=beos", "", http.StatusBadRequest},
+		{"summary bad cap", "GET", "/api/summary?os=win98&cap=zero", "", http.StatusBadRequest},
+		{"summary negative cap", "GET", "/api/summary?os=win98&cap=-5", "", http.StatusBadRequest},
+		{"events bad n", "GET", "/api/events?n=plenty", "", http.StatusBadRequest},
+		{"events negative n", "GET", "/api/events?n=-1", "", http.StatusBadRequest},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			switch tt.method {
+			case "GET":
+				resp, err = http.Get(ts.URL + tt.path)
+			default:
+				resp, err = http.Post(ts.URL+tt.path, "application/json", strings.NewReader(tt.body))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tt.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tt.want)
+			}
+			var body map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if body["error"] == "" {
+				t.Errorf("error body %v has no error key", body)
+			}
+		})
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	idxHandle, idxNull := listing1Indices(t)
+	var caseResp CaseResponse
+	if code := postJSON(t, ts.URL+"/api/case",
+		CaseRequest{OS: "winnt", MuT: "GetThreadContext", Case: []int{idxHandle, idxNull}}, &caseResp); code != http.StatusOK {
+		t.Fatalf("case status %d", code)
+	}
+	var ev EventsResponse
+	if code := getJSON(t, ts.URL+"/api/events?n=10", &ev); code != http.StatusOK {
+		t.Fatalf("events status %d", code)
+	}
+	if ev.Seen == 0 || len(ev.Events) == 0 {
+		t.Fatalf("events after a case run: %+v", ev)
+	}
+	last := ev.Events[len(ev.Events)-1]
+	if last.Type != "case" || last.OS != "winnt" || last.MuT != "GetThreadContext" {
+		t.Errorf("last event = %+v", last)
+	}
+	if last.Class != caseResp.Class {
+		t.Errorf("event class %q, case response class %q", last.Class, caseResp.Class)
+	}
+	// The ring starts empty on a fresh server.
+	fresh := testServer(t)
+	if code := getJSON(t, fresh.URL+"/api/events", &ev); code != http.StatusOK {
+		t.Fatalf("fresh events status %d", code)
+	}
+	if ev.Seen != 0 || len(ev.Events) != 0 {
+		t.Errorf("fresh server events: %+v", ev)
+	}
+}
+
+// promLine matches the Prometheus text exposition format's sample lines:
+// metric_name{label="v",...} value
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (?:[-+]?[0-9.eE+-]+|NaN|\+Inf)$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp CampaignResponse
+	if code := postJSON(t, ts.URL+"/api/campaign",
+		CampaignRequest{OS: "winnt", MuT: "ReadFile", Cap: 120}, &resp); code != http.StatusOK {
+		t.Fatalf("campaign status %d", code)
+	}
+	httpResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", httpResp.StatusCode)
+	}
+	if ct := httpResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	// Every non-comment, non-blank line must parse as a Prometheus sample.
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("unparseable metrics line: %q", line)
+		}
+	}
+
+	// Per-class case counters from the campaign.
+	for _, class := range []string{"clean", "error-return", "abort"} {
+		want := "ballista_cases_total{class=\"" + class + "\"}"
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+	// Kernel gauges (the acceptance floor is three).
+	for _, gauge := range []string{
+		"ballista_kernel_corruption_level",
+		"ballista_kernel_live_handles",
+		"ballista_kernel_mapped_pages",
+		"ballista_kernel_epoch",
+		"ballista_kernel_heap_blocks",
+	} {
+		if !strings.Contains(text, gauge+"{os=\"winnt\"}") {
+			t.Errorf("metrics missing kernel gauge %s", gauge)
+		}
+	}
+	// The middleware counted the campaign POST.
+	if !strings.Contains(text, `ballista_http_requests_total{method="POST",path="/api/campaign",status="200"}`) {
+		t.Error("metrics missing http request counter for the campaign POST")
+	}
+	if !strings.Contains(text, "ballista_http_request_duration_seconds_bucket") {
+		t.Error("metrics missing http latency histogram")
+	}
+}
+
+// TestCaseReplayFromEvents closes the observability loop the ISSUE asks
+// for: a Catastrophic case recorded during a campaign replays to
+// Catastrophic through POST /api/case, using the trace record's own
+// {os, mut, case, wide} fields as the request.
+func TestCaseReplayFromEvents(t *testing.T) {
+	ts := testServer(t)
+	var camp CampaignResponse
+	if code := postJSON(t, ts.URL+"/api/campaign",
+		CampaignRequest{OS: "win98", MuT: "GetThreadContext", Cap: 200}, &camp); code != http.StatusOK {
+		t.Fatalf("campaign status %d", code)
+	}
+	if camp.Catastrophic == 0 {
+		t.Fatal("win98 GetThreadContext campaign produced no Catastrophic case")
+	}
+	var ev EventsResponse
+	if code := getJSON(t, ts.URL+"/api/events?n=1000", &ev); code != http.StatusOK {
+		t.Fatalf("events status %d", code)
+	}
+	var replayed bool
+	for _, rec := range ev.Events {
+		// Immediate pointer crashes reproduce in isolation; accumulated-
+		// corruption crashes are exactly the paper's non-reproducing "*"
+		// cases, so skip them.
+		if rec.Type != "case" || rec.Class != "catastrophic" ||
+			!strings.Contains(rec.CrashReason, "invalid pointer") {
+			continue
+		}
+		var resp CaseResponse
+		if code := postJSON(t, ts.URL+"/api/case",
+			CaseRequest{OS: rec.OS, MuT: rec.MuT, Case: rec.Case, Wide: rec.Wide}, &resp); code != http.StatusOK {
+			t.Fatalf("replay status %d", code)
+		}
+		if resp.Class != "catastrophic" {
+			t.Errorf("replay of %s%v on %s = %q, want catastrophic", rec.MuT, rec.Case, rec.OS, resp.Class)
+		}
+		replayed = true
+		break
+	}
+	if !replayed {
+		t.Fatal("no immediate-crash Catastrophic case record found to replay")
+	}
+}

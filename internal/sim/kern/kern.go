@@ -89,7 +89,55 @@ type Kernel struct {
 	// Epoch counts reboots, letting long campaigns report how many times
 	// the machine had to be restarted.
 	Epoch int
+
+	stats    Stats
+	memStats mem.Stats
 }
+
+// Stats holds cheap monotonic machine-activity counters.  They survive
+// reboots (they describe the campaign, not one boot) and are plain
+// integers because one goroutine drives each machine.
+type Stats struct {
+	// Processes counts processes created since boot.
+	Processes uint64
+	// HandlesOpened / HandlesClosed count handle-table insertions and
+	// removals machine-wide; their difference is the live-handle gauge.
+	HandlesOpened, HandlesClosed uint64
+	// FDsOpened / FDsClosed count POSIX descriptor-table activity.
+	FDsOpened, FDsClosed uint64
+	// ProbeFaults counts syscall-boundary pointer probes that failed.
+	ProbeFaults uint64
+	// RawReads / RawWrites count unprobed kernel-mode accesses, and
+	// RawFaults how many of them faulted.
+	RawReads, RawWrites, RawFaults uint64
+	// Corruptions counts Corrupt calls that added damage.
+	Corruptions uint64
+	// Crashes counts machine-down transitions; Reboots counts recoveries.
+	Crashes, Reboots uint64
+}
+
+// LiveHandles returns open minus closed handle-table entries.
+func (s *Stats) LiveHandles() uint64 {
+	if s.HandlesClosed > s.HandlesOpened {
+		return 0
+	}
+	return s.HandlesOpened - s.HandlesClosed
+}
+
+// LiveFDs returns open minus closed descriptors.
+func (s *Stats) LiveFDs() uint64 {
+	if s.FDsClosed > s.FDsOpened {
+		return 0
+	}
+	return s.FDsOpened - s.FDsClosed
+}
+
+// Stats exposes the machine's activity counters.
+func (k *Kernel) Stats() *Stats { return &k.stats }
+
+// MemStats exposes the machine-wide memory counters shared by every
+// address space this kernel created.
+func (k *Kernel) MemStats() *mem.Stats { return &k.memStats }
 
 // New creates a booted kernel with an empty filesystem.
 func New(arch Arch) *Kernel {
@@ -118,6 +166,7 @@ func (k *Kernel) Crash(reason string) {
 	if !k.crashed {
 		k.crashed = true
 		k.crashReason = reason
+		k.stats.Crashes++
 	}
 }
 
@@ -126,6 +175,9 @@ func (k *Kernel) Crash(reason string) {
 func (k *Kernel) Corrupt(amount int, source string) {
 	if k.crashed {
 		return
+	}
+	if amount > 0 {
+		k.stats.Corruptions++
 	}
 	k.corruption += amount
 	if k.corruption > k.CorruptionLimit {
@@ -145,11 +197,13 @@ func (k *Kernel) Reboot() {
 	k.crashReason = ""
 	k.corruption = 0
 	k.Epoch++
+	k.stats.Reboots++
 }
 
 // NewProcess creates a fresh process with its own address space, standard
 // handles and an empty descriptor table.
 func (k *Kernel) NewProcess() *Process {
+	k.stats.Processes++
 	p := &Process{
 		K:       k,
 		PID:     k.nextPID,
@@ -161,6 +215,7 @@ func (k *Kernel) NewProcess() *Process {
 		nextH:   4,
 		nextFD:  3,
 	}
+	p.AS.SetStats(&k.memStats)
 	k.nextPID++
 	p.Thread = &Thread{Proc: p, TID: p.PID*4 + 1, State: ThreadRunning, Priority: 0}
 	p.object = &Object{Kind: KProcess, Proc: p}
@@ -186,6 +241,14 @@ func (k *Kernel) NewProcess() *Process {
 // needed access.  It is what ProbePointers kernels do at the syscall
 // boundary.
 func (k *Kernel) Probe(as *mem.AddressSpace, addr mem.Addr, size uint32, write bool) bool {
+	ok := k.probe(as, addr, size, write)
+	if !ok {
+		k.stats.ProbeFaults++
+	}
+	return ok
+}
+
+func (k *Kernel) probe(as *mem.AddressSpace, addr mem.Addr, size uint32, write bool) bool {
 	if addr == 0 {
 		return false
 	}
@@ -222,8 +285,10 @@ const (
 // same bad pointer merely faults (kernel code catches it), which is why
 // NT/2000/Linux exhibited no Catastrophic failures.
 func (k *Kernel) RawWrite(as *mem.AddressSpace, addr mem.Addr, data []byte) RawResult {
+	k.stats.RawWrites++
 	region := mem.RegionOf(addr)
 	if f := as.Write(addr, data); f != nil {
+		k.stats.RawFaults++
 		if k.Arch.SharedSystemArena {
 			k.Crash(fmt.Sprintf("kernel-mode write through invalid pointer %#08x (%s arena)", uint32(addr), region))
 			return RawCrashed
@@ -246,10 +311,12 @@ func (k *Kernel) RawWrite(as *mem.AddressSpace, addr mem.Addr, data []byte) RawR
 // kernel-mode read of an unmapped address is itself an unhandled ring-0
 // fault and brings the machine down.
 func (k *Kernel) RawRead(as *mem.AddressSpace, addr mem.Addr, size uint32) ([]byte, RawResult) {
+	k.stats.RawReads++
 	b, f := as.Read(addr, size)
 	if f == nil {
 		return b, RawOK
 	}
+	k.stats.RawFaults++
 	if k.Arch.SharedSystemArena {
 		k.Crash(fmt.Sprintf("kernel-mode read through invalid pointer %#08x (%s arena)", uint32(addr), mem.RegionOf(addr)))
 		return nil, RawCrashed

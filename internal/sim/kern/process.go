@@ -84,6 +84,7 @@ func (p *Process) AddHandle(o *Object) Handle {
 	p.nextH += 4
 	o.refs++
 	p.handles[h] = o
+	p.K.stats.HandlesOpened++
 	return h
 }
 
@@ -111,6 +112,7 @@ func (p *Process) CloseHandle(h Handle) bool {
 		return false
 	}
 	delete(p.handles, h)
+	p.K.stats.HandlesClosed++
 	o.refs--
 	if o.refs <= 0 {
 		o.closed = true
@@ -156,13 +158,18 @@ func (p *Process) AddFD(f *FD) int {
 	if fd >= p.nextFD {
 		p.nextFD = fd + 1
 	}
+	p.K.stats.FDsOpened++
 	return fd
 }
 
 // AddFDAt inserts a descriptor at an exact slot, closing any previous
 // occupant (dup2 semantics).
 func (p *Process) AddFDAt(fd int, f *FD) {
+	if _, ok := p.fds[fd]; ok {
+		p.K.stats.FDsClosed++
+	}
 	p.fds[fd] = f
+	p.K.stats.FDsOpened++
 }
 
 // FD resolves a descriptor; nil if closed/unknown.
@@ -181,6 +188,7 @@ func (p *Process) CloseFD(fd int) bool {
 		return false
 	}
 	delete(p.fds, fd)
+	p.K.stats.FDsClosed++
 	if f.File != nil && !f.File.Closed() {
 		_ = f.File.Close()
 	}

@@ -163,6 +163,37 @@ var ErrNoSpace = errors.New("mem: address space exhausted")
 // ErrBadRange is returned for malformed map/unmap/protect ranges.
 var ErrBadRange = errors.New("mem: bad address range")
 
+// Stats holds cheap monotonic counters for memory activity, shared by
+// every address space a kernel creates so machine-wide gauges (live
+// pages, live heap blocks) can be derived as differences.  Counters are
+// plain integers: each simulated machine is driven by one goroutine.
+type Stats struct {
+	// PagesMapped / PagesUnmapped count page-table insertions and
+	// removals; their difference is the live mapped-page gauge.
+	PagesMapped, PagesUnmapped uint64
+	// Allocs / Frees count heap blocks from Alloc/AllocSystem and Free;
+	// their difference is the live heap-block gauge.
+	Allocs, Frees uint64
+	// Faults counts failed Read/Write accesses.
+	Faults uint64
+}
+
+// LivePages returns currently mapped pages across all observed spaces.
+func (s *Stats) LivePages() uint64 {
+	if s == nil || s.PagesUnmapped > s.PagesMapped {
+		return 0
+	}
+	return s.PagesMapped - s.PagesUnmapped
+}
+
+// LiveBlocks returns live heap blocks across all observed spaces.
+func (s *Stats) LiveBlocks() uint64 {
+	if s == nil || s.Frees > s.Allocs {
+		return 0
+	}
+	return s.Allocs - s.Frees
+}
+
 type page struct {
 	prot Prot
 	data []byte // allocated lazily on first write
@@ -185,7 +216,14 @@ type AddressSpace struct {
 	// quota bounds total mapped bytes when nonzero (heavy-load testing);
 	// mapped tracks the current total.
 	quota, mapped uint64
+
+	// stats, when non-nil, accumulates activity counters (typically the
+	// owning kernel's machine-wide mem.Stats).
+	stats *Stats
 }
+
+// SetStats attaches a counter sink; nil detaches it.
+func (as *AddressSpace) SetStats(s *Stats) { as.stats = s }
 
 // SetQuota bounds the total mapped bytes of this address space; 0 removes
 // the bound.  Used by the heavy-load campaign mode.
@@ -237,6 +275,9 @@ func (as *AddressSpace) Map(addr Addr, size uint32, prot Prot) error {
 		}
 	}
 	as.mapped += fresh
+	if as.stats != nil {
+		as.stats.PagesMapped += fresh / PageSize
+	}
 	return nil
 }
 
@@ -250,6 +291,9 @@ func (as *AddressSpace) Unmap(addr Addr, size uint32) error {
 	for pn := first; pn <= last; pn++ {
 		if _, ok := as.pages[pn]; ok {
 			as.mapped -= PageSize
+			if as.stats != nil {
+				as.stats.PagesUnmapped++
+			}
 		}
 		delete(as.pages, pn)
 	}
@@ -348,6 +392,9 @@ func (pg *page) ensure() []byte {
 // and no data.
 func (as *AddressSpace) Read(addr Addr, size uint32) ([]byte, *Fault) {
 	if f := as.check(addr, size, false); f != nil {
+		if as.stats != nil {
+			as.stats.Faults++
+		}
 		return nil, f
 	}
 	out := make([]byte, size)
@@ -368,6 +415,9 @@ func (as *AddressSpace) Write(addr Addr, data []byte) *Fault {
 		return nil
 	}
 	if f := as.check(addr, uint32(len(data)), true); f != nil {
+		if as.stats != nil {
+			as.stats.Faults++
+		}
 		return f
 	}
 	var done uint32
@@ -508,6 +558,9 @@ func (as *AddressSpace) Alloc(size uint32, prot Prot) (Addr, error) {
 	}
 	as.userNext = base + span
 	as.allocs[base] = pages * PageSize
+	if as.stats != nil {
+		as.stats.Allocs++
+	}
 	return base, nil
 }
 
@@ -529,6 +582,9 @@ func (as *AddressSpace) AllocSystem(size uint32, prot Prot) (Addr, error) {
 	}
 	as.sysNext = base + span
 	as.allocs[base] = pages * PageSize
+	if as.stats != nil {
+		as.stats.Allocs++
+	}
 	return base, nil
 }
 
@@ -541,6 +597,9 @@ func (as *AddressSpace) Free(base Addr) error {
 		return fmt.Errorf("mem: Free(%#08x): %w", uint32(base), ErrBadRange)
 	}
 	delete(as.allocs, base)
+	if as.stats != nil {
+		as.stats.Frees++
+	}
 	return as.Unmap(base, size)
 }
 

@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ballista/internal/core"
+)
+
+// latencyBuckets are the case-latency histogram upper bounds, in
+// seconds.  Simulated cases run in microseconds; the top buckets exist
+// for heavily loaded or instrumented runs.
+var latencyBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 1e-1,
+}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	buckets []float64 // upper bounds
+	counts  []uint64  // one per bucket, plus +Inf at the end
+	sum     float64
+	total   uint64
+}
+
+// NewHistogram creates a histogram with the given upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{buckets: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Metrics is a core.Observer that aggregates campaign telemetry into a
+// small in-memory registry and renders it in Prometheus text format.
+// One Metrics instance may observe many concurrent runners.
+type Metrics struct {
+	mu sync.Mutex
+
+	casesByClass map[string]uint64    // class -> count
+	casesByGroup map[[2]string]uint64 // {group, class} -> count
+	casesByOS    map[string]uint64    // os -> count
+	mutsStarted  uint64
+	reboots      uint64
+	campaigns    uint64
+	latency      *Histogram
+	simTicks     uint64
+
+	// Last-seen kernel health gauges, keyed by OS wire name so variants
+	// under concurrent test do not clobber each other.
+	kernel map[string]core.KernelSample
+
+	// HTTP middleware counters: {method, path, status} -> count.
+	httpRequests map[[3]string]uint64
+	httpLatency  *Histogram
+	httpInFlight int64
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		casesByClass: make(map[string]uint64),
+		casesByGroup: make(map[[2]string]uint64),
+		casesByOS:    make(map[string]uint64),
+		kernel:       make(map[string]core.KernelSample),
+		httpRequests: make(map[[3]string]uint64),
+		latency:      NewHistogram(latencyBuckets),
+		httpLatency:  NewHistogram([]float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 60}),
+	}
+}
+
+// OnMuTStart implements core.Observer.
+func (m *Metrics) OnMuTStart(core.MuTStartEvent) {
+	m.mu.Lock()
+	m.mutsStarted++
+	m.mu.Unlock()
+}
+
+// OnCaseDone implements core.Observer.
+func (m *Metrics) OnCaseDone(ev core.CaseEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cls := ev.Class.String()
+	m.casesByClass[cls]++
+	m.casesByGroup[[2]string{ev.Group, cls}]++
+	m.casesByOS[ev.OS]++
+	m.latency.Observe(ev.Wall.Seconds())
+	m.simTicks += ev.SimTicks
+	m.kernel[ev.OS] = ev.Kernel
+}
+
+// OnReboot implements core.Observer.
+func (m *Metrics) OnReboot(core.RebootEvent) {
+	m.mu.Lock()
+	m.reboots++
+	m.mu.Unlock()
+}
+
+// OnCampaignDone implements core.Observer.
+func (m *Metrics) OnCampaignDone(core.CampaignEvent) {
+	m.mu.Lock()
+	m.campaigns++
+	m.mu.Unlock()
+}
+
+// CaseCount returns the total observed cases for one CRASH class name.
+func (m *Metrics) CaseCount(class string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.casesByClass[class]
+}
+
+// ObserveHTTP records one served request (used by the service
+// middleware).
+func (m *Metrics) ObserveHTTP(method, path string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.httpRequests[[3]string{method, path, fmt.Sprintf("%d", status)}]++
+	m.httpLatency.Observe(d.Seconds())
+}
+
+// HTTPRequestCount returns the total number of requests observed across
+// every method/path/status combination.
+func (m *Metrics) HTTPRequestCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total uint64
+	for _, n := range m.httpRequests {
+		total += n
+	}
+	return total
+}
+
+// AddInFlight adjusts the in-flight request gauge by delta.
+func (m *Metrics) AddInFlight(delta int64) {
+	m.mu.Lock()
+	m.httpInFlight += delta
+	m.mu.Unlock()
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4), with stable ordering for testability.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP ballista_cases_total Test cases executed, by CRASH class.\n")
+	fmt.Fprintf(w, "# TYPE ballista_cases_total counter\n")
+	for _, cls := range sortedKeys(m.casesByClass) {
+		fmt.Fprintf(w, "ballista_cases_total{class=%q} %d\n", cls, m.casesByClass[cls])
+	}
+
+	fmt.Fprintf(w, "# HELP ballista_group_cases_total Test cases by catalog group and CRASH class.\n")
+	fmt.Fprintf(w, "# TYPE ballista_group_cases_total counter\n")
+	groupKeys := make([][2]string, 0, len(m.casesByGroup))
+	for k := range m.casesByGroup {
+		groupKeys = append(groupKeys, k)
+	}
+	sort.Slice(groupKeys, func(i, j int) bool {
+		if groupKeys[i][0] != groupKeys[j][0] {
+			return groupKeys[i][0] < groupKeys[j][0]
+		}
+		return groupKeys[i][1] < groupKeys[j][1]
+	})
+	for _, k := range groupKeys {
+		fmt.Fprintf(w, "ballista_group_cases_total{group=%q,class=%q} %d\n", k[0], k[1], m.casesByGroup[k])
+	}
+
+	fmt.Fprintf(w, "# HELP ballista_os_cases_total Test cases executed per OS variant.\n")
+	fmt.Fprintf(w, "# TYPE ballista_os_cases_total counter\n")
+	for _, o := range sortedKeys(m.casesByOS) {
+		fmt.Fprintf(w, "ballista_os_cases_total{os=%q} %d\n", o, m.casesByOS[o])
+	}
+
+	fmt.Fprintf(w, "# HELP ballista_muts_started_total MuT campaigns begun.\n")
+	fmt.Fprintf(w, "# TYPE ballista_muts_started_total counter\n")
+	fmt.Fprintf(w, "ballista_muts_started_total %d\n", m.mutsStarted)
+
+	fmt.Fprintf(w, "# HELP ballista_reboots_total Machine reboots forced by Catastrophic failures.\n")
+	fmt.Fprintf(w, "# TYPE ballista_reboots_total counter\n")
+	fmt.Fprintf(w, "ballista_reboots_total %d\n", m.reboots)
+
+	fmt.Fprintf(w, "# HELP ballista_campaigns_total Completed full-OS campaigns.\n")
+	fmt.Fprintf(w, "# TYPE ballista_campaigns_total counter\n")
+	fmt.Fprintf(w, "ballista_campaigns_total %d\n", m.campaigns)
+
+	fmt.Fprintf(w, "# HELP ballista_sim_ticks_total Simulated clock ticks consumed by cases.\n")
+	fmt.Fprintf(w, "# TYPE ballista_sim_ticks_total counter\n")
+	fmt.Fprintf(w, "ballista_sim_ticks_total %d\n", m.simTicks)
+
+	writeHistogram(w, "ballista_case_duration_seconds", "Wall-clock duration of one test case.", m.latency)
+
+	// Kernel health gauges, as sampled after the most recent case.
+	for _, name := range []struct{ metric, help string }{
+		{"ballista_kernel_corruption_level", "Accumulated kernel-heap corruption after the latest case."},
+		{"ballista_kernel_epoch", "Machine reboot epoch."},
+		{"ballista_kernel_live_handles", "Live kernel handle-table entries."},
+		{"ballista_kernel_mapped_pages", "Live mapped pages across all address spaces."},
+		{"ballista_kernel_probe_faults_total", "Failed syscall-boundary pointer probes."},
+		{"ballista_kernel_heap_blocks", "Live heap blocks across all address spaces."},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n", name.metric, name.help)
+		kind := "gauge"
+		if name.metric == "ballista_kernel_probe_faults_total" {
+			kind = "counter"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name.metric, kind)
+		for _, o := range sortedSampleKeys(m.kernel) {
+			ks := m.kernel[o]
+			var v uint64
+			switch name.metric {
+			case "ballista_kernel_corruption_level":
+				v = uint64(ks.Corruption)
+			case "ballista_kernel_epoch":
+				v = uint64(ks.Epoch)
+			case "ballista_kernel_live_handles":
+				v = ks.LiveHandles
+			case "ballista_kernel_mapped_pages":
+				v = ks.MappedPages
+			case "ballista_kernel_probe_faults_total":
+				v = ks.ProbeFaults
+			case "ballista_kernel_heap_blocks":
+				v = ks.HeapBlocks
+			}
+			fmt.Fprintf(w, "%s{os=%q} %d\n", name.metric, o, v)
+		}
+	}
+
+	// HTTP middleware series.
+	fmt.Fprintf(w, "# HELP ballista_http_requests_total Requests served, by method, path and status.\n")
+	fmt.Fprintf(w, "# TYPE ballista_http_requests_total counter\n")
+	reqKeys := make([][3]string, 0, len(m.httpRequests))
+	for k := range m.httpRequests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		a, b := reqKeys[i], reqKeys[j]
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[2] < b[2]
+	})
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "ballista_http_requests_total{method=%q,path=%q,status=%q} %d\n",
+			k[0], k[1], k[2], m.httpRequests[k])
+	}
+	fmt.Fprintf(w, "# HELP ballista_http_in_flight_requests Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE ballista_http_in_flight_requests gauge\n")
+	fmt.Fprintf(w, "ballista_http_in_flight_requests %d\n", m.httpInFlight)
+	writeHistogram(w, "ballista_http_request_duration_seconds", "Wall-clock duration of one HTTP request.", m.httpLatency)
+}
+
+// Handler serves the registry at an endpoint (GET /metrics).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+}
+
+func writeHistogram(w io.Writer, name, help string, h *Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum)
+	}
+	cum += h.counts[len(h.buckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}
+
+func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedSampleKeys(m map[string]core.KernelSample) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+// Package telemetry is the observability layer of the Ballista
+// reproduction.  The paper's harness logged every test case to disk so
+// Catastrophic failures could be replayed as single-test programs (§2,
+// §3.3) and reported its findings as aggregate rate tables; this package
+// supplies both halves as stock core.Observer implementations:
+//
+//   - TraceWriter appends one JSONL record per test case; any record's
+//     {os, mut, case, wide} fields are a service CaseRequest, so traces
+//     replay directly through POST /api/case or Runner.RunCase.
+//   - Metrics accumulates counters per CRASH class and catalog group,
+//     case-latency histograms, and sim-kernel health gauges, and renders
+//     them in Prometheus text exposition format.
+//   - Ring retains the last N events in memory for the service's
+//     GET /api/events endpoint.
+//
+// All types here are safe for concurrent use: the campaign runner fires
+// hooks from one goroutine, but the testing service runs many campaigns
+// at once against shared observers.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"ballista/internal/core"
+)
+
+// Multi fans one event stream out to several observers, in order.  Nil
+// observers are dropped; zero live observers collapse to nil so the
+// runner's nil check keeps the case path free, and a single live
+// observer is returned undecorated.
+func Multi(obs ...core.Observer) core.Observer {
+	flat := make([]core.Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	}
+	return multi(flat)
+}
+
+type multi []core.Observer
+
+func (m multi) OnMuTStart(ev core.MuTStartEvent) {
+	for _, o := range m {
+		o.OnMuTStart(ev)
+	}
+}
+
+func (m multi) OnCaseDone(ev core.CaseEvent) {
+	for _, o := range m {
+		o.OnCaseDone(ev)
+	}
+}
+
+func (m multi) OnReboot(ev core.RebootEvent) {
+	for _, o := range m {
+		o.OnReboot(ev)
+	}
+}
+
+func (m multi) OnCampaignDone(ev core.CampaignEvent) {
+	for _, o := range m {
+		o.OnCampaignDone(ev)
+	}
+}
+
+// Logger is the shared harness logger: a thin prefix-per-component
+// wrapper so server and CLI log lines are uniform and testable.
+type Logger struct {
+	l *log.Logger
+}
+
+// NewLogger logs to w with a component prefix; a nil w selects stderr.
+func NewLogger(w io.Writer, component string) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return &Logger{l: log.New(w, component+": ", log.LstdFlags|log.LUTC|log.Lmsgprefix)}
+}
+
+// Printf logs one formatted line.
+func (lg *Logger) Printf(format string, args ...any) {
+	if lg == nil {
+		return
+	}
+	lg.l.Printf(format, args...)
+}
+
+// Errorf logs one formatted line with an "error: " marker.
+func (lg *Logger) Errorf(format string, args ...any) {
+	if lg == nil {
+		return
+	}
+	lg.l.Printf("error: %s", fmt.Sprintf(format, args...))
+}

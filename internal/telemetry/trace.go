@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"ballista/internal/core"
+)
+
+// TraceRecord is one JSONL trace line.  For Type "case" the OS, MuT,
+// Case and Wide fields are exactly the service's CaseRequest schema, so
+// a Catastrophic record pipes straight back into POST /api/case (or
+// Runner.RunCase) as the paper's single-test reproduction program.
+type TraceRecord struct {
+	// Type discriminates the record: "mut_start", "case", "reboot",
+	// "campaign".
+	Type string `json:"type"`
+	OS   string `json:"os"`
+	MuT  string `json:"mut,omitempty"`
+	Case []int  `json:"case,omitempty"`
+	Wide bool   `json:"wide,omitempty"`
+
+	// API/Group classify the MuT ("case" and "mut_start" records).
+	API   string `json:"api,omitempty"`
+	Group string `json:"group,omitempty"`
+
+	// Seq is the case ordinal within its MuT campaign; -1 for standalone
+	// single-case runs.
+	Seq *int `json:"seq,omitempty"`
+	// Class is the CRASH classification of a "case" record.
+	Class       string `json:"class,omitempty"`
+	Exceptional bool   `json:"exceptional,omitempty"`
+	ErrCode     uint32 `json:"err_code,omitempty"`
+	Exception   uint32 `json:"exception,omitempty"`
+	IsSignal    bool   `json:"is_signal,omitempty"`
+	CrashReason string `json:"crash_reason,omitempty"`
+
+	// Kernel health sampled right after the case classified.
+	Epoch       int    `json:"epoch,omitempty"`
+	Corruption  int    `json:"corruption,omitempty"`
+	LiveHandles uint64 `json:"live_handles,omitempty"`
+	MappedPages uint64 `json:"mapped_pages,omitempty"`
+
+	// SimTicks and WallNS are the case's simulated and host durations.
+	SimTicks uint64 `json:"sim_ticks,omitempty"`
+	WallNS   int64  `json:"wall_ns,omitempty"`
+
+	// Cases is the campaign size ("mut_start") or total run ("campaign").
+	Cases int `json:"cases,omitempty"`
+	// Reason is the crash reason of a "reboot" record.
+	Reason string `json:"reason,omitempty"`
+	// Reboots totals machine restarts ("campaign" records).
+	Reboots int `json:"reboots,omitempty"`
+}
+
+// TraceWriter is a core.Observer that appends one JSON object per line.
+// It buffers; call Flush (or Close) before reading the output.
+type TraceWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	n   uint64
+	err error
+}
+
+// NewTraceWriter wraps w.  If w is also an io.Closer, Close closes it.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	tw := &TraceWriter{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		tw.c = c
+	}
+	return tw
+}
+
+// Records reports how many records have been written.
+func (tw *TraceWriter) Records() uint64 {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.n
+}
+
+// Err returns the first write error, if any.
+func (tw *TraceWriter) Err() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.err
+}
+
+// Flush drains the buffer to the underlying writer.
+func (tw *TraceWriter) Flush() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if err := tw.w.Flush(); err != nil && tw.err == nil {
+		tw.err = err
+	}
+	return tw.err
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (tw *TraceWriter) Close() error {
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if tw.c != nil {
+		return tw.c.Close()
+	}
+	return nil
+}
+
+func (tw *TraceWriter) emit(rec *TraceRecord) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if err := tw.enc.Encode(rec); err != nil && tw.err == nil {
+		tw.err = err
+	}
+	tw.n++
+}
+
+// Record constructors shared by TraceWriter and Ring, so the on-disk
+// trace and the /api/events surface carry one schema.
+
+func mutStartRecord(ev core.MuTStartEvent) TraceRecord {
+	return TraceRecord{
+		Type: "mut_start", OS: ev.OS, MuT: ev.MuT, API: ev.API,
+		Group: ev.Group, Wide: ev.Wide, Cases: ev.Cases,
+	}
+}
+
+func caseRecord(ev core.CaseEvent) TraceRecord {
+	seq := ev.Seq
+	return TraceRecord{
+		Type: "case", OS: ev.OS, MuT: ev.MuT, Case: ev.Case, Wide: ev.Wide,
+		API: ev.API, Group: ev.Group, Seq: &seq,
+		Class: ev.Class.String(), Exceptional: ev.Exceptional,
+		ErrCode: ev.ErrCode, Exception: ev.Exception, IsSignal: ev.IsSignal,
+		CrashReason: ev.CrashReason,
+		Epoch:       ev.Kernel.Epoch, Corruption: ev.Kernel.Corruption,
+		LiveHandles: ev.Kernel.LiveHandles, MappedPages: ev.Kernel.MappedPages,
+		SimTicks: ev.SimTicks, WallNS: ev.Wall.Nanoseconds(),
+	}
+}
+
+func rebootRecord(ev core.RebootEvent) TraceRecord {
+	return TraceRecord{Type: "reboot", OS: ev.OS, MuT: ev.MuT, Epoch: ev.Epoch, Reason: ev.Reason}
+}
+
+func campaignRecord(ev core.CampaignEvent) TraceRecord {
+	return TraceRecord{
+		Type: "campaign", OS: ev.OS, Cases: ev.CasesRun,
+		Reboots: ev.Reboots, WallNS: ev.Wall.Nanoseconds(),
+	}
+}
+
+// OnMuTStart implements core.Observer.
+func (tw *TraceWriter) OnMuTStart(ev core.MuTStartEvent) {
+	rec := mutStartRecord(ev)
+	tw.emit(&rec)
+}
+
+// OnCaseDone implements core.Observer.
+func (tw *TraceWriter) OnCaseDone(ev core.CaseEvent) {
+	rec := caseRecord(ev)
+	tw.emit(&rec)
+}
+
+// OnReboot implements core.Observer.
+func (tw *TraceWriter) OnReboot(ev core.RebootEvent) {
+	rec := rebootRecord(ev)
+	tw.emit(&rec)
+}
+
+// OnCampaignDone implements core.Observer.
+func (tw *TraceWriter) OnCampaignDone(ev core.CampaignEvent) {
+	rec := campaignRecord(ev)
+	tw.emit(&rec)
+	_ = tw.Flush()
+}
+
+// ReadTrace parses a JSONL trace stream, returning its records in order.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []TraceRecord
+	for {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
