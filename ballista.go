@@ -10,11 +10,13 @@
 package ballista
 
 import (
+	"context"
 	"fmt"
 
 	"ballista/internal/catalog"
 	"ballista/internal/clib"
 	"ballista/internal/core"
+	"ballista/internal/farm"
 	"ballista/internal/hinder"
 	"ballista/internal/osprofile"
 	"ballista/internal/posixapi"
@@ -98,6 +100,7 @@ type (
 	RebootEvent   = core.RebootEvent
 	CampaignEvent = core.CampaignEvent
 	KernelSample  = core.KernelSample
+	ShardEvent    = core.ShardEvent
 )
 
 // WithObserver attaches a telemetry observer to the campaign.  The
@@ -152,7 +155,13 @@ func NewRunner(o OS, opts ...Option) *core.Runner {
 // (plus UNICODE variants on Windows CE), capped test case generation,
 // shared machine, reboot on Catastrophic failures.
 func Run(o OS, opts ...Option) (*Result, error) {
-	return NewRunner(o, opts...).RunAll()
+	return RunContext(context.Background(), o, opts...)
+}
+
+// RunContext is Run with cancellation: the campaign stops at the next
+// test-case boundary when ctx is cancelled.
+func RunContext(ctx context.Context, o OS, opts ...Option) (*Result, error) {
+	return NewRunner(o, opts...).RunAll(ctx)
 }
 
 // RunAll executes campaigns for every OS variant.
@@ -166,6 +175,40 @@ func RunAll(opts ...Option) (map[OS]*Result, error) {
 		out[o] = r
 	}
 	return out, nil
+}
+
+// FarmConfig sizes a parallel campaign farm (see internal/farm): a pool
+// of workers, each owning its own simulated machine, sharing one MuT
+// catalog through a work-stealing queue — the software analogue of the
+// paper's bank of six physical test machines.
+type FarmConfig struct {
+	// Workers is the pool size; <= 0 selects one worker per CPU.
+	Workers int
+	// Checkpoint, when non-empty, journals every completed MuT shard to
+	// this JSONL file so an interrupted campaign resumes without
+	// re-running finished shards.
+	Checkpoint string
+}
+
+// NewFarm builds a parallel campaign farm for one OS variant.  The
+// merged result of Farm.Run is identical to a sequential Run for any
+// worker count: results in stable catalog order, reboot epochs summed.
+// Any Observer attached via options is shared by all workers and must
+// be safe for concurrent use (the internal/telemetry observers are).
+func NewFarm(o OS, fc FarmConfig, opts ...Option) *farm.Farm {
+	cfg := core.Config{OS: o, Cap: core.DefaultCap, StopMuTOnCrash: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return farm.New(
+		farm.Config{Config: cfg, Workers: fc.Workers, Checkpoint: fc.Checkpoint},
+		suite.NewRegistry(), Dispatch, suite.SetupFixtures,
+	)
+}
+
+// RunFarm executes one OS variant's full campaign across a worker pool.
+func RunFarm(ctx context.Context, o OS, fc FarmConfig, opts ...Option) (*Result, error) {
+	return NewFarm(o, fc, opts...).Run(ctx)
 }
 
 // Summaries computes Table 1 rows for a result set in reporting order.

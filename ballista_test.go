@@ -1,6 +1,7 @@
 package ballista
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -250,7 +251,7 @@ func TestTable3Inventory(t *testing.T) {
 // Isolated mode (fresh machine per case) the "*" defects never crash,
 // while the immediate ones still do.
 func TestHarnessOnlyIsolation(t *testing.T) {
-	r, err := NewRunner(Win98, WithCap(testCap), WithIsolation()).RunAll()
+	r, err := NewRunner(Win98, WithCap(testCap), WithIsolation()).RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +422,7 @@ func newTestRegistry(t *testing.T) *core.Registry {
 // record multiple Catastrophic cases.
 func TestContinueAfterCrash(t *testing.T) {
 	m, _ := catalog.ByName(catalog.Win32, "GetThreadContext")
-	res, err := NewRunner(Win98, WithCap(500), WithContinueAfterCrash()).RunMuT(m, false)
+	res, err := NewRunner(Win98, WithCap(500), WithContinueAfterCrash()).RunMuT(context.Background(), m, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +434,7 @@ func TestContinueAfterCrash(t *testing.T) {
 	}
 	// The full cross-product runs (GetThreadContext's pools are small
 	// enough to be exhaustive), unlike the truncated default mode.
-	truncated, err := NewRunner(Win98, WithCap(500)).RunMuT(m, false)
+	truncated, err := NewRunner(Win98, WithCap(500)).RunMuT(context.Background(), m, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +464,7 @@ func TestRebootsCounted(t *testing.T) {
 // incomplete").
 func TestStopOnCrashTruncates(t *testing.T) {
 	m, _ := catalog.ByName(catalog.Win32, "GetThreadContext")
-	res, err := NewRunner(Win98, WithCap(500)).RunMuT(m, false)
+	res, err := NewRunner(Win98, WithCap(500)).RunMuT(context.Background(), m, false)
 	if err != nil {
 		t.Fatal(err)
 	}

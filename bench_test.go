@@ -9,6 +9,7 @@ package ballista
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -141,11 +142,11 @@ func BenchmarkSamplingAccuracy(b *testing.B) {
 	m, _ := catalog.ByName(catalog.Win32, "ReadFile") // ~46k combinations
 	var sampled, exhaustive float64
 	for i := 0; i < b.N; i++ {
-		rs, err := NewRunner(WinNT, WithCap(2000)).RunMuT(m, false)
+		rs, err := NewRunner(WinNT, WithCap(2000)).RunMuT(context.Background(), m, false)
 		if err != nil {
 			b.Fatal(err)
 		}
-		re, err := NewRunner(WinNT, WithCap(1<<30)).RunMuT(m, false)
+		re, err := NewRunner(WinNT, WithCap(1<<30)).RunMuT(context.Background(), m, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,7 +303,7 @@ func BenchmarkLoadAblation(b *testing.B) {
 			if m.Group != catalog.GrpMemoryManagement {
 				continue
 			}
-			res, err := runner.RunMuT(m, false)
+			res, err := runner.RunMuT(context.Background(), m, false)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -7,14 +7,27 @@
 //	ballista -os win98 -isolated      # fresh machine per test case
 //	ballista -os win98 -trace t.jsonl # per-case JSONL trace artifact
 //	ballista -os win98 -metrics-addr :9090   # live Prometheus /metrics
+//	ballista -os winnt -workers 8     # sharded parallel campaign farm
+//	ballista -os winnt -workers 8 -checkpoint nt.ckpt  # resumable
+//
+// A full campaign with -workers > 1 shards the MuT catalog across a
+// farm of simulated machines (one kernel per worker) and merges the
+// results deterministically — identical output to a sequential run.
+// With -checkpoint, every completed MuT shard is journaled; killing the
+// campaign (Ctrl-C) and re-running with the same -checkpoint resumes
+// without re-testing finished shards.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ballista"
@@ -33,6 +46,8 @@ func main() {
 	hinderFlag := flag.Bool("hinder", false, "run the Hindering-failure (wrong error code) oracle")
 	traceFlag := flag.String("trace", "", "write a per-case JSONL trace to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address while the campaign runs")
+	workers := flag.Int("workers", 1, "farm worker count for full campaigns (0 = one per CPU)")
+	checkpoint := flag.String("checkpoint", "", "journal completed MuT shards to this JSONL file and resume from it")
 	flag.Parse()
 
 	target, ok := osprofile.Parse(*osFlag)
@@ -102,9 +117,29 @@ func main() {
 		return
 	}
 
+	// Ctrl-C / SIGTERM stops the campaign at the next test-case boundary
+	// instead of leaving it to grind; with -checkpoint the finished
+	// shards are already journaled and a re-run resumes from them.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := runner.RunAll()
+	var res *ballista.Result
+	var err error
+	if *workers != 1 || *checkpoint != "" {
+		fc := ballista.FarmConfig{Workers: *workers, Checkpoint: *checkpoint}
+		res, err = ballista.RunFarm(ctx, target, fc, opts...)
+	} else {
+		res, err = runner.RunAll(ctx)
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ballista: campaign interrupted")
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "ballista: completed shards journaled; re-run with -checkpoint %s to resume\n", *checkpoint)
+			}
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ballista:", err)
 		os.Exit(1)
 	}
@@ -128,7 +163,7 @@ func main() {
 }
 
 func runSingle(runner interface {
-	RunMuT(m catalog.MuT, wide bool) (*ballista.MuTResult, error)
+	RunMuT(ctx context.Context, m catalog.MuT, wide bool) (*ballista.MuTResult, error)
 }, target ballista.OS, name string) {
 	var mut catalog.MuT
 	found := false
@@ -142,7 +177,7 @@ func runSingle(runner interface {
 		fmt.Fprintf(os.Stderr, "ballista: %q is not tested on %s\n", name, target)
 		os.Exit(2)
 	}
-	res, err := runner.RunMuT(mut, false)
+	res, err := runner.RunMuT(context.Background(), mut, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ballista:", err)
 		os.Exit(1)

@@ -16,14 +16,17 @@
 //	curl localhost:8717/metrics
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight campaigns
-// finish (bounded by a timeout), the trace file is flushed, and the
-// final request counters are logged.
+// get the grace period to finish, then their contexts are cancelled so
+// they stop at the next test-case boundary (rather than only draining
+// HTTP while a 5000-case campaign grinds on), the trace file is
+// flushed, and the final request counters are logged.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -58,10 +61,15 @@ func main() {
 	}
 
 	svc := service.NewServer(svcOpts...)
+	// Every request context derives from campaignCtx; cancelling it
+	// aborts in-flight campaigns at their next test-case boundary.
+	campaignCtx, cancelCampaigns := context.WithCancel(context.Background())
+	defer cancelCampaigns()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc,
 		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return campaignCtx },
 	}
 
 	var metricsSrv *http.Server
@@ -98,7 +106,16 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			logger.Errorf("shutdown: %v", err)
+			// The grace period expired with campaigns still running:
+			// cancel their contexts so they stop at the next test-case
+			// boundary, then collect the aborted handlers.
+			logger.Printf("grace period expired; cancelling in-flight campaigns")
+			cancelCampaigns()
+			finalCtx, finalCancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer finalCancel()
+			if err := srv.Shutdown(finalCtx); err != nil {
+				logger.Errorf("shutdown: %v", err)
+			}
 		}
 		if metricsSrv != nil {
 			_ = metricsSrv.Shutdown(shutdownCtx)

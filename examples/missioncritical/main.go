@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -79,7 +80,7 @@ func main() {
 			if !catalog.Supported(o, m) {
 				continue
 			}
-			res, err := runner.RunMuT(m, false)
+			res, err := runner.RunMuT(context.Background(), m, false)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

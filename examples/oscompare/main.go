@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -30,7 +31,7 @@ func main() {
 			if m.Group != catalog.GrpIOPrimitives {
 				continue
 			}
-			res, err := runner.RunMuT(m, false)
+			res, err := runner.RunMuT(context.Background(), m, false)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -20,7 +21,7 @@ func main() {
 		os.Exit(1)
 	}
 	runner := ballista.NewRunner(ballista.Win98)
-	res, err := runner.RunMuT(mut, false)
+	res, err := runner.RunMuT(context.Background(), mut, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -43,7 +44,7 @@ func main() {
 
 	// Now the same function on Linux's closest counterpart, read().
 	posixMut, _ := catalog.ByName(catalog.POSIX, "read")
-	lres, err := ballista.NewRunner(ballista.Linux).RunMuT(posixMut, false)
+	lres, err := ballista.NewRunner(ballista.Linux).RunMuT(context.Background(), posixMut, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

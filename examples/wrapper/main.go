@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -44,9 +45,9 @@ func main() {
 		if m.API != catalog.CLib || !catalog.CEStdioRawKernel(m.Name, false) {
 			continue
 		}
-		pres, err := plain.RunMuT(m, false)
+		pres, err := plain.RunMuT(context.Background(), m, false)
 		check(err)
-		wres, err := wrapped.RunMuT(m, false)
+		wres, err := wrapped.RunMuT(context.Background(), m, false)
 		check(err)
 		if pres.Catastrophic() {
 			crashesPlain++

@@ -113,6 +113,36 @@ type CampaignEvent struct {
 	Wall     time.Duration
 }
 
+// ShardEvent reports one MuT shard completed by a farm worker — the
+// parallel campaign's unit of scheduling (see internal/farm).  It exists
+// so telemetry can attribute throughput to individual workers, the way
+// the paper's six physical test machines were tracked separately.
+type ShardEvent struct {
+	OS string
+	// Worker is the 0-based index of the farm worker that ran the shard.
+	Worker int
+	// Shard is the shard's index in stable catalog order.
+	Shard int
+	MuT   string
+	Wide  bool
+	// Cases is the number of test cases the shard executed.
+	Cases int
+	// Reboots counts machine reboots the shard forced on its worker.
+	Reboots int
+	// Stolen marks a shard the worker stole from another worker's queue
+	// rather than receiving in its initial partition.
+	Stolen bool
+	// Wall is host wall-clock time the shard consumed.
+	Wall time.Duration
+}
+
+// ShardObserver is an optional extension interface: Observers that also
+// implement it receive per-shard completion events from farm campaigns.
+// Plain Observers ignore shards at zero cost.
+type ShardObserver interface {
+	OnShardDone(ev ShardEvent)
+}
+
 // NopObserver implements Observer with no-ops; embed it to implement a
 // subset of the hooks.
 type NopObserver struct{}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -112,6 +113,10 @@ func (r *Runner) machine() *kern.Kernel {
 	return r.kernel
 }
 
+// Machine exposes the shared simulated machine, booting it on first use
+// (state-inspection hook for diagnostics and tests).
+func (r *Runner) Machine() *kern.Kernel { return r.machine() }
+
 // bind resolves a MuT's parameter types.
 func (r *Runner) bind(m catalog.MuT) ([]*DataType, error) {
 	types := make([]*DataType, len(m.Params))
@@ -125,8 +130,15 @@ func (r *Runner) bind(m catalog.MuT) ([]*DataType, error) {
 	return types, nil
 }
 
-// RunMuT executes the full (capped) campaign for one MuT.
-func (r *Runner) RunMuT(m catalog.MuT, wide bool) (*MuTResult, error) {
+// RunMuT executes the full (capped) campaign for one MuT.  Cancelling
+// ctx stops the campaign between test cases and returns ctx's error —
+// the seam that lets a farm worker or ballistad's graceful shutdown
+// abandon an in-flight campaign instead of grinding to the cap.  A nil
+// ctx is treated as context.Background().
+func (r *Runner) RunMuT(ctx context.Context, m catalog.MuT, wide bool) (*MuTResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	impl, ok := r.dispatch(m)
 	if !ok {
 		return nil, fmt.Errorf("%w for %s %q", ErrNoImpl, m.API, m.Name)
@@ -154,6 +166,9 @@ func (r *Runner) RunMuT(m catalog.MuT, wide bool) (*MuTResult, error) {
 		})
 	}
 	for seq, tc := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cls, _ := r.runCase(m, impl, types, tc, wide, seq)
 		res.Cases = append(res.Cases, cls)
 		res.Exceptional = append(res.Exceptional, exceptionalCase(types, tc))
@@ -296,22 +311,26 @@ func exceptionalCase(types []*DataType, tc Case) bool {
 }
 
 // RunAll executes campaigns for every MuT the OS supports, including the
-// UNICODE variants of paired C functions on Windows CE.
-func (r *Runner) RunAll() (*OSResult, error) {
+// UNICODE variants of paired C functions on Windows CE.  Cancelling ctx
+// stops the sweep at the next test-case boundary.
+func (r *Runner) RunAll(ctx context.Context) (*OSResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var start time.Time
 	if r.obs != nil {
 		start = time.Now()
 	}
 	out := &OSResult{OS: r.profile.Name}
 	for _, m := range catalog.MuTsFor(r.cfg.OS) {
-		res, err := r.RunMuT(m, false)
+		res, err := r.RunMuT(ctx, m, false)
 		if err != nil {
 			return nil, err
 		}
 		out.Results = append(out.Results, res)
 		out.CasesRun += res.Executed()
 		if r.profile.Traits.WidePreferred && m.HasWide {
-			wres, err := r.RunMuT(m, true)
+			wres, err := r.RunMuT(ctx, m, true)
 			if err != nil {
 				return nil, err
 			}
@@ -334,6 +353,17 @@ func (r *Runner) epoch() int {
 		return 0
 	}
 	return r.kernel.Epoch
+}
+
+// ResetMachine discards the runner's machine so the next case boots a
+// fresh kernel, returning the discarded kernel's reboot count.  Farm
+// workers call it between shards so every shard starts from identical
+// machine state no matter which worker executes it or in what order —
+// the property that makes a work-stealing schedule deterministic.
+func (r *Runner) ResetMachine() int {
+	n := r.epoch()
+	r.kernel = nil
+	return n
 }
 
 // RunSequence executes several calls back to back inside one process on

@@ -1,0 +1,45 @@
+package farm_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ballista"
+)
+
+// BenchmarkFarm runs the full WinNT catalog at the paper's 5000-case
+// cap across varying pool sizes.  On a multi-core host the 8-worker
+// farm should clear a sequential run by well over 3x; the per-op metric
+// to watch is cases/sec.  CI runs this with -benchtime=1x as a smoke
+// test, so a single iteration must stay affordable.
+func BenchmarkFarm(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var cases int
+			for i := 0; i < b.N; i++ {
+				res, err := ballista.RunFarm(context.Background(), ballista.WinNT,
+					ballista.FarmConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cases = res.CasesRun
+			}
+			b.ReportMetric(float64(cases)*float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
+		})
+	}
+}
+
+// BenchmarkSequential is the farm's baseline: the plain shared-machine
+// Runner.RunAll the paper's single test machine corresponds to.
+func BenchmarkSequential(b *testing.B) {
+	var cases int
+	for i := 0; i < b.N; i++ {
+		res, err := ballista.RunContext(context.Background(), ballista.WinNT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = res.CasesRun
+	}
+	b.ReportMetric(float64(cases)*float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
+}

@@ -1,0 +1,185 @@
+package farm
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"ballista/internal/core"
+)
+
+// journalVersion is the checkpoint schema version.
+const journalVersion = 1
+
+// journalRecord is one JSONL checkpoint line: a fully completed MuT
+// shard.  The paper's campaigns that crashed mid-run had to restart from
+// scratch; replaying these records lets an interrupted farm campaign
+// resume exactly where it stopped.  Classes and Exceptional are packed
+// one character per test case ('0'-'5' CRASH class digits, '0'/'1'
+// flags) so a 5000-case shard is one short line, not 5000 JSON numbers.
+type journalRecord struct {
+	V           int    `json:"v"`
+	OS          string `json:"os"`
+	Cap         int    `json:"cap"`
+	Shard       int    `json:"shard"`
+	MuT         string `json:"mut"`
+	Wide        bool   `json:"wide,omitempty"`
+	Classes     string `json:"classes"`
+	Exceptional string `json:"exceptional"`
+	Incomplete  bool   `json:"incomplete,omitempty"`
+	Reboots     int    `json:"reboots,omitempty"`
+	Worker      int    `json:"worker"`
+	Stolen      bool   `json:"stolen,omitempty"`
+}
+
+// encodeClasses packs a shard's per-case outcome classes into digits.
+func encodeClasses(cs []core.RawClass) string {
+	b := make([]byte, len(cs))
+	for i, c := range cs {
+		b[i] = '0' + byte(c)
+	}
+	return string(b)
+}
+
+func decodeClasses(s string) ([]core.RawClass, error) {
+	out := make([]core.RawClass, len(s))
+	for i := 0; i < len(s); i++ {
+		d := s[i] - '0'
+		if d > uint8(core.RawSkip) {
+			return nil, fmt.Errorf("farm: bad class digit %q", s[i])
+		}
+		out[i] = core.RawClass(d)
+	}
+	return out, nil
+}
+
+func encodeFlags(fs []bool) string {
+	b := make([]byte, len(fs))
+	for i, f := range fs {
+		if f {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+func decodeFlags(s string) []bool {
+	out := make([]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = s[i] == '1'
+	}
+	return out
+}
+
+// journal appends completed-shard records to the checkpoint file,
+// serialized across workers and flushed per record so a kill at any
+// instant loses at most the shard in flight.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("farm: opening checkpoint: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("farm: encoding checkpoint record: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// One O_APPEND write per record: atomic at the line granularity the
+	// loader tolerates, nothing buffered to lose.
+	_, err = j.f.Write(line)
+	return err
+}
+
+func (j *journal) Close() error { return j.f.Close() }
+
+// completedShard is a shard restored from the journal.
+type completedShard struct {
+	res     *core.MuTResult
+	reboots int
+}
+
+// loadJournal replays a checkpoint file against the current campaign's
+// shard list.  Records are validated against the campaign identity (OS,
+// cap, shard index, MuT name, wide flag) — resuming a stale journal
+// against a different campaign is an error, not silent corruption.  A
+// torn final line (the write a kill interrupted) ends the replay
+// cleanly; a duplicate shard record keeps the last occurrence.
+func loadJournal(path string, osName string, cap int, shards []shard) (map[int]completedShard, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil // fresh campaign: the journal will be created
+	}
+	if err != nil {
+		return nil, fmt.Errorf("farm: reading checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	done := make(map[int]completedShard)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn trailing write; everything before it is good.
+			break
+		}
+		if rec.V != journalVersion {
+			return nil, fmt.Errorf("farm: checkpoint version %d (want %d)", rec.V, journalVersion)
+		}
+		if rec.OS != osName || rec.Cap != cap {
+			return nil, fmt.Errorf("farm: checkpoint is for os=%s cap=%d, campaign is os=%s cap=%d",
+				rec.OS, rec.Cap, osName, cap)
+		}
+		if rec.Shard < 0 || rec.Shard >= len(shards) {
+			return nil, fmt.Errorf("farm: checkpoint shard %d out of range (catalog has %d)", rec.Shard, len(shards))
+		}
+		s := shards[rec.Shard]
+		if s.m.Name != rec.MuT || s.wide != rec.Wide {
+			return nil, fmt.Errorf("farm: checkpoint shard %d is %s (wide=%v), catalog has %s (wide=%v)",
+				rec.Shard, rec.MuT, rec.Wide, s.m.Name, s.wide)
+		}
+		classes, err := decodeClasses(rec.Classes)
+		if err != nil {
+			return nil, err
+		}
+		if len(rec.Exceptional) != len(rec.Classes) {
+			return nil, fmt.Errorf("farm: checkpoint shard %d has %d classes but %d exceptional flags",
+				rec.Shard, len(rec.Classes), len(rec.Exceptional))
+		}
+		done[rec.Shard] = completedShard{
+			res: &core.MuTResult{
+				MuT:         s.m,
+				Wide:        s.wide,
+				Cases:       classes,
+				Exceptional: decodeFlags(rec.Exceptional),
+				Incomplete:  rec.Incomplete,
+			},
+			reboots: rec.Reboots,
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("farm: reading checkpoint: %w", err)
+	}
+	return done, nil
+}

@@ -1,0 +1,302 @@
+// Package farm schedules one OS variant's campaign across a pool of
+// parallel workers — the software analogue of the paper's bank of six
+// physical Windows test machines grinding through >2M cases for days.
+// Each worker owns its own simulated machine (kern.Kernel), the catalog
+// is sharded one MuT campaign per shard, and idle workers steal work
+// from busy ones, so a full sweep uses every core instead of one.
+//
+// Two properties the paper's hardware could not offer:
+//
+//   - Determinism: every shard starts on a freshly booted kernel, so the
+//     merged OSResult is identical for any worker count and any steal
+//     schedule — results land in stable catalog order and per-shard
+//     reboot counts are summed.  Case generation is already seeded by
+//     MuT name alone, so a shard's outcome depends only on the shard.
+//   - Checkpoint/resume: with a journal configured, every completed
+//     shard is appended to a JSONL checkpoint.  A campaign killed
+//     mid-run (ballistad shutdown, operator Ctrl-C, the simulated
+//     equivalent of the paper's "system crash interrupts the testing
+//     process") resumes without re-running finished shards.
+package farm
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+// Config configures a parallel campaign.  The embedded core.Config is
+// applied to every worker's runner; its Observer, if any, is shared by
+// all workers and must therefore be safe for concurrent use (the stock
+// internal/telemetry observers are).
+type Config struct {
+	core.Config
+	// Workers is the pool size; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Checkpoint is the JSONL journal path; empty disables checkpointing.
+	Checkpoint string
+}
+
+// Farm runs sharded campaigns for one OS variant.
+type Farm struct {
+	cfg      Config
+	reg      *core.Registry
+	dispatch core.Dispatcher
+	fixture  core.Fixture
+	profile  *osprofile.Profile
+
+	// Steals counts shards executed off another worker's partition in
+	// the most recent Run (telemetry, reset per run).
+	steals atomic.Uint64
+}
+
+// shard is one unit of scheduling: a full (MuT, wide) campaign, indexed
+// by its position in the stable catalog order Runner.RunAll walks.
+type shard struct {
+	idx  int
+	m    catalog.MuT
+	wide bool
+}
+
+// New assembles a farm from the same pieces core.NewRunner takes.
+func New(cfg Config, reg *core.Registry, dispatch core.Dispatcher, fixture core.Fixture) *Farm {
+	if cfg.Cap <= 0 {
+		cfg.Cap = core.DefaultCap
+	}
+	profile := cfg.Profile
+	if profile == nil {
+		profile = osprofile.Get(cfg.OS)
+	}
+	return &Farm{cfg: cfg, reg: reg, dispatch: dispatch, fixture: fixture, profile: profile}
+}
+
+// Steals reports how many shards the most recent Run executed on a
+// worker other than the one they were partitioned to.
+func (f *Farm) Steals() uint64 { return f.steals.Load() }
+
+// shards lists the campaign's schedule in the exact order a sequential
+// Runner.RunAll visits it: each supported MuT, with the UNICODE variant
+// immediately after its narrow twin where the OS prefers wide.
+func (f *Farm) shards() []shard {
+	var out []shard
+	for _, m := range catalog.MuTsFor(f.cfg.OS) {
+		out = append(out, shard{idx: len(out), m: m})
+		if f.profile.Traits.WidePreferred && m.HasWide {
+			out = append(out, shard{idx: len(out), m: m, wide: true})
+		}
+	}
+	return out
+}
+
+// Run executes the sharded campaign and merges per-worker results into
+// an OSResult identical to a sequential Runner.RunAll: results in stable
+// catalog order, CasesRun summed over executed cases, Reboots summed
+// over per-shard reboot epochs.  Cancelling ctx stops every worker at
+// its next test-case boundary; with a checkpoint configured the
+// campaign is resumable from the journal.
+func (f *Farm) Run(ctx context.Context) (*core.OSResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	f.steals.Store(0)
+
+	sh := f.shards()
+	results := make([]*core.MuTResult, len(sh))
+	rebootsBy := make([]int, len(sh))
+
+	// Resume: restore finished shards from the journal, then keep it
+	// open for appending this run's completions.
+	var jnl *journal
+	if f.cfg.Checkpoint != "" {
+		done, err := loadJournal(f.cfg.Checkpoint, f.cfg.OS.WireName(), f.cfg.Cap, sh)
+		if err != nil {
+			return nil, err
+		}
+		for idx, cs := range done {
+			results[idx] = cs.res
+			rebootsBy[idx] = cs.reboots
+		}
+		jnl, err = openJournal(f.cfg.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer jnl.Close()
+	}
+
+	var pending []int
+	for _, s := range sh {
+		if results[s.idx] == nil {
+			pending = append(pending, s.idx)
+		}
+	}
+
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	if len(pending) > 0 {
+		if err := f.runWorkers(ctx, workers, pending, sh, results, rebootsBy, jnl); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &core.OSResult{OS: f.profile.Name}
+	for _, res := range results {
+		out.Results = append(out.Results, res)
+		out.CasesRun += res.Executed()
+	}
+	for _, n := range rebootsBy {
+		out.Reboots += n
+	}
+	if f.cfg.Observer != nil {
+		f.cfg.Observer.OnCampaignDone(core.CampaignEvent{
+			OS: f.cfg.OS.WireName(), MuTs: len(out.Results),
+			CasesRun: out.CasesRun, Reboots: out.Reboots, Wall: time.Since(start),
+		})
+	}
+	return out, nil
+}
+
+// runWorkers partitions pending shards contiguously across the pool and
+// lets workers execute (and steal) until the queues drain or ctx stops
+// the campaign.
+func (f *Farm) runWorkers(ctx context.Context, workers int, pending []int,
+	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *journal) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Contiguous partitions: worker w owns a consecutive slice of the
+	// catalog, like one physical machine owning one stack of test
+	// sheets.  Stealing rebalances when the slices prove uneven.
+	queues := make([]*deque, workers)
+	per := (len(pending) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := min(lo+per, len(pending))
+		queues[w] = &deque{}
+		if lo < hi {
+			queues[w].push(pending[lo:hi]...)
+		}
+	}
+
+	shardObs, _ := f.cfg.Observer.(core.ShardObserver)
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = f.worker(ctx, w, queues, sh, results, rebootsBy, jnl, shardObs)
+			if errs[w] != nil {
+				cancel() // one worker down ends the campaign
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Prefer a real failure over the cancellation it propagated.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil || (first == context.Canceled && err != context.Canceled) {
+			first = err
+		}
+	}
+	if first == context.Canceled && ctx.Err() != nil {
+		first = ctx.Err()
+	}
+	return first
+}
+
+// worker drains its own queue front-to-back, then steals the back half
+// of the fullest victim queue until no work remains anywhere.
+func (f *Farm) worker(ctx context.Context, id int, queues []*deque,
+	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *journal, shardObs core.ShardObserver) error {
+	runner := core.NewRunner(f.cfg.Config, f.reg, f.dispatch, f.fixture)
+	own := queues[id]
+	stolen := false
+	for {
+		idx, ok := own.popFront()
+		if !ok {
+			victim := -1
+			best := 0
+			for v, q := range queues {
+				if v == id {
+					continue
+				}
+				if n := q.size(); n > best {
+					victim, best = v, n
+				}
+			}
+			if victim < 0 {
+				return nil // every queue is dry
+			}
+			loot := queues[victim].stealHalf()
+			if len(loot) == 0 {
+				continue // lost the race; rescan
+			}
+			own.push(loot...)
+			stolen = true
+			continue
+		}
+		if err := f.runShard(ctx, runner, id, sh[idx], stolen, results, rebootsBy, jnl, shardObs); err != nil {
+			return err
+		}
+	}
+}
+
+// runShard executes one shard on a freshly booted machine, records the
+// result, and journals it.
+func (f *Farm) runShard(ctx context.Context, runner *core.Runner, id int, s shard, stolen bool,
+	results []*core.MuTResult, rebootsBy []int, jnl *journal, shardObs core.ShardObserver) error {
+	start := time.Now()
+	res, err := runner.RunMuT(ctx, s.m, s.wide)
+	if err != nil {
+		return err
+	}
+	reboots := runner.ResetMachine()
+	results[s.idx] = res
+	rebootsBy[s.idx] = reboots
+
+	if jnl != nil {
+		rec := journalRecord{
+			V: journalVersion, OS: f.cfg.OS.WireName(), Cap: f.cfg.Cap,
+			Shard: s.idx, MuT: s.m.Name, Wide: s.wide,
+			Classes:     encodeClasses(res.Cases),
+			Exceptional: encodeFlags(res.Exceptional),
+			Incomplete:  res.Incomplete,
+			Reboots:     reboots,
+			Worker:      id, Stolen: stolen,
+		}
+		if err := jnl.append(rec); err != nil {
+			return fmt.Errorf("farm: checkpointing shard %d: %w", s.idx, err)
+		}
+	}
+	if stolen {
+		f.steals.Add(1)
+	}
+	if shardObs != nil {
+		shardObs.OnShardDone(core.ShardEvent{
+			OS: f.cfg.OS.WireName(), Worker: id, Shard: s.idx,
+			MuT: s.m.Name, Wide: s.wide,
+			Cases: res.Executed(), Reboots: reboots,
+			Stolen: stolen, Wall: time.Since(start),
+		})
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package farm
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+)
+
+func TestDequeFIFOOrder(t *testing.T) {
+	d := &deque{}
+	d.push(1, 2, 3, 4, 5)
+	var got []int
+	for {
+		idx, ok := d.popFront()
+		if !ok {
+			break
+		}
+		got = append(got, idx)
+	}
+	if want := []int{1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("popFront order %v, want %v", got, want)
+	}
+	if _, ok := d.popFront(); ok {
+		t.Error("popFront on empty deque reported ok")
+	}
+}
+
+func TestDequeStealHalf(t *testing.T) {
+	d := &deque{}
+	d.push(10, 11, 12, 13, 14)
+	loot := d.stealHalf()
+	if want := []int{12, 13, 14}; !reflect.DeepEqual(loot, want) {
+		t.Fatalf("stealHalf = %v, want back half %v (rounded up)", loot, want)
+	}
+	if d.size() != 2 {
+		t.Fatalf("victim kept %d items, want 2", d.size())
+	}
+	// The owner still walks its remaining front portion in order.
+	if idx, _ := d.popFront(); idx != 10 {
+		t.Errorf("owner's next = %d, want 10", idx)
+	}
+}
+
+func TestDequeStealSingle(t *testing.T) {
+	d := &deque{}
+	d.push(7)
+	if loot := d.stealHalf(); !reflect.DeepEqual(loot, []int{7}) {
+		t.Fatalf("stealHalf of 1 item = %v, want [7]", loot)
+	}
+	if loot := d.stealHalf(); loot != nil {
+		t.Fatalf("stealHalf of empty = %v, want nil", loot)
+	}
+}
+
+func TestClassRoundTrip(t *testing.T) {
+	in := []core.RawClass{
+		core.RawClean, core.RawError, core.RawAbort,
+		core.RawRestart, core.RawCatastrophic, core.RawSkip,
+	}
+	enc := encodeClasses(in)
+	if enc != "012345" {
+		t.Fatalf("encodeClasses = %q", enc)
+	}
+	out, err := decodeClasses(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip %v -> %v", in, out)
+	}
+	if _, err := decodeClasses("0162"); err == nil {
+		t.Error("decodeClasses accepted out-of-range digit")
+	}
+}
+
+func TestFlagsRoundTrip(t *testing.T) {
+	in := []bool{true, false, false, true}
+	if got := decodeFlags(encodeFlags(in)); !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip %v -> %v", in, got)
+	}
+}
+
+func mutNamed(name string) catalog.MuT { return catalog.MuT{Name: name} }
+
+// journalFixtureShards builds a tiny fake shard list for loader tests.
+func journalFixtureShards() []shard {
+	return []shard{
+		{idx: 0, m: mutNamed("alpha")},
+		{idx: 1, m: mutNamed("beta")},
+		{idx: 2, m: mutNamed("beta"), wide: true},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	jnl, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []journalRecord{
+		{V: journalVersion, OS: "winnt", Cap: 100, Shard: 0, MuT: "alpha",
+			Classes: "0123", Exceptional: "0110", Reboots: 2, Worker: 0},
+		{V: journalVersion, OS: "winnt", Cap: 100, Shard: 2, MuT: "beta", Wide: true,
+			Classes: "00", Exceptional: "01", Incomplete: true, Worker: 1, Stolen: true},
+	}
+	for _, rec := range recs {
+		if err := jnl.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	done, err := loadJournal(path, "winnt", 100, journalFixtureShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("restored %d shards, want 2", len(done))
+	}
+	s0 := done[0]
+	if s0.reboots != 2 || len(s0.res.Cases) != 4 || s0.res.Cases[3] != core.RawRestart {
+		t.Errorf("shard 0 restored wrong: %+v", s0)
+	}
+	s2 := done[2]
+	if !s2.res.Wide || !s2.res.Incomplete || !s2.res.Exceptional[1] {
+		t.Errorf("shard 2 restored wrong: %+v", s2.res)
+	}
+	if _, ok := done[1]; ok {
+		t.Error("shard 1 restored but was never journaled")
+	}
+}
+
+func TestJournalMissingFileIsFreshCampaign(t *testing.T) {
+	done, err := loadJournal(filepath.Join(t.TempDir(), "absent.jsonl"), "winnt", 100, journalFixtureShards())
+	if err != nil || done != nil {
+		t.Fatalf("missing journal: done=%v err=%v, want nil/nil", done, err)
+	}
+}
+
+func TestJournalTornTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	good := `{"v":1,"os":"winnt","cap":100,"shard":0,"mut":"alpha","classes":"00","exceptional":"01","worker":0}` + "\n"
+	torn := `{"v":1,"os":"winnt","cap":100,"shard":1,"mut":"beta","cla`
+	if err := os.WriteFile(path, []byte(good+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, err := loadJournal(path, "winnt", 100, journalFixtureShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("restored %d shards from torn journal, want 1 (the intact line)", len(done))
+	}
+}
+
+func TestJournalRejectsMismatchedCampaign(t *testing.T) {
+	shards := journalFixtureShards()
+	write := func(t *testing.T, line string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+		if err := os.WriteFile(path, []byte(line+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := map[string]string{
+		"version": `{"v":9,"os":"winnt","cap":100,"shard":0,"mut":"alpha","classes":"0","exceptional":"0","worker":0}`,
+		"os":      `{"v":1,"os":"linux","cap":100,"shard":0,"mut":"alpha","classes":"0","exceptional":"0","worker":0}`,
+		"cap":     `{"v":1,"os":"winnt","cap":999,"shard":0,"mut":"alpha","classes":"0","exceptional":"0","worker":0}`,
+		"shard":   `{"v":1,"os":"winnt","cap":100,"shard":7,"mut":"alpha","classes":"0","exceptional":"0","worker":0}`,
+		"mut":     `{"v":1,"os":"winnt","cap":100,"shard":0,"mut":"gamma","classes":"0","exceptional":"0","worker":0}`,
+		"wide":    `{"v":1,"os":"winnt","cap":100,"shard":1,"mut":"beta","wide":true,"classes":"0","exceptional":"0","worker":0}`,
+		"flags":   `{"v":1,"os":"winnt","cap":100,"shard":0,"mut":"alpha","classes":"00","exceptional":"0","worker":0}`,
+	}
+	for name, line := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := loadJournal(write(t, line), "winnt", 100, shards); err == nil {
+				t.Errorf("%s mismatch accepted", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestFarmCampaignEndpoint drives the full-catalog parallel path: POST
+// /api/campaign with mut "*" shards the OS's whole catalog across a
+// worker pool and returns the merged catalog-ordered rows.
+func TestFarmCampaignEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var resp FarmCampaignResponse
+	code := postJSON(t, ts.URL+"/api/campaign",
+		CampaignRequest{OS: "winnt", MuT: "*", Cap: 60, Workers: 4}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Workers != 4 || resp.MuTs == 0 || resp.CasesRun == 0 {
+		t.Fatalf("farm response headline: %+v", resp)
+	}
+	if len(resp.Results) != resp.MuTs {
+		t.Fatalf("%d rows for %d MuTs", len(resp.Results), resp.MuTs)
+	}
+	// Rows arrive in stable catalog order with per-row accounting.
+	var cases int
+	for i, row := range resp.Results {
+		if row.MuT == "" {
+			t.Fatalf("row %d has no MuT name", i)
+		}
+		cases += row.Cases
+	}
+	if cases != resp.CasesRun {
+		t.Errorf("rows sum to %d cases, farm reports %d", cases, resp.CasesRun)
+	}
+}
+
+// TestFarmCampaignDeterministicAcrossWorkers: the service's farm path
+// inherits the scheduler's determinism — worker count cannot change the
+// aggregate numbers a client sees.
+func TestFarmCampaignDeterministicAcrossWorkers(t *testing.T) {
+	ts := testServer(t)
+	run := func(workers int) FarmCampaignResponse {
+		var resp FarmCampaignResponse
+		if code := postJSON(t, ts.URL+"/api/campaign",
+			CampaignRequest{OS: "winnt", MuT: "*", Cap: 60, Workers: workers}, &resp); code != http.StatusOK {
+			t.Fatalf("workers=%d status %d", workers, code)
+		}
+		return resp
+	}
+	one, eight := run(1), run(8)
+	if one.CasesRun != eight.CasesRun || one.Reboots != eight.Reboots || one.MuTs != eight.MuTs {
+		t.Fatalf("1-worker %+v != 8-worker %+v", one, eight)
+	}
+	for i := range one.Results {
+		a, b := one.Results[i], eight.Results[i]
+		if a != b {
+			t.Errorf("row %d differs between worker counts: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestFarmCampaignBadWorkers(t *testing.T) {
+	ts := testServer(t)
+	var errResp map[string]string
+	code := postJSON(t, ts.URL+"/api/campaign",
+		CampaignRequest{OS: "winnt", MuT: "*", Cap: 60, Workers: -1}, &errResp)
+	if code != http.StatusBadRequest {
+		t.Errorf("negative workers: status %d, want 400", code)
+	}
+}

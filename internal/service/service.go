@@ -11,10 +11,16 @@
 //	GET  /api/oses                      the seven systems under test
 //	GET  /api/muts?os=<name>            the MuT catalog for one OS
 //	POST /api/campaign                  run one MuT's capped campaign
+//	                                    (mut "*": full catalog, farmed
+//	                                    across parallel workers)
 //	POST /api/case                      run one identified test case
-//	GET  /api/summary?os=<name>&cap=N   Table 1 row for one OS
+//	GET  /api/summary?os=<name>&cap=N&workers=W   Table 1 row for one OS
 //	GET  /api/events?n=K                most recent K trace events
 //	GET  /metrics                       Prometheus text exposition
+//
+// Campaigns honor the request context: a client that disconnects — or a
+// server drain that cancels base contexts — stops the campaign at the
+// next test-case boundary instead of grinding to the cap.
 //
 // Every campaign the server runs is observed: per-case trace events
 // land in an in-memory ring (and any attached trace writer), and the
@@ -24,7 +30,9 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -38,13 +46,17 @@ import (
 	"ballista/internal/telemetry"
 )
 
-// CampaignRequest asks the server to test one MuT.
+// CampaignRequest asks the server to test one MuT — or, with MuT "*",
+// the OS's full catalog, sharded across a farm of parallel workers.
 type CampaignRequest struct {
 	OS       string `json:"os"`
 	MuT      string `json:"mut"`
 	Wide     bool   `json:"wide,omitempty"`
 	Cap      int    `json:"cap,omitempty"`
 	Isolated bool   `json:"isolated,omitempty"`
+	// Workers sizes the farm for full-catalog ("*") campaigns; 0 means
+	// one worker per CPU.  Ignored for single-MuT requests.
+	Workers int `json:"workers,omitempty"`
 }
 
 // CampaignResponse carries one MuT's campaign outcome.
@@ -62,6 +74,19 @@ type CampaignResponse struct {
 	AbortRate    float64 `json:"abort_rate"`
 	RestartRate  float64 `json:"restart_rate"`
 	Incomplete   bool    `json:"incomplete"`
+}
+
+// FarmCampaignResponse summarizes a full-catalog parallel campaign: the
+// merged (deterministic, catalog-ordered) per-MuT rows plus farm-level
+// totals.
+type FarmCampaignResponse struct {
+	OS           string             `json:"os"`
+	Workers      int                `json:"workers"`
+	MuTs         int                `json:"muts"`
+	CasesRun     int                `json:"cases_run"`
+	Reboots      int                `json:"reboots"`
+	Catastrophic []string           `json:"catastrophic,omitempty"`
+	Results      []CampaignResponse `json:"results"`
 }
 
 // CaseRequest asks for one identified test case (the paper's
@@ -261,11 +286,6 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "unknown os")
 		return
 	}
-	m, ok := mutFor(o, req.MuT)
-	if !ok {
-		s.httpError(w, http.StatusNotFound, fmt.Sprintf("%q is not tested on %s", req.MuT, o))
-		return
-	}
 	opts := []ballista.Option{ballista.WithObserver(s.observer())}
 	if req.Cap > 0 {
 		opts = append(opts, ballista.WithCap(req.Cap))
@@ -273,13 +293,51 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if req.Isolated {
 		opts = append(opts, ballista.WithIsolation())
 	}
-	res, err := ballista.NewRunner(o, opts...).RunMuT(m, req.Wide)
-	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err.Error())
+	if req.MuT == "*" {
+		s.handleFarmCampaign(w, r, o, req, opts)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, CampaignResponse{
-		OS: o.String(), MuT: res.Name(), Group: m.Group.String(),
+	m, ok := mutFor(o, req.MuT)
+	if !ok {
+		s.httpError(w, http.StatusNotFound, fmt.Sprintf("%q is not tested on %s", req.MuT, o))
+		return
+	}
+	res, err := ballista.NewRunner(o, opts...).RunMuT(r.Context(), m, req.Wide)
+	if err != nil {
+		s.httpError(w, campaignErrStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, campaignRow(o, res))
+}
+
+// handleFarmCampaign runs the full catalog for one OS across a farm of
+// parallel workers and returns the merged, catalog-ordered rows.
+func (s *Server) handleFarmCampaign(w http.ResponseWriter, r *http.Request, o ballista.OS, req CampaignRequest, opts []ballista.Option) {
+	if req.Workers < 0 {
+		s.httpError(w, http.StatusBadRequest, "bad workers")
+		return
+	}
+	res, err := ballista.RunFarm(r.Context(), o, ballista.FarmConfig{Workers: req.Workers}, opts...)
+	if err != nil {
+		s.httpError(w, campaignErrStatus(err), err.Error())
+		return
+	}
+	out := FarmCampaignResponse{
+		OS: o.String(), Workers: req.Workers,
+		MuTs: len(res.Results), CasesRun: res.CasesRun, Reboots: res.Reboots,
+		Catastrophic: res.CatastrophicMuTs(),
+		Results:      make([]CampaignResponse, 0, len(res.Results)),
+	}
+	for _, mr := range res.Results {
+		out.Results = append(out.Results, campaignRow(o, mr))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// campaignRow flattens one MuT's result into the wire row.
+func campaignRow(o ballista.OS, res *core.MuTResult) CampaignResponse {
+	return CampaignResponse{
+		OS: o.String(), MuT: res.Name(), Group: res.MuT.Group.String(),
 		Cases:        res.Executed(),
 		Clean:        res.Count(core.RawClean),
 		ErrorReturn:  res.Count(core.RawError),
@@ -290,7 +348,17 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		AbortRate:    res.AbortRate(),
 		RestartRate:  res.RestartRate(),
 		Incomplete:   res.Incomplete,
-	})
+	}
+}
+
+// campaignErrStatus maps a campaign failure to an HTTP status: a
+// cancelled context (client gone, server draining) is 503, anything
+// else a plain 500.
+func campaignErrStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *Server) handleCase(w http.ResponseWriter, r *http.Request) {
@@ -338,9 +406,25 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		}
 		cap = n
 	}
-	res, err := ballista.Run(o, ballista.WithCap(cap), ballista.WithObserver(s.observer()))
+	workers := 1
+	if v := r.URL.Query().Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.httpError(w, http.StatusBadRequest, "bad workers")
+			return
+		}
+		workers = n
+	}
+	opts := []ballista.Option{ballista.WithCap(cap), ballista.WithObserver(s.observer())}
+	var res *ballista.Result
+	var err error
+	if workers == 1 {
+		res, err = ballista.RunContext(r.Context(), o, opts...)
+	} else {
+		res, err = ballista.RunFarm(r.Context(), o, ballista.FarmConfig{Workers: workers}, opts...)
+	}
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err.Error())
+		s.httpError(w, campaignErrStatus(err), err.Error())
 		return
 	}
 	sum := report.Summarize(o, res)

@@ -80,6 +80,11 @@ func (n *Node) Size() int64 { return int64(len(n.Data)) }
 // Nlink returns the link count.
 func (n *Node) Nlink() int { return n.nlink }
 
+// ClearLocks drops every byte-range lock on the node.  Fixture reset
+// uses it between test cases to release locks whose owning process is
+// gone (a real OS releases them at process exit).
+func (n *Node) ClearLocks() { n.locks = nil }
+
 // FileSystem is the root of one simulated machine's file tree.
 type FileSystem struct {
 	root *Node
@@ -234,11 +239,18 @@ func (f *FileSystem) MkdirAll(path string, mode uint16) error {
 	return nil
 }
 
-// Remove deletes a regular file.
+// Remove deletes a regular file.  It unlinks the directory entry at
+// path itself — with hard links the node's canonical parent/name can
+// refer to a different entry, and removing that one instead would
+// delete the wrong name.
 func (f *FileSystem) Remove(path string) error {
-	n, err := f.lookup(path)
+	dir, base, err := f.lookupParent(path)
 	if err != nil {
 		return err
+	}
+	n, ok := dir.children[base]
+	if !ok {
+		return ErrNotFound
 	}
 	if n.dir {
 		return ErrIsDir
@@ -247,7 +259,7 @@ func (f *FileSystem) Remove(path string) error {
 		return ErrPerm
 	}
 	n.nlink--
-	delete(n.parent.children, n.name)
+	delete(dir.children, base)
 	return nil
 }
 
@@ -270,26 +282,33 @@ func (f *FileSystem) Rmdir(path string) error {
 	return nil
 }
 
-// Rename moves oldPath to newPath, replacing a plain-file target.
+// Rename moves oldPath to newPath, replacing a plain-file target.  Like
+// Remove, it unlinks the entry at oldPath itself rather than trusting
+// the node's canonical parent/name, which a hard-link alias may not
+// share.
 func (f *FileSystem) Rename(oldPath, newPath string) error {
-	n, err := f.lookup(oldPath)
+	oldDir, oldBase, err := f.lookupParent(oldPath)
 	if err != nil {
 		return err
 	}
-	if n.parent == nil {
-		return ErrPerm
+	n, ok := oldDir.children[oldBase]
+	if !ok {
+		return ErrNotFound
 	}
 	dir, base, err := f.lookupParent(newPath)
 	if err != nil {
 		return err
 	}
 	if c, ok := dir.children[base]; ok {
+		if c == n {
+			return nil // rename onto itself (same entry) is a no-op
+		}
 		if c.dir {
 			return ErrExists
 		}
 		delete(dir.children, base)
 	}
-	delete(n.parent.children, n.name)
+	delete(oldDir.children, oldBase)
 	n.name = base
 	n.parent = dir
 	dir.children[base] = n

@@ -1,0 +1,163 @@
+package suite
+
+import (
+	"testing"
+
+	"ballista/internal/osprofile"
+	"ballista/internal/sim/fs"
+	"ballista/internal/sim/kern"
+)
+
+func fixtureKernel(t *testing.T) *kern.Kernel {
+	t.Helper()
+	k := osprofile.Get(osprofile.WinNT).NewKernel()
+	SetupFixtures(k)
+	return k
+}
+
+// TestRestoreFileShape: a rename-style MuT can move a directory over a
+// fixture file (fs.Rename replaces plain-file targets).  The next
+// SetupFixtures must restore the file, or every later fixture open
+// fails with ErrIsDir for the rest of the campaign — the state leak
+// that made long shared-machine campaigns diverge from fresh-kernel
+// farm shards.
+func TestRestoreFileShape(t *testing.T) {
+	k := fixtureKernel(t)
+	if err := k.FS.Rename(FixtureSubdir, FixtureReadable); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := k.FS.Stat(FixtureReadable); err != nil || !n.IsDir() {
+		t.Fatalf("precondition: fixture not a directory (err=%v)", err)
+	}
+
+	SetupFixtures(k)
+
+	if _, err := k.FS.Open(FixtureReadable, true, false); err != nil {
+		t.Fatalf("fixture unreadable after restore: %v", err)
+	}
+	n, err := k.FS.Stat(FixtureReadable)
+	if err != nil || n.IsDir() || string(n.Data) != FixtureContent {
+		t.Errorf("fixture not restored: err=%v dir=%v", err, n != nil && n.IsDir())
+	}
+	// The displaced subdir tree is back too.
+	if _, err := k.FS.Stat(FixtureSubdir + "/a.txt"); err != nil {
+		t.Errorf("fixture subdir not restored: %v", err)
+	}
+}
+
+// TestRestoreClearsStaleLocks: byte-range locks owned by a dead test
+// process must not shadow the next case's I/O.
+func TestRestoreClearsStaleLocks(t *testing.T) {
+	k := fixtureKernel(t)
+	of, err := k.FS.Open(FixtureWritable, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := of.Lock(0, 1<<30, true); err != nil {
+		t.Fatal(err)
+	}
+	// The locking process dies without closing its descriptor.
+
+	SetupFixtures(k)
+
+	fresh, err := k.FS.Open(FixtureWritable, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Write([]byte("next case")); err != nil {
+		t.Errorf("stale lock survived fixture reset: %v", err)
+	}
+}
+
+// TestRestorePrunesStrayEntries: relative-path test values resolve at
+// the root, so MuTs create files like /bad<|>*?name there.  The reset
+// must remove them or later path probes see a different disk.
+func TestRestorePrunesStrayEntries(t *testing.T) {
+	k := fixtureKernel(t)
+	for _, p := range []string{"/bad<|>*?name", "/bl/stray.txt", "/bl/dir/stray.txt"} {
+		if _, err := k.FS.Create(p, 0o6, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	SetupFixtures(k)
+
+	for _, p := range []string{"/bad<|>*?name", "/bl/stray.txt", "/bl/dir/stray.txt"} {
+		if _, err := k.FS.Stat(p); err == nil {
+			t.Errorf("stray entry %s survived fixture reset", p)
+		}
+	}
+	// The load preload population is deliberately outside the prune:
+	// per-machine pressure state persists across cases.
+	if err := k.FS.MkdirAll("/load", 0o7); err != nil {
+		t.Fatal(err)
+	}
+	SetupFixtures(k)
+	if _, err := k.FS.Stat("/load"); err != nil {
+		t.Error("/load pruned; LoadProfile preloading must survive fixture reset")
+	}
+}
+
+// TestRestoreDirectoryModes: a chmod-style MuT stripping execute bits
+// from a fixture directory must not make later traversals fail.
+func TestRestoreDirectoryModes(t *testing.T) {
+	k := fixtureKernel(t)
+	n, err := k.FS.Stat(FixtureSubdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Mode = 0
+	n.Attrs |= fs.AttrReadOnly
+
+	SetupFixtures(k)
+
+	n, err = k.FS.Stat(FixtureSubdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Mode != 0o7 || n.Attrs != fs.AttrDirectory {
+		t.Errorf("fixture dir mode=%o attrs=%v after restore, want 7/%v", n.Mode, n.Attrs, fs.AttrDirectory)
+	}
+}
+
+// TestRestoreIsIdempotent: running the reset twice in a row must leave
+// the identical canonical tree (the per-case contract depends on it).
+func TestRestoreIsIdempotent(t *testing.T) {
+	k := fixtureKernel(t)
+	snap := func() map[string]string {
+		out := map[string]string{}
+		var walk func(dir string)
+		walk = func(dir string) {
+			names, err := k.FS.List(dir)
+			if err != nil {
+				return
+			}
+			for _, name := range names {
+				p := dir + name
+				n, err := k.FS.Stat(p)
+				if err != nil {
+					continue
+				}
+				if n.IsDir() {
+					out[p] = "dir"
+					walk(p + "/")
+				} else {
+					out[p] = string(n.Data)
+				}
+			}
+		}
+		walk("/")
+		return out
+	}
+	first := snap()
+	SetupFixtures(k)
+	second := snap()
+	if len(first) != len(second) {
+		t.Fatalf("tree size changed %d -> %d across resets", len(first), len(second))
+	}
+	for p, v := range first {
+		if second[p] != v {
+			t.Errorf("%s changed across resets", p)
+		}
+	}
+}

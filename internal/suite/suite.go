@@ -50,19 +50,34 @@ const FixtureContent = "Ballista fixture data: the quick brown fox jumps over th
 // persists across a campaign.
 func SetupFixtures(k *kern.Kernel) {
 	f := k.FS
-	_ = f.MkdirAll(FixtureDir, 0o7)
-	_ = f.MkdirAll(FixtureSubdir, 0o7)
-	_ = f.MkdirAll(TempDir, 0o7)
-	_ = f.MkdirAll("/bin", 0o7)
-	_ = f.MkdirAll("/home/ballista", 0o7)
+	ensureDir := func(path string) {
+		_ = f.MkdirAll(path, 0o7)
+		// A chmod-style MuT may have stripped the directory's permission
+		// bits in a previous case; restore them along with the shape.
+		if n, err := f.Stat(path); err == nil && n.IsDir() {
+			n.Mode = 0o7
+			n.Attrs = fs.AttrDirectory
+			n.ClearLocks()
+		}
+	}
+	ensureDir(FixtureDir)
+	ensureDir(FixtureSubdir)
+	ensureDir(TempDir)
+	ensureDir("/bin")
+	ensureDir("/home/ballista")
 
 	ensureFile := func(path, content string, mode uint16, attrs fs.Attr) {
 		n, err := f.Stat(path)
+		if err == nil && n.IsDir() {
+			// A rename-style MuT replaced the fixture file with a
+			// directory (fs.Rename moves a directory over a plain-file
+			// target); restore the file shape or every later open of
+			// this fixture would fail with ErrIsDir.
+			wipe(k, path)
+			_ = f.Rmdir(path)
+			n, err = nil, fs.ErrNotFound
+		}
 		if err != nil {
-			// Clear a read-only leftover blocking re-creation.
-			if nn, serr := f.Stat(path); serr == nil {
-				nn.Attrs &^= fs.AttrReadOnly
-			}
 			n, err = f.Create(path, mode, true)
 			if err != nil {
 				return
@@ -74,6 +89,9 @@ func SetupFixtures(k *kern.Kernel) {
 		}
 		n.Mode = mode
 		n.Attrs = attrs
+		// Byte-range locks taken by a previous case's (now defunct)
+		// process would otherwise shadow this case's I/O.
+		n.ClearLocks()
 	}
 
 	ensureFile(FixtureReadable, FixtureContent, 0o6, fs.AttrArchive)
@@ -90,6 +108,48 @@ func SetupFixtures(k *kern.Kernel) {
 	wipe(k, TempDir)
 	_ = f.MkdirAll(ScratchDir, 0o7)
 	_ = f.MkdirAll(TempDir, 0o7)
+
+	// Relative-path test values resolve against the root, so MuTs can
+	// litter it (fopen("bad<|>*?name", "w") creates /bad<|>*?name) and
+	// rename-style MuTs can move fixture entries to stray names.  Prune
+	// anything outside the canonical tree; /load is deliberately kept —
+	// LoadProfile preloading is per-machine state, not per-case state.
+	prune(k, "/", "bl", "bin", "home", "load", ScratchDir[1:], TempDir[1:])
+	prune(k, FixtureDir, "readable.txt", "writable.txt", "readonly.txt", "dir")
+	prune(k, FixtureSubdir, "a.txt", "b.txt", "c.dat")
+}
+
+// prune removes every child of dir whose name is not in keep.
+func prune(k *kern.Kernel, dir string, keep ...string) {
+	names, err := k.FS.List(dir)
+	if err != nil {
+		return
+	}
+	kept := make(map[string]bool, len(keep))
+	for _, name := range keep {
+		kept[name] = true
+	}
+	base := dir
+	if base != "/" {
+		base += "/"
+	} else {
+		base = "/"
+	}
+	for _, name := range names {
+		if kept[name] {
+			continue
+		}
+		p := base + name
+		if n, err := k.FS.Stat(p); err == nil {
+			n.Attrs &^= fs.AttrReadOnly
+			if n.IsDir() {
+				wipe(k, p)
+				_ = k.FS.Rmdir(p)
+			} else {
+				_ = k.FS.Remove(p)
+			}
+		}
+	}
 }
 
 func wipe(k *kern.Kernel, dir string) {

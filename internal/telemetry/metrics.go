@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,6 +62,13 @@ type Metrics struct {
 	// under concurrent test do not clobber each other.
 	kernel map[string]core.KernelSample
 
+	// Farm attribution: per-worker shard/case/reboot counters and the
+	// steal total, keyed by worker label ("0", "1", ...).
+	farmShards  map[string]uint64
+	farmCases   map[string]uint64
+	farmReboots map[string]uint64
+	farmSteals  uint64
+
 	// HTTP middleware counters: {method, path, status} -> count.
 	httpRequests map[[3]string]uint64
 	httpLatency  *Histogram
@@ -74,6 +82,9 @@ func NewMetrics() *Metrics {
 		casesByGroup: make(map[[2]string]uint64),
 		casesByOS:    make(map[string]uint64),
 		kernel:       make(map[string]core.KernelSample),
+		farmShards:   make(map[string]uint64),
+		farmCases:    make(map[string]uint64),
+		farmReboots:  make(map[string]uint64),
 		httpRequests: make(map[[3]string]uint64),
 		latency:      NewHistogram(latencyBuckets),
 		httpLatency:  NewHistogram([]float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 60}),
@@ -112,6 +123,28 @@ func (m *Metrics) OnCampaignDone(core.CampaignEvent) {
 	m.mu.Lock()
 	m.campaigns++
 	m.mu.Unlock()
+}
+
+// OnShardDone implements core.ShardObserver: farm campaigns attribute
+// their throughput to individual workers, the way the paper tracked its
+// six physical test machines separately.
+func (m *Metrics) OnShardDone(ev core.ShardEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := strconv.Itoa(ev.Worker)
+	m.farmShards[w]++
+	m.farmCases[w] += uint64(ev.Cases)
+	m.farmReboots[w] += uint64(ev.Reboots)
+	if ev.Stolen {
+		m.farmSteals++
+	}
+}
+
+// ShardCount returns the shards completed by one worker label.
+func (m *Metrics) ShardCount(worker string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.farmShards[worker]
 }
 
 // CaseCount returns the total observed cases for one CRASH class name.
@@ -236,6 +269,25 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "%s{os=%q} %d\n", name.metric, o, v)
 		}
 	}
+
+	// Farm worker attribution series.
+	for _, series := range []struct {
+		metric, help string
+		counts       map[string]uint64
+	}{
+		{"ballista_farm_worker_shards_total", "MuT shards completed, per farm worker.", m.farmShards},
+		{"ballista_farm_worker_cases_total", "Test cases executed, per farm worker.", m.farmCases},
+		{"ballista_farm_worker_reboots_total", "Machine reboots forced, per farm worker.", m.farmReboots},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n", series.metric, series.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", series.metric)
+		for _, wk := range sortedKeys(series.counts) {
+			fmt.Fprintf(w, "%s{worker=%q} %d\n", series.metric, wk, series.counts[wk])
+		}
+	}
+	fmt.Fprintf(w, "# HELP ballista_farm_steals_total Shards executed off another worker's partition.\n")
+	fmt.Fprintf(w, "# TYPE ballista_farm_steals_total counter\n")
+	fmt.Fprintf(w, "ballista_farm_steals_total %d\n", m.farmSteals)
 
 	// HTTP middleware series.
 	fmt.Fprintf(w, "# HELP ballista_http_requests_total Requests served, by method, path and status.\n")

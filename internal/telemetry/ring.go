@@ -79,3 +79,6 @@ func (rg *Ring) OnReboot(ev core.RebootEvent) { rg.push(rebootRecord(ev)) }
 
 // OnCampaignDone implements core.Observer.
 func (rg *Ring) OnCampaignDone(ev core.CampaignEvent) { rg.push(campaignRecord(ev)) }
+
+// OnShardDone implements core.ShardObserver.
+func (rg *Ring) OnShardDone(ev core.ShardEvent) { rg.push(shardRecord(ev)) }

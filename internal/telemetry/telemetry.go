@@ -73,6 +73,16 @@ func (m multi) OnCampaignDone(ev core.CampaignEvent) {
 	}
 }
 
+// OnShardDone implements core.ShardObserver, forwarding farm shard
+// completions to every member that cares.
+func (m multi) OnShardDone(ev core.ShardEvent) {
+	for _, o := range m {
+		if so, ok := o.(core.ShardObserver); ok {
+			so.OnShardDone(ev)
+		}
+	}
+}
+
 // Logger is the shared harness logger: a thin prefix-per-component
 // wrapper so server and CLI log lines are uniform and testable.
 type Logger struct {

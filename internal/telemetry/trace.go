@@ -51,8 +51,14 @@ type TraceRecord struct {
 	Cases int `json:"cases,omitempty"`
 	// Reason is the crash reason of a "reboot" record.
 	Reason string `json:"reason,omitempty"`
-	// Reboots totals machine restarts ("campaign" records).
+	// Reboots totals machine restarts ("campaign" and "shard" records).
 	Reboots int `json:"reboots,omitempty"`
+
+	// Worker/Shard/Stolen attribute a "shard" record to the farm worker
+	// that completed it.
+	Worker *int `json:"worker,omitempty"`
+	Shard  *int `json:"shard,omitempty"`
+	Stolen bool `json:"stolen,omitempty"`
 }
 
 // TraceWriter is a core.Observer that appends one JSON object per line.
@@ -155,6 +161,16 @@ func campaignRecord(ev core.CampaignEvent) TraceRecord {
 	}
 }
 
+func shardRecord(ev core.ShardEvent) TraceRecord {
+	worker, shard := ev.Worker, ev.Shard
+	return TraceRecord{
+		Type: "shard", OS: ev.OS, MuT: ev.MuT, Wide: ev.Wide,
+		Cases: ev.Cases, Reboots: ev.Reboots,
+		Worker: &worker, Shard: &shard, Stolen: ev.Stolen,
+		WallNS: ev.Wall.Nanoseconds(),
+	}
+}
+
 // OnMuTStart implements core.Observer.
 func (tw *TraceWriter) OnMuTStart(ev core.MuTStartEvent) {
 	rec := mutStartRecord(ev)
@@ -178,6 +194,13 @@ func (tw *TraceWriter) OnCampaignDone(ev core.CampaignEvent) {
 	rec := campaignRecord(ev)
 	tw.emit(&rec)
 	_ = tw.Flush()
+}
+
+// OnShardDone implements core.ShardObserver: farm shard completions
+// appear in the trace alongside the cases they cover.
+func (tw *TraceWriter) OnShardDone(ev core.ShardEvent) {
+	rec := shardRecord(ev)
+	tw.emit(&rec)
 }
 
 // ReadTrace parses a JSONL trace stream, returning its records in order.

@@ -1,6 +1,7 @@
 package ballista
 
 import (
+	"context"
 	"testing"
 
 	"ballista/internal/catalog"
@@ -17,7 +18,7 @@ func TestHeavyLoadShiftsOutcomes(t *testing.T) {
 			if m.Group != catalog.GrpMemoryManagement {
 				continue
 			}
-			res, err := runner.RunMuT(m, false)
+			res, err := runner.RunMuT(context.Background(), m, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -50,7 +51,7 @@ func TestHeavyLoadShiftsOutcomes(t *testing.T) {
 func TestLoadDeterminism(t *testing.T) {
 	m, _ := catalog.ByName(catalog.Win32, "VirtualAlloc")
 	run := func() []RawClass {
-		res, err := NewRunner(Win98, WithCap(120), WithLoad(DefaultLoad())).RunMuT(m, false)
+		res, err := NewRunner(Win98, WithCap(120), WithLoad(DefaultLoad())).RunMuT(context.Background(), m, false)
 		if err != nil {
 			t.Fatal(err)
 		}

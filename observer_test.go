@@ -2,6 +2,7 @@ package ballista
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"ballista/internal/catalog"
@@ -66,7 +67,7 @@ func TestTraceReplay(t *testing.T) {
 		t.Fatal("GetThreadContext missing from the win98 catalog")
 	}
 	runner := NewRunner(Win98, WithCap(200), WithObserver(tw))
-	if _, err := runner.RunMuT(mut, false); err != nil {
+	if _, err := runner.RunMuT(context.Background(), mut, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := tw.Flush(); err != nil {
