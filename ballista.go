@@ -16,6 +16,7 @@ import (
 	"ballista/internal/catalog"
 	"ballista/internal/clib"
 	"ballista/internal/core"
+	"ballista/internal/explore"
 	"ballista/internal/farm"
 	"ballista/internal/hinder"
 	"ballista/internal/osprofile"
@@ -101,7 +102,13 @@ type (
 	CampaignEvent = core.CampaignEvent
 	KernelSample  = core.KernelSample
 	ShardEvent    = core.ShardEvent
+	ChainEvent    = core.ChainEvent
+	ChainStep     = core.ChainStep
 )
+
+// ChainObserver re-exports the sequence-fuzzer event hook (an optional
+// extension of Observer; the internal/telemetry observers implement it).
+type ChainObserver = core.ChainObserver
 
 // WithObserver attaches a telemetry observer to the campaign.  The
 // observer sees every case (OnCaseDone), MuT campaign start, machine
@@ -209,6 +216,59 @@ func NewFarm(o OS, fc FarmConfig, opts ...Option) *farm.Farm {
 // RunFarm executes one OS variant's full campaign across a worker pool.
 func RunFarm(ctx context.Context, o OS, fc FarmConfig, opts ...Option) (*Result, error) {
 	return NewFarm(o, fc, opts...).Run(ctx)
+}
+
+// ExploreConfig re-exports the sequence-fuzzer configuration (see
+// internal/explore).
+type ExploreConfig = explore.Config
+
+// ExploreReport re-exports the fuzzing campaign report.
+type ExploreReport = explore.Report
+
+// Chain re-exports the replayable call-chain type.
+type Chain = explore.Chain
+
+// Reproducer re-exports the self-contained minimized finding document.
+type Reproducer = explore.Reproducer
+
+// NewExplorer builds the coverage-guided sequence fuzzer with the full
+// Ballista suite: candidates are chains of catalog calls, coverage is the
+// simulated kernel's state fingerprint, and every candidate runs through
+// the cross-OS differential oracle.  One suite registry is shared across
+// the per-OS runner factory, so a campaign boots machines, not registries.
+func NewExplorer(cfg ExploreConfig) (*explore.Fuzzer, error) {
+	reg := suite.NewRegistry()
+	newRunner := func(o OS) *core.Runner {
+		return core.NewRunner(
+			core.Config{OS: o, Cap: core.DefaultCap, StopMuTOnCrash: true},
+			reg, Dispatch, suite.SetupFixtures,
+		)
+	}
+	return explore.New(cfg, reg, newRunner)
+}
+
+// Explore runs one coverage-guided differential fuzzing campaign.  The
+// report is deterministic: the same Config (seed, OS set, alphabet,
+// budget) yields byte-identical JSON for any worker count.
+func Explore(ctx context.Context, cfg ExploreConfig) (*ExploreReport, error) {
+	f, err := NewExplorer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run(ctx)
+}
+
+// ReplayChain executes a chain on a fresh machine of one OS variant and
+// returns the per-step CRASH classes — the replay half of the fuzzer's
+// trace records, corpus checkpoints and minimized reproducers.
+func ReplayChain(o OS, ch Chain) ([]RawClass, error) {
+	return explore.RunChain(NewRunner(o), ch)
+}
+
+// VerifyReproducer replays a reproducer document against the recorded
+// per-OS classes (the golden regression corpus check).
+func VerifyReproducer(rep *Reproducer) error {
+	return rep.Verify(func(o OS) *core.Runner { return NewRunner(o) })
 }
 
 // Summaries computes Table 1 rows for a result set in reporting order.

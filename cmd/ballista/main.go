@@ -9,6 +9,8 @@
 //	ballista -os win98 -metrics-addr :9090   # live Prometheus /metrics
 //	ballista -os winnt -workers 8     # sharded parallel campaign farm
 //	ballista -os winnt -workers 8 -checkpoint nt.ckpt  # resumable
+//	ballista -explore -chains 2000 -seed 7             # sequence fuzzer
+//	ballista -explore -diff-os linux,win98,winnt -repro-dir findings/
 //
 // A full campaign with -workers > 1 shards the MuT catalog across a
 // farm of simulated machines (one kernel per worker) and merges the
@@ -16,6 +18,13 @@
 // With -checkpoint, every completed MuT shard is journaled; killing the
 // campaign (Ctrl-C) and re-running with the same -checkpoint resumes
 // without re-testing finished shards.
+//
+// -explore runs the coverage-guided sequence fuzzer: call chains of
+// length 2-8 mutated under kernel-state-coverage feedback, every
+// candidate judged by the cross-OS differential oracle.  The campaign is
+// deterministic for a given -seed regardless of -workers; -checkpoint
+// journals every candidate so a killed run resumes exactly; -repro-dir
+// writes the minimized findings as self-contained JSON reproducers.
 package main
 
 import (
@@ -48,6 +57,13 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address while the campaign runs")
 	workers := flag.Int("workers", 1, "farm worker count for full campaigns (0 = one per CPU)")
 	checkpoint := flag.String("checkpoint", "", "journal completed MuT shards to this JSONL file and resume from it")
+	exploreFlag := flag.Bool("explore", false, "run the coverage-guided sequence fuzzer with the cross-OS differential oracle")
+	chains := flag.Int("chains", 2000, "explore: candidate chain budget")
+	seed := flag.Uint64("seed", 1, "explore: campaign seed (same seed = same report)")
+	maxLen := flag.Int("maxlen", 8, "explore: maximum chain length (2-8)")
+	diffOS := flag.String("diff-os", "", "explore: comma-separated differential-oracle OS set (default: all seven)")
+	exploreMuTs := flag.String("explore-muts", "", "explore: comma-separated chain alphabet (default: cross-OS intersection)")
+	reproDir := flag.String("repro-dir", "", "explore: write minimized reproducer JSON files to this directory")
 	flag.Parse()
 
 	target, ok := osprofile.Parse(*osFlag)
@@ -91,6 +107,17 @@ func main() {
 	if len(observers) > 0 {
 		opts = append(opts, ballista.WithObserver(telemetry.Multi(observers...)))
 	}
+
+	if *exploreFlag {
+		runExplore(target, exploreOpts{
+			chains: *chains, seed: *seed, maxLen: *maxLen,
+			diffOS: *diffOS, muts: *exploreMuTs,
+			workers: *workers, checkpoint: *checkpoint, reproDir: *reproDir,
+			verbose: *verbose, observers: observers,
+		})
+		return
+	}
+
 	runner := ballista.NewRunner(target, opts...)
 
 	if *hinderFlag {
@@ -159,6 +186,97 @@ func main() {
 			fmt.Printf("  %-30s cases=%-5d abort=%5.1f%% restart=%5.2f%% catastrophic=%v\n",
 				mr.Name(), mr.Executed(), 100*mr.AbortRate(), 100*mr.RestartRate(), mr.Catastrophic())
 		}
+	}
+}
+
+// exploreOpts carries the -explore flag set.
+type exploreOpts struct {
+	chains, maxLen, workers int
+	seed                    uint64
+	diffOS, muts            string
+	checkpoint, reproDir    string
+	verbose                 bool
+	observers               []ballista.Observer
+}
+
+func runExplore(primary ballista.OS, eo exploreOpts) {
+	cfg := ballista.ExploreConfig{
+		Primary: primary, Seed: eo.seed, Budget: eo.chains,
+		MaxLen: eo.maxLen, Workers: eo.workers, Checkpoint: eo.checkpoint,
+	}
+	if eo.diffOS != "" {
+		for _, name := range strings.Split(eo.diffOS, ",") {
+			o, ok := osprofile.Parse(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ballista: unknown OS %q in -diff-os\n", name)
+				os.Exit(2)
+			}
+			cfg.OSes = append(cfg.OSes, o)
+		}
+	}
+	if eo.muts != "" {
+		for _, name := range strings.Split(eo.muts, ",") {
+			cfg.MuTs = append(cfg.MuTs, strings.TrimSpace(name))
+		}
+	}
+	if len(eo.observers) > 0 {
+		if co, ok := telemetry.Multi(eo.observers...).(ballista.ChainObserver); ok {
+			cfg.Observer = co
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	rep, err := ballista.Explore(ctx, cfg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ballista: exploration interrupted")
+			if eo.checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "ballista: corpus journaled; re-run with -checkpoint %s to resume\n", eo.checkpoint)
+			}
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("explore %s (oracle: %s): %d chains, corpus %d, %d divergent, %d catastrophic, %v\n",
+		rep.Primary, strings.Join(rep.OSes, " "), rep.Executed, rep.CorpusSize,
+		rep.DivergentChains, rep.CatastrophicChains, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("findings: %d distinct (final call x cross-OS signature)\n", len(rep.Divergences))
+	for i, d := range rep.Divergences {
+		if !eo.verbose && i >= 10 {
+			fmt.Printf("  ... %d more (use -v for all)\n", len(rep.Divergences)-i)
+			break
+		}
+		ch := d.Chain
+		if d.Minimized != nil {
+			ch = *d.Minimized
+		}
+		mark := ""
+		if d.Catastrophic {
+			mark = " CATASTROPHIC"
+		}
+		fmt.Printf("  %-40s %s%s\n", ch, d.Signature, mark)
+	}
+
+	if eo.reproDir != "" {
+		if err := os.MkdirAll(eo.reproDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			os.Exit(1)
+		}
+		reps := rep.Reproducers()
+		for i, r := range reps {
+			r.Name = fmt.Sprintf("finding-%03d", i)
+			path := fmt.Sprintf("%s/finding-%03d.json", strings.TrimRight(eo.reproDir, "/"), i)
+			if err := r.WriteFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "ballista:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d reproducers to %s\n", len(reps), eo.reproDir)
 	}
 }
 

@@ -1,0 +1,86 @@
+package ballista_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ballista"
+	"ballista/internal/explore"
+)
+
+// TestGoldenCorpus replays every minimized reproducer in testdata/corpus
+// and asserts that each chain still lands in the recorded CRASH class on
+// every OS variant.  The corpus is the regression net for the simulated
+// kernels: a behaviour change in any OS profile that shifts a divergence
+// signature shows up here as a named, replayable failure.
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 15 {
+		t.Fatalf("golden corpus too small: %d files, want at least 15", len(files))
+	}
+	var catastrophic, divergence int
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			rep, err := explore.LoadReproducer(path)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if rep.Catastrophic {
+				catastrophic++
+			} else {
+				divergence++
+			}
+			if err := ballista.VerifyReproducer(rep); err != nil {
+				t.Errorf("replay mismatch: %v", err)
+			}
+		})
+	}
+	if catastrophic == 0 {
+		t.Error("corpus contains no catastrophic findings")
+	}
+	if divergence == 0 {
+		t.Error("corpus contains no non-catastrophic divergences")
+	}
+}
+
+// TestGoldenCorpusSignatures asserts each reproducer earns its place:
+// either some machine crashed (catastrophic), or the final step's
+// classes disagree across OS variants.  A file with uniform, crash-free
+// classes would not be a finding and has no business in the corpus.
+func TestGoldenCorpusSignatures(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range files {
+		rep, err := explore.LoadReproducer(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", filepath.Base(path), err)
+		}
+		last := len(rep.Chain.Steps) - 1
+		distinct := map[string]bool{}
+		crashed := false
+		for _, classes := range rep.Classes {
+			if c := classes[last]; c != "skip" {
+				distinct[c] = true
+			}
+			for _, c := range classes {
+				if c == "catastrophic" {
+					crashed = true
+				}
+			}
+		}
+		if rep.Catastrophic != crashed {
+			t.Errorf("%s: catastrophic flag %v but recorded classes say %v",
+				filepath.Base(path), rep.Catastrophic, crashed)
+		}
+		if !crashed && len(distinct) < 2 {
+			t.Errorf("%s: final-step classes do not diverge: %v",
+				filepath.Base(path), rep.Classes)
+		}
+	}
+}

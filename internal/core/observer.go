@@ -143,6 +143,51 @@ type ShardObserver interface {
 	OnShardDone(ev ShardEvent)
 }
 
+// ChainStep is one call of a sequence chain: a MuT named by its wire
+// name plus the test-value indices for each parameter.  The JSON shape
+// is shared by chain trace records, corpus checkpoints and minimized
+// reproducers, so any of them replays through explore.RunChain.
+type ChainStep struct {
+	MuT  string `json:"mut"`
+	Case Case   `json:"case"`
+}
+
+// ChainEvent reports one call chain evaluated by the coverage-guided
+// sequence fuzzer (internal/explore): the chain itself, its per-OS CRASH
+// classes from the differential oracle, and the coverage verdict.
+// Events fire in deterministic candidate order from the fuzzer's merge
+// loop, never concurrently from its workers.
+type ChainEvent struct {
+	// OS is the wire name of the fuzzer's primary (coverage) OS.
+	OS string
+	// Seq is the candidate ordinal within the fuzzing campaign.
+	Seq int
+	// Steps is the chain, replayable via explore.RunChain.
+	Steps []ChainStep
+	Wide  bool
+	// Classes maps OS wire name to the per-step CRASH classes the
+	// differential oracle observed.
+	Classes map[string][]RawClass
+	// Novel marks a chain that reached a new kernel-state fingerprint and
+	// joined the corpus.
+	Novel bool
+	// Divergent marks a chain whose final step classified differently
+	// across the OS set (the paper's Table 4 comparison, mechanized).
+	Divergent bool
+	// Catastrophic marks a chain that crashed at least one OS's machine.
+	Catastrophic bool
+	// Fingerprint is the combined cross-OS kernel-state fingerprint.
+	Fingerprint uint64
+	// CorpusSize is the corpus (coverage frontier) size after this chain.
+	CorpusSize int
+}
+
+// ChainObserver is an optional extension interface: Observers that also
+// implement it receive per-chain events from sequence-fuzzing campaigns.
+type ChainObserver interface {
+	OnChainDone(ev ChainEvent)
+}
+
 // NopObserver implements Observer with no-ops; embed it to implement a
 // subset of the hooks.
 type NopObserver struct{}

@@ -1,0 +1,163 @@
+package explore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+)
+
+// ckptVersion is the corpus-journal schema version.
+const ckptVersion = 1
+
+// maxCkptLine bounds one journal line; anything longer is hostile or
+// corrupt and truncates the resume there.
+const maxCkptLine = 1 << 20
+
+// ckptMeta is the journal's first line: the campaign identity.  Resume
+// refuses a journal whose identity differs from the live configuration,
+// because replaying someone else's candidate stream would silently
+// diverge from what a fresh run of this campaign produces.  Budget is
+// deliberately absent — resuming with a larger budget extends the same
+// campaign.
+type ckptMeta struct {
+	Type        string   `json:"type"` // "meta"
+	V           int      `json:"v"`
+	Seed        uint64   `json:"seed"`
+	Primary     string   `json:"primary"`
+	OSes        []string `json:"oses"`
+	MaxLen      int      `json:"max_len"`
+	CasesPerMuT int      `json:"cases_per_mut"`
+	// Alphabet is a hash of the resolved MuT alphabet in order.
+	Alphabet string `json:"alphabet"`
+}
+
+// ckptChain is one evaluated candidate: everything the merge loop needs
+// to reconstruct its state transition without re-executing the chain.
+type ckptChain struct {
+	Type string `json:"type"` // "chain"
+	// N is the candidate ordinal; the journal must be a contiguous
+	// prefix 0..n-1 to be trusted.
+	N     int    `json:"n"`
+	Chain Chain  `json:"chain"`
+	FP    string `json:"fp"`
+	Novel bool   `json:"novel,omitempty"`
+
+	Divergent    bool                `json:"divergent,omitempty"`
+	Catastrophic bool                `json:"catastrophic,omitempty"`
+	Sig          string              `json:"sig,omitempty"`
+	Classes      map[string][]string `json:"classes,omitempty"`
+}
+
+// loadCheckpoint reads a corpus journal and returns the longest trusted
+// contiguous candidate prefix.  A missing file is an empty campaign.  A
+// torn final line (the process died mid-write), trailing garbage, an
+// out-of-order ordinal or an invalid chain all end the prefix there —
+// the fuzzer re-executes from that point and, being deterministic,
+// reproduces what the lost tail would have held.  Only an identity
+// mismatch is an error.
+func loadCheckpoint(path string, want ckptMeta) ([]ckptChain, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("explore: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), maxCkptLine)
+	var recs []ckptChain
+	sawMeta := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if !sawMeta {
+			var meta ckptMeta
+			if err := json.Unmarshal(line, &meta); err != nil || meta.Type != "meta" {
+				return nil, fmt.Errorf("explore: checkpoint %s has no meta line", path)
+			}
+			if !reflect.DeepEqual(meta, want) {
+				return nil, fmt.Errorf("explore: checkpoint %s belongs to a different campaign (seed/OS set/alphabet changed); delete it or pass a fresh path", path)
+			}
+			sawMeta = true
+			continue
+		}
+		var rec ckptChain
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn or garbage tail: trust the prefix only
+		}
+		if rec.Type != "chain" || rec.N != len(recs) {
+			if rec.Type == "chain" && rec.N < len(recs) {
+				continue // duplicate of an already-replayed ordinal
+			}
+			break // gap or foreign record: end of trusted prefix
+		}
+		if rec.Chain.Validate() != nil {
+			break
+		}
+		if _, err := ParseFingerprint(rec.FP); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil && len(recs) == 0 && !sawMeta {
+		return nil, fmt.Errorf("explore: reading checkpoint: %w", err)
+	}
+	return recs, nil
+}
+
+// ckptWriter appends candidate records to the journal.  Lines are
+// written whole through a single O_APPEND descriptor, so a crash can
+// tear at most the final line — exactly what loadCheckpoint tolerates.
+type ckptWriter struct {
+	f *os.File
+}
+
+// openCkpt opens (creating if needed) the journal for appending and
+// writes the meta line into a fresh file.
+func openCkpt(path string, meta ckptMeta) (*ckptWriter, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("explore: creating checkpoint dir: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("explore: opening checkpoint: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("explore: checkpoint stat: %w", err)
+	}
+	w := &ckptWriter{f: f}
+	if st.Size() == 0 {
+		line, err := json.Marshal(meta)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("explore: writing checkpoint meta: %w", err)
+		}
+	}
+	return w, nil
+}
+
+func (w *ckptWriter) append(rec ckptChain) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = w.f.Write(append(line, '\n'))
+	return err
+}
+
+func (w *ckptWriter) Close() error { return w.f.Close() }

@@ -1,0 +1,126 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+// reproVersion is the reproducer document schema version.
+const reproVersion = 1
+
+// Reproducer is a self-contained, minimized finding: the chain, the OS
+// set it was judged on, and the per-OS per-step CRASH classes the
+// differential oracle recorded.  The document is everything needed to
+// replay the finding byte-for-byte through RunChain — the golden
+// regression corpus under testdata/corpus/ is a directory of these.
+type Reproducer struct {
+	V int `json:"v"`
+	// Name is an optional short label (corpus files use the file stem).
+	Name string `json:"name,omitempty"`
+	// Description is optional prose about what the finding shows.
+	Description string `json:"description,omitempty"`
+	// OSes lists the wire names the chain was judged on; Classes must
+	// hold an entry for each.
+	OSes  []string `json:"oses"`
+	Chain Chain    `json:"chain"`
+	// Classes maps OS wire name to the expected per-step class names.
+	Classes map[string][]string `json:"classes"`
+	// Signature is the final-step per-OS class vector (informational).
+	Signature string `json:"signature,omitempty"`
+	// Catastrophic marks findings that crash at least one machine.
+	Catastrophic bool `json:"catastrophic,omitempty"`
+}
+
+// ParseReproducer decodes and sanity-checks a reproducer document.
+func ParseReproducer(data []byte) (*Reproducer, error) {
+	var rep Reproducer
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("explore: bad reproducer JSON: %w", err)
+	}
+	if rep.V != reproVersion {
+		return nil, fmt.Errorf("explore: reproducer version %d (want %d)", rep.V, reproVersion)
+	}
+	if err := rep.Chain.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rep.OSes) == 0 {
+		return nil, fmt.Errorf("explore: reproducer names no OSes")
+	}
+	for _, name := range rep.OSes {
+		if _, ok := osprofile.Parse(name); !ok {
+			return nil, fmt.Errorf("explore: reproducer names unknown OS %q", name)
+		}
+		cls, ok := rep.Classes[name]
+		if !ok {
+			return nil, fmt.Errorf("explore: reproducer has no classes for %s", name)
+		}
+		if len(cls) != len(rep.Chain.Steps) {
+			return nil, fmt.Errorf("explore: reproducer records %d classes for %s, chain has %d steps",
+				len(cls), name, len(rep.Chain.Steps))
+		}
+	}
+	return &rep, nil
+}
+
+// LoadReproducer reads a reproducer document from disk.
+func LoadReproducer(path string) (*Reproducer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ParseReproducer(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Marshal renders the document in the corpus's canonical indented form.
+func (rep *Reproducer) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile stores the document at path in canonical form.
+func (rep *Reproducer) WriteFile(path string) error {
+	data, err := rep.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Verify replays the chain on every recorded OS (a fresh machine per OS
+// from newRunner) and compares the observed per-step classes against the
+// recorded ones.  A nil return means the finding still reproduces
+// byte-for-byte.
+func (rep *Reproducer) Verify(newRunner func(osprofile.OS) *core.Runner) error {
+	for _, name := range rep.OSes {
+		o, ok := osprofile.Parse(name)
+		if !ok {
+			return fmt.Errorf("unknown OS %q", name)
+		}
+		got, err := RunChain(newRunner(o), rep.Chain)
+		if err != nil {
+			return fmt.Errorf("replaying on %s: %w", name, err)
+		}
+		want := rep.Classes[name]
+		if len(got) != len(want) {
+			return fmt.Errorf("on %s: got %d step classes, recorded %d", name, len(got), len(want))
+		}
+		for i, c := range got {
+			if c.String() != want[i] {
+				return fmt.Errorf("on %s step %d (%s): got %s, recorded %s",
+					name, i, rep.Chain.Steps[i].MuT, c, want[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package explore_test
+
+import (
+	"testing"
+
+	"ballista"
+	"ballista/internal/catalog"
+	"ballista/internal/core"
+	"ballista/internal/explore"
+)
+
+// TestFreshKernelFingerprintStable: the coverage signal's anchor
+// property — a freshly booted machine fingerprints to the same value
+// every boot, per OS profile.  Hashing must also be a pure read: two
+// consecutive fingerprints of one kernel agree.
+func TestFreshKernelFingerprintStable(t *testing.T) {
+	for _, o := range ballista.AllOSes() {
+		a := explore.KernelFingerprint(ballista.NewRunner(o).Machine())
+		b := explore.KernelFingerprint(ballista.NewRunner(o).Machine())
+		if a != b {
+			t.Errorf("%s: two fresh machines fingerprint differently: %s vs %s", o, a, b)
+		}
+		k := ballista.NewRunner(o).Machine()
+		c1 := explore.KernelFingerprint(k)
+		c2 := explore.KernelFingerprint(k)
+		if c1 != c2 {
+			t.Errorf("%s: re-hashing one kernel changed the fingerprint: %s vs %s", o, c1, c2)
+		}
+	}
+}
+
+// TestFingerprintDiffersAfterChain: executing any chain must move the
+// fingerprint off the fresh-boot constant (activity counters are
+// monotonic), or novelty detection could never fire.
+func TestFingerprintDiffersAfterChain(t *testing.T) {
+	for _, o := range ballista.AllOSes() {
+		m := catalog.MuTsFor(o)[0]
+		ch := explore.Chain{Steps: []core.ChainStep{
+			{MuT: m.Name, Case: make(core.Case, len(m.Params))},
+			{MuT: m.Name, Case: make(core.Case, len(m.Params))},
+		}}
+		r := ballista.NewRunner(o)
+		fresh := explore.KernelFingerprint(r.Machine())
+		if _, err := explore.RunChain(r, ch); err != nil {
+			t.Fatalf("%s: %v", o, err)
+		}
+		after := explore.KernelFingerprint(r.Machine())
+		if fresh == after {
+			t.Errorf("%s: fingerprint unchanged after running %s twice", o, m.Name)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesArchFamilies: the four simulated
+// architectures (nt, unix, 9x, ce) must not collide on the fresh-boot
+// fingerprint — the arch traits are hashed in.  OS variants sharing an
+// arch (win95/win98/win98se) legitimately share the fresh constant; the
+// fuzzer's combined digest separates them by OS name.
+func TestFingerprintDistinguishesArchFamilies(t *testing.T) {
+	seen := make(map[explore.Fingerprint]string)
+	for _, o := range []ballista.OS{ballista.Linux, ballista.Win98, ballista.WinNT, ballista.WinCE} {
+		k := ballista.NewRunner(o).Machine()
+		fp := explore.KernelFingerprint(k)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("arch %s and %s share fresh fingerprint %s", prev, k.Arch.Name, fp)
+		}
+		seen[fp] = k.Arch.Name
+	}
+}
+
+// TestFingerprintRoundTrip: the wire form parses back to itself.
+func TestFingerprintRoundTrip(t *testing.T) {
+	fp := explore.KernelFingerprint(ballista.NewRunner(ballista.Win98).Machine())
+	back, err := explore.ParseFingerprint(fp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != fp {
+		t.Fatalf("round trip %s -> %s", fp, back)
+	}
+	if _, err := explore.ParseFingerprint("not hex"); err == nil {
+		t.Fatal("garbage fingerprint parsed")
+	}
+}

@@ -1,0 +1,43 @@
+package explore_test
+
+import (
+	"testing"
+
+	"ballista"
+	"ballista/internal/explore"
+)
+
+// FuzzChainReplay is the harness-hardening fuzz target: arbitrary chain
+// JSON must never panic the replay path — it either fails to parse,
+// fails to resolve against the catalog, or classifies every step.  This
+// is the same guarantee the service's POST /api/explore and the corpus
+// loader rely on.
+func FuzzChainReplay(f *testing.F) {
+	f.Add([]byte(`{"steps":[{"mut":"ftell","case":[3]},{"mut":"clearerr","case":[0]}]}`))
+	f.Add([]byte(`{"wide":true,"steps":[{"mut":"strlen","case":[0]}]}`))
+	f.Add([]byte(`{"steps":[{"mut":"fopen","case":[999,999]}]}`))
+	f.Add([]byte(`{"steps":[]}`))
+	f.Add([]byte(`{"steps":[{"mut":"","case":[]}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"steps":[{"mut":"ftell","case":[-1]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ch, err := explore.ParseChain(data)
+		if err != nil {
+			return // malformed input must be rejected, not executed
+		}
+		// A parsed chain replays or errors — never panics.  Classes for
+		// the executed prefix must be well-formed when replay succeeds.
+		classes, err := ballista.ReplayChain(ballista.Win98, ch)
+		if err != nil {
+			return
+		}
+		if len(classes) != len(ch.Steps) {
+			t.Fatalf("replay returned %d classes for %d steps", len(classes), len(ch.Steps))
+		}
+		for i, c := range classes {
+			if c.String() == "" {
+				t.Fatalf("step %d classified to an unnamed class %d", i, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzIdentity is the campaign identity the journal fuzz target loads
+// against; seeds below embed its exact meta line.
+func fuzzIdentity() ckptMeta {
+	return ckptMeta{
+		Type: "meta", V: ckptVersion, Seed: 1, Primary: "win98",
+		OSes:   []string{"linux", "win98"},
+		MaxLen: 8, CasesPerMuT: 6, Alphabet: "00000000deadbeef",
+	}
+}
+
+const fuzzMetaLine = `{"type":"meta","v":1,"seed":1,"primary":"win98","oses":["linux","win98"],"max_len":8,"cases_per_mut":6,"alphabet":"00000000deadbeef"}`
+
+// FuzzCheckpointJournal: torn or garbage journal bytes must never
+// panic the loader or corrupt a resume.  Whatever the loader accepts
+// must be a trusted prefix — contiguous ordinals, structurally valid
+// chains, parseable fingerprints — because the fuzzer replays it into
+// campaign state without re-execution.
+func FuzzCheckpointJournal(f *testing.F) {
+	rec := `{"type":"chain","n":0,"chain":{"steps":[{"mut":"ftell","case":[3]}]},"fp":"00000000000000aa","novel":true}`
+	f.Add([]byte(fuzzMetaLine + "\n" + rec + "\n"))
+	f.Add([]byte(fuzzMetaLine + "\n" + rec + "\n" + `{"type":"chain","n":1,"chain":{"st`)) // torn tail
+	f.Add([]byte(fuzzMetaLine + "\n\xff\x00garbage\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"type":"meta","v":99}` + "\n"))
+	f.Add([]byte(rec + "\n")) // record with no meta line
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "corpus.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := loadCheckpoint(path, fuzzIdentity())
+		if err != nil {
+			return // rejected outright is always safe
+		}
+		for i, rec := range recs {
+			if rec.N != i {
+				t.Fatalf("record %d has ordinal %d — loader accepted a gap", i, rec.N)
+			}
+			if err := rec.Chain.Validate(); err != nil {
+				t.Fatalf("record %d carries an invalid chain: %v", i, err)
+			}
+			if _, err := ParseFingerprint(rec.FP); err != nil {
+				t.Fatalf("record %d carries a bad fingerprint: %v", i, err)
+			}
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 
 	"ballista/internal/catalog"
 	"ballista/internal/core"
+	"ballista/internal/explore"
 )
 
 // Finding records one sequence-dependent divergence.
@@ -129,9 +130,12 @@ func (e *Explorer) Explore(reg *core.Registry) ([]Finding, error) {
 						return sorted(findings), nil
 					}
 					pairs++
-					classes, err := e.newRunner().RunSequence(
-						[]catalog.MuT{first, second},
-						[]core.Case{fc, sc}, false)
+					classes, err := explore.RunChain(e.newRunner(), explore.Chain{
+						Steps: []core.ChainStep{
+							{MuT: first.Name, Case: fc},
+							{MuT: second.Name, Case: sc},
+						},
+					})
 					if err != nil {
 						return nil, err
 					}

@@ -121,3 +121,79 @@ func TestSeverityOrdering(t *testing.T) {
 			crash.Severity(), abort.Severity(), errf.Severity())
 	}
 }
+
+// TestFindingsUnchangedByChainPath pins the refactor that routed the
+// pair explorer through explore.RunChain: an explorer campaign must
+// produce exactly the findings of the same pair loop written directly
+// against Runner.RunSequence.
+func TestFindingsUnchangedByChainPath(t *testing.T) {
+	o := osprofile.Win98
+	muts := mutsByName(t, o, "strncpy", "fopen")
+	cfg := Config{CasesPerMuT: 6, MaxPairs: 300}
+
+	ex := New(newRunner(o), muts, cfg)
+	viaChain, err := ex.Explore(suite.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same exploration, directly against the engine.
+	reg := suite.NewRegistry()
+	cases := make(map[string][]core.Case)
+	baseline := make(map[string][]core.RawClass)
+	for _, m := range muts {
+		sizes := make([]int, len(m.Params))
+		for i, tn := range m.Params {
+			dt, ok := reg.Lookup(tn)
+			if !ok {
+				t.Fatalf("unknown data type %q", tn)
+			}
+			sizes[i] = len(dt.Values)
+		}
+		cases[m.Name] = core.GenerateCases(m.Name, sizes, cfg.CasesPerMuT)
+		for _, tc := range cases[m.Name] {
+			cls, err := ballista.NewRunner(o).RunCase(m, tc, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline[m.Name] = append(baseline[m.Name], cls)
+		}
+	}
+	var direct []Finding
+	pairs := 0
+	for _, first := range muts {
+		for _, second := range muts {
+			for _, fc := range cases[first.Name] {
+				for si, sc := range cases[second.Name] {
+					if pairs >= cfg.MaxPairs {
+						goto done
+					}
+					pairs++
+					classes, err := ballista.NewRunner(o).RunSequence(
+						[]catalog.MuT{first, second}, []core.Case{fc, sc}, false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					iso := baseline[second.Name][si]
+					if seq := classes[1]; seq != iso && seq != core.RawSkip {
+						direct = append(direct, Finding{
+							First: first.Name, FirstCase: fc,
+							Second: second.Name, SecondCase: sc,
+							Isolated: iso, Sequenced: seq,
+						})
+					}
+				}
+			}
+		}
+	}
+done:
+	direct = sorted(direct)
+	if len(viaChain) != len(direct) {
+		t.Fatalf("chain path found %d findings, direct loop %d", len(viaChain), len(direct))
+	}
+	for i := range direct {
+		if viaChain[i].String() != direct[i].String() {
+			t.Errorf("finding %d differs: chain=%v direct=%v", i, viaChain[i], direct[i])
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"ballista"
@@ -88,6 +89,30 @@ type FarmCampaignResponse struct {
 	Catastrophic []string           `json:"catastrophic,omitempty"`
 	Results      []CampaignResponse `json:"results"`
 }
+
+// ExploreRequest asks for a coverage-guided differential fuzzing
+// campaign (see internal/explore): chains of catalog calls mutated
+// under kernel-state-coverage feedback, every candidate judged by the
+// cross-OS differential oracle.
+type ExploreRequest struct {
+	// OS is the primary (coverage) variant; empty selects win98.
+	OS string `json:"os,omitempty"`
+	// OSes is the differential-oracle set; empty selects all seven.
+	OSes []string `json:"oses,omitempty"`
+	// MuTs restricts the chain alphabet; empty selects the cross-OS
+	// intersection.
+	MuTs []string `json:"muts,omitempty"`
+	Seed uint64   `json:"seed,omitempty"`
+	// Chains is the candidate budget (default 500, bounded server-side).
+	Chains int `json:"chains,omitempty"`
+	// MaxLen caps chain length (2-8; default 8).
+	MaxLen  int `json:"max_len,omitempty"`
+	Workers int `json:"workers,omitempty"`
+}
+
+// MaxExploreChains bounds the per-request fuzzing budget so one HTTP
+// call cannot monopolize the server.
+const MaxExploreChains = 20000
 
 // CaseRequest asks for one identified test case (the paper's
 // single-test-program mode; Listing 1 is {"os":"win98",
@@ -185,6 +210,7 @@ func NewServer(opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /api/oses", s.handleOSes)
 	s.mux.HandleFunc("GET /api/muts", s.handleMuTs)
 	s.mux.HandleFunc("POST /api/campaign", s.handleCampaign)
+	s.mux.HandleFunc("POST /api/explore", s.handleExplore)
 	s.mux.HandleFunc("POST /api/case", s.handleCase)
 	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
 	s.mux.HandleFunc("GET /api/events", s.handleEvents)
@@ -308,6 +334,65 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, campaignRow(o, res))
+}
+
+// handleExplore runs one bounded fuzzing campaign and returns the full
+// deterministic report.  Chain events stream into the server's metrics
+// registry and event ring as the campaign runs.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.OS == "" {
+		req.OS = "win98"
+	}
+	primary, ok := parseOS(req.OS)
+	if !ok {
+		s.httpError(w, http.StatusBadRequest, "unknown os")
+		return
+	}
+	var oses []ballista.OS
+	for _, name := range req.OSes {
+		o, ok := parseOS(name)
+		if !ok {
+			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown os %q in oses", name))
+			return
+		}
+		oses = append(oses, o)
+	}
+	if req.Chains <= 0 {
+		req.Chains = 500
+	}
+	if req.Chains > MaxExploreChains {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("chains %d exceeds the server bound %d", req.Chains, MaxExploreChains))
+		return
+	}
+	if req.Workers < 0 {
+		s.httpError(w, http.StatusBadRequest, "bad workers")
+		return
+	}
+	cfg := ballista.ExploreConfig{
+		Primary: primary, OSes: oses, MuTs: req.MuTs,
+		Seed: req.Seed, Budget: req.Chains, MaxLen: req.MaxLen,
+		Workers: req.Workers,
+	}
+	if co, ok := s.observer().(core.ChainObserver); ok {
+		cfg.Observer = co
+	}
+	rep, err := ballista.Explore(r.Context(), cfg)
+	if err != nil {
+		status := campaignErrStatus(err)
+		if strings.Contains(err.Error(), "is not tested on") ||
+			strings.Contains(err.Error(), "empty alphabet") {
+			status = http.StatusBadRequest
+		}
+		s.httpError(w, status, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
 }
 
 // handleFarmCampaign runs the full catalog for one OS across a farm of

@@ -365,3 +365,81 @@ func TestCaseReplayFromEvents(t *testing.T) {
 		t.Fatal("no immediate-crash Catastrophic case record found to replay")
 	}
 }
+
+func TestExploreEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	var rep ballista.ExploreReport
+	status := postJSON(t, ts.URL+"/api/explore", ExploreRequest{
+		OS: "win98", Seed: 1, Chains: 60, Workers: 2,
+	}, &rep)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if rep.Executed != 60 {
+		t.Errorf("executed %d, requested 60", rep.Executed)
+	}
+	if rep.CorpusSize == 0 {
+		t.Error("no corpus growth")
+	}
+	if len(rep.Divergences) == 0 {
+		t.Error("no divergences reported")
+	}
+
+	// The campaign's chain events must be visible on the ring and in the
+	// metrics registry.
+	var evs EventsResponse
+	if status := getJSON(t, ts.URL+"/api/events?n=2000", &evs); status != http.StatusOK {
+		t.Fatalf("events status %d", status)
+	}
+	chains := 0
+	for _, rec := range evs.Events {
+		if rec.Type == "chain" {
+			chains++
+			if len(rec.Steps) == 0 {
+				t.Error("chain event without steps")
+			}
+		}
+	}
+	if chains == 0 {
+		t.Error("no chain events on the ring")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "ballista_explore_chains_total 60") {
+		t.Error("explore chain counter missing from /metrics")
+	}
+
+	// Same seed again: the report must be identical (the second run adds
+	// another 60 chains to the counters, but the report body matches).
+	var rep2 ballista.ExploreReport
+	postJSON(t, ts.URL+"/api/explore", ExploreRequest{
+		OS: "win98", Seed: 1, Chains: 60, Workers: 7,
+	}, &rep2)
+	b1, _ := json.Marshal(rep)
+	b2, _ := json.Marshal(rep2)
+	if !bytes.Equal(b1, b2) {
+		t.Error("same-seed explore reports differ across requests/worker counts")
+	}
+}
+
+func TestExploreEndpointErrors(t *testing.T) {
+	ts := testServer(t)
+	var out map[string]any
+	if status := postJSON(t, ts.URL+"/api/explore", ExploreRequest{OS: "beos"}, &out); status != http.StatusBadRequest {
+		t.Errorf("unknown os: status %d", status)
+	}
+	if status := postJSON(t, ts.URL+"/api/explore", ExploreRequest{OSes: []string{"win98", "beos"}}, &out); status != http.StatusBadRequest {
+		t.Errorf("unknown oracle os: status %d", status)
+	}
+	if status := postJSON(t, ts.URL+"/api/explore", ExploreRequest{Chains: MaxExploreChains + 1}, &out); status != http.StatusBadRequest {
+		t.Errorf("over-budget: status %d", status)
+	}
+	if status := postJSON(t, ts.URL+"/api/explore", ExploreRequest{MuTs: []string{"no_such"}}, &out); status != http.StatusBadRequest {
+		t.Errorf("unknown mut: status %d", status)
+	}
+}

@@ -80,6 +80,10 @@ func (n *Node) Size() int64 { return int64(len(n.Data)) }
 // Nlink returns the link count.
 func (n *Node) Nlink() int { return n.nlink }
 
+// LockCount reports how many byte-range locks are held on the node
+// (state-coverage fingerprints hash the lock table's shape).
+func (n *Node) LockCount() int { return len(n.locks) }
+
 // ClearLocks drops every byte-range lock on the node.  Fixture reset
 // uses it between test cases to release locks whose owning process is
 // gone (a real OS releases them at process exit).

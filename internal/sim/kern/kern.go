@@ -103,6 +103,9 @@ type Stats struct {
 	// HandlesOpened / HandlesClosed count handle-table insertions and
 	// removals machine-wide; their difference is the live-handle gauge.
 	HandlesOpened, HandlesClosed uint64
+	// HandlesByKind counts handle-table insertions per object kind — the
+	// object-manager shape that state-coverage fingerprints hash.
+	HandlesByKind [KindCount]uint64
 	// FDsOpened / FDsClosed count POSIX descriptor-table activity.
 	FDsOpened, FDsClosed uint64
 	// ProbeFaults counts syscall-boundary pointer probes that failed.

@@ -19,6 +19,9 @@ const (
 	KPipe
 	KModule
 	KTimer
+
+	// KindCount sizes per-kind tables (one past the last kind).
+	KindCount
 )
 
 // String names the kind.

@@ -85,6 +85,9 @@ func (p *Process) AddHandle(o *Object) Handle {
 	o.refs++
 	p.handles[h] = o
 	p.K.stats.HandlesOpened++
+	if o.Kind >= 0 && o.Kind < KindCount {
+		p.K.stats.HandlesByKind[o.Kind]++
+	}
 	return h
 }
 

@@ -176,6 +176,9 @@ type Stats struct {
 	Allocs, Frees uint64
 	// Faults counts failed Read/Write accesses.
 	Faults uint64
+	// ProtTransitions counts pages whose protection actually changed in a
+	// Protect call (state-coverage fingerprints hash it).
+	ProtTransitions uint64
 }
 
 // LivePages returns currently mapped pages across all observed spaces.
@@ -314,7 +317,12 @@ func (as *AddressSpace) Protect(addr Addr, size uint32, prot Prot) error {
 		}
 	}
 	for pn := first; pn <= last; pn++ {
-		as.pages[pn].prot = prot
+		if as.pages[pn].prot != prot {
+			as.pages[pn].prot = prot
+			if as.stats != nil {
+				as.stats.ProtTransitions++
+			}
+		}
 	}
 	return nil
 }

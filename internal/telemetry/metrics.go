@@ -69,6 +69,16 @@ type Metrics struct {
 	farmReboots map[string]uint64
 	farmSteals  uint64
 
+	// Sequence-fuzzer counters: candidate chains evaluated, chains that
+	// reached a novel kernel-state fingerprint (the coverage frontier),
+	// differential-oracle divergences, machine-crashing chains, and the
+	// latest corpus-size gauge.
+	exploreChains       uint64
+	exploreNovel        uint64
+	exploreDivergent    uint64
+	exploreCatastrophic uint64
+	exploreCorpusSize   int
+
 	// HTTP middleware counters: {method, path, status} -> count.
 	httpRequests map[[3]string]uint64
 	httpLatency  *Histogram
@@ -138,6 +148,31 @@ func (m *Metrics) OnShardDone(ev core.ShardEvent) {
 	if ev.Stolen {
 		m.farmSteals++
 	}
+}
+
+// OnChainDone implements core.ChainObserver: sequence-fuzzing campaigns
+// report their coverage frontier and differential-oracle findings.
+func (m *Metrics) OnChainDone(ev core.ChainEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.exploreChains++
+	if ev.Novel {
+		m.exploreNovel++
+	}
+	if ev.Divergent {
+		m.exploreDivergent++
+	}
+	if ev.Catastrophic {
+		m.exploreCatastrophic++
+	}
+	m.exploreCorpusSize = ev.CorpusSize
+}
+
+// ChainCount returns the total candidate chains observed.
+func (m *Metrics) ChainCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.exploreChains
 }
 
 // ShardCount returns the shards completed by one worker label.
@@ -288,6 +323,24 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP ballista_farm_steals_total Shards executed off another worker's partition.\n")
 	fmt.Fprintf(w, "# TYPE ballista_farm_steals_total counter\n")
 	fmt.Fprintf(w, "ballista_farm_steals_total %d\n", m.farmSteals)
+
+	// Sequence-fuzzer series.
+	for _, series := range []struct {
+		metric, help string
+		v            uint64
+	}{
+		{"ballista_explore_chains_total", "Candidate call chains evaluated by the sequence fuzzer.", m.exploreChains},
+		{"ballista_explore_novel_total", "Chains that reached a novel kernel-state fingerprint.", m.exploreNovel},
+		{"ballista_explore_divergent_total", "Chains whose final call classified differently across OSes.", m.exploreDivergent},
+		{"ballista_explore_catastrophic_total", "Chains that crashed at least one simulated machine.", m.exploreCatastrophic},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n", series.metric, series.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", series.metric)
+		fmt.Fprintf(w, "%s %d\n", series.metric, series.v)
+	}
+	fmt.Fprintf(w, "# HELP ballista_explore_corpus_size Coverage-corpus size (frontier) of the latest fuzzing campaign.\n")
+	fmt.Fprintf(w, "# TYPE ballista_explore_corpus_size gauge\n")
+	fmt.Fprintf(w, "ballista_explore_corpus_size %d\n", m.exploreCorpusSize)
 
 	// HTTP middleware series.
 	fmt.Fprintf(w, "# HELP ballista_http_requests_total Requests served, by method, path and status.\n")

@@ -82,3 +82,6 @@ func (rg *Ring) OnCampaignDone(ev core.CampaignEvent) { rg.push(campaignRecord(e
 
 // OnShardDone implements core.ShardObserver.
 func (rg *Ring) OnShardDone(ev core.ShardEvent) { rg.push(shardRecord(ev)) }
+
+// OnChainDone implements core.ChainObserver.
+func (rg *Ring) OnChainDone(ev core.ChainEvent) { rg.push(chainRecord(ev)) }

@@ -83,6 +83,16 @@ func (m multi) OnShardDone(ev core.ShardEvent) {
 	}
 }
 
+// OnChainDone implements core.ChainObserver, forwarding sequence-fuzzer
+// chain completions to every member that cares.
+func (m multi) OnChainDone(ev core.ChainEvent) {
+	for _, o := range m {
+		if co, ok := o.(core.ChainObserver); ok {
+			co.OnChainDone(ev)
+		}
+	}
+}
+
 // Logger is the shared harness logger: a thin prefix-per-component
 // wrapper so server and CLI log lines are uniform and testable.
 type Logger struct {

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 
@@ -59,6 +60,24 @@ type TraceRecord struct {
 	Worker *int `json:"worker,omitempty"`
 	Shard  *int `json:"shard,omitempty"`
 	Stolen bool `json:"stolen,omitempty"`
+
+	// Chain fields ("chain" records from the sequence fuzzer).  Steps is
+	// the candidate chain itself — the record replays through
+	// explore.RunChain (or ballista -replay) byte-for-byte.
+	Steps []core.ChainStep `json:"steps,omitempty"`
+	// Classes maps OS wire name to per-step CRASH class names from the
+	// differential oracle.
+	Classes map[string][]string `json:"classes,omitempty"`
+	// Novel marks a chain that joined the coverage corpus; Divergent and
+	// Catastrophic mark oracle findings.
+	Novel        bool `json:"novel,omitempty"`
+	Divergent    bool `json:"divergent,omitempty"`
+	Catastrophic bool `json:"catastrophic,omitempty"`
+	// Fingerprint is the combined cross-OS kernel-state fingerprint, in
+	// the fixed-width hex form explore.ParseFingerprint reads.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// CorpusSize is the coverage frontier size after this chain.
+	CorpusSize int `json:"corpus_size,omitempty"`
 }
 
 // TraceWriter is a core.Observer that appends one JSON object per line.
@@ -161,6 +180,25 @@ func campaignRecord(ev core.CampaignEvent) TraceRecord {
 	}
 }
 
+func chainRecord(ev core.ChainEvent) TraceRecord {
+	seq := ev.Seq
+	classes := make(map[string][]string, len(ev.Classes))
+	for os, cls := range ev.Classes {
+		names := make([]string, len(cls))
+		for i, c := range cls {
+			names[i] = c.String()
+		}
+		classes[os] = names
+	}
+	return TraceRecord{
+		Type: "chain", OS: ev.OS, Wide: ev.Wide, Seq: &seq,
+		Steps: ev.Steps, Classes: classes,
+		Novel: ev.Novel, Divergent: ev.Divergent, Catastrophic: ev.Catastrophic,
+		Fingerprint: fmt.Sprintf("%016x", ev.Fingerprint),
+		CorpusSize:  ev.CorpusSize,
+	}
+}
+
 func shardRecord(ev core.ShardEvent) TraceRecord {
 	worker, shard := ev.Worker, ev.Shard
 	return TraceRecord{
@@ -200,6 +238,13 @@ func (tw *TraceWriter) OnCampaignDone(ev core.CampaignEvent) {
 // appear in the trace alongside the cases they cover.
 func (tw *TraceWriter) OnShardDone(ev core.ShardEvent) {
 	rec := shardRecord(ev)
+	tw.emit(&rec)
+}
+
+// OnChainDone implements core.ChainObserver: every fuzzer candidate
+// lands in the trace as a replayable chain record.
+func (tw *TraceWriter) OnChainDone(ev core.ChainEvent) {
+	rec := chainRecord(ev)
 	tw.emit(&rec)
 }
 
