@@ -12,8 +12,10 @@ package ballista
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"ballista/internal/catalog"
+	"ballista/internal/chaos"
 	"ballista/internal/clib"
 	"ballista/internal/core"
 	"ballista/internal/explore"
@@ -240,7 +242,8 @@ func NewExplorer(cfg ExploreConfig) (*explore.Fuzzer, error) {
 	reg := suite.NewRegistry()
 	newRunner := func(o OS) *core.Runner {
 		return core.NewRunner(
-			core.Config{OS: o, Cap: core.DefaultCap, StopMuTOnCrash: true},
+			core.Config{OS: o, Cap: core.DefaultCap, StopMuTOnCrash: true,
+				Chaos: cfg.Chaos, ChaosStats: cfg.ChaosStats},
 			reg, Dispatch, suite.SetupFixtures,
 		)
 	}
@@ -385,6 +388,53 @@ func DefaultLoad() LoadProfile {
 // studies such as osprofile.AblateProbing.
 func WithProfile(p *osprofile.Profile) Option {
 	return func(c *core.Config) { c.Profile = p }
+}
+
+// ChaosPlan re-exports the seeded environmental-fault plan (see
+// internal/chaos).  A plan is JSON-serializable and fully determines the
+// fault schedule: the same plan yields the same injections on every run.
+type ChaosPlan = chaos.Plan
+
+// ChaosRule re-exports one fault rule of a chaos plan.
+type ChaosRule = chaos.Rule
+
+// ChaosStats re-exports the shared injection counters (injected per op,
+// retried, quarantined, wedged).
+type ChaosStats = chaos.Stats
+
+// NewChaosStats builds a counter set to share across a campaign.
+func NewChaosStats() *ChaosStats { return chaos.NewStats() }
+
+// ChaosPreset returns one of the named stock fault plans ("disk", "mem",
+// "hang", "harness", "all") seeded for determinism.
+func ChaosPreset(name string, seed uint64) (*ChaosPlan, error) {
+	return chaos.Preset(name, seed)
+}
+
+// LoadChaosPlan parses a chaos plan from a JSON file.
+func LoadChaosPlan(path string) (*ChaosPlan, error) { return chaos.Load(path) }
+
+// WithChaos runs the campaign under a seeded environmental-fault plan:
+// disk-full and torn writes in the simulated filesystem, commit failures
+// under memory pressure, scheduler stalls and wedged calls in the kernel.
+// Each machine boot starts a fresh injector session from the plan, so
+// farm campaigns stay deterministic for any worker count.
+func WithChaos(p *ChaosPlan) Option {
+	return func(c *core.Config) { c.Chaos = p }
+}
+
+// WithChaosStats attaches shared injection counters to the campaign (for
+// telemetry export; see Metrics.SetChaosStats).
+func WithChaosStats(s *ChaosStats) Option {
+	return func(c *core.Config) { c.ChaosStats = s }
+}
+
+// WithCaseDeadline arms the per-case watchdog: a call that exceeds d is
+// abandoned, classified Restart, and its machine is condemned so the
+// next case boots fresh hardware.  Required for plans with kern.wedge
+// rules — wedge points stay disarmed without a watchdog.
+func WithCaseDeadline(d time.Duration) Option {
+	return func(c *core.Config) { c.CaseDeadline = d }
 }
 
 // HinderResult re-exports the Hindering-failure probe outcome.

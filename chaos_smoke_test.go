@@ -1,0 +1,119 @@
+package ballista_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"ballista"
+	"ballista/internal/explore"
+	"ballista/internal/osprofile"
+)
+
+const chaosSmokeCap = 120
+
+// smokePlan resolves a stock fault plan or fails the test.
+func smokePlan(t *testing.T, preset string, seed uint64) *ballista.ChaosPlan {
+	t.Helper()
+	p, err := ballista.ChaosPreset(preset, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestChaosFarmWorkerCountInvariance is the substrate-chaos half of the
+// resilience oracle: injector sessions are per machine boot, so a farm
+// campaign's merged report under a seeded disk or memory fault plan must
+// not depend on the worker count — the fault stream follows the shard,
+// not the scheduler.
+func TestChaosFarmWorkerCountInvariance(t *testing.T) {
+	for _, preset := range []string{"disk", "mem"} {
+		t.Run(preset, func(t *testing.T) {
+			run := func(workers int) *ballista.Result {
+				res, err := ballista.RunFarm(context.Background(), ballista.WinNT,
+					ballista.FarmConfig{Workers: workers},
+					ballista.WithCap(chaosSmokeCap), ballista.WithChaos(smokePlan(t, preset, 42)))
+				if err != nil {
+					t.Fatalf("%d workers: %v", workers, err)
+				}
+				return res
+			}
+			if one, eight := run(1), run(8); !reflect.DeepEqual(one, eight) {
+				t.Errorf("%s plan: 1-worker and 8-worker reports diverge", preset)
+			}
+		})
+	}
+}
+
+// TestChaosHangPresetBounded runs a whole campaign under the "hang"
+// preset (wedged calls plus scheduler stalls) with a short case deadline:
+// the watchdog must convert every wedge into a bounded RawRestart, the
+// campaign must finish, and two identically seeded runs must agree.
+func TestChaosHangPresetBounded(t *testing.T) {
+	stats := ballista.NewChaosStats()
+	run := func(s *ballista.ChaosStats) *ballista.Result {
+		res, err := ballista.RunFarm(context.Background(), ballista.WinNT,
+			ballista.FarmConfig{Workers: 4},
+			ballista.WithCap(chaosSmokeCap),
+			ballista.WithChaos(smokePlan(t, "hang", 7)),
+			ballista.WithChaosStats(s),
+			ballista.WithCaseDeadline(50*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run(stats)
+	if first.CasesRun == 0 {
+		t.Fatal("hang-preset campaign ran no cases")
+	}
+	if stats.Snapshot().Wedged == 0 {
+		t.Fatal("hang preset wedged nothing; the watchdog was not exercised")
+	}
+	if !reflect.DeepEqual(first, run(nil)) {
+		t.Error("hang plan: identically seeded runs diverge")
+	}
+}
+
+// TestGoldenCorpusChaosReplayDeterministic replays every golden corpus
+// chain twice under the same seeded disk plan and asserts the two
+// replays agree step for step.  Injected substrate faults may legally
+// shift a chain's classes away from the recorded fault-free ones — what
+// must hold is that the shift itself is a pure function of the plan.
+func TestGoldenCorpusChaosReplayDeterministic(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("golden corpus is empty")
+	}
+	plan := smokePlan(t, "disk", 42)
+	for _, path := range files {
+		rep, err := explore.LoadReproducer(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", filepath.Base(path), err)
+		}
+		for _, name := range rep.OSes {
+			o, ok := osprofile.Parse(name)
+			if !ok {
+				t.Fatalf("%s: unknown OS %q", filepath.Base(path), name)
+			}
+			replay := func() []ballista.RawClass {
+				r := ballista.NewRunner(o, ballista.WithChaos(plan))
+				classes, err := explore.RunChain(r, rep.Chain)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", filepath.Base(path), o, err)
+				}
+				return classes
+			}
+			if a, b := replay(), replay(); !reflect.DeepEqual(a, b) {
+				t.Errorf("%s on %s: chaos replay diverges: %v vs %v",
+					filepath.Base(path), o, a, b)
+			}
+		}
+	}
+}

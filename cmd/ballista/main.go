@@ -11,6 +11,9 @@
 //	ballista -os winnt -workers 8 -checkpoint nt.ckpt  # resumable
 //	ballista -explore -chains 2000 -seed 7             # sequence fuzzer
 //	ballista -explore -diff-os linux,win98,winnt -repro-dir findings/
+//	ballista -os winnt -chaos-seed 42                  # seeded fault sweep
+//	ballista -os winnt -chaos-seed 42 -chaos-preset disk -csv report.csv
+//	ballista -os winnt -chaos-plan faults.json -case-deadline 100ms
 //
 // A full campaign with -workers > 1 shards the MuT catalog across a
 // farm of simulated machines (one kernel per worker) and merges the
@@ -36,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -64,6 +68,11 @@ func main() {
 	diffOS := flag.String("diff-os", "", "explore: comma-separated differential-oracle OS set (default: all seven)")
 	exploreMuTs := flag.String("explore-muts", "", "explore: comma-separated chain alphabet (default: cross-OS intersection)")
 	reproDir := flag.String("repro-dir", "", "explore: write minimized reproducer JSON files to this directory")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "inject environmental faults from the -chaos-preset plan seeded with this value (0 = off)")
+	chaosPreset := flag.String("chaos-preset", "all", "stock fault plan for -chaos-seed: disk, mem, hang, harness, all")
+	chaosPlan := flag.String("chaos-plan", "", "inject environmental faults from this JSON plan file (overrides -chaos-seed)")
+	caseDeadline := flag.Duration("case-deadline", 0, "per-case watchdog: a call exceeding this is classified Restart and its machine condemned (required for hang plans)")
+	csvFlag := flag.String("csv", "", "write the per-MuT campaign report as CSV to this file (a deterministic artifact, diffable across runs)")
 	flag.Parse()
 
 	target, ok := osprofile.Parse(*osFlag)
@@ -74,6 +83,31 @@ func main() {
 	opts := []ballista.Option{ballista.WithCap(*capFlag)}
 	if *isolated {
 		opts = append(opts, ballista.WithIsolation())
+	}
+
+	var plan *ballista.ChaosPlan
+	if *chaosPlan != "" {
+		p, err := ballista.LoadChaosPlan(*chaosPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			os.Exit(2)
+		}
+		plan = p
+	} else if *chaosSeed != 0 {
+		p, err := ballista.ChaosPreset(*chaosPreset, *chaosSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			os.Exit(2)
+		}
+		plan = p
+	}
+	var chaosStats *ballista.ChaosStats
+	if plan != nil {
+		chaosStats = ballista.NewChaosStats()
+		opts = append(opts, ballista.WithChaos(plan), ballista.WithChaosStats(chaosStats))
+	}
+	if *caseDeadline > 0 {
+		opts = append(opts, ballista.WithCaseDeadline(*caseDeadline))
 	}
 
 	var observers []ballista.Observer
@@ -94,6 +128,9 @@ func main() {
 	var metrics *telemetry.Metrics
 	if *metricsAddr != "" {
 		metrics = telemetry.NewMetrics()
+		if chaosStats != nil {
+			metrics.SetChaosStats(chaosStats)
+		}
 		observers = append(observers, metrics)
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", metrics.Handler())
@@ -114,6 +151,7 @@ func main() {
 			diffOS: *diffOS, muts: *exploreMuTs,
 			workers: *workers, checkpoint: *checkpoint, reproDir: *reproDir,
 			verbose: *verbose, observers: observers,
+			chaos: plan, chaosStats: chaosStats,
 		})
 		return
 	}
@@ -144,16 +182,23 @@ func main() {
 		return
 	}
 
-	// Ctrl-C / SIGTERM stops the campaign at the next test-case boundary
-	// instead of leaving it to grind; with -checkpoint the finished
-	// shards are already journaled and a re-run resumes from them.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	// Ctrl-C / SIGTERM stop the campaign identically at the next
+	// test-case boundary; with -checkpoint the finished shards are
+	// already journaled and a re-run resumes from them.  The exit code
+	// is 128+signum (130 SIGINT, 143 SIGTERM) so containerized kills
+	// read back conventionally.
+	ctx, stop, caught := signalContext()
 	defer stop()
 
 	start := time.Now()
 	var res *ballista.Result
 	var err error
-	if *workers != 1 || *checkpoint != "" {
+	// A chaos plan forces the farm path even at -workers 1: substrate
+	// fault streams are per machine boot, and only the farm's fresh-
+	// machine-per-shard contract keeps a seeded campaign's report
+	// independent of the worker count (sequential RunAll shares one
+	// machine across MuTs, so its fault stream depends on shard order).
+	if *workers != 1 || *checkpoint != "" || plan != nil {
 		fc := ballista.FarmConfig{Workers: *workers, Checkpoint: *checkpoint}
 		res, err = ballista.RunFarm(ctx, target, fc, opts...)
 	} else {
@@ -165,10 +210,19 @@ func main() {
 			if *checkpoint != "" {
 				fmt.Fprintf(os.Stderr, "ballista: completed shards journaled; re-run with -checkpoint %s to resume\n", *checkpoint)
 			}
-			os.Exit(130)
+			os.Exit(signalExitCode(caught))
 		}
 		fmt.Fprintln(os.Stderr, "ballista:", err)
 		os.Exit(1)
+	}
+	if chaosStats != nil {
+		defer printChaosSummary(chaosStats)
+	}
+	if *csvFlag != "" {
+		if err := writeCSVReport(*csvFlag, target, res); err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("%s: %d MuTs, %d test cases, %d reboots, %v\n",
 		target, len(res.Results), res.CasesRun, res.Reboots, time.Since(start).Round(time.Millisecond))
@@ -189,6 +243,64 @@ func main() {
 	}
 }
 
+// writeCSVReport stores the per-MuT campaign report as a CSV file — a
+// deterministic artifact (no timings, no worker attribution) that CI
+// diffs across worker counts and fault plans.
+func writeCSVReport(path string, target ballista.OS, res *ballista.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteMuTCSV(f, map[ballista.OS]*ballista.Result{target: res}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// signalContext cancels on SIGINT or SIGTERM — treated identically, so
+// an operator Ctrl-C and a container runtime's kill drain the same way —
+// and records which signal arrived for the exit code.
+func signalContext() (context.Context, context.CancelFunc, *atomic.Int32) {
+	ctx, cancel := context.WithCancel(context.Background())
+	caught := new(atomic.Int32)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			if s, ok := sig.(syscall.Signal); ok {
+				caught.Store(int32(s))
+			}
+			cancel()
+		case <-ctx.Done():
+		}
+		signal.Stop(ch)
+	}()
+	return ctx, cancel, caught
+}
+
+// signalExitCode renders the conventional 128+signum exit code (130 for
+// SIGINT, 143 for SIGTERM); SIGINT's 130 is the fallback for a
+// cancellation whose signal was not observed.
+func signalExitCode(caught *atomic.Int32) int {
+	if n := caught.Load(); n != 0 {
+		return 128 + int(n)
+	}
+	return 130
+}
+
+// printChaosSummary reports the fault plan's footprint after a campaign.
+func printChaosSummary(stats *ballista.ChaosStats) {
+	snap := stats.Snapshot()
+	total := uint64(0)
+	for _, n := range snap.Injected {
+		total += n
+	}
+	fmt.Printf("chaos: %d faults injected, %d writes retried, %d shards quarantined, %d calls wedged\n",
+		total, snap.Retried, snap.Quarantined, snap.Wedged)
+}
+
 // exploreOpts carries the -explore flag set.
 type exploreOpts struct {
 	chains, maxLen, workers int
@@ -197,12 +309,15 @@ type exploreOpts struct {
 	checkpoint, reproDir    string
 	verbose                 bool
 	observers               []ballista.Observer
+	chaos                   *ballista.ChaosPlan
+	chaosStats              *ballista.ChaosStats
 }
 
 func runExplore(primary ballista.OS, eo exploreOpts) {
 	cfg := ballista.ExploreConfig{
 		Primary: primary, Seed: eo.seed, Budget: eo.chains,
 		MaxLen: eo.maxLen, Workers: eo.workers, Checkpoint: eo.checkpoint,
+		Chaos: eo.chaos, ChaosStats: eo.chaosStats,
 	}
 	if eo.diffOS != "" {
 		for _, name := range strings.Split(eo.diffOS, ",") {
@@ -225,7 +340,7 @@ func runExplore(primary ballista.OS, eo exploreOpts) {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	ctx, stop, caught := signalContext()
 	defer stop()
 
 	start := time.Now()
@@ -236,10 +351,13 @@ func runExplore(primary ballista.OS, eo exploreOpts) {
 			if eo.checkpoint != "" {
 				fmt.Fprintf(os.Stderr, "ballista: corpus journaled; re-run with -checkpoint %s to resume\n", eo.checkpoint)
 			}
-			os.Exit(130)
+			os.Exit(signalExitCode(caught))
 		}
 		fmt.Fprintln(os.Stderr, "ballista:", err)
 		os.Exit(1)
+	}
+	if eo.chaosStats != nil {
+		defer printChaosSummary(eo.chaosStats)
 	}
 
 	fmt.Printf("explore %s (oracle: %s): %d chains, corpus %d, %d divergent, %d catastrophic, %v\n",

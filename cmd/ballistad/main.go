@@ -42,12 +42,20 @@ func main() {
 	traceFlag := flag.String("trace", "", "append every served campaign's per-case JSONL trace to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on a second listener (it is always on the main mux too)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	campaignLimit := flag.Int("campaign-limit", service.DefaultMaxCampaigns, "max concurrent heavy requests (campaigns, fuzzing, summaries); excess sheds with 429")
+	requestTimeout := flag.Duration("request-timeout", 0, "server-side bound on one heavy request's campaign (0 = client-controlled only)")
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stderr, "ballistad")
 
 	var svcOpts []service.ServerOption
 	svcOpts = append(svcOpts, service.WithLogger(logger))
+	if *campaignLimit > 0 {
+		svcOpts = append(svcOpts, service.WithCampaignLimit(*campaignLimit))
+	}
+	if *requestTimeout > 0 {
+		svcOpts = append(svcOpts, service.WithRequestTimeout(*requestTimeout))
+	}
 	var tw *telemetry.TraceWriter
 	if *traceFlag != "" {
 		f, err := os.OpenFile(*traceFlag, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDeterministicDecisions: two sessions over the same plan make
+// byte-identical decision streams, and a different seed diverges.
+func TestDeterministicDecisions(t *testing.T) {
+	plan := &Plan{Seed: 42, Rules: []Rule{
+		{Op: OpFSWrite, Kind: KindEIO, RatePerMille: 200},
+		{Op: OpFSCreate, RatePerMille: 100},
+	}}
+	stream := func(p *Plan) []bool {
+		in := p.NewInjector(nil)
+		var out []bool
+		for i := 0; i < 400; i++ {
+			_, ok := in.Fault(OpFSWrite, "f.dat")
+			out = append(out, ok)
+			_, ok = in.Fault(OpFSCreate, "/tmp/x")
+			out = append(out, ok)
+		}
+		return out
+	}
+	a, b := stream(plan), stream(plan)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identical sessions", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no decisions fired at rate 200/100 per mille over 800 points")
+	}
+	other := &Plan{Seed: 43, Rules: plan.Rules}
+	c := stream(other)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision streams")
+	}
+}
+
+// TestTransientRetryContract: a site that just faulted under a Transient
+// rule must pass on its very next hit, so one retry always succeeds.
+func TestTransientRetryContract(t *testing.T) {
+	plan := &Plan{Seed: 7, Rules: []Rule{
+		{Op: OpCkptWrite, RatePerMille: 900, Transient: true},
+	}}
+	in := plan.NewInjector(nil)
+	for i := 0; i < 500; i++ {
+		if _, ok := in.Fault(OpCkptWrite, "journal"); ok {
+			if _, again := in.Fault(OpCkptWrite, "journal"); again {
+				t.Fatalf("hit %d: transient fault repeated on the immediate retry", i)
+			}
+		}
+	}
+}
+
+func TestRuleBounds(t *testing.T) {
+	plan := &Plan{Seed: 1, Rules: []Rule{
+		{Op: OpFSWrite, RatePerMille: 1000, After: 3, Max: 2},
+	}}
+	in := plan.NewInjector(nil)
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if _, ok := in.Fault(OpFSWrite, "s"); ok {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("After=3 Max=2 at rate 1000 should fire at hits 3,4; fired at %v", fired)
+	}
+}
+
+func TestSitePrefixFilter(t *testing.T) {
+	plan := &Plan{Seed: 1, Rules: []Rule{
+		{Op: OpMemCommit, Site: "commit.multi", RatePerMille: 1000},
+	}}
+	in := plan.NewInjector(nil)
+	if _, ok := in.Fault(OpMemCommit, "commit"); ok {
+		t.Fatal("rule with site commit.multi fired at site commit")
+	}
+	if _, ok := in.Fault(OpMemCommit, "commit.multi"); !ok {
+		t.Fatal("rule with site commit.multi did not fire at its own site")
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p, err := Preset("all", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := json.Marshal(back)
+	if string(data) != string(d2) {
+		t.Fatalf("round trip changed the plan:\n%s\n%s", data, d2)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != 99 || len(loaded.Rules) != len(p.Rules) {
+		t.Fatalf("Load returned seed=%d rules=%d", loaded.Seed, len(loaded.Rules))
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Op: "disk.melt", RatePerMille: 1}}},
+		{Rules: []Rule{{Op: OpFSWrite, Kind: "torch", RatePerMille: 1}}},
+		{Rules: []Rule{{Op: OpFSWrite, RatePerMille: 1001}}},
+		{Rules: []Rule{{Op: OpFSWrite, RatePerMille: -1}}},
+		{Rules: []Rule{{Op: OpKernStall, RatePerMille: 1}}}, // no stall_ticks
+		{Rules: []Rule{{Op: OpCkptWrite, Kind: KindEIO, RatePerMille: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated", i)
+		}
+	}
+	if _, err := Parse([]byte(`{"seed":1,"rules":[{"op":"fs.write","rate_pm":5,"surprise":1}]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	p, _ := Preset("harness", 1)
+	if !p.Retryable() {
+		t.Fatal("harness preset should be retryable")
+	}
+	p.Rules = append(p.Rules, Rule{Op: OpCkptWrite, RatePerMille: 1})
+	if p.Retryable() {
+		t.Fatal("non-transient ckpt.write rule should break retryability")
+	}
+}
+
+// TestWedgeRelease: an armed wedge blocks until Release, then all later
+// wedges pass straight through.
+func TestWedgeRelease(t *testing.T) {
+	plan := &Plan{Seed: 5, Rules: []Rule{{Op: OpKernWedge, RatePerMille: 1000}}}
+	st := NewStats()
+	in := plan.NewInjector(st)
+
+	// Disarmed sessions never block.
+	if in.Wedge("call") {
+		t.Fatal("disarmed session wedged")
+	}
+	in.AllowWedge(true)
+	done := make(chan bool, 1)
+	go func() { done <- in.Wedge("call") }()
+	select {
+	case <-done:
+		t.Fatal("armed wedge returned before Release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	in.Release()
+	select {
+	case wedged := <-done:
+		if !wedged {
+			t.Fatal("wedge reported false after blocking")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("wedge did not return after Release")
+	}
+	if in.Wedge("call") {
+		t.Fatal("released session wedged again")
+	}
+	snap := st.Snapshot()
+	if snap.Wedged != 1 || snap.Injected[OpKernWedge] != 1 {
+		t.Fatalf("stats after one wedge: %+v", snap)
+	}
+}
+
+// TestNilSafety: every entry point tolerates a nil injector and nil
+// stats (the disabled-chaos fast path).
+func TestNilSafety(t *testing.T) {
+	var in *Injector
+	if _, ok := in.Fault(OpFSWrite, "x"); ok {
+		t.Fatal("nil injector injected")
+	}
+	if in.Stall("x") != 0 {
+		t.Fatal("nil injector stalled")
+	}
+	if in.Wedge("x") {
+		t.Fatal("nil injector wedged")
+	}
+	in.Release()
+	in.AllowWedge(true)
+	var st *Stats
+	st.AddInjected(OpFSWrite)
+	st.AddRetried()
+	st.AddQuarantined()
+	st.AddWedged()
+	if snap := st.Snapshot(); snap.Retried != 0 {
+		t.Fatal("nil stats accumulated")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := Preset(name, 3)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", name, err)
+		}
+		if len(p.Rules) == 0 {
+			t.Fatalf("preset %s is empty", name)
+		}
+	}
+	if _, err := Preset("volcano", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}

@@ -706,6 +706,8 @@ func fsErrno(err error) uint32 {
 		return api.EBADF
 	case errors.Is(err, fs.ErrLocked):
 		return api.EACCES
+	case errors.Is(err, fs.ErrNoSpace):
+		return api.ENOSPC
 	default:
 		return api.EIO
 	}

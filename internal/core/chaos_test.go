@@ -1,0 +1,131 @@
+package core_test
+
+// Chaos-layer behaviour at the runner level: the per-case watchdog
+// converts injected wedges into Restart failures, substrate fault plans
+// are deterministic across runs, and disabled chaos changes nothing.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"ballista"
+	"ballista/internal/catalog"
+	"ballista/internal/chaos"
+	"ballista/internal/core"
+)
+
+// wedgePlan wedges the first syscall of every injector session.
+func wedgePlan() *chaos.Plan {
+	return &chaos.Plan{Seed: 7, Rules: []chaos.Rule{
+		{Op: chaos.OpKernWedge, RatePerMille: 1000, Max: 1},
+	}}
+}
+
+func TestWedgedCallBecomesRestart(t *testing.T) {
+	r := ballista.NewRunner(ballista.WinNT,
+		ballista.WithCap(4),
+		ballista.WithChaos(wedgePlan()),
+		ballista.WithCaseDeadline(50*time.Millisecond),
+	)
+	m, ok := catalog.ByName(catalog.Win32, "GetCurrentProcessId")
+	if !ok {
+		t.Fatal("GetCurrentProcessId not in catalog")
+	}
+	start := time.Now()
+	res, err := r.RunMuT(context.Background(), m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) == 0 {
+		t.Fatal("no cases ran")
+	}
+	for i, cls := range res.Cases {
+		if cls != core.RawRestart {
+			t.Errorf("case %d classified %s, want restart (wedge rule fires on every fresh session)", i, cls)
+		}
+	}
+	// The watchdog must bound each case near the deadline, not hang.
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("wedged MuT took %v; watchdog not bounding cases", el)
+	}
+}
+
+func TestWedgeDisarmedWithoutDeadline(t *testing.T) {
+	// Without a watchdog, wedge points must stay disarmed — the campaign
+	// completes normally instead of blocking forever.
+	r := ballista.NewRunner(ballista.WinNT,
+		ballista.WithCap(4),
+		ballista.WithChaos(wedgePlan()),
+	)
+	m, _ := catalog.ByName(catalog.Win32, "GetCurrentProcessId")
+	done := make(chan struct{})
+	var res *core.MuTResult
+	var err error
+	go func() {
+		defer close(done)
+		res, err = r.RunMuT(context.Background(), m, false)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign blocked: wedge armed without a case deadline")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cls := range res.Cases {
+		if cls == core.RawRestart {
+			t.Errorf("case %d restarted with wedges disarmed", i)
+		}
+	}
+}
+
+func TestChaosCampaignDeterministic(t *testing.T) {
+	plan, err := chaos.Preset("disk", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(stats *chaos.Stats) *core.OSResult {
+		res, err := ballista.Run(ballista.WinNT,
+			ballista.WithCap(60),
+			ballista.WithChaos(plan),
+			ballista.WithChaosStats(stats),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	stats := chaos.NewStats()
+	a := run(stats)
+	b := run(nil)
+
+	if !reflect.DeepEqual(a.Results, b.Results) {
+		t.Error("same chaos plan produced different campaign results")
+	}
+	snap := stats.Snapshot()
+	total := uint64(0)
+	for _, n := range snap.Injected {
+		total += n
+	}
+	if total == 0 {
+		t.Error("disk preset injected nothing across a full campaign")
+	}
+}
+
+func TestChaosOffMatchesBaseline(t *testing.T) {
+	// A nil plan must be byte-for-byte the stock campaign.
+	base, err := ballista.Run(ballista.WinNT, ballista.WithCap(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := ballista.Run(ballista.WinNT, ballista.WithCap(60), ballista.WithChaos(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Results, off.Results) {
+		t.Error("nil chaos plan changed campaign results")
+	}
+}

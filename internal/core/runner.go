@@ -8,6 +8,7 @@ import (
 
 	"ballista/internal/api"
 	"ballista/internal/catalog"
+	"ballista/internal/chaos"
 	"ballista/internal/osprofile"
 	"ballista/internal/sim/kern"
 )
@@ -50,6 +51,21 @@ type Config struct {
 	// notifications and campaign summaries.  A nil Observer adds no
 	// per-case work.
 	Observer Observer
+	// Chaos, when non-nil, arms deterministic environmental fault
+	// injection: every freshly booted machine gets its own injector
+	// session over this plan, so a shard's fault stream depends only on
+	// the plan and the machine's operation stream, never on scheduling.
+	// Nil costs one pointer check per machine boot.
+	Chaos *chaos.Plan
+	// ChaosStats, when non-nil, accumulates injection counters across
+	// all injector sessions (the ballista_chaos_* telemetry feed).
+	ChaosStats *chaos.Stats
+	// CaseDeadline, when positive, bounds one test case's wall-clock
+	// execution: a case that exceeds it (a wedged simulated call) is
+	// classified RawRestart and its machine is condemned, instead of
+	// hanging the worker forever.  It also arms kern.wedge rules —
+	// without a watchdog a wedge could never be recovered.
+	CaseDeadline time.Duration
 }
 
 // LoadProfile describes the heavy-load conditions a campaign runs under.
@@ -75,6 +91,13 @@ type Runner struct {
 	obs      Observer
 
 	kernel *kern.Kernel
+	// inj is the current machine's chaos session (nil when disabled).
+	inj *chaos.Injector
+	// condemned marks a machine abandoned after a wedged case; the next
+	// case boots fresh.  carryEpoch preserves condemned machines' reboot
+	// counts so epoch() stays schedule-independent.
+	condemned  bool
+	carryEpoch int
 }
 
 // ErrUnknownType reports a catalog parameter type missing from the
@@ -109,6 +132,11 @@ func (r *Runner) Profile() *osprofile.Profile { return r.profile }
 func (r *Runner) machine() *kern.Kernel {
 	if r.kernel == nil || r.cfg.Isolated {
 		r.kernel = r.profile.NewKernel()
+		if r.cfg.Chaos != nil {
+			r.inj = r.cfg.Chaos.NewInjector(r.cfg.ChaosStats)
+			r.inj.AllowWedge(r.cfg.CaseDeadline > 0)
+			r.kernel.SetInjector(r.inj)
+		}
 	}
 	return r.kernel
 }
@@ -226,18 +254,32 @@ func (r *Runner) RunCase(m catalog.MuT, tc Case, wide bool) (RawClass, error) {
 // emits a CaseEvent.  With a nil observer the only extra work over the
 // bare execution is one nil check.
 func (r *Runner) runCase(m catalog.MuT, impl Impl, types []*DataType, tc Case, wide bool, seq int) (RawClass, *api.Outcome) {
+	var cls RawClass
+	var out *api.Outcome
 	if r.obs == nil {
-		return r.execCase(m, impl, types, tc, wide)
+		cls, out = r.execCase(m, impl, types, tc, wide)
+	} else {
+		start := time.Now()
+		// In Isolated mode execCase boots a fresh kernel whose clock
+		// starts at zero, so ticks0 stays zero rather than booting one
+		// early here.
+		var ticks0 uint64
+		if !r.cfg.Isolated && r.kernel != nil {
+			ticks0 = r.kernel.Ticks()
+		}
+		cls, out = r.execCase(m, impl, types, tc, wide)
+		r.obs.OnCaseDone(r.caseEvent(m, types, tc, wide, seq, cls, out, ticks0, time.Since(start)))
 	}
-	start := time.Now()
-	// In Isolated mode execCase boots a fresh kernel whose clock starts
-	// at zero, so ticks0 stays zero rather than booting one early here.
-	var ticks0 uint64
-	if !r.cfg.Isolated && r.kernel != nil {
-		ticks0 = r.kernel.Ticks()
+	if r.condemned {
+		// A wedged case abandoned this machine; bank its reboot count
+		// and boot fresh next case so the report stays deterministic.
+		r.condemned = false
+		if r.kernel != nil {
+			r.carryEpoch += r.kernel.Epoch
+			r.kernel = nil
+			r.inj = nil
+		}
 	}
-	cls, out := r.execCase(m, impl, types, tc, wide)
-	r.obs.OnCaseDone(r.caseEvent(m, types, tc, wide, seq, cls, out, ticks0, time.Since(start)))
 	return cls, out
 }
 
@@ -271,7 +313,15 @@ func (r *Runner) execCase(m catalog.MuT, impl Impl, types []*DataType, tc Case, 
 		Def:    r.profile.Defect(m.Name),
 		Wide:   wide,
 	}
-	impl(call)
+	if wedged := r.dispatchCall(k, impl, call); wedged {
+		// The case exceeded its deadline: the paper's Restart failure,
+		// observed from outside as a task that never returns.  The
+		// machine's state is suspect, so condemn it; the outcome is
+		// synthesized rather than read from the abandoned call.
+		r.condemned = true
+		out := &api.Outcome{Hung: true}
+		return RawRestart, out
+	}
 	if !call.Done() {
 		// An implementation that falls off the end returned normally.
 		call.Ret(0)
@@ -283,6 +333,54 @@ func (r *Runner) execCase(m catalog.MuT, impl Impl, types []*DataType, tc Case, 
 		call.Out.CrashReason = k.CrashReason()
 	}
 	return Classify(&call.Out), &call.Out
+}
+
+// wedgeGrace is how long past the deadline the watchdog waits for a
+// released wedge to unwind before abandoning the call's goroutine.
+const wedgeGrace = 2 * time.Second
+
+// dispatchCall runs the implementation, watched by the case deadline
+// when one is configured.  It reports whether the call wedged: the
+// deadline expired while an injected wedge was held.  With no deadline
+// the dispatch is direct: no goroutine, no timer, just one extra nil
+// check inside EnterSyscall.
+func (r *Runner) dispatchCall(k *kern.Kernel, impl Impl, call *api.Call) bool {
+	if r.cfg.CaseDeadline <= 0 {
+		k.EnterSyscall(call.Name)
+		impl(call)
+		return false
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		k.EnterSyscall(call.Name)
+		impl(call)
+	}()
+	timer := time.NewTimer(r.cfg.CaseDeadline)
+	defer timer.Stop()
+	for {
+		select {
+		case <-done:
+			return false
+		case <-timer.C:
+		}
+		// Deadline exceeded.  Only an injected wedge held right now
+		// convicts the call: a merely slow one (a loaded host, a GC
+		// pause) keeps running, or the classification would depend on
+		// wall-clock scheduling instead of the fault plan.
+		if r.inj.Wedged() {
+			break
+		}
+		timer.Reset(r.cfg.CaseDeadline)
+	}
+	// Release the injector session so the wedge unwinds and the
+	// goroutine exits (no leak), then wait a grace window for it.
+	r.inj.Release()
+	select {
+	case <-done:
+	case <-time.After(wedgeGrace):
+	}
+	return true
 }
 
 // Classify maps a call outcome onto the observable CRASH classes.
@@ -349,10 +447,11 @@ func (r *Runner) RunAll(ctx context.Context) (*OSResult, error) {
 }
 
 func (r *Runner) epoch() int {
-	if r.kernel == nil {
-		return 0
+	n := r.carryEpoch
+	if r.kernel != nil {
+		n += r.kernel.Epoch
 	}
-	return r.kernel.Epoch
+	return n
 }
 
 // ResetMachine discards the runner's machine so the next case boots a
@@ -363,6 +462,9 @@ func (r *Runner) epoch() int {
 func (r *Runner) ResetMachine() int {
 	n := r.epoch()
 	r.kernel = nil
+	r.inj = nil
+	r.carryEpoch = 0
+	r.condemned = false
 	return n
 }
 
@@ -502,7 +604,7 @@ func (r *Runner) RunProbe(m catalog.MuT, tc Case, wide bool) (RawClass, uint32, 
 		}
 	}
 	cls, out := r.runCase(m, impl, types, tc, wide, -1)
-	if r.kernel.Crashed() {
+	if r.kernel != nil && r.kernel.Crashed() {
 		r.reboot(m.Name)
 	}
 	var code uint32

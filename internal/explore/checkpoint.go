@@ -7,6 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"time"
+
+	"ballista/internal/chaos"
 )
 
 // ckptVersion is the corpus-journal schema version.
@@ -90,7 +93,11 @@ func loadCheckpoint(path string, want ckptMeta) ([]ckptChain, error) {
 		}
 		var rec ckptChain
 		if err := json.Unmarshal(line, &rec); err != nil {
-			break // torn or garbage tail: trust the prefix only
+			// A torn write; the writer newline-terminates these, so the
+			// next line starts a fresh record (a retried append under a
+			// chaos plan, or nothing if the process died here).  Ordinal
+			// contiguity below still gates what the prefix trusts.
+			continue
 		}
 		if rec.Type != "chain" || rec.N != len(recs) {
 			if rec.Type == "chain" && rec.N < len(recs) {
@@ -112,43 +119,78 @@ func loadCheckpoint(path string, want ckptMeta) ([]ckptChain, error) {
 	return recs, nil
 }
 
-// ckptWriter appends candidate records to the journal.  Lines are
-// written whole through a single O_APPEND descriptor, so a crash can
-// tear at most the final line — exactly what loadCheckpoint tolerates.
+// ckptWriter appends candidate records to the journal.  Records are
+// fsynced per append and torn writes are newline-terminated, so a crash
+// at any instant leaves at worst one skippable bad line — exactly what
+// loadCheckpoint tolerates.
 type ckptWriter struct {
-	f *os.File
+	f     *os.File
+	inj   *chaos.Injector // harness-domain fault session; nil when chaos is off
+	stats *chaos.Stats
 }
 
-// openCkpt opens (creating if needed) the journal for appending and
-// writes the meta line into a fresh file.
+// Append retry schedule, mirroring the farm journal's.
+const (
+	ckptAttempts    = 6
+	ckptBackoffBase = time.Millisecond
+	ckptBackoffMax  = 20 * time.Millisecond
+)
+
+// writeFileAtomic writes data as path via a same-directory temp file,
+// fsync and rename, so a crash mid-write can never leave a half-written
+// file at path.  The directory fsync is best-effort (some filesystems
+// refuse it); the rename itself is the atomicity guarantee.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// openCkpt opens the journal for appending; a fresh journal gets its
+// meta line written atomically first, so no crash window exists in which
+// the file holds a torn identity line.
 func openCkpt(path string, meta ckptMeta) (*ckptWriter, error) {
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("explore: creating checkpoint dir: %w", err)
 		}
 	}
+	if st, err := os.Stat(path); os.IsNotExist(err) || (err == nil && st.Size() == 0) {
+		line, err := json.Marshal(meta)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeFileAtomic(path, append(line, '\n')); err != nil {
+			return nil, fmt.Errorf("explore: writing checkpoint meta: %w", err)
+		}
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("explore: opening checkpoint: %w", err)
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("explore: checkpoint stat: %w", err)
-	}
-	w := &ckptWriter{f: f}
-	if st.Size() == 0 {
-		line, err := json.Marshal(meta)
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		if _, err := f.Write(append(line, '\n')); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("explore: writing checkpoint meta: %w", err)
-		}
-	}
-	return w, nil
+	return &ckptWriter{f: f}, nil
 }
 
 func (w *ckptWriter) append(rec ckptChain) error {
@@ -156,8 +198,44 @@ func (w *ckptWriter) append(rec ckptChain) error {
 	if err != nil {
 		return err
 	}
-	_, err = w.f.Write(append(line, '\n'))
-	return err
+	line = append(line, '\n')
+	var last error
+	for attempt := 0; attempt < ckptAttempts; attempt++ {
+		if attempt > 0 {
+			w.stats.AddRetried()
+			d := ckptBackoffBase << (attempt - 1)
+			if d > ckptBackoffMax {
+				d = ckptBackoffMax
+			}
+			time.Sleep(d)
+		}
+		if err := w.writeLine(line); err != nil {
+			last = err
+			continue
+		}
+		return nil
+	}
+	return last
+}
+
+// writeLine is one append attempt: injected faults first (chaos harness
+// domain, site "explore"), then the real write, then fsync.
+func (w *ckptWriter) writeLine(line []byte) error {
+	if flt, ok := w.inj.Fault(chaos.OpCkptWrite, "explore"); ok {
+		if flt.Kind == chaos.KindShort {
+			torn := append([]byte(nil), line[:len(line)/2]...)
+			w.f.Write(append(torn, '\n'))
+		}
+		return chaos.ErrInjected
+	}
+	n, err := w.f.Write(line)
+	if err != nil {
+		if n > 0 && line[n-1] != '\n' {
+			w.f.Write([]byte{'\n'})
+		}
+		return err
+	}
+	return w.f.Sync()
 }
 
 func (w *ckptWriter) Close() error { return w.f.Close() }

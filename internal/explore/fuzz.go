@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"ballista/internal/catalog"
+	"ballista/internal/chaos"
 	"ballista/internal/core"
 	"ballista/internal/osprofile"
 )
@@ -56,6 +57,13 @@ type Config struct {
 	// Observer, when non-nil, receives one ChainEvent per evaluated
 	// candidate, in deterministic candidate order.
 	Observer core.ChainObserver
+	// Chaos, when non-nil, injects harness-domain faults (checkpoint
+	// write tears and failures, site "explore") from a fresh injector
+	// session per Run.  Substrate faults inside the evaluation runners
+	// are configured on the runners themselves (see core.Config.Chaos).
+	Chaos *chaos.Plan
+	// ChaosStats receives the injection counters when set.
+	ChaosStats *chaos.Stats
 }
 
 // Divergence is one deduplicated differential-oracle finding: a chain
@@ -516,6 +524,10 @@ func (f *Fuzzer) Run(ctx context.Context) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		if f.cfg.Chaos != nil {
+			jnl.inj = f.cfg.Chaos.NewInjector(f.cfg.ChaosStats)
+		}
+		jnl.stats = f.cfg.ChaosStats
 		defer jnl.Close()
 	}
 

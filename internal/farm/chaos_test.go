@@ -1,0 +1,146 @@
+package farm_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ballista"
+	"ballista/internal/chaos"
+)
+
+// mustPreset resolves a stock chaos plan or fails the test.
+func mustPreset(t *testing.T, name string, seed uint64) *chaos.Plan {
+	t.Helper()
+	p, err := chaos.Preset(name, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFarmAbsorbsRetryableHarnessFaults is the resilience oracle for the
+// harness domain: under the retryable "harness" preset (transient
+// checkpoint-write faults plus worker panics) an 8-worker checkpointed
+// campaign's merged report must be identical to the fault-free run —
+// the hardened harness absorbs every injected fault.
+func TestFarmAbsorbsRetryableHarnessFaults(t *testing.T) {
+	plan := mustPreset(t, "harness", 11)
+	if !plan.Retryable() {
+		t.Fatal("harness preset is not retryable; the oracle does not apply")
+	}
+	stats := chaos.NewStats()
+	ckpt := filepath.Join(t.TempDir(), "nt.ckpt")
+	f := ballista.NewFarm(ballista.WinNT,
+		ballista.FarmConfig{Workers: 8, Checkpoint: ckpt},
+		ballista.WithCap(testCap), ballista.WithChaos(plan), ballista.WithChaosStats(stats))
+	faulted, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatalf("retryable harness faults leaked out of the farm: %v", err)
+	}
+
+	snap := stats.Snapshot()
+	var injected uint64
+	for _, n := range snap.Injected {
+		injected += n
+	}
+	if injected == 0 {
+		t.Fatal("harness preset injected nothing; the oracle tested nothing")
+	}
+	if snap.Retried == 0 {
+		t.Error("checkpoint faults fired but no append was retried")
+	}
+
+	sameOSResult(t, "harness chaos vs fault-free", faulted, runFarm(t, 8))
+}
+
+// TestFarmWorkerPanicQuarantine drives panics hard (every other shard
+// attempt) and checks the isolation machinery: each panic is recorded as
+// a quarantined harness-fault case, the shard is re-enqueued, and the
+// merged report still matches the fault-free run.
+func TestFarmWorkerPanicQuarantine(t *testing.T) {
+	plan := &chaos.Plan{Seed: 3, Rules: []chaos.Rule{
+		{Op: chaos.OpWorkerPanic, RatePerMille: 500, Transient: true},
+	}}
+	stats := chaos.NewStats()
+	f := ballista.NewFarm(ballista.WinNT, ballista.FarmConfig{Workers: 4},
+		ballista.WithCap(testCap), ballista.WithChaos(plan), ballista.WithChaosStats(stats))
+	res, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatalf("panicking workers sank the campaign: %v", err)
+	}
+
+	qs := f.Quarantined()
+	if len(qs) == 0 {
+		t.Fatal("panics fired but nothing was quarantined")
+	}
+	for _, q := range qs {
+		if q.Reason == "" || q.MuT == "" {
+			t.Errorf("quarantine record missing context: %+v", q)
+		}
+	}
+	if snap := stats.Snapshot(); snap.Quarantined != uint64(len(qs)) {
+		t.Errorf("stats count %d quarantined, farm recorded %d", snap.Quarantined, len(qs))
+	}
+
+	sameOSResult(t, "panic chaos vs fault-free", res, runFarm(t, 4))
+}
+
+// TestFarmKillAtFaultResume is the crash-consistency half of the oracle:
+// a non-transient checkpoint-write fault (every append fails after the
+// first five) exhausts the retry budget and kills the campaign mid-run;
+// resuming the journal without chaos must produce a report identical to
+// an uninterrupted run.
+func TestFarmKillAtFaultResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "nt.ckpt")
+	fatal := &chaos.Plan{Seed: 5, Rules: []chaos.Rule{
+		{Op: chaos.OpCkptWrite, Kind: chaos.KindFail, RatePerMille: 1000, After: 5},
+	}}
+	_, err := ballista.RunFarm(context.Background(), ballista.WinNT,
+		ballista.FarmConfig{Workers: 2, Checkpoint: ckpt},
+		ballista.WithCap(testCap), ballista.WithChaos(fatal))
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("persistent checkpoint fault returned %v, want chaos.ErrInjected", err)
+	}
+
+	res, err := ballista.RunFarm(context.Background(), ballista.WinNT,
+		ballista.FarmConfig{Workers: 2, Checkpoint: ckpt}, ballista.WithCap(testCap))
+	if err != nil {
+		t.Fatalf("resume after fault-kill: %v", err)
+	}
+	sameOSResult(t, "resumed-after-fault vs uninterrupted", res, runFarm(t, 2))
+}
+
+// TestFarmTornCheckpointLinesSkipped checks the journal's torn-write
+// contract end to end: "short" checkpoint faults leave newline-terminated
+// half-lines in the file, the retry appends the clean record after them,
+// and a resume replays every shard without re-running anything.
+func TestFarmTornCheckpointLinesSkipped(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "nt.ckpt")
+	torn := &chaos.Plan{Seed: 17, Rules: []chaos.Rule{
+		{Op: chaos.OpCkptWrite, Kind: chaos.KindShort, RatePerMille: 400, Transient: true},
+	}}
+	stats := chaos.NewStats()
+	fresh, err := ballista.RunFarm(context.Background(), ballista.WinNT,
+		ballista.FarmConfig{Workers: 2, Checkpoint: ckpt},
+		ballista.WithCap(testCap), ballista.WithChaos(torn), ballista.WithChaosStats(stats))
+	if err != nil {
+		t.Fatalf("transient torn writes leaked out of the journal: %v", err)
+	}
+	if stats.Snapshot().Injected[chaos.OpCkptWrite] == 0 {
+		t.Fatal("no torn writes injected; the replay below proves nothing")
+	}
+
+	counter := &shardCounter{}
+	replay, err := ballista.RunFarm(context.Background(), ballista.WinNT,
+		ballista.FarmConfig{Workers: 2, Checkpoint: ckpt},
+		ballista.WithCap(testCap), ballista.WithObserver(counter))
+	if err != nil {
+		t.Fatalf("replaying a journal with torn lines: %v", err)
+	}
+	if shards, _ := counter.counts(); shards != 0 {
+		t.Errorf("replay re-ran %d shards; torn lines should be skipped, not fatal", shards)
+	}
+	sameOSResult(t, "torn-journal replay vs fresh", fresh, replay)
+}

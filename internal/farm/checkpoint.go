@@ -8,7 +8,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
+	"ballista/internal/chaos"
 	"ballista/internal/core"
 )
 
@@ -78,12 +80,23 @@ func decodeFlags(s string) []bool {
 }
 
 // journal appends completed-shard records to the checkpoint file,
-// serialized across workers and flushed per record so a kill at any
-// instant loses at most the shard in flight.
+// serialized across workers and fsynced per record so a kill at any
+// instant loses at most the shard in flight — never a half-written
+// record that poisons the lines after it.
 type journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu    sync.Mutex
+	f     *os.File
+	inj   *chaos.Injector // harness-domain fault session; nil when chaos is off
+	stats *chaos.Stats
 }
+
+// Append retry schedule: transient write faults (injected or real) back
+// off briefly and retry; six attempts cover any transient plan.
+const (
+	appendAttempts = 6
+	backoffBase    = time.Millisecond
+	backoffMax     = 20 * time.Millisecond
+)
 
 func openJournal(path string) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -101,10 +114,47 @@ func (j *journal) append(rec journalRecord) error {
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	// One O_APPEND write per record: atomic at the line granularity the
-	// loader tolerates, nothing buffered to lose.
-	_, err = j.f.Write(line)
-	return err
+	var last error
+	for attempt := 0; attempt < appendAttempts; attempt++ {
+		if attempt > 0 {
+			j.stats.AddRetried()
+			d := backoffBase << (attempt - 1)
+			if d > backoffMax {
+				d = backoffMax
+			}
+			time.Sleep(d)
+		}
+		if err := j.writeLine(line); err != nil {
+			last = err
+			continue
+		}
+		return nil
+	}
+	return last
+}
+
+// writeLine performs one append attempt: injected faults first (the
+// chaos harness domain, site "farm"), then the real write, then fsync so
+// the record survives a kill the instant append returns.  Torn writes —
+// injected or real — are newline-terminated so the journal stays
+// line-structured: the loader skips the bad line and a retry appends a
+// clean record after it.
+func (j *journal) writeLine(line []byte) error {
+	if flt, ok := j.inj.Fault(chaos.OpCkptWrite, "farm"); ok {
+		if flt.Kind == chaos.KindShort {
+			torn := append([]byte(nil), line[:len(line)/2]...)
+			j.f.Write(append(torn, '\n'))
+		}
+		return chaos.ErrInjected
+	}
+	n, err := j.f.Write(line)
+	if err != nil {
+		if n > 0 && line[n-1] != '\n' {
+			j.f.Write([]byte{'\n'})
+		}
+		return err
+	}
+	return j.f.Sync()
 }
 
 func (j *journal) Close() error { return j.f.Close() }
@@ -118,9 +168,11 @@ type completedShard struct {
 // loadJournal replays a checkpoint file against the current campaign's
 // shard list.  Records are validated against the campaign identity (OS,
 // cap, shard index, MuT name, wide flag) — resuming a stale journal
-// against a different campaign is an error, not silent corruption.  A
-// torn final line (the write a kill interrupted) ends the replay
-// cleanly; a duplicate shard record keeps the last occurrence.
+// against a different campaign is an error, not silent corruption.
+// Records are independent, so a torn line anywhere (the write a kill or
+// an injected disk fault interrupted, always newline-terminated by the
+// writer) is skipped and the replay continues; a duplicate shard record
+// keeps the last occurrence.
 func loadJournal(path string, osName string, cap int, shards []shard) (map[int]completedShard, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -141,8 +193,8 @@ func loadJournal(path string, osName string, cap int, shards []shard) (map[int]c
 		}
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn trailing write; everything before it is good.
-			break
+			// A torn write; every complete record stands on its own.
+			continue
 		}
 		if rec.V != journalVersion {
 			return nil, fmt.Errorf("farm: checkpoint version %d (want %d)", rec.V, journalVersion)

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"ballista/internal/catalog"
+	"ballista/internal/chaos"
 	"ballista/internal/core"
 	"ballista/internal/osprofile"
 )
@@ -55,7 +56,29 @@ type Farm struct {
 	// Steals counts shards executed off another worker's partition in
 	// the most recent Run (telemetry, reset per run).
 	steals atomic.Uint64
+
+	// quarantined records shards whose execution faulted in the harness
+	// (worker panic) during the most recent Run; guarded by qmu.
+	qmu         sync.Mutex
+	quarantined []Quarantine
 }
+
+// Quarantine records one harness fault: a shard whose worker panicked.
+// The shard is re-enqueued (up to maxShardAttempts), so a quarantine is
+// an incident report, not a lost result.
+type Quarantine struct {
+	Shard   int    `json:"shard"`
+	MuT     string `json:"mut"`
+	Wide    bool   `json:"wide,omitempty"`
+	Worker  int    `json:"worker"`
+	Attempt int    `json:"attempt"`
+	Reason  string `json:"reason"`
+}
+
+// maxShardAttempts bounds re-execution of a panicking shard; a shard
+// that faults this many times is marked Incomplete rather than retried
+// forever.
+const maxShardAttempts = 3
 
 // shard is one unit of scheduling: a full (MuT, wide) campaign, indexed
 // by its position in the stable catalog order Runner.RunAll walks.
@@ -80,6 +103,21 @@ func New(cfg Config, reg *core.Registry, dispatch core.Dispatcher, fixture core.
 // Steals reports how many shards the most recent Run executed on a
 // worker other than the one they were partitioned to.
 func (f *Farm) Steals() uint64 { return f.steals.Load() }
+
+// Quarantined reports the harness faults isolated during the most
+// recent Run, in the order they occurred.
+func (f *Farm) Quarantined() []Quarantine {
+	f.qmu.Lock()
+	defer f.qmu.Unlock()
+	return append([]Quarantine(nil), f.quarantined...)
+}
+
+func (f *Farm) addQuarantine(q Quarantine) {
+	f.qmu.Lock()
+	f.quarantined = append(f.quarantined, q)
+	f.qmu.Unlock()
+	f.cfg.ChaosStats.AddQuarantined()
+}
 
 // shards lists the campaign's schedule in the exact order a sequential
 // Runner.RunAll visits it: each supported MuT, with the UNICODE variant
@@ -107,6 +145,17 @@ func (f *Farm) Run(ctx context.Context) (*core.OSResult, error) {
 	}
 	start := time.Now()
 	f.steals.Store(0)
+	f.qmu.Lock()
+	f.quarantined = nil
+	f.qmu.Unlock()
+
+	// Harness-domain fault session (journal tears, worker panics),
+	// shared across workers; substrate faults get their own session per
+	// machine boot inside each worker's runner.
+	var hinj *chaos.Injector
+	if f.cfg.Chaos != nil {
+		hinj = f.cfg.Chaos.NewInjector(f.cfg.ChaosStats)
+	}
 
 	sh := f.shards()
 	results := make([]*core.MuTResult, len(sh))
@@ -128,6 +177,8 @@ func (f *Farm) Run(ctx context.Context) (*core.OSResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		jnl.inj = hinj
+		jnl.stats = f.cfg.ChaosStats
 		defer jnl.Close()
 	}
 
@@ -147,7 +198,7 @@ func (f *Farm) Run(ctx context.Context) (*core.OSResult, error) {
 	}
 
 	if len(pending) > 0 {
-		if err := f.runWorkers(ctx, workers, pending, sh, results, rebootsBy, jnl); err != nil {
+		if err := f.runWorkers(ctx, workers, pending, sh, results, rebootsBy, jnl, hinj); err != nil {
 			return nil, err
 		}
 	}
@@ -173,9 +224,12 @@ func (f *Farm) Run(ctx context.Context) (*core.OSResult, error) {
 // lets workers execute (and steal) until the queues drain or ctx stops
 // the campaign.
 func (f *Farm) runWorkers(ctx context.Context, workers int, pending []int,
-	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *journal) error {
+	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *journal, hinj *chaos.Injector) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// Per-shard harness-fault attempt counts (panic isolation).
+	attempts := make([]int32, len(sh))
 
 	// Contiguous partitions: worker w owns a consecutive slice of the
 	// catalog, like one physical machine owning one stack of test
@@ -199,7 +253,7 @@ func (f *Farm) runWorkers(ctx context.Context, workers int, pending []int,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = f.worker(ctx, w, queues, sh, results, rebootsBy, jnl, shardObs)
+			errs[w] = f.worker(ctx, w, queues, sh, results, rebootsBy, jnl, shardObs, hinj, attempts)
 			if errs[w] != nil {
 				cancel() // one worker down ends the campaign
 			}
@@ -224,9 +278,13 @@ func (f *Farm) runWorkers(ctx context.Context, workers int, pending []int,
 }
 
 // worker drains its own queue front-to-back, then steals the back half
-// of the fullest victim queue until no work remains anywhere.
+// of the fullest victim queue until no work remains anywhere.  A shard
+// whose execution panics (harness fault, injected or real) is isolated:
+// the panic is recovered, the shard quarantined and re-enqueued at the
+// worker's own tail, and the campaign continues on a fresh runner.
 func (f *Farm) worker(ctx context.Context, id int, queues []*deque,
-	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *journal, shardObs core.ShardObserver) error {
+	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *journal,
+	shardObs core.ShardObserver, hinj *chaos.Injector, attempts []int32) error {
 	runner := core.NewRunner(f.cfg.Config, f.reg, f.dispatch, f.fixture)
 	own := queues[id]
 	stolen := false
@@ -254,10 +312,48 @@ func (f *Farm) worker(ctx context.Context, id int, queues []*deque,
 			stolen = true
 			continue
 		}
-		if err := f.runShard(ctx, runner, id, sh[idx], stolen, results, rebootsBy, jnl, shardObs); err != nil {
+		panicked, err := f.runShardSafe(ctx, &runner, id, sh[idx], stolen, results, rebootsBy, jnl, shardObs, hinj, attempts)
+		if err != nil {
 			return err
 		}
+		if panicked {
+			if atomic.AddInt32(&attempts[idx], 1) >= maxShardAttempts {
+				// Persistent harness fault: surface the shard as
+				// Incomplete rather than retrying forever.  Left out of
+				// the journal so a later resume re-attempts it.
+				results[idx] = &core.MuTResult{MuT: sh[idx].m, Wide: sh[idx].wide, Incomplete: true}
+				rebootsBy[idx] = 0
+				continue
+			}
+			own.push(idx)
+		}
 	}
+}
+
+// runShardSafe runs one shard with panic isolation.  A recovered panic
+// quarantines the shard and replaces the worker's runner (its machine
+// state is suspect); the shard itself is the caller's to re-enqueue.
+func (f *Farm) runShardSafe(ctx context.Context, runner **core.Runner, id int, s shard, stolen bool,
+	results []*core.MuTResult, rebootsBy []int, jnl *journal,
+	shardObs core.ShardObserver, hinj *chaos.Injector, attempts []int32) (panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = nil
+			f.addQuarantine(Quarantine{
+				Shard: s.idx, MuT: s.m.Name, Wide: s.wide, Worker: id,
+				Attempt: int(atomic.LoadInt32(&attempts[s.idx])) + 1,
+				Reason:  fmt.Sprint(r),
+			})
+			*runner = core.NewRunner(f.cfg.Config, f.reg, f.dispatch, f.fixture)
+		}
+	}()
+	// Injected harness fault: a worker panic just before the shard runs,
+	// recovered by the same isolation path as a real one.
+	if _, ok := hinj.Fault(chaos.OpWorkerPanic, s.m.Name); ok {
+		panic("chaos: injected worker panic")
+	}
+	return false, f.runShard(ctx, *runner, id, s, stolen, results, rebootsBy, jnl, shardObs)
 }
 
 // runShard executes one shard on a freshly booted machine, records the

@@ -1,0 +1,11 @@
+package farm_test
+
+import (
+	"testing"
+
+	"ballista/internal/leak"
+)
+
+// TestMain guards the farm's goroutine hygiene: worker pools, panic
+// isolation and the chaos watchdog must never strand a goroutine.
+func TestMain(m *testing.M) { leak.VerifyTestMain(m) }

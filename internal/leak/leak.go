@@ -1,0 +1,112 @@
+// Package leak is a minimal goroutine-leak checker for test mains, in
+// the spirit of go.uber.org/goleak but dependency-free.  It snapshots
+// the goroutine set after a package's tests finish, filters the runtime
+// and test-harness goroutines that are always present, retries while
+// transient goroutines (timer reapers, finalizers, draining workers)
+// wind down, and fails the test binary if anything else survives — the
+// guard that the chaos layer's watchdogs, wedge releases and panic
+// isolation never strand a goroutine.
+package leak
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// benign marks goroutine stacks that are part of the harness, the
+// runtime, or the shared HTTP transport's idle-connection machinery —
+// never a leak a test could have caused to matter.
+var benign = []string{
+	"ballista/internal/leak.suspects", // the checker's own goroutine
+	"testing.(*M).Run",
+	"testing.Main(",
+	"testing.tRunner",
+	"testing.runTests",
+	"created by runtime",
+	"runtime/pprof",
+	"os/signal.",
+	"runtime.ReadTrace",
+	// Keep-alive connections owned by the process-wide default HTTP
+	// transport (httptest clients park these between requests).
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+	"net/http.setupRewindBody",
+}
+
+// maxWait bounds how long VerifyTestMain waits for transient goroutines
+// to exit before calling the survivors leaks.
+const maxWait = 5 * time.Second
+
+// VerifyTestMain runs the package's tests and then fails the binary if
+// goroutines leaked.  Use from TestMain:
+//
+//	func TestMain(m *testing.M) { leak.VerifyTestMain(m) }
+func VerifyTestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := check(maxWait); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leak: %d goroutine(s) leaked after tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check fails the test if goroutines (beyond the benign set) are still
+// alive after a bounded wait.  For use at the end of individual tests
+// that exercise goroutine-spawning machinery directly.
+func Check(t *testing.T) {
+	t.Helper()
+	if leaked := check(2 * time.Second); len(leaked) > 0 {
+		t.Errorf("leaked %d goroutine(s):\n\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// check polls the goroutine set with backoff until it is clean or the
+// deadline passes, returning the surviving suspect stacks.
+func check(wait time.Duration) []string {
+	deadline := time.Now().Add(wait)
+	delay := time.Millisecond
+	for {
+		leaked := suspects()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// suspects snapshots all goroutine stacks and drops the benign ones.
+func suspects() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+stanza:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" {
+			continue
+		}
+		for _, pat := range benign {
+			if strings.Contains(g, pat) {
+				continue stanza
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package leak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCleanProcessHasNoSuspects(t *testing.T) {
+	if got := check(2 * time.Second); len(got) > 0 {
+		t.Errorf("clean process reported %d suspects:\n%s", len(got), strings.Join(got, "\n\n"))
+	}
+}
+
+func TestDetectsAStrandedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	go func() { <-block }()
+	got := check(200 * time.Millisecond)
+	if len(got) == 0 {
+		t.Fatal("blocked goroutine not detected")
+	}
+	found := false
+	for _, g := range got {
+		if strings.Contains(g, "TestDetectsAStrandedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suspect stacks do not name the leaking test:\n%s", strings.Join(got, "\n\n"))
+	}
+	close(block)
+	// Drained: the checker converges back to clean.
+	if got := check(2 * time.Second); len(got) > 0 {
+		t.Errorf("still %d suspects after drain", len(got))
+	}
+}

@@ -53,6 +53,8 @@ func errnoFor(err error) uint32 {
 		return api.EBADF
 	case errors.Is(err, fs.ErrLocked):
 		return api.EAGAIN
+	case errors.Is(err, fs.ErrNoSpace):
+		return api.ENOSPC
 	default:
 		return api.EIO
 	}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ballista/internal/chaos"
+)
+
+// TestCampaignChaosBlock drives a campaign under a seeded fault plan and
+// checks both the campaign outcome and the exported chaos counters.
+func TestCampaignChaosBlock(t *testing.T) {
+	ts := testServer(t)
+	var out CampaignResponse
+	// Inline rules, dense enough that the one MuT's write sites are
+	// guaranteed to draw at least one fault.
+	code := postJSON(t, ts.URL+"/api/campaign", CampaignRequest{
+		OS: "winnt", MuT: "WriteFile", Cap: 300,
+		Chaos: &ChaosSpec{Seed: 1, Rules: []chaos.Rule{
+			{Op: chaos.OpFSWrite, Kind: chaos.KindENOSPC, RatePerMille: 500, Transient: true},
+		}},
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Cases == 0 {
+		t.Fatal("no cases ran")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	// A sample line with a label, not just the HELP header: the
+	// campaign above must actually have fired.
+	if !strings.Contains(body, `ballista_chaos_injected_total{op="fs.write"}`) {
+		t.Error("metrics missing a fired ballista_chaos_injected_total sample after chaos campaign")
+	}
+}
+
+func TestCampaignChaosBadSpec(t *testing.T) {
+	ts := testServer(t)
+	var out map[string]string
+	code := postJSON(t, ts.URL+"/api/campaign", CampaignRequest{
+		OS: "winnt", MuT: "WriteFile", Cap: 50,
+		Chaos: &ChaosSpec{Preset: "no-such-preset"},
+	}, &out)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown preset status %d, want 400", code)
+	}
+}
+
+// TestLoadShedding fills every campaign slot and checks the next heavy
+// request is shed with 429 + Retry-After while light endpoints still
+// serve.
+func TestLoadShedding(t *testing.T) {
+	srv := NewServer(WithCampaignLimit(1))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Occupy the only slot directly (the handlers' acquire/release pair
+	// brackets the campaign run).
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem }()
+
+	var out map[string]string
+	req, _ := http.NewRequest("POST", ts.URL+"/api/campaign",
+		strings.NewReader(`{"os":"winnt","mut":"WriteFile","cap":50}`))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	// Light endpoints are unaffected by campaign saturation.
+	if code := getJSON(t, ts.URL+"/api/oses", &[]string{}); code != http.StatusOK {
+		t.Errorf("light endpoint status %d under load", code)
+	}
+	_ = out
+}
+
+// TestRequestTimeout bounds a campaign by the server-side timeout: the
+// response is 503 (campaign context deadline), not a hang.
+func TestRequestTimeout(t *testing.T) {
+	srv := NewServer(WithRequestTimeout(time.Millisecond))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out map[string]string
+	code := postJSON(t, ts.URL+"/api/campaign",
+		CampaignRequest{OS: "winnt", MuT: "*", Cap: 5000, Workers: 2}, &out)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503 on server-side timeout", code)
+	}
+}

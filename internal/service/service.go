@@ -22,6 +22,14 @@
 // server drain that cancels base contexts — stops the campaign at the
 // next test-case boundary instead of grinding to the cap.
 //
+// The server degrades gracefully under pressure: heavy requests
+// (campaigns, fuzzing runs, summaries) are capped at a fixed in-flight
+// count, excess load is shed with 429 + Retry-After, and an optional
+// per-request timeout bounds how long one campaign can hold a slot.
+// Campaign requests may carry a "chaos" block selecting a seeded
+// environmental-fault plan (see internal/chaos); injection counters
+// surface at /metrics as ballista_chaos_*.
+//
 // Every campaign the server runs is observed: per-case trace events
 // land in an in-memory ring (and any attached trace writer), and the
 // metrics registry accumulates CRASH-class counters, latency histograms
@@ -41,6 +49,7 @@ import (
 
 	"ballista"
 	"ballista/internal/catalog"
+	"ballista/internal/chaos"
 	"ballista/internal/core"
 	"ballista/internal/osprofile"
 	"ballista/internal/report"
@@ -58,6 +67,35 @@ type CampaignRequest struct {
 	// Workers sizes the farm for full-catalog ("*") campaigns; 0 means
 	// one worker per CPU.  Ignored for single-MuT requests.
 	Workers int `json:"workers,omitempty"`
+	// Chaos, when present, runs the campaign under a seeded
+	// environmental-fault plan (see internal/chaos).
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+}
+
+// ChaosSpec selects a fault plan for one campaign request: either a
+// named preset ("disk", "mem", "hang", "harness", "all") with a seed, or
+// explicit rules.  CaseDeadlineMS arms the per-case watchdog; plans with
+// kern.wedge rules need it (wedge points stay disarmed without one).
+type ChaosSpec struct {
+	Preset         string       `json:"preset,omitempty"`
+	Seed           uint64       `json:"seed,omitempty"`
+	Rules          []chaos.Rule `json:"rules,omitempty"`
+	CaseDeadlineMS int          `json:"case_deadline_ms,omitempty"`
+}
+
+// plan resolves the spec into a validated chaos plan.
+func (cs *ChaosSpec) plan() (*chaos.Plan, error) {
+	if cs.Preset != "" {
+		if len(cs.Rules) > 0 {
+			return nil, errors.New("chaos: preset and rules are mutually exclusive")
+		}
+		return chaos.Preset(cs.Preset, cs.Seed)
+	}
+	p := &chaos.Plan{Seed: cs.Seed, Rules: cs.Rules}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // CampaignResponse carries one MuT's campaign outcome.
@@ -167,6 +205,15 @@ type EventsResponse struct {
 // DefaultEventRing is how many recent trace events the server retains.
 const DefaultEventRing = 4096
 
+// DefaultMaxCampaigns bounds how many heavy requests (campaigns,
+// fuzzing runs, summaries) the server executes at once; excess load is
+// shed with 429 + Retry-After instead of queueing until collapse.
+const DefaultMaxCampaigns = 8
+
+// DefaultRetryAfter is the Retry-After hint, in seconds, sent with a
+// load-shedding 429.
+const DefaultRetryAfter = 5
+
 // Server is the Ballista testing service.  The zero value is not usable;
 // call NewServer.
 type Server struct {
@@ -177,6 +224,15 @@ type Server struct {
 	ring    *telemetry.Ring
 	extra   core.Observer
 	log     *telemetry.Logger
+
+	// sem caps in-flight heavy requests (graceful degradation).
+	sem chan struct{}
+	// reqTimeout bounds each heavy request's campaign context; 0 means
+	// only the client's own disconnect cancels it.
+	reqTimeout time.Duration
+	// chaosStats accumulates injection counters across every campaign
+	// the server runs with a chaos plan; exported at /metrics.
+	chaosStats *chaos.Stats
 }
 
 // ServerOption configures NewServer.
@@ -194,12 +250,30 @@ func WithCampaignObserver(o core.Observer) ServerOption {
 	return func(s *Server) { s.extra = o }
 }
 
+// WithCampaignLimit overrides DefaultMaxCampaigns; n <= 0 keeps the
+// default.
+func WithCampaignLimit(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithRequestTimeout bounds every heavy request's campaign context, so
+// one runaway campaign cannot hold a server slot forever.
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
 // NewServer builds the service with all routes installed.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
-		mux:     http.NewServeMux(),
-		metrics: telemetry.NewMetrics(),
-		ring:    telemetry.NewRing(DefaultEventRing),
+		mux:        http.NewServeMux(),
+		metrics:    telemetry.NewMetrics(),
+		ring:       telemetry.NewRing(DefaultEventRing),
+		sem:        make(chan struct{}, DefaultMaxCampaigns),
+		chaosStats: chaos.NewStats(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -207,6 +281,7 @@ func NewServer(opts ...ServerOption) *Server {
 	if s.log == nil {
 		s.log = telemetry.NewLogger(nil, "ballistad")
 	}
+	s.metrics.SetChaosStats(s.chaosStats)
 	s.mux.HandleFunc("GET /api/oses", s.handleOSes)
 	s.mux.HandleFunc("GET /api/muts", s.handleMuTs)
 	s.mux.HandleFunc("POST /api/campaign", s.handleCampaign)
@@ -229,6 +304,33 @@ func (s *Server) observer() core.Observer {
 		return telemetry.Multi(s.metrics, s.ring, s.extra)
 	}
 	return telemetry.Multi(s.metrics, s.ring)
+}
+
+// acquire claims a heavy-request slot, shedding load with 429 +
+// Retry-After when the server is at campaign capacity.  The caller must
+// release() after the campaign finishes if acquire returned true.
+func (s *Server) acquire(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		w.Header().Set("Retry-After", strconv.Itoa(DefaultRetryAfter))
+		s.httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("server at campaign capacity (%d in flight); retry later", cap(s.sem)))
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// campaignCtx derives the context a heavy request's campaign runs under:
+// the client's own, bounded by the server's request timeout when one is
+// configured.
+func (s *Server) campaignCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.reqTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 // statusRecorder captures the status code written by a handler.
@@ -319,8 +421,27 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if req.Isolated {
 		opts = append(opts, ballista.WithIsolation())
 	}
+	if req.Chaos != nil {
+		plan, err := req.Chaos.plan()
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		opts = append(opts,
+			ballista.WithChaos(plan),
+			ballista.WithChaosStats(s.chaosStats))
+		if req.Chaos.CaseDeadlineMS > 0 {
+			opts = append(opts, ballista.WithCaseDeadline(time.Duration(req.Chaos.CaseDeadlineMS)*time.Millisecond))
+		}
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.campaignCtx(r)
+	defer cancel()
 	if req.MuT == "*" {
-		s.handleFarmCampaign(w, r, o, req, opts)
+		s.handleFarmCampaign(ctx, w, o, req, opts)
 		return
 	}
 	m, ok := mutFor(o, req.MuT)
@@ -328,7 +449,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusNotFound, fmt.Sprintf("%q is not tested on %s", req.MuT, o))
 		return
 	}
-	res, err := ballista.NewRunner(o, opts...).RunMuT(r.Context(), m, req.Wide)
+	res, err := ballista.NewRunner(o, opts...).RunMuT(ctx, m, req.Wide)
 	if err != nil {
 		s.httpError(w, campaignErrStatus(err), err.Error())
 		return
@@ -382,7 +503,13 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if co, ok := s.observer().(core.ChainObserver); ok {
 		cfg.Observer = co
 	}
-	rep, err := ballista.Explore(r.Context(), cfg)
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.campaignCtx(r)
+	defer cancel()
+	rep, err := ballista.Explore(ctx, cfg)
 	if err != nil {
 		status := campaignErrStatus(err)
 		if strings.Contains(err.Error(), "is not tested on") ||
@@ -396,13 +523,14 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleFarmCampaign runs the full catalog for one OS across a farm of
-// parallel workers and returns the merged, catalog-ordered rows.
-func (s *Server) handleFarmCampaign(w http.ResponseWriter, r *http.Request, o ballista.OS, req CampaignRequest, opts []ballista.Option) {
+// parallel workers and returns the merged, catalog-ordered rows.  The
+// caller holds the heavy-request slot and owns ctx.
+func (s *Server) handleFarmCampaign(ctx context.Context, w http.ResponseWriter, o ballista.OS, req CampaignRequest, opts []ballista.Option) {
 	if req.Workers < 0 {
 		s.httpError(w, http.StatusBadRequest, "bad workers")
 		return
 	}
-	res, err := ballista.RunFarm(r.Context(), o, ballista.FarmConfig{Workers: req.Workers}, opts...)
+	res, err := ballista.RunFarm(ctx, o, ballista.FarmConfig{Workers: req.Workers}, opts...)
 	if err != nil {
 		s.httpError(w, campaignErrStatus(err), err.Error())
 		return
@@ -501,12 +629,18 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		workers = n
 	}
 	opts := []ballista.Option{ballista.WithCap(cap), ballista.WithObserver(s.observer())}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.campaignCtx(r)
+	defer cancel()
 	var res *ballista.Result
 	var err error
 	if workers == 1 {
-		res, err = ballista.RunContext(r.Context(), o, opts...)
+		res, err = ballista.RunContext(ctx, o, opts...)
 	} else {
-		res, err = ballista.RunFarm(r.Context(), o, ballista.FarmConfig{Workers: workers}, opts...)
+		res, err = ballista.RunFarm(ctx, o, ballista.FarmConfig{Workers: workers}, opts...)
 	}
 	if err != nil {
 		s.httpError(w, campaignErrStatus(err), err.Error())

@@ -1,0 +1,11 @@
+package service
+
+import (
+	"testing"
+
+	"ballista/internal/leak"
+)
+
+// TestMain guards the service's goroutine hygiene: campaign slots,
+// request timeouts and shed load must never strand a goroutine.
+func TestMain(m *testing.M) { leak.VerifyTestMain(m) }

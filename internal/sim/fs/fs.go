@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"ballista/internal/chaos"
 )
 
 // Mode bits, a POSIX-ish subset.
@@ -48,6 +50,8 @@ var (
 	ErrClosed      = errors.New("fs: file closed")
 	ErrNotOpen     = errors.New("fs: not open for that access")
 	ErrLocked      = errors.New("fs: byte range locked")
+	ErrNoSpace     = errors.New("fs: no space left on device")
+	ErrIO          = errors.New("fs: I/O error")
 )
 
 // Node is a file or directory.
@@ -94,6 +98,18 @@ type FileSystem struct {
 	root *Node
 	// clock provides deterministic timestamps; the kernel advances it.
 	clock func() uint64
+	// inj, when non-nil, deterministically injects disk faults (ENOSPC,
+	// short writes, transient EIO) at the Create and Write fault points.
+	inj *chaos.Injector
+}
+
+// SetInjector attaches a chaos injector session; nil detaches it.
+func (f *FileSystem) SetInjector(in *chaos.Injector) { f.inj = in }
+
+// fault consumes one chaos decision point; with no injector attached it
+// costs one nil check.
+func (f *FileSystem) fault(op chaos.Op, site string) (chaos.Fault, bool) {
+	return f.inj.Fault(op, site)
 }
 
 // New creates a filesystem containing only the root directory.
@@ -199,6 +215,11 @@ func (f *FileSystem) Create(path string, mode uint16, trunc bool) (*Node, error)
 			c.WriteTime = f.clock()
 		}
 		return c, nil
+	}
+	// Allocating a fresh directory entry is the disk-full fault point:
+	// truncating an existing file needs no new space.
+	if _, ok := f.fault(chaos.OpFSCreate, base); ok {
+		return nil, ErrNoSpace
 	}
 	now := f.clock()
 	n := &Node{

@@ -1,5 +1,7 @@
 package fs
 
+import "ballista/internal/chaos"
+
 // OpenFile is one open descriptor/handle onto a node: a file position,
 // the access granted at open time, and any byte-range locks it owns.
 // Both the Win32 handle layer and the POSIX fd layer wrap OpenFile.
@@ -106,6 +108,22 @@ func (o *OpenFile) Write(p []byte) (int, error) {
 	}
 	if o.blockedBy(uint64(o.pos), uint64(len(p)), true) {
 		return 0, ErrLocked
+	}
+	if flt, ok := o.fs.fault(chaos.OpFSWrite, o.node.name); ok {
+		switch flt.Kind {
+		case chaos.KindEIO:
+			return 0, ErrIO
+		case chaos.KindShort:
+			// A torn write: half the bytes land and the short count is
+			// reported without an error (POSIX short-write semantics).
+			if len(p) > 1 {
+				p = p[:len(p)/2]
+			} else {
+				return 0, ErrNoSpace
+			}
+		default:
+			return 0, ErrNoSpace
+		}
 	}
 	end := o.pos + int64(len(p))
 	if end > int64(len(o.node.Data)) {

@@ -27,6 +27,7 @@ package kern
 import (
 	"fmt"
 
+	"ballista/internal/chaos"
 	"ballista/internal/sim/fs"
 	"ballista/internal/sim/mem"
 )
@@ -92,6 +93,39 @@ type Kernel struct {
 
 	stats    Stats
 	memStats mem.Stats
+
+	// chaos, when non-nil, is this machine's fault-injection session.
+	// It propagates to the filesystem and to every address space the
+	// kernel creates, so all substrate fault points share one
+	// deterministic decision stream per boot.
+	chaos *chaos.Injector
+}
+
+// SetInjector attaches a chaos injector session to the machine, wiring
+// it through to the filesystem and to address spaces created after the
+// call.  A nil injector detaches injection everywhere.
+func (k *Kernel) SetInjector(in *chaos.Injector) {
+	k.chaos = in
+	k.FS.SetInjector(in)
+}
+
+// Injector exposes the machine's chaos session (nil when disabled).
+func (k *Kernel) Injector() *chaos.Injector { return k.chaos }
+
+// EnterSyscall marks the entry of one simulated system call, named by
+// the API function.  It is the kernel's scheduler fault point: an armed
+// kern.stall rule advances the simulated clock (the call took
+// anomalously long), and an armed kern.wedge rule blocks until the
+// injector session is released — the wedged-call model the
+// core.Runner's case-deadline watchdog converts into RawRestart.
+func (k *Kernel) EnterSyscall(name string) {
+	if k.chaos == nil {
+		return
+	}
+	if t := k.chaos.Stall(name); t > 0 {
+		k.ticks += t
+	}
+	k.chaos.Wedge(name)
 }
 
 // Stats holds cheap monotonic machine-activity counters.  They survive
@@ -219,6 +253,7 @@ func (k *Kernel) NewProcess() *Process {
 		nextFD:  3,
 	}
 	p.AS.SetStats(&k.memStats)
+	p.AS.SetInjector(k.chaos)
 	k.nextPID++
 	p.Thread = &Thread{Proc: p, TID: p.PID*4 + 1, State: ThreadRunning, Priority: 0}
 	p.object = &Object{Kind: KProcess, Proc: p}
@@ -328,5 +363,11 @@ func (k *Kernel) RawRead(as *mem.AddressSpace, addr mem.Addr, size uint32) ([]by
 }
 
 // Sleep advances the simulated clock by ms milliseconds (a finite sleep
-// or timed wait completes instantly in simulated time).
-func (k *Kernel) Sleep(ms uint32) { k.ticks += uint64(ms) }
+// or timed wait completes instantly in simulated time).  An armed
+// kern.stall rule stretches the sleep — the scheduler was busy.
+func (k *Kernel) Sleep(ms uint32) {
+	k.ticks += uint64(ms)
+	if k.chaos != nil {
+		k.ticks += k.chaos.Stall("sleep")
+	}
+}

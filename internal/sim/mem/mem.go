@@ -18,6 +18,8 @@ package mem
 import (
 	"errors"
 	"fmt"
+
+	"ballista/internal/chaos"
 )
 
 // Addr is a simulated 32-bit virtual address.
@@ -223,7 +225,14 @@ type AddressSpace struct {
 	// stats, when non-nil, accumulates activity counters (typically the
 	// owning kernel's machine-wide mem.Stats).
 	stats *Stats
+
+	// inj, when non-nil, deterministically injects commit failures at
+	// the Map fault point (the owning kernel attaches it).
+	inj *chaos.Injector
 }
+
+// SetInjector attaches a chaos injector session; nil detaches it.
+func (as *AddressSpace) SetInjector(in *chaos.Injector) { as.inj = in }
 
 // SetStats attaches a counter sink; nil detaches it.
 func (as *AddressSpace) SetStats(s *Stats) { as.stats = s }
@@ -269,6 +278,19 @@ func (as *AddressSpace) Map(addr Addr, size uint32, prot Prot) error {
 	}
 	if as.quota != 0 && as.mapped+fresh > as.quota {
 		return ErrNoSpace
+	}
+	// Committing fresh pages is the fault point: remapping already-
+	// resident pages cannot fail for lack of memory.  Multi-page commits
+	// report a distinct site so page-pressure rules (large commits fail
+	// first) can target them alone.
+	if fresh > 0 && as.inj != nil {
+		site := "commit"
+		if fresh > PageSize {
+			site = "commit.multi"
+		}
+		if _, ok := as.inj.Fault(chaos.OpMemCommit, site); ok {
+			return ErrNoSpace
+		}
 	}
 	for pn := first; pn <= last; pn++ {
 		if pg, ok := as.pages[pn]; ok {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"ballista/internal/chaos"
 	"ballista/internal/core"
 )
 
@@ -83,6 +84,10 @@ type Metrics struct {
 	httpRequests map[[3]string]uint64
 	httpLatency  *Histogram
 	httpInFlight int64
+
+	// chaosStats, when set, is snapshotted into ballista_chaos_* series
+	// at scrape time (the chaos layer owns the live counters).
+	chaosStats *chaos.Stats
 }
 
 // NewMetrics creates an empty registry.
@@ -187,6 +192,14 @@ func (m *Metrics) CaseCount(class string) uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.casesByClass[class]
+}
+
+// SetChaosStats attaches a chaos-injection counter set; its snapshot is
+// rendered into the ballista_chaos_* series on every scrape.
+func (m *Metrics) SetChaosStats(s *chaos.Stats) {
+	m.mu.Lock()
+	m.chaosStats = s
+	m.mu.Unlock()
 }
 
 // ObserveHTTP records one served request (used by the service
@@ -341,6 +354,33 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP ballista_explore_corpus_size Coverage-corpus size (frontier) of the latest fuzzing campaign.\n")
 	fmt.Fprintf(w, "# TYPE ballista_explore_corpus_size gauge\n")
 	fmt.Fprintf(w, "ballista_explore_corpus_size %d\n", m.exploreCorpusSize)
+
+	// Chaos-injection series (only when a campaign carries a fault plan).
+	if m.chaosStats != nil {
+		snap := m.chaosStats.Snapshot()
+		fmt.Fprintf(w, "# HELP ballista_chaos_injected_total Faults injected by the chaos plan, by operation.\n")
+		fmt.Fprintf(w, "# TYPE ballista_chaos_injected_total counter\n")
+		ops := make([]string, 0, len(snap.Injected))
+		for op := range snap.Injected {
+			ops = append(ops, string(op))
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Fprintf(w, "ballista_chaos_injected_total{op=%q} %d\n", op, snap.Injected[chaos.Op(op)])
+		}
+		for _, series := range []struct {
+			metric, help string
+			v            uint64
+		}{
+			{"ballista_chaos_retried_total", "Harness writes retried after an injected or real fault.", snap.Retried},
+			{"ballista_chaos_quarantined_total", "Shards quarantined after a harness fault (worker panic).", snap.Quarantined},
+			{"ballista_chaos_wedged_total", "Calls wedged by the chaos plan and reaped by the watchdog.", snap.Wedged},
+		} {
+			fmt.Fprintf(w, "# HELP %s %s\n", series.metric, series.help)
+			fmt.Fprintf(w, "# TYPE %s counter\n", series.metric)
+			fmt.Fprintf(w, "%s %d\n", series.metric, series.v)
+		}
+	}
 
 	// HTTP middleware series.
 	fmt.Fprintf(w, "# HELP ballista_http_requests_total Requests served, by method, path and status.\n")

@@ -155,3 +155,50 @@ func TestMultiConcurrentFanout(t *testing.T) {
 		t.Error("Multi dropped shard events to Metrics")
 	}
 }
+
+// TestRingConcurrentCampaignAndExplore hammers one ring (and the
+// metrics registry behind the same Multi fan-out) from campaign-shaped
+// writers and explore-shaped writers at once — the ballistad steady
+// state when a farm campaign and a fuzzing run share the server's
+// telemetry.  Run with -race this audits the OnChainDone path against
+// every other observer hook, which the farm-only hammer never covers.
+func TestRingConcurrentCampaignAndExplore(t *testing.T) {
+	m := NewMetrics()
+	rg := NewRing(64)
+	multi := Multi(m, rg)
+
+	const chainWriters = 4
+	const chainsPerWriter = 300
+	var wg sync.WaitGroup
+	for w := 0; w < chainWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < chainsPerWriter; i++ {
+				multi.(core.ChainObserver).OnChainDone(core.ChainEvent{
+					OS: "win98", Seq: i,
+					Classes:      map[string][]core.RawClass{"win98": {core.RawClean}},
+					Novel:        i%3 == 0,
+					Divergent:    i%7 == 0,
+					Catastrophic: i%50 == 0,
+					CorpusSize:   i,
+				})
+			}
+		}(w)
+	}
+	// Campaign-shaped traffic (cases, shards, reboots) races the chain
+	// writers on the same observers; readers race both.
+	hammerObserver(t, multi, func() {
+		_ = rg.Last(16)
+		_ = rg.Seen()
+		m.WritePrometheus(io.Discard)
+	})
+	wg.Wait()
+
+	if got := m.ChainCount(); got != chainWriters*chainsPerWriter {
+		t.Errorf("ChainCount = %d, want %d", got, chainWriters*chainsPerWriter)
+	}
+	if rg.Seen() == 0 {
+		t.Error("ring saw nothing")
+	}
+}

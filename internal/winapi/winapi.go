@@ -84,6 +84,10 @@ func winFSError(err error) uint32 {
 		return api.ErrorLockViolation
 	case errors.Is(err, fs.ErrClosed), errors.Is(err, fs.ErrNotOpen):
 		return api.ErrorInvalidHandle
+	case errors.Is(err, fs.ErrNoSpace):
+		return api.ErrorDiskFull
+	case errors.Is(err, fs.ErrIO):
+		return api.ErrorWriteFault
 	default:
 		return api.ErrorInvalidFunction
 	}
