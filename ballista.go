@@ -20,6 +20,7 @@ import (
 	"ballista/internal/core"
 	"ballista/internal/explore"
 	"ballista/internal/farm"
+	"ballista/internal/fleet"
 	"ballista/internal/hinder"
 	"ballista/internal/osprofile"
 	"ballista/internal/posixapi"
@@ -218,6 +219,92 @@ func NewFarm(o OS, fc FarmConfig, opts ...Option) *farm.Farm {
 // RunFarm executes one OS variant's full campaign across a worker pool.
 func RunFarm(ctx context.Context, o OS, fc FarmConfig, opts ...Option) (*Result, error) {
 	return NewFarm(o, fc, opts...).Run(ctx)
+}
+
+// FleetSpec re-exports the distributed campaign specification (see
+// internal/fleet): everything a worker process needs to rebuild the
+// campaign substrate locally.
+type FleetSpec = fleet.CampaignSpec
+
+// fleetSpecConfig rebuilds the engine configuration a campaign spec
+// describes — the worker-side half of the fleet's determinism contract.
+func fleetSpecConfig(spec FleetSpec) (core.Config, error) {
+	o, ok := osprofile.Parse(spec.OS)
+	if !ok {
+		return core.Config{}, fmt.Errorf("ballista: unknown OS %q in campaign spec", spec.OS)
+	}
+	cfg := core.Config{
+		OS: o, Cap: spec.Cap, StopMuTOnCrash: true,
+		Chaos:        spec.Chaos,
+		CaseDeadline: time.Duration(spec.CaseDeadlineMS) * time.Millisecond,
+	}
+	if cfg.Cap <= 0 {
+		cfg.Cap = core.DefaultCap
+	}
+	return cfg, nil
+}
+
+// FleetEnv wires the full Ballista suite into fleet workers: farm
+// shards run through a farm.Executor, explore candidates through an
+// explore.Evaluator, both built from the joined campaign's spec.
+func FleetEnv() fleet.Env {
+	return fleet.Env{
+		NewShardExecutor: func(spec fleet.CampaignSpec) (fleet.ShardExecutor, error) {
+			cfg, err := fleetSpecConfig(spec)
+			if err != nil {
+				return nil, err
+			}
+			return farm.NewExecutor(farm.Config{Config: cfg}, suite.NewRegistry(), Dispatch, suite.SetupFixtures), nil
+		},
+		NewChainEvaluator: func(spec fleet.CampaignSpec) (fleet.ChainEvaluator, error) {
+			oses := make([]OS, 0, len(spec.OSes))
+			for _, name := range spec.OSes {
+				o, ok := osprofile.Parse(name)
+				if !ok {
+					return nil, fmt.Errorf("ballista: unknown OS %q in campaign spec", name)
+				}
+				oses = append(oses, o)
+			}
+			if len(oses) == 0 {
+				return nil, fmt.Errorf("ballista: campaign spec has no OS set")
+			}
+			reg := suite.NewRegistry()
+			newRunner := func(o OS) *core.Runner {
+				return core.NewRunner(
+					core.Config{OS: o, Cap: core.DefaultCap, StopMuTOnCrash: true,
+						Chaos:        spec.Chaos,
+						CaseDeadline: time.Duration(spec.CaseDeadlineMS) * time.Millisecond},
+					reg, Dispatch, suite.SetupFixtures,
+				)
+			}
+			return explore.NewEvaluator(oses, newRunner), nil
+		},
+	}
+}
+
+// FleetWorkerConfig sizes one ballista fleet worker process.
+type FleetWorkerConfig struct {
+	// URL is the coordinator root, e.g. "http://127.0.0.1:8719".
+	URL string
+	// Name is the worker identity (empty: coordinator-assigned).
+	Name string
+	// Slots is how many units run concurrently (default 1).
+	Slots int
+	// Chaos is the client-side transport fault plan (the "net" preset);
+	// it perturbs RPCs, never the substrate the spec configures.
+	Chaos      *ChaosPlan
+	ChaosStats *ChaosStats
+}
+
+// RunFleetWorker joins a fleet coordinator and works its campaign with
+// the full suite until the campaign completes or ctx ends.
+func RunFleetWorker(ctx context.Context, fc FleetWorkerConfig) error {
+	return fleet.RunWorker(ctx, fleet.WorkerConfig{
+		Client: fleet.ClientConfig{
+			BaseURL: fc.URL, Chaos: fc.Chaos, ChaosStats: fc.ChaosStats,
+		},
+		Name: fc.Name, Slots: fc.Slots, Env: FleetEnv(),
+	})
 }
 
 // ExploreConfig re-exports the sequence-fuzzer configuration (see

@@ -45,6 +45,10 @@ import (
 
 	"ballista"
 	"ballista/internal/catalog"
+	"ballista/internal/cliutil"
+	"ballista/internal/core"
+	"ballista/internal/explore"
+	"ballista/internal/fleet"
 	"ballista/internal/osprofile"
 	"ballista/internal/report"
 	"ballista/internal/telemetry"
@@ -68,9 +72,10 @@ func main() {
 	diffOS := flag.String("diff-os", "", "explore: comma-separated differential-oracle OS set (default: all seven)")
 	exploreMuTs := flag.String("explore-muts", "", "explore: comma-separated chain alphabet (default: cross-OS intersection)")
 	reproDir := flag.String("repro-dir", "", "explore: write minimized reproducer JSON files to this directory")
-	chaosSeed := flag.Uint64("chaos-seed", 0, "inject environmental faults from the -chaos-preset plan seeded with this value (0 = off)")
-	chaosPreset := flag.String("chaos-preset", "all", "stock fault plan for -chaos-seed: disk, mem, hang, harness, all")
-	chaosPlan := flag.String("chaos-plan", "", "inject environmental faults from this JSON plan file (overrides -chaos-seed)")
+	chaosFlags := cliutil.AddChaosFlags(flag.CommandLine)
+	fleetFlags := cliutil.AddFleetFlags(flag.CommandLine)
+	serveFleet := flag.String("serve-fleet", "", "coordinate a distributed fleet campaign on this address; workers join with -join")
+	joinURL := flag.String("join", "", "join a fleet coordinator at this URL (e.g. http://host:8719) and work its campaign")
 	caseDeadline := flag.Duration("case-deadline", 0, "per-case watchdog: a call exceeding this is classified Restart and its machine condemned (required for hang plans)")
 	csvFlag := flag.String("csv", "", "write the per-MuT campaign report as CSV to this file (a deterministic artifact, diffable across runs)")
 	flag.Parse()
@@ -85,21 +90,10 @@ func main() {
 		opts = append(opts, ballista.WithIsolation())
 	}
 
-	var plan *ballista.ChaosPlan
-	if *chaosPlan != "" {
-		p, err := ballista.LoadChaosPlan(*chaosPlan)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ballista:", err)
-			os.Exit(2)
-		}
-		plan = p
-	} else if *chaosSeed != 0 {
-		p, err := ballista.ChaosPreset(*chaosPreset, *chaosSeed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ballista:", err)
-			os.Exit(2)
-		}
-		plan = p
+	plan, err := chaosFlags.Plan()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		os.Exit(2)
 	}
 	var chaosStats *ballista.ChaosStats
 	if plan != nil {
@@ -145,6 +139,22 @@ func main() {
 		opts = append(opts, ballista.WithObserver(telemetry.Multi(observers...)))
 	}
 
+	if *joinURL != "" {
+		runJoin(*joinURL, fleetFlags.WorkerName(), *workers, plan, chaosStats)
+		return
+	}
+
+	if *serveFleet != "" && !*exploreFlag {
+		runServeFleetFarm(fleetServeOpts{
+			addr: *serveFleet, target: target, cap: *capFlag,
+			caseDeadline: *caseDeadline, checkpoint: *checkpoint,
+			plan: plan, chaosStats: chaosStats, observers: observers,
+			ttl: fleetFlags.TTL, heartbeat: fleetFlags.Heartbeat,
+			csv: *csvFlag, verbose: *verbose,
+		})
+		return
+	}
+
 	if *exploreFlag {
 		runExplore(target, exploreOpts{
 			chains: *chains, seed: *seed, maxLen: *maxLen,
@@ -152,6 +162,8 @@ func main() {
 			workers: *workers, checkpoint: *checkpoint, reproDir: *reproDir,
 			verbose: *verbose, observers: observers,
 			chaos: plan, chaosStats: chaosStats,
+			serveFleet: *serveFleet, fleetTTL: fleetFlags.TTL,
+			fleetHeartbeat: fleetFlags.Heartbeat, caseDeadline: *caseDeadline,
 		})
 		return
 	}
@@ -192,7 +204,6 @@ func main() {
 
 	start := time.Now()
 	var res *ballista.Result
-	var err error
 	// A chaos plan forces the farm path even at -workers 1: substrate
 	// fault streams are per machine boot, and only the farm's fresh-
 	// machine-per-shard contract keeps a seeded campaign's report
@@ -218,14 +229,21 @@ func main() {
 	if chaosStats != nil {
 		defer printChaosSummary(chaosStats)
 	}
-	if *csvFlag != "" {
-		if err := writeCSVReport(*csvFlag, target, res); err != nil {
+	reportCampaign(target, res, time.Since(start), *verbose, *csvFlag)
+}
+
+// reportCampaign prints the campaign summary (and the CSV artifact) —
+// shared by the local farm path and the fleet coordinator path, whose
+// outputs must be byte-identical.
+func reportCampaign(target ballista.OS, res *ballista.Result, elapsed time.Duration, verbose bool, csvPath string) {
+	if csvPath != "" {
+		if err := writeCSVReport(csvPath, target, res); err != nil {
 			fmt.Fprintln(os.Stderr, "ballista:", err)
 			os.Exit(1)
 		}
 	}
 	fmt.Printf("%s: %d MuTs, %d test cases, %d reboots, %v\n",
-		target, len(res.Results), res.CasesRun, res.Reboots, time.Since(start).Round(time.Millisecond))
+		target, len(res.Results), res.CasesRun, res.Reboots, elapsed.Round(time.Millisecond))
 	s := report.Summarize(target, res)
 	fmt.Printf("system calls: %d tested, %d Catastrophic, abort %.1f%%, restart %.2f%%\n",
 		s.SysTested, s.SysCatastrophic, s.SysAbortPct, s.SysRestartPct)
@@ -234,13 +252,130 @@ func main() {
 	if names := res.CatastrophicMuTs(); len(names) > 0 {
 		fmt.Printf("Catastrophic: %s\n", strings.Join(names, " "))
 	}
-	if *verbose {
+	if verbose {
 		fmt.Println()
 		for _, mr := range res.Results {
 			fmt.Printf("  %-30s cases=%-5d abort=%5.1f%% restart=%5.2f%% catastrophic=%v\n",
 				mr.Name(), mr.Executed(), 100*mr.AbortRate(), 100*mr.RestartRate(), mr.Catastrophic())
 		}
 	}
+}
+
+// runJoin works a fleet campaign as one worker process until the
+// campaign completes or a signal stops it.  The chaos flags arm the
+// client-side transport plan (the "net" preset); the substrate plan
+// comes from the coordinator's campaign spec.
+func runJoin(url, name string, slots int, plan *ballista.ChaosPlan, stats *ballista.ChaosStats) {
+	ctx, stop, caught := signalContext()
+	defer stop()
+	if plan != nil && stats == nil {
+		stats = ballista.NewChaosStats()
+	}
+	err := ballista.RunFleetWorker(ctx, ballista.FleetWorkerConfig{
+		URL: url, Name: name, Slots: slots, Chaos: plan, ChaosStats: stats,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ballista: worker interrupted; its leases will expire and be re-dispatched")
+			os.Exit(signalExitCode(caught))
+		}
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		os.Exit(1)
+	}
+	if stats != nil {
+		printChaosSummary(stats)
+	}
+	fmt.Printf("ballista: worker %s finished campaign\n", name)
+}
+
+// fleetServeOpts carries the -serve-fleet farm-coordinator flag set.
+type fleetServeOpts struct {
+	addr         string
+	target       ballista.OS
+	cap          int
+	caseDeadline time.Duration
+	checkpoint   string
+	plan         *ballista.ChaosPlan
+	chaosStats   *ballista.ChaosStats
+	observers    []ballista.Observer
+	ttl          time.Duration
+	heartbeat    time.Duration
+	csv          string
+	verbose      bool
+}
+
+// fleetObserver narrows the shared observer set to the fleet hook.
+func fleetObserver(observers []ballista.Observer) core.FleetObserver {
+	if len(observers) == 0 {
+		return nil
+	}
+	if fo, ok := telemetry.Multi(observers...).(core.FleetObserver); ok {
+		return fo
+	}
+	return nil
+}
+
+// runServeFleetFarm coordinates a distributed farm campaign: serve the
+// lease table on addr, wait for workers to drain the shard catalog, and
+// report exactly what a local farm run would.
+func runServeFleetFarm(fo fleetServeOpts) {
+	spec := ballista.FleetSpec{
+		Kind: fleet.KindFarm, OS: fo.target.WireName(), Cap: fo.cap,
+		CaseDeadlineMS: fo.caseDeadline.Milliseconds(), Chaos: fo.plan,
+	}
+	coord, err := fleet.New(fleet.Config{
+		Spec: spec, TTL: fo.ttl, Heartbeat: fo.heartbeat,
+		Journal: fo.checkpoint, Chaos: fo.plan, ChaosStats: fo.chaosStats,
+		Observer: fleetObserver(fo.observers),
+		Log:      telemetry.NewLogger(os.Stderr, "fleet"),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		os.Exit(1)
+	}
+	defer coord.Close()
+	srv := &http.Server{Addr: fo.addr, Handler: coord.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ballista: fleet listener:", err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Printf("ballista: fleet coordinator on %s (campaign %s, %s)\n", fo.addr, coord.ID(), fo.target)
+
+	ctx, stop, caught := signalContext()
+	defer stop()
+	start := time.Now()
+	res, err := coord.Wait(ctx)
+	if err == nil {
+		// Drain grace: idle workers poll at half the heartbeat interval,
+		// so serving a moment longer lets them observe the campaign is
+		// done and exit instead of retrying against a dead listener.
+		drain := fo.heartbeat
+		if drain <= 0 {
+			drain = fo.ttl / 3
+		}
+		if drain < 250*time.Millisecond {
+			drain = 250 * time.Millisecond
+		}
+		time.Sleep(drain)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ballista: coordinator interrupted")
+			if fo.checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "ballista: collected shards journaled; re-run with -checkpoint %s to resume\n", fo.checkpoint)
+			}
+			os.Exit(signalExitCode(caught))
+		}
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ballista: campaign drained by %d workers\n", coord.WorkersSeen())
+	reportCampaign(fo.target, res, time.Since(start), fo.verbose, fo.csv)
 }
 
 // writeCSVReport stores the per-MuT campaign report as a CSV file — a
@@ -311,6 +446,10 @@ type exploreOpts struct {
 	observers               []ballista.Observer
 	chaos                   *ballista.ChaosPlan
 	chaosStats              *ballista.ChaosStats
+	serveFleet              string
+	fleetTTL                time.Duration
+	fleetHeartbeat          time.Duration
+	caseDeadline            time.Duration
 }
 
 func runExplore(primary ballista.OS, eo exploreOpts) {
@@ -340,11 +479,62 @@ func runExplore(primary ballista.OS, eo exploreOpts) {
 		}
 	}
 
+	// -serve-fleet: candidate batches are evaluated by joined workers
+	// instead of the local pool; the report stays byte-identical.
+	var coord *fleet.Coordinator
+	var fleetSrv *http.Server
+	if eo.serveFleet != "" {
+		var oses []string
+		for _, o := range explore.ResolveOSes(primary, cfg.OSes) {
+			oses = append(oses, o.WireName())
+		}
+		spec := ballista.FleetSpec{
+			Kind: fleet.KindExplore, OSes: oses,
+			Chaos: eo.chaos, CaseDeadlineMS: eo.caseDeadline.Milliseconds(),
+		}
+		var err error
+		coord, err = fleet.New(fleet.Config{
+			Spec: spec, TTL: eo.fleetTTL, Heartbeat: eo.fleetHeartbeat,
+			ChaosStats: eo.chaosStats, Observer: fleetObserver(eo.observers),
+			Log: telemetry.NewLogger(os.Stderr, "fleet"),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			os.Exit(1)
+		}
+		fleetSrv = &http.Server{Addr: eo.serveFleet, Handler: coord.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := fleetSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "ballista: fleet listener:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("ballista: fleet coordinator on %s (campaign %s, explore)\n", eo.serveFleet, coord.ID())
+		cfg.Remote = coord.RemoteEval()
+	}
+
 	ctx, stop, caught := signalContext()
 	defer stop()
 
 	start := time.Now()
 	rep, err := ballista.Explore(ctx, cfg)
+	if coord != nil {
+		coord.Finish()
+		// Drain grace: let idle workers poll once more and observe the
+		// campaign is finished before the listener disappears.
+		drain := eo.fleetHeartbeat
+		if drain <= 0 {
+			drain = eo.fleetTTL / 3
+		}
+		if drain < 250*time.Millisecond {
+			drain = 250 * time.Millisecond
+		}
+		time.Sleep(drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = fleetSrv.Shutdown(shutdownCtx)
+		cancel()
+		_ = coord.Close()
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "ballista: exploration interrupted")

@@ -15,6 +15,11 @@
 //	curl 'localhost:8717/api/events?n=50'
 //	curl localhost:8717/metrics
 //
+// The server can also coordinate a distributed fleet campaign: POST
+// /api/fleet/campaign, then point `ballista -join http://host:8717`
+// workers at it.  -fleet-ttl and the -chaos-* flags set the fleet
+// defaults (a request's own chaos block still wins).
+//
 // SIGINT/SIGTERM shut the server down gracefully: in-flight campaigns
 // get the grace period to finish, then their contexts are cancelled so
 // they stop at the next test-case boundary (rather than only draining
@@ -33,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"ballista/internal/cliutil"
 	"ballista/internal/service"
 	"ballista/internal/telemetry"
 )
@@ -44,6 +50,8 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	campaignLimit := flag.Int("campaign-limit", service.DefaultMaxCampaigns, "max concurrent heavy requests (campaigns, fuzzing, summaries); excess sheds with 429")
 	requestTimeout := flag.Duration("request-timeout", 0, "server-side bound on one heavy request's campaign (0 = client-controlled only)")
+	chaosFlags := cliutil.AddChaosFlags(flag.CommandLine)
+	fleetFlags := cliutil.AddFleetFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stderr, "ballistad")
@@ -55,6 +63,16 @@ func main() {
 	}
 	if *requestTimeout > 0 {
 		svcOpts = append(svcOpts, service.WithRequestTimeout(*requestTimeout))
+	}
+	if fleetFlags.TTL > 0 {
+		svcOpts = append(svcOpts, service.WithFleetTTL(fleetFlags.TTL))
+	}
+	if plan, err := chaosFlags.Plan(); err != nil {
+		logger.Errorf("resolving chaos plan: %v", err)
+		os.Exit(1)
+	} else if plan != nil {
+		svcOpts = append(svcOpts, service.WithFleetChaos(plan))
+		logger.Printf("fleet campaigns default to chaos plan (seed %d, %d rules)", plan.Seed, len(plan.Rules))
 	}
 	var tw *telemetry.TraceWriter
 	if *traceFlag != "" {

@@ -69,6 +69,19 @@ const (
 	// OpWorkerPanic panics a farm worker at a shard boundary (harness
 	// domain); the farm quarantines and re-enqueues the shard.
 	OpWorkerPanic Op = "worker.panic"
+	// OpNetDrop drops one fleet RPC on the client side before it is sent
+	// (harness domain); the fleet client retries with jittered capped
+	// backoff.  Sites are the RPC names: "join", "lease", "upload",
+	// "heartbeat".
+	OpNetDrop Op = "net.drop"
+	// OpNetDupe re-sends a fleet result upload that already succeeded
+	// (harness domain, site "upload"); the coordinator's content-hashed
+	// idempotency dedups it.
+	OpNetDupe Op = "net.dupe"
+	// OpNetDelay delays a fleet heartbeat by StallTicks milliseconds
+	// (harness domain, site "heartbeat"), long enough delays force lease
+	// expiry and a steal by another worker.
+	OpNetDelay Op = "net.delay"
 )
 
 // Fault kinds, selecting the failure mode of a fired rule.
@@ -129,6 +142,9 @@ var validKinds = map[Op]map[string]bool{
 	OpKernWedge:   {"": true},
 	OpCkptWrite:   {"": true, KindFail: true, KindShort: true},
 	OpWorkerPanic: {"": true},
+	OpNetDrop:     {"": true},
+	OpNetDupe:     {"": true},
+	OpNetDelay:    {"": true},
 }
 
 // Validate checks the plan's rules for unknown ops, bad kinds and
@@ -151,6 +167,9 @@ func (p *Plan) Validate() error {
 		if r.Op == OpKernStall && r.StallTicks == 0 {
 			return fmt.Errorf("chaos: rule %d: kern.stall needs stall_ticks > 0", i)
 		}
+		if r.Op == OpNetDelay && r.StallTicks == 0 {
+			return fmt.Errorf("chaos: rule %d: net.delay needs stall_ticks > 0", i)
+		}
 	}
 	return nil
 }
@@ -158,9 +177,14 @@ func (p *Plan) Validate() error {
 // Retryable reports whether every harness-domain rule in the plan is
 // transient — the precondition under which the resilience oracle holds
 // (the harness absorbs every fault and the report matches fault-free).
+// Dropped fleet RPCs must be transient for the same reason: the client's
+// retry loop then converges in a bounded number of attempts.  Duplicated
+// uploads and delayed heartbeats are always absorbed (idempotent
+// collection, lease re-dispatch), so net.dupe/net.delay rules need no
+// transience.
 func (p *Plan) Retryable() bool {
 	for _, r := range p.Rules {
-		if (r.Op == OpCkptWrite || r.Op == OpWorkerPanic) && !r.Transient {
+		if (r.Op == OpCkptWrite || r.Op == OpWorkerPanic || r.Op == OpNetDrop) && !r.Transient {
 			return false
 		}
 	}
@@ -200,7 +224,11 @@ var ErrUnknownPreset = errors.New("chaos: unknown preset")
 //	"hang"    rare wedged calls and scheduler stalls
 //	"harness" transient checkpoint-write faults and worker panics (the
 //	          retryable plan the resilience oracle runs under)
-//	"all"     everything above at once
+//	"net"     fleet-transport faults: transient dropped RPCs, duplicated
+//	          uploads, delayed heartbeats (the retryable plan the fleet
+//	          determinism oracle runs under)
+//	"all"     every single-process preset at once ("net" stays separate:
+//	          it only has decision points when a fleet client is running)
 func Preset(name string, seed uint64) (*Plan, error) {
 	disk := []Rule{
 		{Op: OpFSCreate, RatePerMille: 8, Transient: true},
@@ -221,6 +249,11 @@ func Preset(name string, seed uint64) (*Plan, error) {
 		{Op: OpCkptWrite, Kind: KindShort, RatePerMille: 100, Transient: true},
 		{Op: OpWorkerPanic, RatePerMille: 120, Transient: true},
 	}
+	netr := []Rule{
+		{Op: OpNetDrop, RatePerMille: 200, Transient: true},
+		{Op: OpNetDupe, RatePerMille: 150},
+		{Op: OpNetDelay, RatePerMille: 100, StallTicks: 40},
+	}
 	p := &Plan{Seed: seed}
 	switch name {
 	case "disk":
@@ -231,13 +264,15 @@ func Preset(name string, seed uint64) (*Plan, error) {
 		p.Rules = hang
 	case "harness":
 		p.Rules = harness
+	case "net":
+		p.Rules = netr
 	case "all":
 		p.Rules = append(append(append(append(p.Rules, disk...), memr...), hang...), harness...)
 	default:
-		return nil, fmt.Errorf("%w %q (have disk, mem, hang, harness, all)", ErrUnknownPreset, name)
+		return nil, fmt.Errorf("%w %q (have disk, mem, hang, harness, net, all)", ErrUnknownPreset, name)
 	}
 	return p, nil
 }
 
 // PresetNames lists the Preset plans in documentation order.
-func PresetNames() []string { return []string{"disk", "mem", "hang", "harness", "all"} }
+func PresetNames() []string { return []string{"disk", "mem", "hang", "harness", "net", "all"} }

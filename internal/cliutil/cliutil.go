@@ -1,0 +1,79 @@
+// Package cliutil holds the flag wiring shared by the ballista CLI and
+// the ballistad server, so cross-cutting option groups (the chaos plane,
+// the fleet fabric) are defined once and read identically everywhere.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ballista/internal/chaos"
+)
+
+// ChaosFlags is the shared chaos-plan flag group.
+type ChaosFlags struct {
+	Seed     uint64
+	Preset   string
+	PlanPath string
+}
+
+// AddChaosFlags registers -chaos-seed, -chaos-preset and -chaos-plan on
+// fs (use flag.CommandLine for a main).
+func AddChaosFlags(fs *flag.FlagSet) *ChaosFlags {
+	cf := &ChaosFlags{}
+	fs.Uint64Var(&cf.Seed, "chaos-seed", 0,
+		"inject environmental faults from the -chaos-preset plan seeded with this value (0 = off)")
+	fs.StringVar(&cf.Preset, "chaos-preset", "all",
+		"stock fault plan for -chaos-seed: "+strings.Join(chaos.PresetNames(), ", "))
+	fs.StringVar(&cf.PlanPath, "chaos-plan", "",
+		"inject environmental faults from this JSON plan file (overrides -chaos-seed)")
+	return cf
+}
+
+// Plan resolves the flag group into a chaos plan: an explicit plan file
+// wins, then a seeded preset, then nil (chaos off).
+func (cf *ChaosFlags) Plan() (*chaos.Plan, error) {
+	if cf.PlanPath != "" {
+		return chaos.Load(cf.PlanPath)
+	}
+	if cf.Seed != 0 {
+		return chaos.Preset(cf.Preset, cf.Seed)
+	}
+	return nil, nil
+}
+
+// FleetFlags is the shared fleet-fabric flag group.
+type FleetFlags struct {
+	TTL       time.Duration
+	Heartbeat time.Duration
+	Name      string
+}
+
+// AddFleetFlags registers -fleet-ttl, -fleet-heartbeat and -fleet-name
+// on fs.
+func AddFleetFlags(fs *flag.FlagSet) *FleetFlags {
+	ff := &FleetFlags{}
+	fs.DurationVar(&ff.TTL, "fleet-ttl", 15*time.Second,
+		"fleet lease TTL: a worker silent this long loses its leases to other workers")
+	fs.DurationVar(&ff.Heartbeat, "fleet-heartbeat", 0,
+		"fleet heartbeat interval suggested to workers (0 = TTL/3)")
+	fs.StringVar(&ff.Name, "fleet-name", "",
+		"fleet worker name (default: host-pid)")
+	return ff
+}
+
+// WorkerName resolves the worker identity: the explicit -fleet-name, or
+// a host-pid default unique enough for one fleet.
+func (ff *FleetFlags) WorkerName() string {
+	if ff.Name != "" {
+		return ff.Name
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}

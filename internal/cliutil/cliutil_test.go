@@ -1,0 +1,111 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ballista/internal/chaos"
+)
+
+func TestChaosFlagsDefaultOff(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf := AddChaosFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cf.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatalf("default flags produced a plan: %+v", p)
+	}
+}
+
+func TestChaosFlagsSeededPreset(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf := AddChaosFlags(fs)
+	if err := fs.Parse([]string{"-chaos-seed", "42", "-chaos-preset", "net"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cf.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.Seed != 42 || len(p.Rules) == 0 {
+		t.Fatalf("bad plan: %+v", p)
+	}
+	want, _ := chaos.Preset("net", 42)
+	if len(p.Rules) != len(want.Rules) {
+		t.Fatalf("plan has %d rules, want %d", len(p.Rules), len(want.Rules))
+	}
+}
+
+func TestChaosFlagsPlanFileWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed":7,"rules":[{"op":"fs.create","rate_pm":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf := AddChaosFlags(fs)
+	if err := fs.Parse([]string{"-chaos-seed", "42", "-chaos-plan", path}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cf.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Rules) != 1 {
+		t.Fatalf("plan file did not win: %+v", p)
+	}
+}
+
+func TestChaosFlagsUnknownPreset(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf := AddChaosFlags(fs)
+	if err := fs.Parse([]string{"-chaos-seed", "1", "-chaos-preset", "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.Plan(); err == nil {
+		t.Fatal("unknown preset did not error")
+	}
+}
+
+func TestChaosPresetHelpListsAllPresets(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	AddChaosFlags(fs)
+	f := fs.Lookup("chaos-preset")
+	if f == nil {
+		t.Fatal("chaos-preset not registered")
+	}
+	for _, name := range chaos.PresetNames() {
+		if !strings.Contains(f.Usage, name) {
+			t.Fatalf("chaos-preset help %q does not mention preset %q", f.Usage, name)
+		}
+	}
+}
+
+func TestFleetFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ff := AddFleetFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ff.TTL != 15*time.Second || ff.Heartbeat != 0 {
+		t.Fatalf("bad defaults: %+v", ff)
+	}
+	name := ff.WorkerName()
+	if name == "" || !strings.Contains(name, "-") {
+		t.Fatalf("default worker name %q is not host-pid shaped", name)
+	}
+	if err := fs.Parse([]string{"-fleet-name", "w7"}); err != nil {
+		t.Fatal(err)
+	}
+	if ff.WorkerName() != "w7" {
+		t.Fatalf("explicit name not honoured: %q", ff.WorkerName())
+	}
+}

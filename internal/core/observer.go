@@ -188,6 +188,40 @@ type ChainObserver interface {
 	OnChainDone(ev ChainEvent)
 }
 
+// FleetEvent reports one control-plane action of a distributed-campaign
+// coordinator (see internal/fleet): lease grants, expiries and steals,
+// result uploads and their dedup hits, worker liveness, and RPC byte
+// counts.  Unlike the runner's hooks, fleet events fire from concurrent
+// HTTP request handling, so observers must be safe for concurrent use
+// (the stock internal/telemetry observers are).
+type FleetEvent struct {
+	// Kind discriminates the action: "worker_join", "lease_granted",
+	// "lease_expired", "lease_stolen", "upload", "upload_dedup",
+	// "campaign_done", or "rpc" (one HTTP exchange, metrics only).
+	Kind string
+	// Worker names the fleet worker involved, when one is.
+	Worker string
+	// Gen and Task identify the lease unit (farm shards are generation 0
+	// with Task = shard index; explore batches advance the generation).
+	Gen  int
+	Task int
+	// Version is the lease's monotonic assignment version at the time of
+	// the event.
+	Version uint64
+	// Live is the coordinator's worker-liveness gauge after the event.
+	Live int
+	// BytesIn/BytesOut are request/response body sizes ("rpc" events).
+	BytesIn  int
+	BytesOut int
+}
+
+// FleetObserver is an optional extension interface: Observers that also
+// implement it receive coordinator control-plane events from distributed
+// campaigns.
+type FleetObserver interface {
+	OnFleetEvent(ev FleetEvent)
+}
+
 // NopObserver implements Observer with no-ops; embed it to implement a
 // subset of the hooks.
 type NopObserver struct{}

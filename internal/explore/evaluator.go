@@ -1,0 +1,107 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+)
+
+// ResolveOSes normalizes a differential-oracle OS set the way the fuzzer
+// does: empty selects all seven profiles, and the primary is prepended
+// when missing.  A fleet coordinator ships the resolved, ordered set in
+// its campaign spec so remote evaluators digest OSes in the identical
+// order.
+func ResolveOSes(primary osprofile.OS, oses []osprofile.OS) []osprofile.OS {
+	if len(oses) == 0 {
+		oses = osprofile.All()
+	}
+	for _, o := range oses {
+		if o == primary {
+			return oses
+		}
+	}
+	return append([]osprofile.OS{primary}, oses...)
+}
+
+// ChainOutcome is one evaluated candidate in wire form: the per-OS
+// per-step CRASH classes (indexed like the campaign's OS set) plus the
+// combined kernel-state fingerprint — exactly what a fleet worker ships
+// back to its coordinator.
+type ChainOutcome struct {
+	Classes [][]core.RawClass `json:"classes"`
+	FP      string            `json:"fp"`
+}
+
+// RemoteEval evaluates one batch of candidates out of process (e.g.
+// across a fleet) and returns their outcomes in batch order, one per
+// candidate.
+type RemoteEval func(ctx context.Context, chains []Chain) ([]ChainOutcome, error)
+
+// Evaluator runs candidate chains across an OS set and digests the
+// result exactly the way the fuzzer's local workers do, so remote
+// evaluation is bit-for-bit the local computation.  Safe for concurrent
+// use as long as newRunner is (each eval boots fresh runners).
+type Evaluator struct {
+	oses      []osprofile.OS
+	osNames   []string
+	newRunner func(osprofile.OS) *core.Runner
+}
+
+// NewEvaluator assembles an evaluator over an already-resolved OS set
+// (see ResolveOSes; order matters, it feeds the fingerprint digest).
+func NewEvaluator(oses []osprofile.OS, newRunner func(osprofile.OS) *core.Runner) *Evaluator {
+	ev := &Evaluator{oses: oses, newRunner: newRunner}
+	for _, o := range oses {
+		ev.osNames = append(ev.osNames, o.WireName())
+	}
+	return ev
+}
+
+// eval runs one chain on a freshly booted machine per OS and digests the
+// combined result: per-OS kernel-state fingerprints plus the per-step
+// class vectors.
+func (e *Evaluator) eval(ch Chain) outcome {
+	h := fnv.New64a()
+	w := hashWriter{h}
+	classes := make([][]core.RawClass, len(e.oses))
+	for i, o := range e.oses {
+		r := e.newRunner(o)
+		cls, err := RunChain(r, ch)
+		if err != nil {
+			return outcome{chain: ch, err: err}
+		}
+		classes[i] = cls
+		w.str(e.osNames[i])
+		w.u64(uint64(KernelFingerprint(r.Machine())))
+		for _, c := range cls {
+			w.u64(uint64(c))
+		}
+	}
+	return outcome{chain: ch, classes: classes, fp: Fingerprint(h.Sum64())}
+}
+
+// EvalChain evaluates one chain into wire form.
+func (e *Evaluator) EvalChain(ch Chain) (ChainOutcome, error) {
+	out := e.eval(ch)
+	if out.err != nil {
+		return ChainOutcome{}, out.err
+	}
+	return ChainOutcome{Classes: out.classes, FP: out.fp.String()}, nil
+}
+
+// outcome converts a wire outcome back into the merge loop's form,
+// validating its shape against the chain and OS-set size.
+func (co ChainOutcome) outcome(ch Chain, nOSes int) (outcome, error) {
+	fp, err := ParseFingerprint(co.FP)
+	if err != nil {
+		return outcome{}, fmt.Errorf("explore: remote outcome: %w", err)
+	}
+	if len(co.Classes) != nOSes {
+		return outcome{}, fmt.Errorf("explore: remote outcome has %d OS class vectors, want %d",
+			len(co.Classes), nOSes)
+	}
+	return outcome{chain: ch, classes: co.Classes, fp: fp}, nil
+}

@@ -64,6 +64,11 @@ type Config struct {
 	Chaos *chaos.Plan
 	// ChaosStats receives the injection counters when set.
 	ChaosStats *chaos.Stats
+	// Remote, when non-nil, evaluates candidate batches out of process
+	// (e.g. over a fleet) instead of the local worker pool.  A remote
+	// evaluator built from the same OS set and substrate produces the
+	// identical report — evaluation location never changes results.
+	Remote RemoteEval
 }
 
 // Divergence is one deduplicated differential-oracle finding: a chain
@@ -115,6 +120,7 @@ type Fuzzer struct {
 	cfg       Config
 	reg       *core.Registry
 	newRunner func(osprofile.OS) *core.Runner
+	ev        *Evaluator
 
 	alphabet []catalog.MuT
 	sizes    map[string][]int
@@ -126,19 +132,7 @@ type Fuzzer struct {
 // state is fresh per call (e.g. the ballista facade's NewRunner); the
 // fuzzer boots one machine per OS per candidate.
 func New(cfg Config, reg *core.Registry, newRunner func(osprofile.OS) *core.Runner) (*Fuzzer, error) {
-	if len(cfg.OSes) == 0 {
-		cfg.OSes = osprofile.All()
-	}
-	hasPrimary := false
-	for _, o := range cfg.OSes {
-		if o == cfg.Primary {
-			hasPrimary = true
-			break
-		}
-	}
-	if !hasPrimary {
-		cfg.OSes = append([]osprofile.OS{cfg.Primary}, cfg.OSes...)
-	}
+	cfg.OSes = ResolveOSes(cfg.Primary, cfg.OSes)
 	if cfg.Budget <= 0 {
 		cfg.Budget = 2000
 	}
@@ -159,9 +153,8 @@ func New(cfg Config, reg *core.Registry, newRunner func(osprofile.OS) *core.Runn
 	}
 
 	f := &Fuzzer{cfg: cfg, reg: reg, newRunner: newRunner}
-	for _, o := range cfg.OSes {
-		f.osNames = append(f.osNames, o.WireName())
-	}
+	f.ev = NewEvaluator(cfg.OSes, newRunner)
+	f.osNames = f.ev.osNames
 	if err := f.buildAlphabet(); err != nil {
 		return nil, err
 	}
@@ -375,28 +368,9 @@ type outcome struct {
 	err     error
 }
 
-// eval runs one chain on a freshly booted machine per OS and digests the
-// combined result: per-OS kernel-state fingerprints plus the per-step
-// class vectors.
-func (f *Fuzzer) eval(ch Chain) outcome {
-	h := fnv.New64a()
-	w := hashWriter{h}
-	classes := make([][]core.RawClass, len(f.cfg.OSes))
-	for i, o := range f.cfg.OSes {
-		r := f.newRunner(o)
-		cls, err := RunChain(r, ch)
-		if err != nil {
-			return outcome{chain: ch, err: err}
-		}
-		classes[i] = cls
-		w.str(f.osNames[i])
-		w.u64(uint64(KernelFingerprint(r.Machine())))
-		for _, c := range cls {
-			w.u64(uint64(c))
-		}
-	}
-	return outcome{chain: ch, classes: classes, fp: Fingerprint(h.Sum64())}
-}
+// eval runs one chain through the campaign's evaluator (see Evaluator;
+// minimization always evaluates locally, even under a Remote hook).
+func (f *Fuzzer) eval(ch Chain) outcome { return f.ev.eval(ch) }
 
 // signature summarizes a class matrix: the final step's per-OS classes
 // (the divergence key), whether they diverge (>= 2 distinct non-Skip
@@ -565,10 +539,29 @@ func (f *Fuzzer) Run(ctx context.Context) (*Report, error) {
 	return f.report(st), nil
 }
 
-// evalBatch evaluates a batch across the worker pool; results land by
-// index, so batch order — and therefore everything downstream — is
-// independent of scheduling.
+// evalBatch evaluates a batch across the worker pool (or the Remote
+// hook); results land by index, so batch order — and therefore
+// everything downstream — is independent of scheduling.
 func (f *Fuzzer) evalBatch(ctx context.Context, batch []Chain) ([]outcome, error) {
+	if f.cfg.Remote != nil {
+		wire, err := f.cfg.Remote(ctx, batch)
+		if err != nil {
+			return nil, fmt.Errorf("explore: remote evaluation: %w", err)
+		}
+		if len(wire) != len(batch) {
+			return nil, fmt.Errorf("explore: remote evaluation returned %d outcomes for %d chains",
+				len(wire), len(batch))
+		}
+		outs := make([]outcome, len(batch))
+		for i, co := range wire {
+			out, err := co.outcome(batch[i], len(f.cfg.OSes))
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = out
+		}
+		return outs, nil
+	}
 	workers := f.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

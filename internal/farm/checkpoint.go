@@ -19,23 +19,19 @@ const journalVersion = 1
 
 // journalRecord is one JSONL checkpoint line: a fully completed MuT
 // shard.  The paper's campaigns that crashed mid-run had to restart from
-// scratch; replaying these records lets an interrupted farm campaign
-// resume exactly where it stopped.  Classes and Exceptional are packed
-// one character per test case ('0'-'5' CRASH class digits, '0'/'1'
-// flags) so a 5000-case shard is one short line, not 5000 JSON numbers.
+// scratch; replaying these records lets an interrupted farm campaign —
+// or a killed fleet coordinator — resume exactly where it stopped.  The
+// embedded wire types keep the on-disk field order identical to the
+// pre-fleet schema (v, os, cap, shard, mut, wide, classes, exceptional,
+// incomplete, reboots, worker, stolen), so old journals replay as-is.
 type journalRecord struct {
-	V           int    `json:"v"`
-	OS          string `json:"os"`
-	Cap         int    `json:"cap"`
-	Shard       int    `json:"shard"`
-	MuT         string `json:"mut"`
-	Wide        bool   `json:"wide,omitempty"`
-	Classes     string `json:"classes"`
-	Exceptional string `json:"exceptional"`
-	Incomplete  bool   `json:"incomplete,omitempty"`
-	Reboots     int    `json:"reboots,omitempty"`
-	Worker      int    `json:"worker"`
-	Stolen      bool   `json:"stolen,omitempty"`
+	V   int    `json:"v"`
+	OS  string `json:"os"`
+	Cap int    `json:"cap"`
+	ShardDesc
+	ShardResult
+	Worker int  `json:"worker"`
+	Stolen bool `json:"stolen,omitempty"`
 }
 
 // encodeClasses packs a shard's per-case outcome classes into digits.
@@ -79,13 +75,16 @@ func decodeFlags(s string) []bool {
 	return out
 }
 
-// journal appends completed-shard records to the checkpoint file,
-// serialized across workers and fsynced per record so a kill at any
+// Journal appends completed-shard records to a checkpoint file,
+// serialized across writers and fsynced per record so a kill at any
 // instant loses at most the shard in flight — never a half-written
-// record that poisons the lines after it.
-type journal struct {
+// record that poisons the lines after it.  The farm journals its own
+// workers' completions; the fleet coordinator journals uploads through
+// the same machinery, which is what makes a killed coordinator resumable.
+type Journal struct {
 	mu    sync.Mutex
 	f     *os.File
+	site  string
 	inj   *chaos.Injector // harness-domain fault session; nil when chaos is off
 	stats *chaos.Stats
 }
@@ -98,15 +97,34 @@ const (
 	backoffMax     = 20 * time.Millisecond
 )
 
-func openJournal(path string) (*journal, error) {
+// OpenJournal opens (or creates) a checkpoint journal for appending.
+// site labels the harness-domain chaos decision point consulted before
+// each write: "farm" for in-process campaigns, "fleet" for the
+// coordinator's lease journal.
+func OpenJournal(path, site string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("farm: opening checkpoint: %w", err)
 	}
-	return &journal{f: f}, nil
+	return &Journal{f: f, site: site}, nil
 }
 
-func (j *journal) append(rec journalRecord) error {
+// SetChaos arms harness-domain fault injection on subsequent appends.
+func (j *Journal) SetChaos(inj *chaos.Injector, stats *chaos.Stats) {
+	j.inj = inj
+	j.stats = stats
+}
+
+// Append journals one completed shard.
+func (j *Journal) Append(osName string, cap int, d ShardDesc, r ShardResult, worker int, stolen bool) error {
+	return j.append(journalRecord{
+		V: journalVersion, OS: osName, Cap: cap,
+		ShardDesc: d, ShardResult: r,
+		Worker: worker, Stolen: stolen,
+	})
+}
+
+func (j *Journal) append(rec journalRecord) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("farm: encoding checkpoint record: %w", err)
@@ -134,13 +152,13 @@ func (j *journal) append(rec journalRecord) error {
 }
 
 // writeLine performs one append attempt: injected faults first (the
-// chaos harness domain, site "farm"), then the real write, then fsync so
-// the record survives a kill the instant append returns.  Torn writes —
-// injected or real — are newline-terminated so the journal stays
-// line-structured: the loader skips the bad line and a retry appends a
-// clean record after it.
-func (j *journal) writeLine(line []byte) error {
-	if flt, ok := j.inj.Fault(chaos.OpCkptWrite, "farm"); ok {
+// chaos harness domain, at the journal's site), then the real write,
+// then fsync so the record survives a kill the instant append returns.
+// Torn writes — injected or real — are newline-terminated so the journal
+// stays line-structured: the loader skips the bad line and a retry
+// appends a clean record after it.
+func (j *Journal) writeLine(line []byte) error {
+	if flt, ok := j.inj.Fault(chaos.OpCkptWrite, j.site); ok {
 		if flt.Kind == chaos.KindShort {
 			torn := append([]byte(nil), line[:len(line)/2]...)
 			j.f.Write(append(torn, '\n'))
@@ -157,23 +175,19 @@ func (j *journal) writeLine(line []byte) error {
 	return j.f.Sync()
 }
 
-func (j *journal) Close() error { return j.f.Close() }
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
 
-// completedShard is a shard restored from the journal.
-type completedShard struct {
-	res     *core.MuTResult
-	reboots int
-}
-
-// loadJournal replays a checkpoint file against the current campaign's
-// shard list.  Records are validated against the campaign identity (OS,
-// cap, shard index, MuT name, wide flag) — resuming a stale journal
-// against a different campaign is an error, not silent corruption.
-// Records are independent, so a torn line anywhere (the write a kill or
-// an injected disk fault interrupted, always newline-terminated by the
-// writer) is skipped and the replay continues; a duplicate shard record
-// keeps the last occurrence.
-func loadJournal(path string, osName string, cap int, shards []shard) (map[int]completedShard, error) {
+// LoadJournal replays a checkpoint file against a campaign's shard list
+// and returns completed results keyed by shard index.  Records are
+// validated against the campaign identity (OS, cap, shard index, MuT
+// name, wide flag) — resuming a stale journal against a different
+// campaign is an error, not silent corruption.  Records are independent,
+// so a torn line anywhere (the write a kill or an injected disk fault
+// interrupted, always newline-terminated by the writer) is skipped and
+// the replay continues; a duplicate shard record keeps the last
+// occurrence.
+func LoadJournal(path string, osName string, cap int, descs []ShardDesc) (map[int]ShardResult, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil // fresh campaign: the journal will be created
@@ -183,7 +197,7 @@ func loadJournal(path string, osName string, cap int, shards []shard) (map[int]c
 	}
 	defer f.Close()
 
-	done := make(map[int]completedShard)
+	done := make(map[int]ShardResult)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -203,32 +217,22 @@ func loadJournal(path string, osName string, cap int, shards []shard) (map[int]c
 			return nil, fmt.Errorf("farm: checkpoint is for os=%s cap=%d, campaign is os=%s cap=%d",
 				rec.OS, rec.Cap, osName, cap)
 		}
-		if rec.Shard < 0 || rec.Shard >= len(shards) {
-			return nil, fmt.Errorf("farm: checkpoint shard %d out of range (catalog has %d)", rec.Shard, len(shards))
+		if rec.Index < 0 || rec.Index >= len(descs) {
+			return nil, fmt.Errorf("farm: checkpoint shard %d out of range (catalog has %d)", rec.Index, len(descs))
 		}
-		s := shards[rec.Shard]
-		if s.m.Name != rec.MuT || s.wide != rec.Wide {
+		d := descs[rec.Index]
+		if d.MuT != rec.MuT || d.Wide != rec.Wide {
 			return nil, fmt.Errorf("farm: checkpoint shard %d is %s (wide=%v), catalog has %s (wide=%v)",
-				rec.Shard, rec.MuT, rec.Wide, s.m.Name, s.wide)
+				rec.Index, rec.MuT, rec.Wide, d.MuT, d.Wide)
 		}
-		classes, err := decodeClasses(rec.Classes)
-		if err != nil {
+		if _, err := decodeClasses(rec.Classes); err != nil {
 			return nil, err
 		}
 		if len(rec.Exceptional) != len(rec.Classes) {
 			return nil, fmt.Errorf("farm: checkpoint shard %d has %d classes but %d exceptional flags",
-				rec.Shard, len(rec.Classes), len(rec.Exceptional))
+				rec.Index, len(rec.Classes), len(rec.Exceptional))
 		}
-		done[rec.Shard] = completedShard{
-			res: &core.MuTResult{
-				MuT:         s.m,
-				Wide:        s.wide,
-				Cases:       classes,
-				Exceptional: decodeFlags(rec.Exceptional),
-				Incomplete:  rec.Incomplete,
-			},
-			reboots: rec.Reboots,
-		}
+		done[rec.Index] = rec.ShardResult
 	}
 	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("farm: reading checkpoint: %w", err)

@@ -80,12 +80,11 @@ type Quarantine struct {
 // forever.
 const maxShardAttempts = 3
 
-// shard is one unit of scheduling: a full (MuT, wide) campaign, indexed
-// by its position in the stable catalog order Runner.RunAll walks.
+// shard is one unit of scheduling: a wire descriptor plus its resolved
+// catalog entry.
 type shard struct {
-	idx  int
+	desc ShardDesc
 	m    catalog.MuT
-	wide bool
 }
 
 // New assembles a farm from the same pieces core.NewRunner takes.
@@ -120,15 +119,17 @@ func (f *Farm) addQuarantine(q Quarantine) {
 }
 
 // shards lists the campaign's schedule in the exact order a sequential
-// Runner.RunAll visits it: each supported MuT, with the UNICODE variant
-// immediately after its narrow twin where the OS prefers wide.
+// Runner.RunAll visits it (see ShardDescs), with each descriptor's MuT
+// resolved against the catalog.
 func (f *Farm) shards() []shard {
-	var out []shard
+	descs := shardDescs(f.cfg.OS, f.profile)
+	index := make(map[string]catalog.MuT)
 	for _, m := range catalog.MuTsFor(f.cfg.OS) {
-		out = append(out, shard{idx: len(out), m: m})
-		if f.profile.Traits.WidePreferred && m.HasWide {
-			out = append(out, shard{idx: len(out), m: m, wide: true})
-		}
+		index[m.Name] = m
+	}
+	out := make([]shard, len(descs))
+	for i, d := range descs {
+		out[i] = shard{desc: d, m: index[d.MuT]}
 	}
 	return out
 }
@@ -163,29 +164,36 @@ func (f *Farm) Run(ctx context.Context) (*core.OSResult, error) {
 
 	// Resume: restore finished shards from the journal, then keep it
 	// open for appending this run's completions.
-	var jnl *journal
+	var jnl *Journal
 	if f.cfg.Checkpoint != "" {
-		done, err := loadJournal(f.cfg.Checkpoint, f.cfg.OS.WireName(), f.cfg.Cap, sh)
+		descs := make([]ShardDesc, len(sh))
+		for i, s := range sh {
+			descs[i] = s.desc
+		}
+		done, err := LoadJournal(f.cfg.Checkpoint, f.cfg.OS.WireName(), f.cfg.Cap, descs)
 		if err != nil {
 			return nil, err
 		}
-		for idx, cs := range done {
-			results[idx] = cs.res
-			rebootsBy[idx] = cs.reboots
+		for idx, sr := range done {
+			res, err := sr.Decode(f.cfg.OS, sh[idx].desc)
+			if err != nil {
+				return nil, err
+			}
+			results[idx] = res
+			rebootsBy[idx] = sr.Reboots
 		}
-		jnl, err = openJournal(f.cfg.Checkpoint)
+		jnl, err = OpenJournal(f.cfg.Checkpoint, "farm")
 		if err != nil {
 			return nil, err
 		}
-		jnl.inj = hinj
-		jnl.stats = f.cfg.ChaosStats
+		jnl.SetChaos(hinj, f.cfg.ChaosStats)
 		defer jnl.Close()
 	}
 
 	var pending []int
 	for _, s := range sh {
-		if results[s.idx] == nil {
-			pending = append(pending, s.idx)
+		if results[s.desc.Index] == nil {
+			pending = append(pending, s.desc.Index)
 		}
 	}
 
@@ -224,7 +232,7 @@ func (f *Farm) Run(ctx context.Context) (*core.OSResult, error) {
 // lets workers execute (and steal) until the queues drain or ctx stops
 // the campaign.
 func (f *Farm) runWorkers(ctx context.Context, workers int, pending []int,
-	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *journal, hinj *chaos.Injector) error {
+	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *Journal, hinj *chaos.Injector) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -283,7 +291,7 @@ func (f *Farm) runWorkers(ctx context.Context, workers int, pending []int,
 // the panic is recovered, the shard quarantined and re-enqueued at the
 // worker's own tail, and the campaign continues on a fresh runner.
 func (f *Farm) worker(ctx context.Context, id int, queues []*deque,
-	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *journal,
+	sh []shard, results []*core.MuTResult, rebootsBy []int, jnl *Journal,
 	shardObs core.ShardObserver, hinj *chaos.Injector, attempts []int32) error {
 	runner := core.NewRunner(f.cfg.Config, f.reg, f.dispatch, f.fixture)
 	own := queues[id]
@@ -321,7 +329,7 @@ func (f *Farm) worker(ctx context.Context, id int, queues []*deque,
 				// Persistent harness fault: surface the shard as
 				// Incomplete rather than retrying forever.  Left out of
 				// the journal so a later resume re-attempts it.
-				results[idx] = &core.MuTResult{MuT: sh[idx].m, Wide: sh[idx].wide, Incomplete: true}
+				results[idx] = &core.MuTResult{MuT: sh[idx].m, Wide: sh[idx].desc.Wide, Incomplete: true}
 				rebootsBy[idx] = 0
 				continue
 			}
@@ -334,15 +342,15 @@ func (f *Farm) worker(ctx context.Context, id int, queues []*deque,
 // quarantines the shard and replaces the worker's runner (its machine
 // state is suspect); the shard itself is the caller's to re-enqueue.
 func (f *Farm) runShardSafe(ctx context.Context, runner **core.Runner, id int, s shard, stolen bool,
-	results []*core.MuTResult, rebootsBy []int, jnl *journal,
+	results []*core.MuTResult, rebootsBy []int, jnl *Journal,
 	shardObs core.ShardObserver, hinj *chaos.Injector, attempts []int32) (panicked bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
 			err = nil
 			f.addQuarantine(Quarantine{
-				Shard: s.idx, MuT: s.m.Name, Wide: s.wide, Worker: id,
-				Attempt: int(atomic.LoadInt32(&attempts[s.idx])) + 1,
+				Shard: s.desc.Index, MuT: s.m.Name, Wide: s.desc.Wide, Worker: id,
+				Attempt: int(atomic.LoadInt32(&attempts[s.desc.Index])) + 1,
 				Reason:  fmt.Sprint(r),
 			})
 			*runner = core.NewRunner(f.cfg.Config, f.reg, f.dispatch, f.fixture)
@@ -359,28 +367,20 @@ func (f *Farm) runShardSafe(ctx context.Context, runner **core.Runner, id int, s
 // runShard executes one shard on a freshly booted machine, records the
 // result, and journals it.
 func (f *Farm) runShard(ctx context.Context, runner *core.Runner, id int, s shard, stolen bool,
-	results []*core.MuTResult, rebootsBy []int, jnl *journal, shardObs core.ShardObserver) error {
+	results []*core.MuTResult, rebootsBy []int, jnl *Journal, shardObs core.ShardObserver) error {
 	start := time.Now()
-	res, err := runner.RunMuT(ctx, s.m, s.wide)
+	res, err := runner.RunMuT(ctx, s.m, s.desc.Wide)
 	if err != nil {
 		return err
 	}
 	reboots := runner.ResetMachine()
-	results[s.idx] = res
-	rebootsBy[s.idx] = reboots
+	results[s.desc.Index] = res
+	rebootsBy[s.desc.Index] = reboots
 
 	if jnl != nil {
-		rec := journalRecord{
-			V: journalVersion, OS: f.cfg.OS.WireName(), Cap: f.cfg.Cap,
-			Shard: s.idx, MuT: s.m.Name, Wide: s.wide,
-			Classes:     encodeClasses(res.Cases),
-			Exceptional: encodeFlags(res.Exceptional),
-			Incomplete:  res.Incomplete,
-			Reboots:     reboots,
-			Worker:      id, Stolen: stolen,
-		}
-		if err := jnl.append(rec); err != nil {
-			return fmt.Errorf("farm: checkpointing shard %d: %w", s.idx, err)
+		err := jnl.Append(f.cfg.OS.WireName(), f.cfg.Cap, s.desc, EncodeShardResult(res, reboots), id, stolen)
+		if err != nil {
+			return fmt.Errorf("farm: checkpointing shard %d: %w", s.desc.Index, err)
 		}
 	}
 	if stolen {
@@ -388,8 +388,8 @@ func (f *Farm) runShard(ctx context.Context, runner *core.Runner, id int, s shar
 	}
 	if shardObs != nil {
 		shardObs.OnShardDone(core.ShardEvent{
-			OS: f.cfg.OS.WireName(), Worker: id, Shard: s.idx,
-			MuT: s.m.Name, Wide: s.wide,
+			OS: f.cfg.OS.WireName(), Worker: id, Shard: s.desc.Index,
+			MuT: s.m.Name, Wide: s.desc.Wide,
 			Cases: res.Executed(), Reboots: reboots,
 			Stolen: stolen, Wall: time.Since(start),
 		})

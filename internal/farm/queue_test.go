@@ -6,7 +6,6 @@ import (
 	"reflect"
 	"testing"
 
-	"ballista/internal/catalog"
 	"ballista/internal/core"
 )
 
@@ -84,39 +83,35 @@ func TestFlagsRoundTrip(t *testing.T) {
 	}
 }
 
-func mutNamed(name string) catalog.MuT { return catalog.MuT{Name: name} }
-
 // journalFixtureShards builds a tiny fake shard list for loader tests.
-func journalFixtureShards() []shard {
-	return []shard{
-		{idx: 0, m: mutNamed("alpha")},
-		{idx: 1, m: mutNamed("beta")},
-		{idx: 2, m: mutNamed("beta"), wide: true},
+func journalFixtureShards() []ShardDesc {
+	return []ShardDesc{
+		{Index: 0, MuT: "alpha"},
+		{Index: 1, MuT: "beta"},
+		{Index: 2, MuT: "beta", Wide: true},
 	}
 }
 
 func TestJournalRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-	jnl, err := openJournal(path)
+	jnl, err := OpenJournal(path, "farm")
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs := []journalRecord{
-		{V: journalVersion, OS: "winnt", Cap: 100, Shard: 0, MuT: "alpha",
-			Classes: "0123", Exceptional: "0110", Reboots: 2, Worker: 0},
-		{V: journalVersion, OS: "winnt", Cap: 100, Shard: 2, MuT: "beta", Wide: true,
-			Classes: "00", Exceptional: "01", Incomplete: true, Worker: 1, Stolen: true},
+	descs := journalFixtureShards()
+	if err := jnl.Append("winnt", 100, descs[0],
+		ShardResult{Classes: "0123", Exceptional: "0110", Reboots: 2}, 0, false); err != nil {
+		t.Fatal(err)
 	}
-	for _, rec := range recs {
-		if err := jnl.append(rec); err != nil {
-			t.Fatal(err)
-		}
+	if err := jnl.Append("winnt", 100, descs[2],
+		ShardResult{Classes: "00", Exceptional: "01", Incomplete: true}, 1, true); err != nil {
+		t.Fatal(err)
 	}
 	if err := jnl.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	done, err := loadJournal(path, "winnt", 100, journalFixtureShards())
+	done, err := LoadJournal(path, "winnt", 100, descs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,12 +119,12 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatalf("restored %d shards, want 2", len(done))
 	}
 	s0 := done[0]
-	if s0.reboots != 2 || len(s0.res.Cases) != 4 || s0.res.Cases[3] != core.RawRestart {
+	if s0.Reboots != 2 || s0.Classes != "0123" || s0.Exceptional != "0110" {
 		t.Errorf("shard 0 restored wrong: %+v", s0)
 	}
 	s2 := done[2]
-	if !s2.res.Wide || !s2.res.Incomplete || !s2.res.Exceptional[1] {
-		t.Errorf("shard 2 restored wrong: %+v", s2.res)
+	if !s2.Incomplete || s2.Exceptional != "01" {
+		t.Errorf("shard 2 restored wrong: %+v", s2)
 	}
 	if _, ok := done[1]; ok {
 		t.Error("shard 1 restored but was never journaled")
@@ -137,7 +132,7 @@ func TestJournalRoundTrip(t *testing.T) {
 }
 
 func TestJournalMissingFileIsFreshCampaign(t *testing.T) {
-	done, err := loadJournal(filepath.Join(t.TempDir(), "absent.jsonl"), "winnt", 100, journalFixtureShards())
+	done, err := LoadJournal(filepath.Join(t.TempDir(), "absent.jsonl"), "winnt", 100, journalFixtureShards())
 	if err != nil || done != nil {
 		t.Fatalf("missing journal: done=%v err=%v, want nil/nil", done, err)
 	}
@@ -150,7 +145,7 @@ func TestJournalTornTrailingLine(t *testing.T) {
 	if err := os.WriteFile(path, []byte(good+torn), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	done, err := loadJournal(path, "winnt", 100, journalFixtureShards())
+	done, err := LoadJournal(path, "winnt", 100, journalFixtureShards())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +175,7 @@ func TestJournalRejectsMismatchedCampaign(t *testing.T) {
 	}
 	for name, line := range cases {
 		t.Run(name, func(t *testing.T) {
-			if _, err := loadJournal(write(t, line), "winnt", 100, shards); err == nil {
+			if _, err := LoadJournal(write(t, line), "winnt", 100, shards); err == nil {
 				t.Errorf("%s mismatch accepted", name)
 			}
 		})

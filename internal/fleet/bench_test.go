@@ -1,0 +1,50 @@
+package fleet_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"ballista"
+	"ballista/internal/fleet"
+)
+
+// BenchmarkFleetLoopback measures one full distributed campaign over
+// the HTTP loopback — coordinator, one four-slot worker, every shard
+// crossing the wire twice — and reports end-to-end case throughput.
+func BenchmarkFleetLoopback(b *testing.B) {
+	env := ballista.FleetEnv()
+	cases := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coord, err := fleet.New(fleet.Config{
+			Spec: fleet.CampaignSpec{Kind: fleet.KindFarm, OS: "winnt", Cap: 30},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(coord.Handler())
+		ctx, cancel := context.WithCancel(context.Background())
+		werr := make(chan error, 1)
+		go func() {
+			werr <- fleet.RunWorker(ctx, fleet.WorkerConfig{
+				Client: fleet.ClientConfig{BaseURL: ts.URL}, Name: "bench", Env: env, Slots: 4,
+			})
+		}()
+		res, err := coord.Wait(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-werr; err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+		ts.Close()
+		coord.Close()
+		cases += res.CasesRun
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cases)/sec, "cases/sec")
+	}
+}

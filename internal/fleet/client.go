@@ -1,0 +1,247 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"ballista/internal/chaos"
+	"ballista/internal/telemetry"
+)
+
+// ClientConfig wires one worker-side RPC client.
+type ClientConfig struct {
+	// BaseURL is the coordinator root, e.g. "http://127.0.0.1:8719".
+	BaseURL string
+	// HTTP overrides the transport (default: 30s-timeout client).
+	HTTP *http.Client
+	// Chaos arms transport faults on this client (net.drop, net.dupe,
+	// net.delay) from one injector session per client — the fleet
+	// analogue of a machine boot.  The plan must be Retryable for the
+	// determinism oracle to hold.
+	Chaos      *chaos.Plan
+	ChaosStats *chaos.Stats
+	// BackoffBase/BackoffMax bound the jittered exponential retry
+	// backoff (defaults 25ms and 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	Log         *telemetry.Logger
+}
+
+// CallError is a permanent RPC rejection: the coordinator answered with
+// a non-retryable status, retrying the identical request cannot help.
+type CallError struct {
+	Status int
+	Msg    string
+}
+
+func (e *CallError) Error() string {
+	return fmt.Sprintf("fleet: status %d: %s", e.Status, e.Msg)
+}
+
+// Permanent reports whether retrying is pointless (4xx except 429).
+func (e *CallError) Permanent() bool {
+	return e.Status >= 400 && e.Status < 500 && e.Status != http.StatusTooManyRequests
+}
+
+// Client calls the coordinator with retries: transient transport
+// failures (network errors, 5xx, 429, injected drops) back off with
+// jitter and retry until the context ends; permanent rejections return
+// a CallError immediately.
+type Client struct {
+	cfg ClientConfig
+	hc  *http.Client
+	inj *chaos.Injector
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a client; one chaos injector session covers the
+// client's lifetime.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	c := &Client{
+		cfg: cfg, hc: cfg.HTTP,
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if cfg.Chaos != nil {
+		c.inj = cfg.Chaos.NewInjector(cfg.ChaosStats)
+	}
+	return c
+}
+
+// Join registers with the coordinator.
+func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
+	var resp JoinResponse
+	if err := c.call(ctx, "join", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Lease asks for the next work unit.
+func (c *Client) Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	if err := c.call(ctx, "lease", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Upload streams one completed unit back.  Under a net.dupe chaos rule
+// a successful upload is re-sent once — the coordinator's idempotent
+// collection must absorb it.
+func (c *Client) Upload(ctx context.Context, req UploadRequest) (*UploadResponse, error) {
+	var resp UploadResponse
+	if err := c.call(ctx, "upload", req, &resp); err != nil {
+		return nil, err
+	}
+	if c.inj != nil {
+		if _, ok := c.inj.Fault(chaos.OpNetDupe, "upload"); ok {
+			var dup UploadResponse
+			if err := c.once(ctx, "upload", req, &dup); err == nil && dup.Status != "duplicate" {
+				c.cfg.Log.Printf("duplicated upload %d/%d was not dedup'd: %s", req.Gen, req.Task, dup.Status)
+			}
+		}
+	}
+	return &resp, nil
+}
+
+// Heartbeat extends this worker's leases.  Under a net.delay chaos rule
+// the send stalls first — long enough stalls force lease expiry, which
+// the lease table must absorb as a steal.
+func (c *Client) Heartbeat(ctx context.Context, req HeartbeatRequest) (*HeartbeatResponse, error) {
+	if c.inj != nil {
+		if f, ok := c.inj.Fault(chaos.OpNetDelay, "heartbeat"); ok {
+			if err := sleepCtx(ctx, time.Duration(f.StallTicks)*time.Millisecond); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var resp HeartbeatResponse
+	if err := c.call(ctx, "heartbeat", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// call retries one RPC until it succeeds, fails permanently, or the
+// context ends.
+func (c *Client) call(ctx context.Context, rpc string, req, resp any) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		if c.inj != nil {
+			if _, ok := c.inj.Fault(chaos.OpNetDrop, rpc); ok {
+				err = fmt.Errorf("fleet: dropped %s request: %w", rpc, chaos.ErrInjected)
+			}
+		}
+		if err == nil {
+			err = c.once(ctx, rpc, req, resp)
+		}
+		if err == nil {
+			return nil
+		}
+		var ce *CallError
+		if errors.As(err, &ce) && ce.Permanent() {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		c.cfg.Log.Printf("%s failed (attempt %d): %v", rpc, attempt+1, err)
+		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+			return err
+		}
+	}
+}
+
+// once performs exactly one HTTP exchange.
+func (c *Client) once(ctx context.Context, rpc string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("fleet: marshalling %s request: %w", rpc, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.cfg.BaseURL+"/fleet/v1/"+rpc, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fleet: building %s request: %w", rpc, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", rpc, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("fleet: reading %s response: %w", rpc, err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		var eb errorBody
+		_ = json.Unmarshal(data, &eb)
+		if eb.Error == "" {
+			eb.Error = string(data)
+		}
+		cerr := &CallError{Status: hresp.StatusCode, Msg: eb.Error}
+		if !cerr.Permanent() {
+			return fmt.Errorf("fleet: %s: %w", rpc, cerr)
+		}
+		return cerr
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("fleet: decoding %s response: %w", rpc, err)
+	}
+	return nil
+}
+
+// backoff is exponential with 50-100% jitter, capped at BackoffMax.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase
+	for i := 0; i < attempt && d < c.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d/2 + j
+}
+
+// sleepCtx sleeps d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ballista/internal/core"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload is
+// an explore chunk of outcomes, far under this.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the coordinator's HTTP surface, one route per RPC:
+//
+//	POST /fleet/v1/join       JoinRequest      -> JoinResponse
+//	POST /fleet/v1/lease      LeaseRequest     -> LeaseResponse
+//	POST /fleet/v1/upload     UploadRequest    -> UploadResponse
+//	POST /fleet/v1/heartbeat  HeartbeatRequest -> HeartbeatResponse
+//	GET  /fleet/v1/status                      -> StatusResponse
+//
+// The handler is cached; it stays valid for the coordinator's lifetime
+// and can be mounted under a larger mux (the testing service mounts it
+// at the same paths).
+func (c *Coordinator) Handler() http.Handler {
+	c.handlerOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/fleet/v1/join", post(c, func(req *JoinRequest) (any, error) {
+			return c.Join(*req), nil
+		}))
+		mux.HandleFunc("/fleet/v1/lease", post(c, func(req *LeaseRequest) (any, error) {
+			return c.Lease(*req)
+		}))
+		mux.HandleFunc("/fleet/v1/upload", post(c, func(req *UploadRequest) (any, error) {
+			return c.Upload(*req)
+		}))
+		mux.HandleFunc("/fleet/v1/heartbeat", post(c, func(req *HeartbeatRequest) (any, error) {
+			return c.Heartbeat(*req)
+		}))
+		mux.HandleFunc("/fleet/v1/status", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				httpError(w, http.StatusMethodNotAllowed, "GET only")
+				return
+			}
+			n := writeJSON(w, http.StatusOK, c.Status())
+			c.emit(core.FleetEvent{Kind: "rpc", BytesOut: n})
+		})
+		c.handler = mux
+	})
+	return c.handler
+}
+
+// post adapts one typed RPC endpoint: decode, dispatch, encode, and
+// account the exchanged bytes as an "rpc" fleet event.
+func post[Req any](c *Coordinator, fn func(*Req) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		var req Req
+		if err := json.Unmarshal(body, &req); err != nil {
+			n := httpError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+			c.emit(core.FleetEvent{Kind: "rpc", BytesIn: len(body), BytesOut: n})
+			return
+		}
+		resp, err := fn(&req)
+		var n int
+		if err != nil {
+			n = httpError(w, errStatus(err), err.Error())
+		} else {
+			n = writeJSON(w, http.StatusOK, resp)
+		}
+		c.emit(core.FleetEvent{Kind: "rpc", BytesIn: len(body), BytesOut: n})
+	}
+}
+
+// errStatus maps coordinator rejections to HTTP statuses.  Everything
+// under 500 is permanent to the client; 5xx is retried.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownUnit):
+		return http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, ErrBadPayload), errors.Is(err, ErrWrongCampaign):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes one response, returning the bytes written.
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	n, _ := w.Write(append(data, '\n'))
+	return n
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) int {
+	return writeJSON(w, status, errorBody{Error: msg})
+}

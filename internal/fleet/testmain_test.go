@@ -1,0 +1,12 @@
+package fleet_test
+
+import (
+	"testing"
+
+	"ballista/internal/leak"
+)
+
+// TestMain guards the fleet's goroutine hygiene: worker slot loops,
+// heartbeat tickers and coordinator waiters must never strand a
+// goroutine past their campaign.
+func TestMain(m *testing.M) { leak.VerifyTestMain(m) }

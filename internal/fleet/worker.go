@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ballista/internal/explore"
+	"ballista/internal/telemetry"
+)
+
+// WorkerConfig assembles one worker process (or in-process worker).
+type WorkerConfig struct {
+	Client ClientConfig
+	// Name is the worker's identity; empty lets the coordinator assign
+	// one.
+	Name string
+	// Env supplies the campaign-kind factories (the ballista facade's
+	// FleetEnv wires the full suite).
+	Env Env
+	// Slots is how many units run concurrently (default 1).
+	Slots int
+	// Poll is the idle re-lease interval when the coordinator has no
+	// work yet (default 50ms; the coordinator's WaitMS hint overrides).
+	Poll time.Duration
+	// Heartbeat overrides the coordinator-suggested interval.
+	Heartbeat time.Duration
+	Log       *telemetry.Logger
+}
+
+// RunWorker joins a coordinator and works its campaign until the
+// campaign finishes (nil), the context ends (ctx.Err()), or the
+// coordinator rejects the worker permanently.  Reconnection is the
+// client's retry loop: every RPC backs off with jitter and retries, so
+// a coordinator restart mid-campaign is absorbed as long as it comes
+// back with the same campaign.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	client := NewClient(cfg.Client)
+	jr, err := client.Join(ctx, JoinRequest{Name: cfg.Name})
+	if err != nil {
+		return fmt.Errorf("fleet: joining %s: %w", cfg.Client.BaseURL, err)
+	}
+	w := &worker{cfg: cfg, client: client, join: jr}
+	// One engine set per slot: the farm executor owns per-machine state
+	// and is not safe for concurrent shards.
+	engs := make([]engines, cfg.Slots)
+	for s := range engs {
+		if engs[s], err = w.build(); err != nil {
+			return err
+		}
+	}
+	cfg.Log.Printf("worker %s joined campaign %s (%s)", jr.Worker, jr.Campaign, jr.Spec.Kind)
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.heartbeatLoop(wctx)
+	}()
+
+	errs := make(chan error, cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		wg.Add(1)
+		go func(eng engines) {
+			defer wg.Done()
+			errs <- w.slotLoop(wctx, eng)
+		}(engs[s])
+	}
+	var first error
+	for s := 0; s < cfg.Slots; s++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+			cancel()
+		}
+	}
+	cancel()
+	wg.Wait()
+	if first != nil && errors.Is(first, context.Canceled) && ctx.Err() == nil {
+		// Internal shutdown race, not a caller cancellation.
+		first = nil
+	}
+	return first
+}
+
+// worker is one joined worker's state.
+type worker struct {
+	cfg    WorkerConfig
+	client *Client
+	join   *JoinResponse
+}
+
+// engines is one slot's private execution machinery.
+type engines struct {
+	exec ShardExecutor
+	eval ChainEvaluator
+}
+
+// build instantiates one slot's campaign-kind engine from the Env.
+func (w *worker) build() (engines, error) {
+	spec := w.join.Spec
+	switch spec.Kind {
+	case KindFarm:
+		if w.cfg.Env.NewShardExecutor == nil {
+			return engines{}, fmt.Errorf("fleet: this worker cannot run %q campaigns", spec.Kind)
+		}
+		exec, err := w.cfg.Env.NewShardExecutor(spec)
+		if err != nil {
+			return engines{}, fmt.Errorf("fleet: building shard executor: %w", err)
+		}
+		return engines{exec: exec}, nil
+	case KindExplore:
+		if w.cfg.Env.NewChainEvaluator == nil {
+			return engines{}, fmt.Errorf("fleet: this worker cannot run %q campaigns", spec.Kind)
+		}
+		eval, err := w.cfg.Env.NewChainEvaluator(spec)
+		if err != nil {
+			return engines{}, fmt.Errorf("fleet: building chain evaluator: %w", err)
+		}
+		return engines{eval: eval}, nil
+	default:
+		return engines{}, fmt.Errorf("fleet: unknown campaign kind %q", spec.Kind)
+	}
+}
+
+// heartbeatLoop extends this worker's leases until ctx ends.  Failures
+// are absorbed — the next tick retries, and a missed TTL only costs a
+// lease steal, never a result.
+func (w *worker) heartbeatLoop(ctx context.Context) {
+	hb := time.Duration(w.join.HeartbeatMS) * time.Millisecond
+	if w.cfg.Heartbeat > 0 {
+		hb = w.cfg.Heartbeat
+	}
+	if hb <= 0 {
+		hb = 5 * time.Second
+	}
+	t := time.NewTicker(hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			hctx, cancel := context.WithTimeout(ctx, hb)
+			_, err := w.client.Heartbeat(hctx, HeartbeatRequest{
+				Campaign: w.join.Campaign, Worker: w.join.Worker,
+			})
+			cancel()
+			if err != nil && ctx.Err() == nil {
+				w.cfg.Log.Printf("worker %s: heartbeat: %v", w.join.Worker, err)
+			}
+		}
+	}
+}
+
+// slotLoop leases, executes and uploads units until the campaign is
+// done.  A permanently rejected upload (the lease expired and another
+// worker's result landed first) is logged and skipped — the
+// coordinator already has equivalent bytes.
+func (w *worker) slotLoop(ctx context.Context, eng engines) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lr, err := w.client.Lease(ctx, LeaseRequest{
+			Campaign: w.join.Campaign, Worker: w.join.Worker,
+		})
+		if err != nil {
+			return err
+		}
+		if lr.Done {
+			return nil
+		}
+		if lr.Lease == nil {
+			wait := w.cfg.Poll
+			if lr.WaitMS > 0 {
+				wait = time.Duration(lr.WaitMS) * time.Millisecond
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				return err
+			}
+			continue
+		}
+		req, err := w.execute(ctx, eng, lr.Lease)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		if _, err := w.client.Upload(ctx, *req); err != nil {
+			var ce *CallError
+			if errors.As(err, &ce) {
+				w.cfg.Log.Printf("worker %s: upload %d/%d rejected: %v",
+					w.join.Worker, req.Gen, req.Task, err)
+				continue
+			}
+			return err
+		}
+	}
+}
+
+// execute runs one leased unit and assembles its content-hashed upload.
+func (w *worker) execute(ctx context.Context, eng engines, l *Lease) (*UploadRequest, error) {
+	req := &UploadRequest{
+		Campaign: w.join.Campaign, Worker: w.join.Worker,
+		Gen: l.Gen, Task: l.Task, Version: l.Version,
+	}
+	if l.Shard != nil {
+		res, err := eng.exec.RunShard(ctx, *l.Shard)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d (%s): %w", l.Task, l.Shard.MuT, err)
+		}
+		req.Shard = &res
+		req.Hash = PayloadHash(res)
+		return req, nil
+	}
+	outs := make([]explore.ChainOutcome, len(l.Chains))
+	for i, ch := range l.Chains {
+		out, err := eng.eval.EvalChain(ch)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: chain %d/%d[%d]: %w", l.Gen, l.Task, i, err)
+		}
+		outs[i] = out
+	}
+	req.Chains = outs
+	req.Hash = PayloadHash(outs)
+	return req, nil
+}

@@ -12,11 +12,42 @@ import (
 	"ballista/internal/osprofile"
 )
 
+// tailWriter forwards to w and remembers the last byte written, so the
+// CSV writers can guarantee newline-terminated output — downstream
+// tooling (diff-based oracles, `tail -1`, naive line counters) breaks
+// silently on a final unterminated record.
+type tailWriter struct {
+	w    io.Writer
+	last byte
+}
+
+func (tw *tailWriter) Write(p []byte) (int, error) {
+	n, err := tw.w.Write(p)
+	if n > 0 {
+		tw.last = p[n-1]
+	}
+	return n, err
+}
+
+// finish appends the missing terminator, if any, after the encoder has
+// flushed.
+func (tw *tailWriter) finish() error {
+	if tw.last == '\n' {
+		return nil
+	}
+	_, err := tw.w.Write([]byte{'\n'})
+	if err == nil {
+		tw.last = '\n'
+	}
+	return err
+}
+
 // WriteMuTCSV emits one row per Module under Test with its CRASH-class
 // counts — the machine-readable companion to the rendered tables, in a
-// stable (OS, name) order.
+// stable (OS, name) order.  The output always ends with a newline.
 func WriteMuTCSV(w io.Writer, results map[osprofile.OS]*core.OSResult) error {
-	cw := csv.NewWriter(w)
+	tw := &tailWriter{w: w}
+	cw := csv.NewWriter(tw)
 	header := []string{
 		"os", "api", "group", "mut", "wide", "cases",
 		"clean", "error", "abort", "restart", "catastrophic", "skip",
@@ -56,12 +87,17 @@ func WriteMuTCSV(w io.Writer, results map[osprofile.OS]*core.OSResult) error {
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return tw.finish()
 }
 
-// WriteGroupCSV emits the Table 2 matrix as CSV (one row per OS × group).
+// WriteGroupCSV emits the Table 2 matrix as CSV (one row per OS ×
+// group).  The output always ends with a newline.
 func WriteGroupCSV(w io.Writer, results map[osprofile.OS]*core.OSResult) error {
-	cw := csv.NewWriter(w)
+	tw := &tailWriter{w: w}
+	cw := csv.NewWriter(tw)
 	if err := cw.Write([]string{"os", "group", "pct", "catastrophic", "tested", "na"}); err != nil {
 		return err
 	}
@@ -87,5 +123,8 @@ func WriteGroupCSV(w io.Writer, results map[osprofile.OS]*core.OSResult) error {
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return tw.finish()
 }

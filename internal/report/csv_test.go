@@ -57,6 +57,66 @@ func TestWriteMuTCSV(t *testing.T) {
 	}
 }
 
+// TestCSVTrailingNewline: both writers guarantee newline-terminated
+// output, so byte-level diffing and `tail -1` style tooling never see a
+// dangling final record.
+func TestCSVTrailingNewline(t *testing.T) {
+	for name, write := range map[string]func(*strings.Builder) error{
+		"mut":   func(b *strings.Builder) error { return WriteMuTCSV(b, csvFixture()) },
+		"group": func(b *strings.Builder) error { return WriteGroupCSV(b, csvFixture()) },
+		"empty": func(b *strings.Builder) error { return WriteMuTCSV(b, nil) },
+	} {
+		var b strings.Builder
+		if err := write(&b); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := b.String()
+		if out == "" || !strings.HasSuffix(out, "\n") {
+			t.Errorf("%s CSV does not end with a newline: %q", name, out)
+		}
+		if strings.HasSuffix(out, "\n\n") {
+			t.Errorf("%s CSV ends with a blank line: %q", name, out)
+		}
+	}
+}
+
+// TestWriteMuTCSVRoundTrip: the emitted bytes parse back into exactly
+// the field matrix that went in — every row rectangular, every numeric
+// cell re-parseable, no quoting damage.
+func TestWriteMuTCSVRoundTrip(t *testing.T) {
+	fixture := csvFixture()
+	var b strings.Builder
+	if err := WriteMuTCSV(&b, fixture); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := 0
+	for _, r := range fixture {
+		muts += len(r.Results)
+	}
+	if len(rows) != 1+muts {
+		t.Fatalf("%d rows for %d MuTs", len(rows), muts)
+	}
+	for i, row := range rows {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("row %d has %d fields, header has %d", i, len(row), len(rows[0]))
+		}
+	}
+	// Re-encode the parsed rows: a lossless round trip reproduces the
+	// original bytes exactly.
+	var b2 strings.Builder
+	cw := csv.NewWriter(&b2)
+	if err := cw.WriteAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Errorf("round trip changed the bytes:\n%q\n%q", b.String(), b2.String())
+	}
+}
+
 func TestWriteGroupCSV(t *testing.T) {
 	var b strings.Builder
 	if err := WriteGroupCSV(&b, csvFixture()); err != nil {

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"ballista"
+)
+
+// TestFleetCampaignEndpoint drives the distributed path end to end: the
+// server coordinates at /fleet/v1/, in-process -join workers execute
+// the shards, and the merged rows match the in-process farm run row for
+// row.
+func TestFleetCampaignEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	var farmResp FarmCampaignResponse
+	if code := postJSON(t, ts.URL+"/api/campaign",
+		CampaignRequest{OS: "winnt", MuT: "*", Cap: 60, Workers: 1}, &farmResp); code != http.StatusOK {
+		t.Fatalf("farm baseline status %d", code)
+	}
+
+	// Workers join before the campaign is posted: the fabric's 503 is
+	// retryable, so they back off until the coordinator appears.
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	werrs := make([]error, 2)
+	for i := range werrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			werrs[i] = ballista.RunFleetWorker(ctx, ballista.FleetWorkerConfig{
+				URL: ts.URL, Name: fmt.Sprintf("svc-w%d", i), Slots: 2,
+			})
+		}(i)
+	}
+
+	var fleetResp FarmCampaignResponse
+	code := postJSON(t, ts.URL+"/api/fleet/campaign",
+		FleetCampaignRequest{OS: "winnt", Cap: 60}, &fleetResp)
+	// The campaign is drained; workers still polling would spin on the
+	// now-empty fabric, so release them before asserting.
+	cancel()
+	wg.Wait()
+	if code != http.StatusOK {
+		t.Fatalf("fleet campaign status %d: %+v", code, fleetResp)
+	}
+	for i, err := range werrs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+
+	if fleetResp.Workers == 0 || fleetResp.Workers > 2 {
+		t.Errorf("fleet response reports %d workers", fleetResp.Workers)
+	}
+	if fleetResp.MuTs != farmResp.MuTs || fleetResp.CasesRun != farmResp.CasesRun ||
+		fleetResp.Reboots != farmResp.Reboots {
+		t.Fatalf("fleet headline %+v != farm headline %+v", fleetResp, farmResp)
+	}
+	if len(fleetResp.Results) != len(farmResp.Results) {
+		t.Fatalf("%d fleet rows, %d farm rows", len(fleetResp.Results), len(farmResp.Results))
+	}
+	for i := range farmResp.Results {
+		if fleetResp.Results[i] != farmResp.Results[i] {
+			t.Errorf("row %d differs: fleet %+v vs farm %+v",
+				i, fleetResp.Results[i], farmResp.Results[i])
+		}
+	}
+}
+
+// TestFleetEndpointsIdle: with no campaign active the status endpoint
+// 404s and the worker fabric sheds with a retryable 503.
+func TestFleetEndpointsIdle(t *testing.T) {
+	ts := testServer(t)
+	var errResp map[string]string
+	if code := getJSON(t, ts.URL+"/api/fleet/status", &errResp); code != http.StatusNotFound {
+		t.Errorf("idle status: %d, want 404", code)
+	}
+	if code := postJSON(t, ts.URL+"/fleet/v1/join", map[string]string{"name": "w"}, &errResp); code != http.StatusServiceUnavailable {
+		t.Errorf("idle fabric join: %d, want 503", code)
+	}
+}
+
+// TestFleetCampaignBadRequest covers spec validation failures.
+func TestFleetCampaignBadRequest(t *testing.T) {
+	ts := testServer(t)
+	var errResp map[string]string
+	if code := postJSON(t, ts.URL+"/api/fleet/campaign",
+		FleetCampaignRequest{OS: "plan9"}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("unknown os: %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/fleet/campaign",
+		FleetCampaignRequest{OS: "winnt", Chaos: &ChaosSpec{Preset: "nope", Seed: 1}}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("bad chaos preset: %d, want 400", code)
+	}
+}

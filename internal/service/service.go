@@ -17,6 +17,10 @@
 //	GET  /api/summary?os=<name>&cap=N&workers=W   Table 1 row for one OS
 //	GET  /api/events?n=K                most recent K trace events
 //	GET  /metrics                       Prometheus text exposition
+//	POST /api/fleet/campaign            coordinate a distributed campaign
+//	                                    (ballista -join workers execute it)
+//	GET  /api/fleet/status              active fleet campaign progress
+//	ANY  /fleet/v1/...                  worker fabric (see internal/fleet)
 //
 // Campaigns honor the request context: a client that disconnects — or a
 // server drain that cancels base contexts — stops the campaign at the
@@ -45,12 +49,14 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ballista"
 	"ballista/internal/catalog"
 	"ballista/internal/chaos"
 	"ballista/internal/core"
+	"ballista/internal/fleet"
 	"ballista/internal/osprofile"
 	"ballista/internal/report"
 	"ballista/internal/telemetry"
@@ -126,6 +132,24 @@ type FarmCampaignResponse struct {
 	Reboots      int                `json:"reboots"`
 	Catastrophic []string           `json:"catastrophic,omitempty"`
 	Results      []CampaignResponse `json:"results"`
+}
+
+// FleetCampaignRequest asks the server to coordinate one distributed
+// full-catalog campaign: the server becomes the fleet coordinator
+// (leases at /fleet/v1/) and the request blocks until `ballista -join`
+// workers drain the shard catalog.  One fleet campaign runs at a time;
+// a second request is rejected with 409 while the first is active.
+// Journalled resume is a CLI-coordinator feature (-serve-fleet
+// -checkpoint); the service keeps its fleet campaigns in memory.
+type FleetCampaignRequest struct {
+	OS  string `json:"os"`
+	Cap int    `json:"cap,omitempty"`
+	// Chaos arms the campaign spec's fault plan: workers inherit it and
+	// run their shards under it.  Absent, the server's default fleet
+	// plan (WithFleetChaos) applies.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// TTLMS overrides the server's lease TTL for this campaign.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
 }
 
 // ExploreRequest asks for a coverage-guided differential fuzzing
@@ -233,6 +257,15 @@ type Server struct {
 	// chaosStats accumulates injection counters across every campaign
 	// the server runs with a chaos plan; exported at /metrics.
 	chaosStats *chaos.Stats
+
+	// fleetTTL is the default lease TTL for fleet campaigns; fleetChaos
+	// the default fault plan for fleet campaigns without their own.
+	fleetTTL   time.Duration
+	fleetChaos *chaos.Plan
+	// fleetMu guards the single active fleet coordinator, whose handler
+	// serves /fleet/v1/ while a campaign is in flight.
+	fleetMu    sync.Mutex
+	fleetCoord *fleet.Coordinator
 }
 
 // ServerOption configures NewServer.
@@ -266,6 +299,18 @@ func WithRequestTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.reqTimeout = d }
 }
 
+// WithFleetTTL sets the default lease TTL for fleet campaigns the
+// server coordinates; d <= 0 keeps the fleet package default.
+func WithFleetTTL(d time.Duration) ServerOption {
+	return func(s *Server) { s.fleetTTL = d }
+}
+
+// WithFleetChaos arms plan on every fleet campaign that does not carry
+// its own chaos block.
+func WithFleetChaos(plan *chaos.Plan) ServerOption {
+	return func(s *Server) { s.fleetChaos = plan }
+}
+
 // NewServer builds the service with all routes installed.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
@@ -289,6 +334,9 @@ func NewServer(opts ...ServerOption) *Server {
 	s.mux.HandleFunc("POST /api/case", s.handleCase)
 	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
 	s.mux.HandleFunc("GET /api/events", s.handleEvents)
+	s.mux.HandleFunc("POST /api/fleet/campaign", s.handleFleetCampaign)
+	s.mux.HandleFunc("GET /api/fleet/status", s.handleFleetStatus)
+	s.mux.Handle("/fleet/v1/", http.HandlerFunc(s.serveFleet))
 	s.mux.Handle("GET /metrics", s.metrics.Handler())
 	s.handler = s.instrument(s.mux)
 	return s
@@ -342,6 +390,15 @@ type statusRecorder struct {
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.status = code
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so handlers that hold the
+// connection after responding (the fleet drain grace) can push the
+// completed body to the client first.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps the mux with request-count, latency and in-flight
@@ -545,6 +602,129 @@ func (s *Server) handleFarmCampaign(ctx context.Context, w http.ResponseWriter, 
 		out.Results = append(out.Results, campaignRow(o, mr))
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleFleetCampaign turns the server into a fleet coordinator for one
+// distributed full-catalog campaign and blocks (holding a heavy slot)
+// until joined workers drain the shard catalog.  The merged rows are
+// byte-identical to what /api/campaign with mut "*" computes in-process.
+func (s *Server) handleFleetCampaign(w http.ResponseWriter, r *http.Request) {
+	var req FleetCampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	o, ok := parseOS(req.OS)
+	if !ok {
+		s.httpError(w, http.StatusBadRequest, "unknown os")
+		return
+	}
+	plan := s.fleetChaos
+	if req.Chaos != nil {
+		p, err := req.Chaos.plan()
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		plan = p
+	}
+	spec := fleet.CampaignSpec{Kind: fleet.KindFarm, OS: o.WireName(), Cap: req.Cap, Chaos: plan}
+	if req.Chaos != nil && req.Chaos.CaseDeadlineMS > 0 {
+		spec.CaseDeadlineMS = int64(req.Chaos.CaseDeadlineMS)
+	}
+	ttl := s.fleetTTL
+	if req.TTLMS > 0 {
+		ttl = time.Duration(req.TTLMS) * time.Millisecond
+	}
+	cfg := fleet.Config{Spec: spec, TTL: ttl, ChaosStats: s.chaosStats, Log: s.log}
+	if fo, ok := s.observer().(core.FleetObserver); ok {
+		cfg.Observer = fo
+	}
+	coord, err := fleet.New(cfg)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	s.fleetMu.Lock()
+	if s.fleetCoord != nil {
+		s.fleetMu.Unlock()
+		s.httpError(w, http.StatusConflict, "a fleet campaign is already active")
+		return
+	}
+	s.fleetCoord = coord
+	s.fleetMu.Unlock()
+	defer func() {
+		s.fleetMu.Lock()
+		s.fleetCoord = nil
+		s.fleetMu.Unlock()
+		coord.Close()
+	}()
+	ctx, cancel := s.campaignCtx(r)
+	defer cancel()
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		s.httpError(w, campaignErrStatus(err), err.Error())
+		return
+	}
+	out := FarmCampaignResponse{
+		OS: o.String(), Workers: coord.WorkersSeen(),
+		MuTs: len(res.Results), CasesRun: res.CasesRun, Reboots: res.Reboots,
+		Catastrophic: res.CatastrophicMuTs(),
+		Results:      make([]CampaignResponse, 0, len(res.Results)),
+	}
+	for _, mr := range res.Results {
+		out.Results = append(out.Results, campaignRow(o, mr))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	// Drain grace: the response is out, but idle workers only poll for
+	// completion every half heartbeat.  Keep the coordinator registered
+	// a little longer so they observe Done and exit instead of spinning
+	// on 503s; a client that has hung up releases the slot immediately.
+	drainTTL := ttl
+	if drainTTL <= 0 {
+		drainTTL = 15 * time.Second
+	}
+	drain := drainTTL / 3
+	if drain < 250*time.Millisecond {
+		drain = 250 * time.Millisecond
+	}
+	select {
+	case <-r.Context().Done():
+	case <-time.After(drain):
+	}
+}
+
+func (s *Server) handleFleetStatus(w http.ResponseWriter, _ *http.Request) {
+	s.fleetMu.Lock()
+	coord := s.fleetCoord
+	s.fleetMu.Unlock()
+	if coord == nil {
+		s.httpError(w, http.StatusNotFound, "no fleet campaign active")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, coord.Status())
+}
+
+// serveFleet delegates worker-fabric RPCs to the active coordinator.
+// Before a campaign is posted the fabric answers 503, which the fleet
+// client treats as retryable — workers may join early and back off
+// until a campaign arrives.
+func (s *Server) serveFleet(w http.ResponseWriter, r *http.Request) {
+	s.fleetMu.Lock()
+	coord := s.fleetCoord
+	s.fleetMu.Unlock()
+	if coord == nil {
+		s.httpError(w, http.StatusServiceUnavailable, "no fleet campaign active")
+		return
+	}
+	coord.Handler().ServeHTTP(w, r)
 }
 
 // campaignRow flattens one MuT's result into the wire row.

@@ -80,6 +80,17 @@ type Metrics struct {
 	exploreCatastrophic uint64
 	exploreCorpusSize   int
 
+	// Fleet control-plane counters: lease lifecycle, idempotent-upload
+	// dedup hits, worker liveness and transport byte totals.
+	fleetLeasesGranted uint64
+	fleetLeasesExpired uint64
+	fleetLeasesStolen  uint64
+	fleetUploads       uint64
+	fleetUploadDedup   uint64
+	fleetWorkersLive   int
+	fleetBytesIn       uint64
+	fleetBytesOut      uint64
+
 	// HTTP middleware counters: {method, path, status} -> count.
 	httpRequests map[[3]string]uint64
 	httpLatency  *Histogram
@@ -171,6 +182,39 @@ func (m *Metrics) OnChainDone(ev core.ChainEvent) {
 		m.exploreCatastrophic++
 	}
 	m.exploreCorpusSize = ev.CorpusSize
+}
+
+// OnFleetEvent implements core.FleetObserver: distributed campaigns
+// report their coordinator's control plane.
+func (m *Metrics) OnFleetEvent(ev core.FleetEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch ev.Kind {
+	case "rpc":
+		// High-volume transport accounting; liveness comes from the
+		// control events, which all carry the gauge.
+		m.fleetBytesIn += uint64(ev.BytesIn)
+		m.fleetBytesOut += uint64(ev.BytesOut)
+		return
+	case "lease_granted":
+		m.fleetLeasesGranted++
+	case "lease_expired":
+		m.fleetLeasesExpired++
+	case "lease_stolen":
+		m.fleetLeasesStolen++
+	case "upload":
+		m.fleetUploads++
+	case "upload_dedup":
+		m.fleetUploadDedup++
+	}
+	m.fleetWorkersLive = ev.Live
+}
+
+// FleetLeaseCount returns the total leases granted.
+func (m *Metrics) FleetLeaseCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fleetLeasesGranted
 }
 
 // ChainCount returns the total candidate chains observed.
@@ -354,6 +398,27 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP ballista_explore_corpus_size Coverage-corpus size (frontier) of the latest fuzzing campaign.\n")
 	fmt.Fprintf(w, "# TYPE ballista_explore_corpus_size gauge\n")
 	fmt.Fprintf(w, "ballista_explore_corpus_size %d\n", m.exploreCorpusSize)
+
+	// Fleet coordinator series.
+	for _, series := range []struct {
+		metric, help string
+		v            uint64
+	}{
+		{"ballista_fleet_leases_granted_total", "Shard/batch leases granted to fleet workers.", m.fleetLeasesGranted},
+		{"ballista_fleet_leases_expired_total", "Leases that expired without an upload (worker lost or stalled).", m.fleetLeasesExpired},
+		{"ballista_fleet_leases_stolen_total", "Leases re-dispatched to another worker after expiry.", m.fleetLeasesStolen},
+		{"ballista_fleet_uploads_total", "Result uploads accepted by the coordinator.", m.fleetUploads},
+		{"ballista_fleet_upload_dedup_total", "Duplicate uploads absorbed by content-hash idempotency.", m.fleetUploadDedup},
+		{"ballista_fleet_bytes_in_total", "Request-body bytes received by the coordinator.", m.fleetBytesIn},
+		{"ballista_fleet_bytes_out_total", "Response-body bytes sent by the coordinator.", m.fleetBytesOut},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n", series.metric, series.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", series.metric)
+		fmt.Fprintf(w, "%s %d\n", series.metric, series.v)
+	}
+	fmt.Fprintf(w, "# HELP ballista_fleet_workers_live Fleet workers seen within the liveness window.\n")
+	fmt.Fprintf(w, "# TYPE ballista_fleet_workers_live gauge\n")
+	fmt.Fprintf(w, "ballista_fleet_workers_live %d\n", m.fleetWorkersLive)
 
 	// Chaos-injection series (only when a campaign carries a fault plan).
 	if m.chaosStats != nil {

@@ -85,3 +85,12 @@ func (rg *Ring) OnShardDone(ev core.ShardEvent) { rg.push(shardRecord(ev)) }
 
 // OnChainDone implements core.ChainObserver.
 func (rg *Ring) OnChainDone(ev core.ChainEvent) { rg.push(chainRecord(ev)) }
+
+// OnFleetEvent implements core.FleetObserver.  Per-RPC byte accounting
+// stays out of the ring, same as the trace.
+func (rg *Ring) OnFleetEvent(ev core.FleetEvent) {
+	if ev.Kind == "rpc" {
+		return
+	}
+	rg.push(fleetRecord(ev))
+}

@@ -93,6 +93,16 @@ func (m multi) OnChainDone(ev core.ChainEvent) {
 	}
 }
 
+// OnFleetEvent implements core.FleetObserver, forwarding coordinator
+// control-plane events to every member that cares.
+func (m multi) OnFleetEvent(ev core.FleetEvent) {
+	for _, o := range m {
+		if fo, ok := o.(core.FleetObserver); ok {
+			fo.OnFleetEvent(ev)
+		}
+	}
+}
+
 // Logger is the shared harness logger: a thin prefix-per-component
 // wrapper so server and CLI log lines are uniform and testable.
 type Logger struct {

@@ -78,6 +78,17 @@ type TraceRecord struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// CorpusSize is the coverage frontier size after this chain.
 	CorpusSize int `json:"corpus_size,omitempty"`
+
+	// Fleet control-plane fields ("fleet" records).  Event is the
+	// coordinator action ("worker_join", "lease_granted", ...),
+	// FleetWorker the named worker involved, Gen/Version the lease unit's
+	// generation and monotonic assignment version (Shard carries the task
+	// id), Live the worker-liveness gauge after the event.
+	Event       string `json:"event,omitempty"`
+	FleetWorker string `json:"fleet_worker,omitempty"`
+	Gen         int    `json:"gen,omitempty"`
+	Version     uint64 `json:"version,omitempty"`
+	Live        int    `json:"live,omitempty"`
 }
 
 // TraceWriter is a core.Observer that appends one JSON object per line.
@@ -199,6 +210,14 @@ func chainRecord(ev core.ChainEvent) TraceRecord {
 	}
 }
 
+func fleetRecord(ev core.FleetEvent) TraceRecord {
+	task := ev.Task
+	return TraceRecord{
+		Type: "fleet", Event: ev.Kind, FleetWorker: ev.Worker,
+		Gen: ev.Gen, Shard: &task, Version: ev.Version, Live: ev.Live,
+	}
+}
+
 func shardRecord(ev core.ShardEvent) TraceRecord {
 	worker, shard := ev.Worker, ev.Shard
 	return TraceRecord{
@@ -245,6 +264,17 @@ func (tw *TraceWriter) OnShardDone(ev core.ShardEvent) {
 // lands in the trace as a replayable chain record.
 func (tw *TraceWriter) OnChainDone(ev core.ChainEvent) {
 	rec := chainRecord(ev)
+	tw.emit(&rec)
+}
+
+// OnFleetEvent implements core.FleetObserver: coordinator control-plane
+// actions land in the trace.  Per-RPC byte accounting ("rpc" events) is
+// metrics-only — it would swamp the trace with one line per exchange.
+func (tw *TraceWriter) OnFleetEvent(ev core.FleetEvent) {
+	if ev.Kind == "rpc" {
+		return
+	}
+	rec := fleetRecord(ev)
 	tw.emit(&rec)
 }
 
