@@ -26,6 +26,7 @@ import (
 	"ballista/internal/posixapi"
 	"ballista/internal/report"
 	"ballista/internal/suite"
+	"ballista/internal/telemetry/span"
 	"ballista/internal/vote"
 	"ballista/internal/winapi"
 )
@@ -247,13 +248,20 @@ func fleetSpecConfig(spec FleetSpec) (core.Config, error) {
 // FleetEnv wires the full Ballista suite into fleet workers: farm
 // shards run through a farm.Executor, explore candidates through an
 // explore.Evaluator, both built from the joined campaign's spec.
-func FleetEnv() fleet.Env {
+func FleetEnv() fleet.Env { return FleetEnvWithSpans(nil) }
+
+// FleetEnvWithSpans is FleetEnv with a flight recorder threaded into
+// every engine the worker builds, so a remote worker's mut and chain
+// spans link under its per-lease unit spans (and, through the trace ID
+// set at join, back to the coordinator's campaign).
+func FleetEnvWithSpans(rec *SpanRecorder) fleet.Env {
 	return fleet.Env{
 		NewShardExecutor: func(spec fleet.CampaignSpec) (fleet.ShardExecutor, error) {
 			cfg, err := fleetSpecConfig(spec)
 			if err != nil {
 				return nil, err
 			}
+			cfg.Spans = rec
 			return farm.NewExecutor(farm.Config{Config: cfg}, suite.NewRegistry(), Dispatch, suite.SetupFixtures), nil
 		},
 		NewChainEvaluator: func(spec fleet.CampaignSpec) (fleet.ChainEvaluator, error) {
@@ -273,11 +281,14 @@ func FleetEnv() fleet.Env {
 				return core.NewRunner(
 					core.Config{OS: o, Cap: core.DefaultCap, StopMuTOnCrash: true,
 						Chaos:        spec.Chaos,
-						CaseDeadline: time.Duration(spec.CaseDeadlineMS) * time.Millisecond},
+						CaseDeadline: time.Duration(spec.CaseDeadlineMS) * time.Millisecond,
+						Spans:        rec},
 					reg, Dispatch, suite.SetupFixtures,
 				)
 			}
-			return explore.NewEvaluator(oses, newRunner), nil
+			ev := explore.NewEvaluator(oses, newRunner)
+			ev.SetSpans(rec)
+			return ev, nil
 		},
 	}
 }
@@ -294,6 +305,10 @@ type FleetWorkerConfig struct {
 	// it perturbs RPCs, never the substrate the spec configures.
 	Chaos      *ChaosPlan
 	ChaosStats *ChaosStats
+	// Spans, when non-nil, records the worker's flight trace: one "unit"
+	// span per executed lease, with the engines' mut/chain spans linked
+	// underneath and the joined campaign's identity as the trace ID.
+	Spans *SpanRecorder
 }
 
 // RunFleetWorker joins a fleet coordinator and works its campaign with
@@ -303,7 +318,8 @@ func RunFleetWorker(ctx context.Context, fc FleetWorkerConfig) error {
 		Client: fleet.ClientConfig{
 			BaseURL: fc.URL, Chaos: fc.Chaos, ChaosStats: fc.ChaosStats,
 		},
-		Name: fc.Name, Slots: fc.Slots, Env: FleetEnv(),
+		Name: fc.Name, Slots: fc.Slots, Env: FleetEnvWithSpans(fc.Spans),
+		Spans: fc.Spans,
 	})
 }
 
@@ -330,7 +346,7 @@ func NewExplorer(cfg ExploreConfig) (*explore.Fuzzer, error) {
 	newRunner := func(o OS) *core.Runner {
 		return core.NewRunner(
 			core.Config{OS: o, Cap: core.DefaultCap, StopMuTOnCrash: true,
-				Chaos: cfg.Chaos, ChaosStats: cfg.ChaosStats},
+				Chaos: cfg.Chaos, ChaosStats: cfg.ChaosStats, Spans: cfg.Spans},
 			reg, Dispatch, suite.SetupFixtures,
 		)
 	}
@@ -522,6 +538,26 @@ func WithChaosStats(s *ChaosStats) Option {
 // rules — wedge points stay disarmed without a watchdog.
 func WithCaseDeadline(d time.Duration) Option {
 	return func(c *core.Config) { c.CaseDeadline = d }
+}
+
+// SpanRecorder re-exports the flight recorder (see
+// internal/telemetry/span): a bounded ring of causal spans — campaign,
+// shard, case, chain, fleet lease — with optional JSONL export,
+// per-phase latency histograms and crash flight dumps.
+type SpanRecorder = span.Recorder
+
+// SpanOptions re-exports the recorder's sizing knobs.
+type SpanOptions = span.Options
+
+// NewSpanRecorder builds a flight recorder; the zero Options value gives
+// a 4096-span ring with no sampling, sink or flight dumps.
+func NewSpanRecorder(o SpanOptions) *SpanRecorder { return span.New(o) }
+
+// WithSpans attaches a flight recorder to the campaign.  Recording is
+// observation only: results are byte-identical with spans on or off, and
+// a nil recorder costs one pointer check per layer.
+func WithSpans(rec *SpanRecorder) Option {
+	return func(c *core.Config) { c.Spans = rec }
 }
 
 // HinderResult re-exports the Hindering-failure probe outcome.

@@ -6,7 +6,9 @@
 //	ballista -os wince -cap 1000 -v   # verbose per-class counts
 //	ballista -os win98 -isolated      # fresh machine per test case
 //	ballista -os win98 -trace t.jsonl # per-case JSONL trace artifact
+//	ballista -os win98 -spans s.jsonl -flight-dir dumps/  # flight recorder
 //	ballista -os win98 -metrics-addr :9090   # live Prometheus /metrics
+//	ballista -os win98 -pprof-addr localhost:6060  # live pprof profiling
 //	ballista -os winnt -workers 8     # sharded parallel campaign farm
 //	ballista -os winnt -workers 8 -checkpoint nt.ckpt  # resumable
 //	ballista -explore -chains 2000 -seed 7             # sequence fuzzer
@@ -39,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -54,7 +57,43 @@ import (
 	"ballista/internal/telemetry"
 )
 
+// atExit holds cleanups (trace/span sink flushes) that must run on
+// every exit path.  os.Exit skips deferred calls, so the interrupt
+// paths that exit with 128+signum would otherwise leave torn JSONL
+// tails; exit() drains this registry first.  LIFO, run exactly once.
+var (
+	atExitMu  sync.Mutex
+	atExitFns []func()
+	atExitRun sync.Once
+)
+
+func atExit(fn func()) {
+	atExitMu.Lock()
+	atExitFns = append(atExitFns, fn)
+	atExitMu.Unlock()
+}
+
+func runAtExit() {
+	atExitRun.Do(func() {
+		atExitMu.Lock()
+		fns := atExitFns
+		atExitMu.Unlock()
+		for i := len(fns) - 1; i >= 0; i-- {
+			fns[i]()
+		}
+	})
+}
+
+// exit is os.Exit with the atExit registry drained first.  Every exit
+// path in this command goes through it (or returns from main, whose
+// deferred runAtExit covers the success path).
+func exit(code int) {
+	runAtExit()
+	os.Exit(code)
+}
+
 func main() {
+	defer runAtExit()
 	osFlag := flag.String("os", "win98", "target OS: linux win95 win98 win98se winnt win2000 wince")
 	mutFlag := flag.String("mut", "", "test a single Module under Test by name")
 	capFlag := flag.Int("cap", 5000, "test cases per MuT (paper: 5000)")
@@ -74,6 +113,8 @@ func main() {
 	reproDir := flag.String("repro-dir", "", "explore: write minimized reproducer JSON files to this directory")
 	chaosFlags := cliutil.AddChaosFlags(flag.CommandLine)
 	fleetFlags := cliutil.AddFleetFlags(flag.CommandLine)
+	spanFlags := cliutil.AddSpanFlags(flag.CommandLine)
+	pprofAddr := cliutil.AddPprofFlag(flag.CommandLine)
 	serveFleet := flag.String("serve-fleet", "", "coordinate a distributed fleet campaign on this address; workers join with -join")
 	joinURL := flag.String("join", "", "join a fleet coordinator at this URL (e.g. http://host:8719) and work its campaign")
 	caseDeadline := flag.Duration("case-deadline", 0, "per-case watchdog: a call exceeding this is classified Restart and its machine condemned (required for hang plans)")
@@ -83,7 +124,7 @@ func main() {
 	target, ok := osprofile.Parse(*osFlag)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ballista: unknown OS %q\n", *osFlag)
-		os.Exit(2)
+		exit(2)
 	}
 	opts := []ballista.Option{ballista.WithCap(*capFlag)}
 	if *isolated {
@@ -93,7 +134,7 @@ func main() {
 	plan, err := chaosFlags.Plan()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ballista:", err)
-		os.Exit(2)
+		exit(2)
 	}
 	var chaosStats *ballista.ChaosStats
 	if plan != nil {
@@ -103,20 +144,39 @@ func main() {
 	if *caseDeadline > 0 {
 		opts = append(opts, ballista.WithCaseDeadline(*caseDeadline))
 	}
+	if err := cliutil.StartPprof(*pprofAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		exit(1)
+	}
+	spanRec, err := spanFlags.Recorder()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		exit(1)
+	}
+	if spanRec != nil {
+		// Registered (not deferred) so the interrupt exit paths flush the
+		// JSONL tail too.
+		atExit(func() {
+			if err := spanRec.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ballista: closing spans:", err)
+			}
+		})
+		opts = append(opts, ballista.WithSpans(spanRec))
+	}
 
 	var observers []ballista.Observer
 	if *traceFlag != "" {
 		f, err := os.Create(*traceFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ballista:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		tw := telemetry.NewTraceWriter(f)
-		defer func() {
+		atExit(func() {
 			if err := tw.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "ballista: closing trace:", err)
 			}
-		}()
+		})
 		observers = append(observers, tw)
 	}
 	var metrics *telemetry.Metrics
@@ -124,6 +184,9 @@ func main() {
 		metrics = telemetry.NewMetrics()
 		if chaosStats != nil {
 			metrics.SetChaosStats(chaosStats)
+		}
+		if spanRec != nil {
+			metrics.SetSpanRecorder(spanRec)
 		}
 		observers = append(observers, metrics)
 		mux := http.NewServeMux()
@@ -140,7 +203,7 @@ func main() {
 	}
 
 	if *joinURL != "" {
-		runJoin(*joinURL, fleetFlags.WorkerName(), *workers, plan, chaosStats)
+		runJoin(*joinURL, fleetFlags.WorkerName(), *workers, plan, chaosStats, spanRec)
 		return
 	}
 
@@ -150,7 +213,7 @@ func main() {
 			caseDeadline: *caseDeadline, checkpoint: *checkpoint,
 			plan: plan, chaosStats: chaosStats, observers: observers,
 			ttl: fleetFlags.TTL, heartbeat: fleetFlags.Heartbeat,
-			csv: *csvFlag, verbose: *verbose,
+			csv: *csvFlag, verbose: *verbose, spans: spanRec,
 		})
 		return
 	}
@@ -164,6 +227,7 @@ func main() {
 			chaos: plan, chaosStats: chaosStats,
 			serveFleet: *serveFleet, fleetTTL: fleetFlags.TTL,
 			fleetHeartbeat: fleetFlags.Heartbeat, caseDeadline: *caseDeadline,
+			spans: spanRec,
 		})
 		return
 	}
@@ -174,7 +238,7 @@ func main() {
 		rs, err := ballista.AuditHindering(target)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ballista:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		bad := 0
 		for _, r := range rs {
@@ -221,10 +285,10 @@ func main() {
 			if *checkpoint != "" {
 				fmt.Fprintf(os.Stderr, "ballista: completed shards journaled; re-run with -checkpoint %s to resume\n", *checkpoint)
 			}
-			os.Exit(signalExitCode(caught))
+			exit(signalExitCode(caught))
 		}
 		fmt.Fprintln(os.Stderr, "ballista:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if chaosStats != nil {
 		defer printChaosSummary(chaosStats)
@@ -239,7 +303,7 @@ func reportCampaign(target ballista.OS, res *ballista.Result, elapsed time.Durat
 	if csvPath != "" {
 		if err := writeCSVReport(csvPath, target, res); err != nil {
 			fmt.Fprintln(os.Stderr, "ballista:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	fmt.Printf("%s: %d MuTs, %d test cases, %d reboots, %v\n",
@@ -265,7 +329,7 @@ func reportCampaign(target ballista.OS, res *ballista.Result, elapsed time.Durat
 // campaign completes or a signal stops it.  The chaos flags arm the
 // client-side transport plan (the "net" preset); the substrate plan
 // comes from the coordinator's campaign spec.
-func runJoin(url, name string, slots int, plan *ballista.ChaosPlan, stats *ballista.ChaosStats) {
+func runJoin(url, name string, slots int, plan *ballista.ChaosPlan, stats *ballista.ChaosStats, spans *ballista.SpanRecorder) {
 	ctx, stop, caught := signalContext()
 	defer stop()
 	if plan != nil && stats == nil {
@@ -273,14 +337,15 @@ func runJoin(url, name string, slots int, plan *ballista.ChaosPlan, stats *balli
 	}
 	err := ballista.RunFleetWorker(ctx, ballista.FleetWorkerConfig{
 		URL: url, Name: name, Slots: slots, Chaos: plan, ChaosStats: stats,
+		Spans: spans,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "ballista: worker interrupted; its leases will expire and be re-dispatched")
-			os.Exit(signalExitCode(caught))
+			exit(signalExitCode(caught))
 		}
 		fmt.Fprintln(os.Stderr, "ballista:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if stats != nil {
 		printChaosSummary(stats)
@@ -302,6 +367,7 @@ type fleetServeOpts struct {
 	heartbeat    time.Duration
 	csv          string
 	verbose      bool
+	spans        *ballista.SpanRecorder
 }
 
 // fleetObserver narrows the shared observer set to the fleet hook.
@@ -326,19 +392,19 @@ func runServeFleetFarm(fo fleetServeOpts) {
 	coord, err := fleet.New(fleet.Config{
 		Spec: spec, TTL: fo.ttl, Heartbeat: fo.heartbeat,
 		Journal: fo.checkpoint, Chaos: fo.plan, ChaosStats: fo.chaosStats,
-		Observer: fleetObserver(fo.observers),
-		Log:      telemetry.NewLogger(os.Stderr, "fleet"),
+		Observer: fleetObserver(fo.observers), Spans: fo.spans,
+		Log: telemetry.NewLogger(os.Stderr, "fleet"),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ballista:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	defer coord.Close()
 	srv := &http.Server{Addr: fo.addr, Handler: coord.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "ballista: fleet listener:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}()
 	fmt.Printf("ballista: fleet coordinator on %s (campaign %s, %s)\n", fo.addr, coord.ID(), fo.target)
@@ -369,10 +435,10 @@ func runServeFleetFarm(fo fleetServeOpts) {
 			if fo.checkpoint != "" {
 				fmt.Fprintf(os.Stderr, "ballista: collected shards journaled; re-run with -checkpoint %s to resume\n", fo.checkpoint)
 			}
-			os.Exit(signalExitCode(caught))
+			exit(signalExitCode(caught))
 		}
 		fmt.Fprintln(os.Stderr, "ballista:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("ballista: campaign drained by %d workers\n", coord.WorkersSeen())
 	reportCampaign(fo.target, res, time.Since(start), fo.verbose, fo.csv)
@@ -450,20 +516,21 @@ type exploreOpts struct {
 	fleetTTL                time.Duration
 	fleetHeartbeat          time.Duration
 	caseDeadline            time.Duration
+	spans                   *ballista.SpanRecorder
 }
 
 func runExplore(primary ballista.OS, eo exploreOpts) {
 	cfg := ballista.ExploreConfig{
 		Primary: primary, Seed: eo.seed, Budget: eo.chains,
 		MaxLen: eo.maxLen, Workers: eo.workers, Checkpoint: eo.checkpoint,
-		Chaos: eo.chaos, ChaosStats: eo.chaosStats,
+		Chaos: eo.chaos, ChaosStats: eo.chaosStats, Spans: eo.spans,
 	}
 	if eo.diffOS != "" {
 		for _, name := range strings.Split(eo.diffOS, ",") {
 			o, ok := osprofile.Parse(strings.TrimSpace(name))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "ballista: unknown OS %q in -diff-os\n", name)
-				os.Exit(2)
+				exit(2)
 			}
 			cfg.OSes = append(cfg.OSes, o)
 		}
@@ -496,17 +563,18 @@ func runExplore(primary ballista.OS, eo exploreOpts) {
 		coord, err = fleet.New(fleet.Config{
 			Spec: spec, TTL: eo.fleetTTL, Heartbeat: eo.fleetHeartbeat,
 			ChaosStats: eo.chaosStats, Observer: fleetObserver(eo.observers),
-			Log: telemetry.NewLogger(os.Stderr, "fleet"),
+			Spans: eo.spans,
+			Log:   telemetry.NewLogger(os.Stderr, "fleet"),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ballista:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fleetSrv = &http.Server{Addr: eo.serveFleet, Handler: coord.Handler(), ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := fleetSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "ballista: fleet listener:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}()
 		fmt.Printf("ballista: fleet coordinator on %s (campaign %s, explore)\n", eo.serveFleet, coord.ID())
@@ -541,10 +609,10 @@ func runExplore(primary ballista.OS, eo exploreOpts) {
 			if eo.checkpoint != "" {
 				fmt.Fprintf(os.Stderr, "ballista: corpus journaled; re-run with -checkpoint %s to resume\n", eo.checkpoint)
 			}
-			os.Exit(signalExitCode(caught))
+			exit(signalExitCode(caught))
 		}
 		fmt.Fprintln(os.Stderr, "ballista:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if eo.chaosStats != nil {
 		defer printChaosSummary(eo.chaosStats)
@@ -573,7 +641,7 @@ func runExplore(primary ballista.OS, eo exploreOpts) {
 	if eo.reproDir != "" {
 		if err := os.MkdirAll(eo.reproDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "ballista:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		reps := rep.Reproducers()
 		for i, r := range reps {
@@ -581,7 +649,7 @@ func runExplore(primary ballista.OS, eo exploreOpts) {
 			path := fmt.Sprintf("%s/finding-%03d.json", strings.TrimRight(eo.reproDir, "/"), i)
 			if err := r.WriteFile(path); err != nil {
 				fmt.Fprintln(os.Stderr, "ballista:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 		fmt.Printf("wrote %d reproducers to %s\n", len(reps), eo.reproDir)
@@ -601,12 +669,12 @@ func runSingle(runner interface {
 	}
 	if !found {
 		fmt.Fprintf(os.Stderr, "ballista: %q is not tested on %s\n", name, target)
-		os.Exit(2)
+		exit(2)
 	}
 	res, err := runner.RunMuT(context.Background(), mut, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ballista:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("%s on %s: %d cases\n", name, target, res.Executed())
 	for _, cls := range []ballista.RawClass{

@@ -13,6 +13,7 @@
 //	curl -d '{"os":"win98","mut":"GetThreadContext","case":[5,0]}' localhost:8717/api/case
 //	curl 'localhost:8717/api/summary?os=winnt&cap=500'
 //	curl 'localhost:8717/api/events?n=50'
+//	curl 'localhost:8717/api/spans?n=50'
 //	curl localhost:8717/metrics
 //
 // The server can also coordinate a distributed fleet campaign: POST
@@ -52,6 +53,8 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "server-side bound on one heavy request's campaign (0 = client-controlled only)")
 	chaosFlags := cliutil.AddChaosFlags(flag.CommandLine)
 	fleetFlags := cliutil.AddFleetFlags(flag.CommandLine)
+	spanFlags := cliutil.AddSpanFlags(flag.CommandLine)
+	pprofAddr := cliutil.AddPprofFlag(flag.CommandLine)
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stderr, "ballistad")
@@ -73,6 +76,21 @@ func main() {
 	} else if plan != nil {
 		svcOpts = append(svcOpts, service.WithFleetChaos(plan))
 		logger.Printf("fleet campaigns default to chaos plan (seed %d, %d rules)", plan.Seed, len(plan.Rules))
+	}
+	if err := cliutil.StartPprof(*pprofAddr); err != nil {
+		logger.Errorf("%v", err)
+		os.Exit(1)
+	} else if *pprofAddr != "" {
+		logger.Printf("pprof listener on %s", *pprofAddr)
+	}
+	spanRec, err := spanFlags.Recorder()
+	if err != nil {
+		logger.Errorf("opening span sink: %v", err)
+		os.Exit(1)
+	}
+	if spanRec != nil {
+		svcOpts = append(svcOpts, service.WithSpanRecorder(spanRec))
+		logger.Printf("recording campaign spans (ring + /api/spans)")
 	}
 	var tw *telemetry.TraceWriter
 	if *traceFlag != "" {
@@ -151,6 +169,11 @@ func main() {
 	if tw != nil {
 		if err := tw.Close(); err != nil {
 			logger.Errorf("closing trace: %v", err)
+		}
+	}
+	if spanRec != nil {
+		if err := spanRec.Close(); err != nil {
+			logger.Errorf("closing spans: %v", err)
 		}
 	}
 	logger.Printf("served %d requests; goodbye", servedRequests(svc))

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Benchmark is one parsed benchmark line.  CasesPerSec is a pointer so
+// benchmarks without the custom metric round-trip as JSON null, exactly
+// like the jq extraction CI has always published.
+type Benchmark struct {
+	Name        string   `json:"name"`
+	Iterations  int      `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	CasesPerSec *float64 `json:"cases_per_sec"`
+}
+
+// BenchFile is the baseline JSON schema.
+type BenchFile struct {
+	Go         string      `json:"go"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkFarm/workers=8-16   1   136067398 ns/op   36749 cases/sec
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) cases/sec)?`)
+
+// ParseBench extracts benchmark results from `go test -bench` text
+// output.  The trailing -GOMAXPROCS name suffix is stripped so a
+// baseline recorded on an N-core host gates a run on an M-core one.
+func ParseBench(r io.Reader) (*BenchFile, error) {
+	out := &BenchFile{Go: "bench"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		fmt.Sscanf(m[3], "%d", &b.Iterations)
+		fmt.Sscanf(m[4], "%g", &b.NsPerOp)
+		if m[5] != "" {
+			var cps float64
+			fmt.Sscanf(m[5], "%g", &cps)
+			b.CasesPerSec = &cps
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	return out, sc.Err()
+}
+
+// LoadBaseline reads a baseline file, normalizing any -GOMAXPROCS
+// suffix old artifacts may carry in their names.
+func LoadBaseline(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	for i := range f.Benchmarks {
+		if m := benchLine.FindStringSubmatch(f.Benchmarks[i].Name + " 1 1 ns/op"); m != nil {
+			f.Benchmarks[i].Name = m[1]
+		}
+	}
+	return &f, nil
+}
+
+// WriteBaseline stores the run as an indented, newline-terminated
+// baseline file — a stable, diffable committed artifact.
+func WriteBaseline(path string, f *BenchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Verdict is one benchmark's gate outcome.
+type Verdict struct {
+	Name     string
+	Baseline float64
+	Current  float64
+	// Delta is the fractional change, negative for regressions.
+	Delta float64
+	// Missing marks a baseline benchmark absent from the new run (a
+	// renamed or deleted benchmark must regenerate the baseline).
+	Missing bool
+	// Skipped marks a baseline entry without a cases/sec metric.
+	Skipped bool
+	// threshold the verdict was judged at.
+	threshold float64
+}
+
+// Failed reports whether this verdict gates the build.
+func (v Verdict) Failed() bool {
+	if v.Skipped {
+		return false
+	}
+	return v.Missing || v.Delta < -v.threshold
+}
+
+func (v Verdict) String() string {
+	switch {
+	case v.Skipped:
+		return fmt.Sprintf("  skip %-40s (no cases/sec metric)", v.Name)
+	case v.Missing:
+		return fmt.Sprintf("  FAIL %-40s missing from this run (baseline %.0f cases/sec)", v.Name, v.Baseline)
+	case v.Failed():
+		return fmt.Sprintf("  FAIL %-40s %.0f -> %.0f cases/sec (%+.1f%%, limit -%.0f%%)",
+			v.Name, v.Baseline, v.Current, v.Delta*100, v.threshold*100)
+	default:
+		return fmt.Sprintf("  ok   %-40s %.0f -> %.0f cases/sec (%+.1f%%)",
+			v.Name, v.Baseline, v.Current, v.Delta*100)
+	}
+}
+
+// Compare gates a new run against the baseline: every baseline
+// benchmark carrying a cases/sec metric must appear in the run within
+// threshold of its baseline throughput.  Extra benchmarks in the run
+// are ignored (they gate once the baseline is regenerated).
+func Compare(base, run *BenchFile, threshold float64) []Verdict {
+	current := make(map[string]Benchmark, len(run.Benchmarks))
+	for _, b := range run.Benchmarks {
+		current[b.Name] = b
+	}
+	verdicts := make([]Verdict, 0, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		v := Verdict{Name: b.Name, threshold: threshold}
+		if b.CasesPerSec == nil {
+			v.Skipped = true
+			verdicts = append(verdicts, v)
+			continue
+		}
+		v.Baseline = *b.CasesPerSec
+		got, ok := current[b.Name]
+		if !ok || got.CasesPerSec == nil {
+			v.Missing = true
+			verdicts = append(verdicts, v)
+			continue
+		}
+		v.Current = *got.CasesPerSec
+		if v.Baseline > 0 {
+			v.Delta = (v.Current - v.Baseline) / v.Baseline
+		}
+		verdicts = append(verdicts, v)
+	}
+	sort.Slice(verdicts, func(i, j int) bool { return verdicts[i].Name < verdicts[j].Name })
+	return verdicts
+}

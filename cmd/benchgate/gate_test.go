@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: ballista/internal/farm
+cpu: fake
+BenchmarkFarm/workers=1-16         	       1	1264841489 ns/op	     31352 cases/sec
+BenchmarkFarm/workers=8-16         	       1	 253973669 ns/op	    156154 cases/sec
+BenchmarkSequential-16             	       1	1133213063 ns/op	     34996 cases/sec
+BenchmarkNoMetric-16               	     100	     12345 ns/op
+PASS
+ok  	ballista/internal/farm	3.1s
+`
+
+func TestParseBenchStripsProcSuffix(t *testing.T) {
+	f, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkFarm/workers=1" {
+		t.Fatalf("proc suffix not stripped: %q", b.Name)
+	}
+	if b.Iterations != 1 || b.NsPerOp != 1264841489 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+	if b.CasesPerSec == nil || *b.CasesPerSec != 31352 {
+		t.Fatalf("bad cases/sec: %+v", b.CasesPerSec)
+	}
+	if f.Benchmarks[3].CasesPerSec != nil {
+		t.Fatalf("metric-less benchmark grew a cases/sec: %+v", f.Benchmarks[3])
+	}
+}
+
+// gate runs Compare over two parsed bench outputs and reports whether
+// the gate fails.
+func gate(t *testing.T, baseText, runText string, threshold float64) []Verdict {
+	t.Helper()
+	base, err := ParseBench(strings.NewReader(baseText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := ParseBench(strings.NewReader(runText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Compare(base, run, threshold)
+}
+
+func anyFailed(vs []Verdict) bool {
+	for _, v := range vs {
+		if v.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	run := strings.ReplaceAll(sampleBench, "156154 cases/sec", "120000 cases/sec")
+	vs := gate(t, sampleBench, run, 0.25)
+	if anyFailed(vs) {
+		t.Fatalf("-23%% regression failed a 25%% gate: %+v", vs)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	run := strings.ReplaceAll(sampleBench, "156154 cases/sec", "100000 cases/sec")
+	vs := gate(t, sampleBench, run, 0.25)
+	if !anyFailed(vs) {
+		t.Fatalf("-36%% regression passed a 25%% gate: %+v", vs)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	run := strings.ReplaceAll(sampleBench, "31352 cases/sec", "993520 cases/sec")
+	vs := gate(t, sampleBench, run, 0.25)
+	if anyFailed(vs) {
+		t.Fatalf("an improvement failed the gate: %+v", vs)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	var kept []string
+	for _, line := range strings.Split(sampleBench, "\n") {
+		if !strings.HasPrefix(line, "BenchmarkSequential") {
+			kept = append(kept, line)
+		}
+	}
+	vs := gate(t, sampleBench, strings.Join(kept, "\n"), 0.25)
+	if !anyFailed(vs) {
+		t.Fatalf("dropped benchmark passed the gate: %+v", vs)
+	}
+}
+
+func TestCompareMetricLessBaselineSkipped(t *testing.T) {
+	vs := gate(t, sampleBench, sampleBench, 0.25)
+	for _, v := range vs {
+		if v.Name == "BenchmarkNoMetric" {
+			if !v.Skipped || v.Failed() {
+				t.Fatalf("metric-less baseline not skipped: %+v", v)
+			}
+			return
+		}
+	}
+	t.Fatal("BenchmarkNoMetric verdict missing")
+}
+
+func TestBaselineRoundTripAndProcNormalization(t *testing.T) {
+	run, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := WriteBaseline(path, run); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Benchmarks) != len(run.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(base.Benchmarks), len(run.Benchmarks))
+	}
+	// An old jq-produced baseline still carrying -N names must match a
+	// normalized run.
+	data, _ := os.ReadFile(path)
+	legacy := strings.ReplaceAll(string(data), `"BenchmarkFarm/workers=1"`, `"BenchmarkFarm/workers=1-16"`)
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err = LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anyFailed(Compare(base, run, 0.25)) {
+		t.Fatal("legacy -N baseline names did not match a normalized run")
+	}
+}

@@ -1,0 +1,86 @@
+// Command benchgate is the perf regression gate: it parses `go test
+// -bench` output, compares the cases/sec custom metric against a
+// committed JSON baseline, and exits non-zero when any benchmark lost
+// more than the threshold fraction of its baseline throughput.
+//
+//	go test ./internal/farm -run '^$' -bench BenchmarkFarm -benchtime=1x |
+//	    benchgate -baseline BENCH_farm.json
+//	... -update       # regenerate the baseline from the new run instead
+//	... -threshold 0.25
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix, so baselines recorded on one core count match runs on
+// another.  The baseline JSON schema matches what the CI bench-smoke
+// job has always published as an artifact:
+//
+//	{"go":"bench","benchmarks":[{"name":...,"iterations":N,
+//	 "ns_per_op":F,"cases_per_sec":F|null}]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline JSON file to gate against (required)")
+	input := flag.String("input", "", "go test -bench output to parse (default: stdin)")
+	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional cases/sec regression")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	flag.Parse()
+
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if *input != "" && *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	run, err := ParseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines in input")
+		os.Exit(2)
+	}
+
+	if *update {
+		if err := WriteBaseline(*baseline, run); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(run.Benchmarks), *baseline)
+		return
+	}
+
+	base, err := LoadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	verdicts := Compare(base, run, *threshold)
+	failed := false
+	for _, v := range verdicts {
+		fmt.Println(v)
+		if v.Failed() {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: cases/sec regression beyond %.0f%% of baseline %s\n",
+			*threshold*100, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n", len(verdicts), *threshold*100)
+}

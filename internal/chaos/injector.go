@@ -3,6 +3,8 @@ package chaos
 import (
 	"errors"
 	"sync"
+
+	"ballista/internal/telemetry/span"
 )
 
 // ErrInjected is the error an instrumented harness write returns when a
@@ -126,6 +128,11 @@ type Injector struct {
 	released   bool
 	wedging    int
 	release    chan struct{}
+
+	// spans, when non-nil, receives one instant annotation per fired
+	// rule, so the flight recorder shows which fault sites surrounded a
+	// failure.  Annotation only — decisions never consult it.
+	spans *span.Recorder
 }
 
 // NewInjector starts a decision session.  stats may be nil.
@@ -149,6 +156,17 @@ func (in *Injector) AllowWedge(ok bool) {
 	}
 	in.mu.Lock()
 	in.allowWedge = ok
+	in.mu.Unlock()
+}
+
+// SetSpans attaches a flight recorder to the session.  A nil recorder
+// (the default) keeps the fault path free of extra work.
+func (in *Injector) SetSpans(r *span.Recorder) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.spans = r
 	in.mu.Unlock()
 }
 
@@ -195,11 +213,13 @@ func (in *Injector) Fault(op Op, site string) (Fault, bool) {
 	}
 	in.mu.Lock()
 	r, ok := in.decideLocked(op, site)
+	spans := in.spans
 	in.mu.Unlock()
 	if !ok {
 		return Fault{}, false
 	}
 	in.stats.AddInjected(op)
+	spans.Instant("fault", string(op), site)
 	return Fault{Op: op, Kind: r.Kind, StallTicks: r.StallTicks}, true
 }
 
@@ -233,9 +253,11 @@ func (in *Injector) Wedge(site string) bool {
 	}
 	in.wedging++
 	ch := in.release
+	spans := in.spans
 	in.mu.Unlock()
 	in.stats.AddInjected(OpKernWedge)
 	in.stats.AddWedged()
+	spans.Instant("fault", string(OpKernWedge), site)
 	<-ch
 	in.mu.Lock()
 	in.wedging--

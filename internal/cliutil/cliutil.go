@@ -6,11 +6,15 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"ballista/internal/chaos"
+	"ballista/internal/telemetry/span"
 )
 
 // ChaosFlags is the shared chaos-plan flag group.
@@ -76,4 +80,76 @@ func (ff *FleetFlags) WorkerName() string {
 		host = "worker"
 	}
 	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// SpanFlags is the shared flight-recorder flag group.
+type SpanFlags struct {
+	Path      string
+	Sample    int
+	Ring      int
+	FlightDir string
+}
+
+// AddSpanFlags registers -spans, -span-sample, -span-ring and
+// -flight-dir on fs.
+func AddSpanFlags(fs *flag.FlagSet) *SpanFlags {
+	sf := &SpanFlags{}
+	fs.StringVar(&sf.Path, "spans", "",
+		"append flight-recorder spans as JSONL to this file (- for stderr)")
+	fs.IntVar(&sf.Sample, "span-sample", 1,
+		"record 1 in N case/chain spans (structural spans are never sampled out)")
+	fs.IntVar(&sf.Ring, "span-ring", 0,
+		"in-memory span ring size (0 = default 4096)")
+	fs.StringVar(&sf.FlightDir, "flight-dir", "",
+		"write crash flight dumps (watchdog convictions, quarantines) as JSON into this directory")
+	return sf
+}
+
+// Recorder resolves the flag group into a flight recorder, or nil when
+// no span destination is configured (spans off — the zero-cost path).
+// The caller owns the recorder and must Close it to flush the sink.
+func (sf *SpanFlags) Recorder() (*span.Recorder, error) {
+	if sf.Path == "" && sf.FlightDir == "" {
+		return nil, nil
+	}
+	o := span.Options{Sample: sf.Sample, Ring: sf.Ring, FlightDir: sf.FlightDir}
+	switch sf.Path {
+	case "":
+	case "-":
+		o.Sink = os.Stderr
+	default:
+		f, err := os.OpenFile(sf.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("opening span sink: %w", err)
+		}
+		o.Sink = f
+	}
+	return span.New(o), nil
+}
+
+// AddPprofFlag registers -pprof-addr on fs.
+func AddPprofFlag(fs *flag.FlagSet) *string {
+	return fs.String("pprof-addr", "",
+		"serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060; empty = off)")
+}
+
+// StartPprof serves the pprof handlers on addr in the background.  The
+// listen happens synchronously so a bad address fails fast; the serve
+// loop runs for the process lifetime.  addr "" is a no-op.
+func StartPprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
 }

@@ -89,6 +89,93 @@ func TestChaosPresetHelpListsAllPresets(t *testing.T) {
 	}
 }
 
+func TestSpanFlagsDefaultOff(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	sf := AddSpanFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sf.Recorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatal("default flags produced a recorder; spans should be off")
+	}
+	// nil recorder must be safe to use end to end.
+	rec.Start("case", "x").End()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanFlagsFileSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	sf := AddSpanFlags(fs)
+	if err := fs.Parse([]string{"-spans", path, "-span-sample", "2", "-span-ring", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sf.Recorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("no recorder for -spans path")
+	}
+	rec.Start("campaign", "test").End()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"phase":"campaign"`) {
+		t.Fatalf("span sink missing record: %q", data)
+	}
+}
+
+func TestSpanFlagsFlightDirOnly(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	sf := AddSpanFlags(fs)
+	if err := fs.Parse([]string{"-flight-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sf.Recorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("flight-dir alone should still arm the recorder")
+	}
+	rec.Start("case", "x").End()
+	if _, err := rec.Dump("test"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("flight dir holds %d entries, want 1", len(ents))
+	}
+	_ = rec.Close()
+}
+
+func TestStartPprof(t *testing.T) {
+	if err := StartPprof(""); err != nil {
+		t.Fatalf("empty addr should be a no-op: %v", err)
+	}
+	if err := StartPprof("256.0.0.1:0"); err == nil {
+		t.Fatal("bad address did not fail fast")
+	}
+	if err := StartPprof("127.0.0.1:0"); err != nil {
+		t.Fatalf("loopback pprof listener: %v", err)
+	}
+}
+
 func TestFleetFlagsDefaults(t *testing.T) {
 	fs := flag.NewFlagSet("t", flag.ContinueOnError)
 	ff := AddFleetFlags(fs)

@@ -11,6 +11,7 @@ import (
 	"ballista/internal/chaos"
 	"ballista/internal/osprofile"
 	"ballista/internal/sim/kern"
+	"ballista/internal/telemetry/span"
 )
 
 // Impl is one API function implementation.  It must drive the call to a
@@ -66,6 +67,11 @@ type Config struct {
 	// hanging the worker forever.  It also arms kern.wedge rules —
 	// without a watchdog a wedge could never be recovered.
 	CaseDeadline time.Duration
+	// Spans, when non-nil, records the campaign's causal flight trace:
+	// campaign → mut → case spans, watchdog convictions, and chaos fault
+	// sites.  Recording is observation only — results are byte-identical
+	// with spans on or off — and a nil recorder costs one pointer check.
+	Spans *span.Recorder
 }
 
 // LoadProfile describes the heavy-load conditions a campaign runs under.
@@ -91,6 +97,11 @@ type Runner struct {
 	obs      Observer
 
 	kernel *kern.Kernel
+	// spans is the flight recorder (nil when disabled); spanParent is
+	// the enclosing span — a farm shard or RunAll's campaign span — that
+	// this runner's mut spans link under.
+	spans      *span.Recorder
+	spanParent uint64
 	// inj is the current machine's chaos session (nil when disabled).
 	inj *chaos.Injector
 	// condemned marks a machine abandoned after a wedged case; the next
@@ -123,8 +134,14 @@ func NewRunner(cfg Config, reg *Registry, dispatch Dispatcher, fixture Fixture) 
 		dispatch: dispatch,
 		fixture:  fixture,
 		obs:      cfg.Observer,
+		spans:    cfg.Spans,
 	}
 }
+
+// SetSpanParent links this runner's mut spans under an enclosing span —
+// a farm shard span, or a fleet worker's unit span — so the causal
+// chain survives work-stealing and remote execution.
+func (r *Runner) SetSpanParent(id uint64) { r.spanParent = id }
 
 // Profile exposes the runner's OS profile.
 func (r *Runner) Profile() *osprofile.Profile { return r.profile }
@@ -135,6 +152,7 @@ func (r *Runner) machine() *kern.Kernel {
 		if r.cfg.Chaos != nil {
 			r.inj = r.cfg.Chaos.NewInjector(r.cfg.ChaosStats)
 			r.inj.AllowWedge(r.cfg.CaseDeadline > 0)
+			r.inj.SetSpans(r.spans)
 			r.kernel.SetInjector(r.inj)
 		}
 	}
@@ -193,11 +211,15 @@ func (r *Runner) RunMuT(ctx context.Context, m catalog.MuT, wide bool) (*MuTResu
 			Group: m.Group.String(), Wide: wide, Cases: len(cases),
 		})
 	}
+	ms := r.spans.Start("mut", m.Name).SetParent(r.spanParent).SetOS(r.cfg.OS.WireName())
+	defer ms.End()
 	for seq, tc := range cases {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		cs := r.spans.StartSampled("case", m.Name).SetParent(ms.ID()).SetOS(r.cfg.OS.WireName())
 		cls, _ := r.runCase(m, impl, types, tc, wide, seq)
+		cs.SetDetail(cls.String()).End()
 		res.Cases = append(res.Cases, cls)
 		res.Exceptional = append(res.Exceptional, exceptionalCase(types, tc))
 		if cls == RawCatastrophic {
@@ -369,6 +391,8 @@ func (r *Runner) dispatchCall(k *kern.Kernel, impl Impl, call *api.Call) bool {
 		// pause) keeps running, or the classification would depend on
 		// wall-clock scheduling instead of the fault plan.
 		if r.inj.Wedged() {
+			r.spans.Instant("watchdog", call.Name, "wedge held past deadline; machine condemned")
+			_, _ = r.spans.Dump("watchdog")
 			break
 		}
 		timer.Reset(r.cfg.CaseDeadline)
@@ -419,6 +443,11 @@ func (r *Runner) RunAll(ctx context.Context) (*OSResult, error) {
 	if r.obs != nil {
 		start = time.Now()
 	}
+	cs := r.spans.Start("campaign", r.cfg.OS.WireName()).SetParent(r.spanParent)
+	defer cs.End()
+	prevParent := r.spanParent
+	r.spanParent = cs.ID()
+	defer func() { r.spanParent = prevParent }()
 	out := &OSResult{OS: r.profile.Name}
 	for _, m := range catalog.MuTsFor(r.cfg.OS) {
 		res, err := r.RunMuT(ctx, m, false)

@@ -7,6 +7,7 @@ import (
 
 	"ballista/internal/core"
 	"ballista/internal/osprofile"
+	"ballista/internal/telemetry/span"
 )
 
 // ResolveOSes normalizes a differential-oracle OS set the way the fuzzer
@@ -48,6 +49,11 @@ type Evaluator struct {
 	oses      []osprofile.OS
 	osNames   []string
 	newRunner func(osprofile.OS) *core.Runner
+	// spans (optional) records one sampled "chain" span per evaluation;
+	// spanParent links it under the fuzzer's campaign span or a fleet
+	// worker's unit span.
+	spans      *span.Recorder
+	spanParent uint64
 }
 
 // NewEvaluator assembles an evaluator over an already-resolved OS set
@@ -60,10 +66,17 @@ func NewEvaluator(oses []osprofile.OS, newRunner func(osprofile.OS) *core.Runner
 	return ev
 }
 
+// SetSpans attaches a flight recorder; SetSpanParent links chain spans
+// under an enclosing span.
+func (e *Evaluator) SetSpans(r *span.Recorder) { e.spans = r }
+func (e *Evaluator) SetSpanParent(id uint64)   { e.spanParent = id }
+
 // eval runs one chain on a freshly booted machine per OS and digests the
 // combined result: per-OS kernel-state fingerprints plus the per-step
 // class vectors.
 func (e *Evaluator) eval(ch Chain) outcome {
+	cs := e.spans.StartSampled("chain", ch.Key()).SetParent(e.spanParent)
+	defer cs.End()
 	h := fnv.New64a()
 	w := hashWriter{h}
 	classes := make([][]core.RawClass, len(e.oses))

@@ -14,6 +14,7 @@ import (
 	"ballista/internal/chaos"
 	"ballista/internal/core"
 	"ballista/internal/osprofile"
+	"ballista/internal/telemetry/span"
 )
 
 // batchSize is the fuzzer's generation quantum.  Candidates are
@@ -69,6 +70,10 @@ type Config struct {
 	// evaluator built from the same OS set and substrate produces the
 	// identical report — evaluation location never changes results.
 	Remote RemoteEval
+	// Spans, when non-nil, records sampled "chain" spans per evaluated
+	// candidate into the flight recorder.  Observation only: a campaign
+	// produces the identical report with spans on or off.
+	Spans *span.Recorder
 }
 
 // Divergence is one deduplicated differential-oracle finding: a chain
@@ -154,6 +159,7 @@ func New(cfg Config, reg *core.Registry, newRunner func(osprofile.OS) *core.Runn
 
 	f := &Fuzzer{cfg: cfg, reg: reg, newRunner: newRunner}
 	f.ev = NewEvaluator(cfg.OSes, newRunner)
+	f.ev.SetSpans(cfg.Spans)
 	f.osNames = f.ev.osNames
 	if err := f.buildAlphabet(); err != nil {
 		return nil, err

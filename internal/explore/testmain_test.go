@@ -1,0 +1,12 @@
+package explore
+
+import (
+	"testing"
+
+	"ballista/internal/leak"
+)
+
+// TestMain guards the fuzzer's goroutine hygiene: evaluator pools,
+// remote-eval fallbacks and checkpoint writers must never strand a
+// goroutine past their campaign.
+func TestMain(m *testing.M) { leak.VerifyTestMain(m) }

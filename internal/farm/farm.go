@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,10 @@ type Farm struct {
 	// Steals counts shards executed off another worker's partition in
 	// the most recent Run (telemetry, reset per run).
 	steals atomic.Uint64
+
+	// spanParent is the most recent Run's campaign span, the parent
+	// every shard span links under (written once before workers start).
+	spanParent uint64
 
 	// quarantined records shards whose execution faulted in the harness
 	// (worker panic) during the most recent Run; guarded by qmu.
@@ -116,6 +121,8 @@ func (f *Farm) addQuarantine(q Quarantine) {
 	f.quarantined = append(f.quarantined, q)
 	f.qmu.Unlock()
 	f.cfg.ChaosStats.AddQuarantined()
+	f.cfg.Spans.Instant("quarantine", q.MuT, q.Reason)
+	_, _ = f.cfg.Spans.Dump("quarantine")
 }
 
 // shards lists the campaign's schedule in the exact order a sequential
@@ -156,7 +163,12 @@ func (f *Farm) Run(ctx context.Context) (*core.OSResult, error) {
 	var hinj *chaos.Injector
 	if f.cfg.Chaos != nil {
 		hinj = f.cfg.Chaos.NewInjector(f.cfg.ChaosStats)
+		hinj.SetSpans(f.cfg.Spans)
 	}
+
+	cs := f.cfg.Spans.Start("campaign", f.cfg.OS.WireName())
+	defer cs.End()
+	f.spanParent = cs.ID()
 
 	sh := f.shards()
 	results := make([]*core.MuTResult, len(sh))
@@ -369,11 +381,16 @@ func (f *Farm) runShardSafe(ctx context.Context, runner **core.Runner, id int, s
 func (f *Farm) runShard(ctx context.Context, runner *core.Runner, id int, s shard, stolen bool,
 	results []*core.MuTResult, rebootsBy []int, jnl *Journal, shardObs core.ShardObserver) error {
 	start := time.Now()
+	ss := f.cfg.Spans.Start("shard", s.m.Name).
+		SetParent(f.spanParent).SetOS(f.cfg.OS.WireName()).SetWorker(strconv.Itoa(id))
+	runner.SetSpanParent(ss.ID())
 	res, err := runner.RunMuT(ctx, s.m, s.desc.Wide)
 	if err != nil {
+		ss.SetDetail("error").End()
 		return err
 	}
 	reboots := runner.ResetMachine()
+	ss.End()
 	results[s.desc.Index] = res
 	rebootsBy[s.desc.Index] = reboots
 

@@ -131,6 +131,9 @@ type Executor struct {
 	fixture  core.Fixture
 	index    map[string]catalog.MuT
 	runner   *core.Runner
+	// spanParent is the enclosing fleet unit span, when the worker runs
+	// with a flight recorder.
+	spanParent uint64
 }
 
 // NewExecutor assembles an executor from the same pieces core.NewRunner
@@ -146,6 +149,10 @@ func NewExecutor(cfg Config, reg *core.Registry, dispatch core.Dispatcher, fixtu
 	return &Executor{cfg: cfg, reg: reg, dispatch: dispatch, fixture: fixture, index: index}
 }
 
+// SetSpanParent links the runner's mut spans under an enclosing span —
+// the fleet worker's per-lease unit span.
+func (e *Executor) SetSpanParent(id uint64) { e.spanParent = id }
+
 // RunShard executes one descriptor on a freshly booted machine and packs
 // its outcome.
 func (e *Executor) RunShard(ctx context.Context, d ShardDesc) (ShardResult, error) {
@@ -156,6 +163,7 @@ func (e *Executor) RunShard(ctx context.Context, d ShardDesc) (ShardResult, erro
 	if e.runner == nil {
 		e.runner = core.NewRunner(e.cfg.Config, e.reg, e.dispatch, e.fixture)
 	}
+	e.runner.SetSpanParent(e.spanParent)
 	res, err := e.runner.RunMuT(ctx, m, d.Wide)
 	if err != nil {
 		return ShardResult{}, err

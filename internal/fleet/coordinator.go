@@ -13,6 +13,7 @@ import (
 	"ballista/internal/farm"
 	"ballista/internal/osprofile"
 	"ballista/internal/telemetry"
+	"ballista/internal/telemetry/span"
 )
 
 // exploreChunk is how many fuzzer candidates travel in one lease: small
@@ -39,7 +40,11 @@ type Config struct {
 	// events fire from concurrent HTTP handling; the internal/telemetry
 	// observers are safe.
 	Observer core.FleetObserver
-	Log      *telemetry.Logger
+	// Spans, when non-nil, records control-plane spans (join, lease,
+	// upload, heartbeat), stamped with the campaign identity hash as the
+	// trace ID, and serves them on GET /fleet/v1/spans.
+	Spans *span.Recorder
+	Log   *telemetry.Logger
 }
 
 // unitKey identifies one work unit: generation 0 is the farm shard
@@ -146,6 +151,9 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("fleet: unknown campaign kind %q", cfg.Spec.Kind)
 	}
 	c.id = c.cfg.Spec.ID()
+	// The campaign identity is the fleet's trace ID: every span the
+	// coordinator (or a joined worker) records links back to it.
+	c.cfg.Spans.SetTrace(c.id)
 	if cfg.Spec.Kind == KindFarm {
 		if err := c.initFarm(); err != nil {
 			return nil, err
@@ -269,6 +277,8 @@ func (c *Coordinator) finishedLocked() bool {
 
 // Join registers a worker and hands it the campaign.
 func (c *Coordinator) Join(req JoinRequest) *JoinResponse {
+	sp := c.cfg.Spans.Start("join", req.Name).SetWorker(req.Name)
+	defer sp.End()
 	c.mu.Lock()
 	name := req.Name
 	if name == "" {
@@ -292,6 +302,8 @@ func (c *Coordinator) Lease(req LeaseRequest) (*LeaseResponse, error) {
 	if req.Campaign != c.id {
 		return nil, fmt.Errorf("%w: lease for %q, campaign is %q", ErrWrongCampaign, req.Campaign, c.id)
 	}
+	sp := c.cfg.Spans.Start("lease", "").SetWorker(req.Worker)
+	defer sp.End()
 	now := c.now()
 	c.mu.Lock()
 	live := c.markSeenLocked(req.Worker, now)
@@ -311,6 +323,7 @@ func (c *Coordinator) Lease(req LeaseRequest) (*LeaseResponse, error) {
 	}
 	key := c.queue[0]
 	c.queue = c.queue[1:]
+	sp.SetName(fmt.Sprintf("%d/%d", key.gen, key.task))
 	u := c.units[key]
 	c.versions++
 	u.version = c.versions
@@ -343,6 +356,8 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (*HeartbeatResponse, error
 	if req.Campaign != c.id {
 		return nil, fmt.Errorf("%w: heartbeat for %q, campaign is %q", ErrWrongCampaign, req.Campaign, c.id)
 	}
+	sp := c.cfg.Spans.Start("heartbeat", "").SetWorker(req.Worker)
+	defer sp.End()
 	now := c.now()
 	c.mu.Lock()
 	c.markSeenLocked(req.Worker, now)
@@ -365,6 +380,8 @@ func (c *Coordinator) Upload(req UploadRequest) (*UploadResponse, error) {
 	if req.Campaign != c.id {
 		return nil, fmt.Errorf("%w: upload for %q, campaign is %q", ErrWrongCampaign, req.Campaign, c.id)
 	}
+	sp := c.cfg.Spans.Start("upload", fmt.Sprintf("%d/%d", req.Gen, req.Task)).SetWorker(req.Worker)
+	defer sp.End()
 	key := unitKey{req.Gen, req.Task}
 	now := c.now()
 	c.mu.Lock()

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"ballista/internal/core"
+	"ballista/internal/telemetry/span"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate payload is
@@ -21,6 +23,7 @@ const maxBodyBytes = 8 << 20
 //	POST /fleet/v1/upload     UploadRequest    -> UploadResponse
 //	POST /fleet/v1/heartbeat  HeartbeatRequest -> HeartbeatResponse
 //	GET  /fleet/v1/status                      -> StatusResponse
+//	GET  /fleet/v1/spans[?n=N]                 -> SpansResponse
 //
 // The handler is cached; it stays valid for the coordinator's lifetime
 // and can be mounted under a larger mux (the testing service mounts it
@@ -48,9 +51,38 @@ func (c *Coordinator) Handler() http.Handler {
 			n := writeJSON(w, http.StatusOK, c.Status())
 			c.emit(core.FleetEvent{Kind: "rpc", BytesOut: n})
 		})
+		mux.HandleFunc("/fleet/v1/spans", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				httpError(w, http.StatusMethodNotAllowed, "GET only")
+				return
+			}
+			limit := 0
+			if s := r.URL.Query().Get("n"); s != "" {
+				v, err := strconv.Atoi(s)
+				if err != nil || v < 0 {
+					httpError(w, http.StatusBadRequest, "n must be a non-negative integer")
+					return
+				}
+				limit = v
+			}
+			rec := c.cfg.Spans
+			n := writeJSON(w, http.StatusOK, &SpansResponse{
+				Trace: rec.Trace(), Seen: rec.Seen(), Spans: rec.Last(limit),
+			})
+			c.emit(core.FleetEvent{Kind: "rpc", BytesOut: n})
+		})
 		c.handler = mux
 	})
 	return c.handler
+}
+
+// SpansResponse is the GET /fleet/v1/spans payload: the campaign trace
+// ID plus the control-plane flight-recorder ring (empty when the
+// coordinator runs without a recorder).
+type SpansResponse struct {
+	Trace string        `json:"trace,omitempty"`
+	Seen  uint64        `json:"seen"`
+	Spans []span.Record `json:"spans"`
 }
 
 // post adapts one typed RPC endpoint: decode, dispatch, encode, and

@@ -9,6 +9,7 @@ import (
 
 	"ballista/internal/explore"
 	"ballista/internal/telemetry"
+	"ballista/internal/telemetry/span"
 )
 
 // WorkerConfig assembles one worker process (or in-process worker).
@@ -27,7 +28,11 @@ type WorkerConfig struct {
 	Poll time.Duration
 	// Heartbeat overrides the coordinator-suggested interval.
 	Heartbeat time.Duration
-	Log       *telemetry.Logger
+	// Spans, when non-nil, records one "unit" span per executed lease.
+	// On join the recorder's trace is set to the campaign identity, so a
+	// remote worker's spans link back to the coordinator's trace.
+	Spans *span.Recorder
+	Log   *telemetry.Logger
 }
 
 // RunWorker joins a coordinator and works its campaign until the
@@ -48,6 +53,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if err != nil {
 		return fmt.Errorf("fleet: joining %s: %w", cfg.Client.BaseURL, err)
 	}
+	cfg.Spans.SetTrace(jr.Campaign)
 	w := &worker{cfg: cfg, client: client, join: jr}
 	// One engine set per slot: the farm executor owns per-machine state
 	// and is not safe for concurrent shards.
@@ -209,13 +215,23 @@ func (w *worker) slotLoop(ctx context.Context, eng engines) error {
 	}
 }
 
+// spanParented is the optional engine hook that links an engine's own
+// spans (a shard executor's mut spans, an evaluator's chain spans) under
+// the worker's per-lease unit span.
+type spanParented interface{ SetSpanParent(id uint64) }
+
 // execute runs one leased unit and assembles its content-hashed upload.
 func (w *worker) execute(ctx context.Context, eng engines, l *Lease) (*UploadRequest, error) {
+	us := w.cfg.Spans.Start("unit", fmt.Sprintf("%d/%d", l.Gen, l.Task)).SetWorker(w.join.Worker)
+	defer us.End()
 	req := &UploadRequest{
 		Campaign: w.join.Campaign, Worker: w.join.Worker,
 		Gen: l.Gen, Task: l.Task, Version: l.Version,
 	}
 	if l.Shard != nil {
+		if sp, ok := eng.exec.(spanParented); ok {
+			sp.SetSpanParent(us.ID())
+		}
 		res, err := eng.exec.RunShard(ctx, *l.Shard)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard %d (%s): %w", l.Task, l.Shard.MuT, err)
@@ -223,6 +239,9 @@ func (w *worker) execute(ctx context.Context, eng engines, l *Lease) (*UploadReq
 		req.Shard = &res
 		req.Hash = PayloadHash(res)
 		return req, nil
+	}
+	if sp, ok := eng.eval.(spanParented); ok {
+		sp.SetSpanParent(us.ID())
 	}
 	outs := make([]explore.ChainOutcome, len(l.Chains))
 	for i, ch := range l.Chains {

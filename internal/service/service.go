@@ -16,6 +16,7 @@
 //	POST /api/case                      run one identified test case
 //	GET  /api/summary?os=<name>&cap=N&workers=W   Table 1 row for one OS
 //	GET  /api/events?n=K                most recent K trace events
+//	GET  /api/spans?n=K                 most recent K flight-recorder spans
 //	GET  /metrics                       Prometheus text exposition
 //	POST /api/fleet/campaign            coordinate a distributed campaign
 //	                                    (ballista -join workers execute it)
@@ -60,6 +61,7 @@ import (
 	"ballista/internal/osprofile"
 	"ballista/internal/report"
 	"ballista/internal/telemetry"
+	"ballista/internal/telemetry/span"
 )
 
 // CampaignRequest asks the server to test one MuT — or, with MuT "*",
@@ -226,6 +228,18 @@ type EventsResponse struct {
 	Events []telemetry.TraceRecord `json:"events"`
 }
 
+// SpansResponse carries the flight-recorder ring content.
+type SpansResponse struct {
+	// Trace is the recorder's current trace ID (set while a fleet
+	// campaign is coordinated; empty otherwise).
+	Trace string `json:"trace,omitempty"`
+	// Seen is the total number of spans recorded since startup.
+	Seen uint64 `json:"seen"`
+	// Spans holds up to the requested number of most recent spans,
+	// oldest first.
+	Spans []span.Record `json:"spans"`
+}
+
 // DefaultEventRing is how many recent trace events the server retains.
 const DefaultEventRing = 4096
 
@@ -257,6 +271,10 @@ type Server struct {
 	// chaosStats accumulates injection counters across every campaign
 	// the server runs with a chaos plan; exported at /metrics.
 	chaosStats *chaos.Stats
+	// spans is the flight recorder threaded through every campaign the
+	// server runs; its ring serves /api/spans and its per-phase stats
+	// surface at /metrics as ballista_span_*.
+	spans *span.Recorder
 
 	// fleetTTL is the default lease TTL for fleet campaigns; fleetChaos
 	// the default fault plan for fleet campaigns without their own.
@@ -311,6 +329,13 @@ func WithFleetChaos(plan *chaos.Plan) ServerOption {
 	return func(s *Server) { s.fleetChaos = plan }
 }
 
+// WithSpanRecorder replaces the server's built-in ring-only flight
+// recorder (e.g. with one that also streams JSONL to disk or writes
+// crash flight dumps).  The server closes neither; the caller owns rec.
+func WithSpanRecorder(rec *span.Recorder) ServerOption {
+	return func(s *Server) { s.spans = rec }
+}
+
 // NewServer builds the service with all routes installed.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
@@ -326,7 +351,11 @@ func NewServer(opts ...ServerOption) *Server {
 	if s.log == nil {
 		s.log = telemetry.NewLogger(nil, "ballistad")
 	}
+	if s.spans == nil {
+		s.spans = span.New(span.Options{})
+	}
 	s.metrics.SetChaosStats(s.chaosStats)
+	s.metrics.SetSpanRecorder(s.spans)
 	s.mux.HandleFunc("GET /api/oses", s.handleOSes)
 	s.mux.HandleFunc("GET /api/muts", s.handleMuTs)
 	s.mux.HandleFunc("POST /api/campaign", s.handleCampaign)
@@ -334,6 +363,7 @@ func NewServer(opts ...ServerOption) *Server {
 	s.mux.HandleFunc("POST /api/case", s.handleCase)
 	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
 	s.mux.HandleFunc("GET /api/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/spans", s.handleSpans)
 	s.mux.HandleFunc("POST /api/fleet/campaign", s.handleFleetCampaign)
 	s.mux.HandleFunc("GET /api/fleet/status", s.handleFleetStatus)
 	s.mux.Handle("/fleet/v1/", http.HandlerFunc(s.serveFleet))
@@ -436,6 +466,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, EventsResponse{Seen: s.ring.Seen(), Events: events})
 }
 
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			s.httpError(w, http.StatusBadRequest, "bad n")
+			return
+		}
+		n = parsed
+	}
+	spans := s.spans.Last(n)
+	if spans == nil {
+		spans = []span.Record{}
+	}
+	s.writeJSON(w, http.StatusOK, SpansResponse{
+		Trace: s.spans.Trace(), Seen: s.spans.Seen(), Spans: spans,
+	})
+}
+
 func (s *Server) handleOSes(w http.ResponseWriter, _ *http.Request) {
 	names := make([]string, 0, 7)
 	for _, o := range ballista.AllOSes() {
@@ -471,7 +520,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "unknown os")
 		return
 	}
-	opts := []ballista.Option{ballista.WithObserver(s.observer())}
+	opts := []ballista.Option{ballista.WithObserver(s.observer()), ballista.WithSpans(s.spans)}
 	if req.Cap > 0 {
 		opts = append(opts, ballista.WithCap(req.Cap))
 	}
@@ -555,7 +604,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	cfg := ballista.ExploreConfig{
 		Primary: primary, OSes: oses, MuTs: req.MuTs,
 		Seed: req.Seed, Budget: req.Chains, MaxLen: req.MaxLen,
-		Workers: req.Workers,
+		Workers: req.Workers, Spans: s.spans,
 	}
 	if co, ok := s.observer().(core.ChainObserver); ok {
 		cfg.Observer = co
@@ -636,7 +685,7 @@ func (s *Server) handleFleetCampaign(w http.ResponseWriter, r *http.Request) {
 	if req.TTLMS > 0 {
 		ttl = time.Duration(req.TTLMS) * time.Millisecond
 	}
-	cfg := fleet.Config{Spec: spec, TTL: ttl, ChaosStats: s.chaosStats, Log: s.log}
+	cfg := fleet.Config{Spec: spec, TTL: ttl, ChaosStats: s.chaosStats, Spans: s.spans, Log: s.log}
 	if fo, ok := s.observer().(core.FleetObserver); ok {
 		cfg.Observer = fo
 	}

@@ -11,6 +11,7 @@ import (
 
 	"ballista/internal/chaos"
 	"ballista/internal/core"
+	"ballista/internal/telemetry/span"
 )
 
 // latencyBuckets are the case-latency histogram upper bounds, in
@@ -99,6 +100,10 @@ type Metrics struct {
 	// chaosStats, when set, is snapshotted into ballista_chaos_* series
 	// at scrape time (the chaos layer owns the live counters).
 	chaosStats *chaos.Stats
+
+	// spans, when set, is snapshotted into ballista_span_* series at
+	// scrape time (the flight recorder owns the live histograms).
+	spans *span.Recorder
 }
 
 // NewMetrics creates an empty registry.
@@ -243,6 +248,15 @@ func (m *Metrics) CaseCount(class string) uint64 {
 func (m *Metrics) SetChaosStats(s *chaos.Stats) {
 	m.mu.Lock()
 	m.chaosStats = s
+	m.mu.Unlock()
+}
+
+// SetSpanRecorder attaches a flight recorder; its per-phase latency
+// summaries are rendered into the ballista_span_* series on every
+// scrape.
+func (m *Metrics) SetSpanRecorder(r *span.Recorder) {
+	m.mu.Lock()
+	m.spans = r
 	m.mu.Unlock()
 }
 
@@ -444,6 +458,35 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "# HELP %s %s\n", series.metric, series.help)
 			fmt.Fprintf(w, "# TYPE %s counter\n", series.metric)
 			fmt.Fprintf(w, "%s %d\n", series.metric, series.v)
+		}
+	}
+
+	// Flight-recorder series (only when a span recorder is attached).
+	if m.spans != nil {
+		stats := m.spans.PhaseStats()
+		phases := make([]string, 0, len(stats))
+		for p := range stats {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		fmt.Fprintf(w, "# HELP ballista_spans_total Flight-recorder spans completed, by phase.\n")
+		fmt.Fprintf(w, "# TYPE ballista_spans_total counter\n")
+		for _, p := range phases {
+			fmt.Fprintf(w, "ballista_spans_total{phase=%q} %d\n", p, stats[p].Count)
+		}
+		fmt.Fprintf(w, "# HELP ballista_span_duration_seconds Wall-clock duration of one span, by phase.\n")
+		fmt.Fprintf(w, "# TYPE ballista_span_duration_seconds histogram\n")
+		for _, p := range phases {
+			st := stats[p]
+			cum := uint64(0)
+			for i, ub := range span.Buckets {
+				cum += st.Buckets[i]
+				fmt.Fprintf(w, "ballista_span_duration_seconds_bucket{phase=%q,le=%q} %d\n", p, formatFloat(ub), cum)
+			}
+			cum += st.Buckets[len(span.Buckets)]
+			fmt.Fprintf(w, "ballista_span_duration_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", p, cum)
+			fmt.Fprintf(w, "ballista_span_duration_seconds_sum{phase=%q} %g\n", p, st.Sum)
+			fmt.Fprintf(w, "ballista_span_duration_seconds_count{phase=%q} %d\n", p, st.Count)
 		}
 	}
 

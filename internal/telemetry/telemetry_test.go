@@ -186,6 +186,68 @@ func TestMulti(t *testing.T) {
 	}
 }
 
+// extendedObserver implements every optional extension interface on
+// top of the base Observer.
+type extendedObserver struct {
+	countingObserver
+	shards, chains, fleet int
+}
+
+func (e *extendedObserver) OnShardDone(core.ShardEvent)  { e.shards++ }
+func (e *extendedObserver) OnChainDone(core.ChainEvent)  { e.chains++ }
+func (e *extendedObserver) OnFleetEvent(core.FleetEvent) { e.fleet++ }
+
+// TestMultiExtensionFanout mixes one plain Observer with one that also
+// implements the optional ShardObserver/ChainObserver/FleetObserver
+// extensions: the fan-out must satisfy all three, deliver extension
+// events only to the member that understands them, and still deliver
+// base events to both.
+func TestMultiExtensionFanout(t *testing.T) {
+	plain := &countingObserver{}
+	ext := &extendedObserver{}
+	m := Multi(plain, ext)
+
+	so, ok := m.(core.ShardObserver)
+	if !ok {
+		t.Fatal("Multi does not implement core.ShardObserver")
+	}
+	co, ok := m.(core.ChainObserver)
+	if !ok {
+		t.Fatal("Multi does not implement core.ChainObserver")
+	}
+	fo, ok := m.(core.FleetObserver)
+	if !ok {
+		t.Fatal("Multi does not implement core.FleetObserver")
+	}
+
+	so.OnShardDone(core.ShardEvent{})
+	so.OnShardDone(core.ShardEvent{})
+	co.OnChainDone(core.ChainEvent{})
+	fo.OnFleetEvent(core.FleetEvent{})
+	fo.OnFleetEvent(core.FleetEvent{})
+	fo.OnFleetEvent(core.FleetEvent{})
+	m.OnCaseDone(core.CaseEvent{})
+
+	if ext.shards != 2 || ext.chains != 1 || ext.fleet != 3 {
+		t.Errorf("extension fan-out counts: shards=%d chains=%d fleet=%d",
+			ext.shards, ext.chains, ext.fleet)
+	}
+	if plain.cases != 1 || ext.cases != 1 {
+		t.Errorf("base fan-out counts: plain=%d ext=%d", plain.cases, ext.cases)
+	}
+	// The extension events must not have leaked into the plain member's
+	// base hooks.
+	if plain.muts != 0 || plain.reboots != 0 || plain.campaigns != 0 {
+		t.Errorf("plain observer saw phantom events: %+v", plain)
+	}
+
+	// A single plain observer is returned undecorated, so it must not
+	// pick up extension interfaces it never implemented.
+	if _, ok := Multi(plain).(core.ShardObserver); ok {
+		t.Error("single plain observer grew a ShardObserver implementation")
+	}
+}
+
 func TestLogger(t *testing.T) {
 	var buf bytes.Buffer
 	lg := NewLogger(&buf, "test")
