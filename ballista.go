@@ -25,6 +25,7 @@ import (
 	"ballista/internal/osprofile"
 	"ballista/internal/posixapi"
 	"ballista/internal/report"
+	"ballista/internal/store"
 	"ballista/internal/suite"
 	"ballista/internal/telemetry/span"
 	"ballista/internal/vote"
@@ -255,6 +256,10 @@ func FleetEnv() fleet.Env { return FleetEnvWithSpans(nil) }
 // spans link under its per-lease unit spans (and, through the trace ID
 // set at join, back to the coordinator's campaign).
 func FleetEnvWithSpans(rec *SpanRecorder) fleet.Env {
+	return fleetEnv(rec, nil)
+}
+
+func fleetEnv(rec *SpanRecorder, st *ResultStore) fleet.Env {
 	return fleet.Env{
 		NewShardExecutor: func(spec fleet.CampaignSpec) (fleet.ShardExecutor, error) {
 			cfg, err := fleetSpecConfig(spec)
@@ -262,6 +267,7 @@ func FleetEnvWithSpans(rec *SpanRecorder) fleet.Env {
 				return nil, err
 			}
 			cfg.Spans = rec
+			cfg.Store = st
 			return farm.NewExecutor(farm.Config{Config: cfg}, suite.NewRegistry(), Dispatch, suite.SetupFixtures), nil
 		},
 		NewChainEvaluator: func(spec fleet.CampaignSpec) (fleet.ChainEvaluator, error) {
@@ -309,6 +315,11 @@ type FleetWorkerConfig struct {
 	// span per executed lease, with the engines' mut/chain spans linked
 	// underneath and the joined campaign's identity as the trace ID.
 	Spans *SpanRecorder
+	// Store, when non-nil, is consulted before and populated after every
+	// MuT shard this worker executes.  Store keys include the worker's own
+	// code-version stamp, so a mixed-version fleet never shares entries
+	// across builds.
+	Store *ResultStore
 }
 
 // RunFleetWorker joins a fleet coordinator and works its campaign with
@@ -318,7 +329,7 @@ func RunFleetWorker(ctx context.Context, fc FleetWorkerConfig) error {
 		Client: fleet.ClientConfig{
 			BaseURL: fc.URL, Chaos: fc.Chaos, ChaosStats: fc.ChaosStats,
 		},
-		Name: fc.Name, Slots: fc.Slots, Env: FleetEnvWithSpans(fc.Spans),
+		Name: fc.Name, Slots: fc.Slots, Env: fleetEnv(fc.Spans, fc.Store),
 		Spans: fc.Spans,
 	})
 }
@@ -538,6 +549,29 @@ func WithChaosStats(s *ChaosStats) Option {
 // rules — wedge points stay disarmed without a watchdog.
 func WithCaseDeadline(d time.Duration) Option {
 	return func(c *core.Config) { c.CaseDeadline = d }
+}
+
+// ResultStore re-exports the content-addressed result cache (see
+// internal/store): a sharded LRU keyed by the sha256 of a shard's full
+// identity (code version, OS, MuT, cap, flags, deadline, load and chaos
+// plans), optionally persisted to an fsync'd append-only segment file.
+type ResultStore = store.Store
+
+// StoreOptions re-exports the store sizing/persistence knobs.
+type StoreOptions = store.Options
+
+// OpenStore builds a result store; the zero Options value gives an
+// in-memory store bounded at store.DefaultMaxEntries.  When Path is set
+// the segment file is replayed first (tolerating a torn tail) and every
+// Put is appended and fsynced.
+func OpenStore(o StoreOptions) (*ResultStore, error) { return store.Open(o) }
+
+// WithStore attaches a result store to the campaign.  Before executing a
+// MuT shard on a fresh machine, the runner consults the store; after
+// executing, it populates it.  Caching is pure observation: the merged
+// campaign result is byte-identical with the store hot, cold or absent.
+func WithStore(st *ResultStore) Option {
+	return func(c *core.Config) { c.Store = st }
 }
 
 // SpanRecorder re-exports the flight recorder (see

@@ -16,6 +16,7 @@
 //	ballista -os winnt -chaos-seed 42                  # seeded fault sweep
 //	ballista -os winnt -chaos-seed 42 -chaos-preset disk -csv report.csv
 //	ballista -os winnt -chaos-plan faults.json -case-deadline 100ms
+//	ballista -os winnt -store results.seg              # content-addressed cache
 //
 // A full campaign with -workers > 1 shards the MuT catalog across a
 // farm of simulated machines (one kernel per worker) and merges the
@@ -114,6 +115,7 @@ func main() {
 	chaosFlags := cliutil.AddChaosFlags(flag.CommandLine)
 	fleetFlags := cliutil.AddFleetFlags(flag.CommandLine)
 	spanFlags := cliutil.AddSpanFlags(flag.CommandLine)
+	storeFlags := cliutil.AddStoreFlags(flag.CommandLine)
 	pprofAddr := cliutil.AddPprofFlag(flag.CommandLine)
 	serveFleet := flag.String("serve-fleet", "", "coordinate a distributed fleet campaign on this address; workers join with -join")
 	joinURL := flag.String("join", "", "join a fleet coordinator at this URL (e.g. http://host:8719) and work its campaign")
@@ -163,6 +165,19 @@ func main() {
 		})
 		opts = append(opts, ballista.WithSpans(spanRec))
 	}
+	resultStore, err := storeFlags.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		exit(1)
+	}
+	if resultStore != nil {
+		atExit(func() {
+			if err := resultStore.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ballista: closing store:", err)
+			}
+		})
+		opts = append(opts, ballista.WithStore(resultStore))
+	}
 
 	var observers []ballista.Observer
 	if *traceFlag != "" {
@@ -188,6 +203,9 @@ func main() {
 		if spanRec != nil {
 			metrics.SetSpanRecorder(spanRec)
 		}
+		if resultStore != nil {
+			metrics.SetStore(resultStore)
+		}
 		observers = append(observers, metrics)
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", metrics.Handler())
@@ -203,7 +221,7 @@ func main() {
 	}
 
 	if *joinURL != "" {
-		runJoin(*joinURL, fleetFlags.WorkerName(), *workers, plan, chaosStats, spanRec)
+		runJoin(*joinURL, fleetFlags.WorkerName(), *workers, plan, chaosStats, spanRec, resultStore)
 		return
 	}
 
@@ -273,7 +291,10 @@ func main() {
 	// machine-per-shard contract keeps a seeded campaign's report
 	// independent of the worker count (sequential RunAll shares one
 	// machine across MuTs, so its fault stream depends on shard order).
-	if *workers != 1 || *checkpoint != "" || plan != nil {
+	// A result store forces it for the same fresh-machine reason: store
+	// entries are keyed on a shard starting from boot, so only the farm
+	// path makes every shard of a campaign cacheable.
+	if *workers != 1 || *checkpoint != "" || plan != nil || resultStore != nil {
 		fc := ballista.FarmConfig{Workers: *workers, Checkpoint: *checkpoint}
 		res, err = ballista.RunFarm(ctx, target, fc, opts...)
 	} else {
@@ -294,6 +315,17 @@ func main() {
 		defer printChaosSummary(chaosStats)
 	}
 	reportCampaign(target, res, time.Since(start), *verbose, *csvFlag)
+	if resultStore != nil {
+		printStoreSummary(resultStore)
+	}
+}
+
+// printStoreSummary reports the result store's footprint after a
+// campaign (CI greps misses=0 to prove a warm rerun executed nothing).
+func printStoreSummary(st *ballista.ResultStore) {
+	s := st.Snapshot()
+	fmt.Printf("store: hits=%d misses=%d puts=%d evictions=%d entries=%d\n",
+		s.Hits, s.Misses, s.Puts, s.Evictions, s.Entries)
 }
 
 // reportCampaign prints the campaign summary (and the CSV artifact) —
@@ -329,7 +361,7 @@ func reportCampaign(target ballista.OS, res *ballista.Result, elapsed time.Durat
 // campaign completes or a signal stops it.  The chaos flags arm the
 // client-side transport plan (the "net" preset); the substrate plan
 // comes from the coordinator's campaign spec.
-func runJoin(url, name string, slots int, plan *ballista.ChaosPlan, stats *ballista.ChaosStats, spans *ballista.SpanRecorder) {
+func runJoin(url, name string, slots int, plan *ballista.ChaosPlan, stats *ballista.ChaosStats, spans *ballista.SpanRecorder, st *ballista.ResultStore) {
 	ctx, stop, caught := signalContext()
 	defer stop()
 	if plan != nil && stats == nil {
@@ -337,7 +369,7 @@ func runJoin(url, name string, slots int, plan *ballista.ChaosPlan, stats *balli
 	}
 	err := ballista.RunFleetWorker(ctx, ballista.FleetWorkerConfig{
 		URL: url, Name: name, Slots: slots, Chaos: plan, ChaosStats: stats,
-		Spans: spans,
+		Spans: spans, Store: st,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -349,6 +381,9 @@ func runJoin(url, name string, slots int, plan *ballista.ChaosPlan, stats *balli
 	}
 	if stats != nil {
 		printChaosSummary(stats)
+	}
+	if st != nil {
+		printStoreSummary(st)
 	}
 	fmt.Printf("ballista: worker %s finished campaign\n", name)
 }

@@ -13,8 +13,18 @@
 //	curl -d '{"os":"win98","mut":"GetThreadContext","case":[5,0]}' localhost:8717/api/case
 //	curl 'localhost:8717/api/summary?os=winnt&cap=500'
 //	curl 'localhost:8717/api/events?n=50'
-//	curl 'localhost:8717/api/spans?n=50'
+//	curl 'localhost:8717/api/spans?limit=50&phase=mut'
+//	curl localhost:8717/api/status
 //	curl localhost:8717/metrics
+//
+// With -queue-journal, the server is a multi-tenant campaign platform:
+// POST /api/campaigns queues work per tenant (journaled before the 202
+// acknowledgement, so a crash replays rather than loses it), GET
+// /api/campaigns/{id}/events streams progress as SSE, and the campaign
+// history plus CSV artifacts are served after completion.  -store gives
+// queued (and synchronous) campaigns a shared content-addressed result
+// cache: a resubmitted identical campaign replays from the store
+// instead of re-executing.
 //
 // The server can also coordinate a distributed fleet campaign: POST
 // /api/fleet/campaign, then point `ballista -join http://host:8717`
@@ -54,7 +64,11 @@ func main() {
 	chaosFlags := cliutil.AddChaosFlags(flag.CommandLine)
 	fleetFlags := cliutil.AddFleetFlags(flag.CommandLine)
 	spanFlags := cliutil.AddSpanFlags(flag.CommandLine)
+	storeFlags := cliutil.AddStoreFlags(flag.CommandLine)
 	pprofAddr := cliutil.AddPprofFlag(flag.CommandLine)
+	queueJournal := flag.String("queue-journal", "", "journal the campaign queue to this JSONL file and resume it on restart")
+	tenantQuota := flag.Int("tenant-quota", 0, "max queued+running campaigns per tenant (0 = default)")
+	queueWorkers := flag.Int("queue-workers", 0, "concurrent queued-campaign executors (0 = default 1)")
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stderr, "ballistad")
@@ -91,6 +105,31 @@ func main() {
 	if spanRec != nil {
 		svcOpts = append(svcOpts, service.WithSpanRecorder(spanRec))
 		logger.Printf("recording campaign spans (ring + /api/spans)")
+	}
+	resultStore, err := storeFlags.Open()
+	if err != nil {
+		logger.Errorf("opening result store: %v", err)
+		os.Exit(1)
+	}
+	if resultStore != nil {
+		svcOpts = append(svcOpts, service.WithStore(resultStore))
+		logger.Printf("content-addressed result store on (%d entries loaded)", resultStore.Len())
+	}
+	var queueJnl *service.QueueJournal
+	if *queueJournal != "" {
+		queueJnl, err = service.OpenQueueJournal(*queueJournal)
+		if err != nil {
+			logger.Errorf("opening queue journal: %v", err)
+			os.Exit(1)
+		}
+		svcOpts = append(svcOpts, service.WithQueueJournal(queueJnl))
+		logger.Printf("campaign queue journaled to %s", *queueJournal)
+	}
+	if *tenantQuota > 0 {
+		svcOpts = append(svcOpts, service.WithTenantQuota(*tenantQuota))
+	}
+	if *queueWorkers > 0 {
+		svcOpts = append(svcOpts, service.WithQueueExecutors(*queueWorkers))
 	}
 	var tw *telemetry.TraceWriter
 	if *traceFlag != "" {
@@ -166,6 +205,16 @@ func main() {
 		}
 	}
 
+	// Close the queue first (stops dispatchers, journals nothing further,
+	// closes the journal), then the store so its segment is flushed.
+	if err := svc.Close(); err != nil {
+		logger.Errorf("closing service: %v", err)
+	}
+	if resultStore != nil {
+		if err := resultStore.Close(); err != nil {
+			logger.Errorf("closing result store: %v", err)
+		}
+	}
 	if tw != nil {
 		if err := tw.Close(); err != nil {
 			logger.Errorf("closing trace: %v", err)

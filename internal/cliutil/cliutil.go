@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ballista/internal/chaos"
+	"ballista/internal/store"
 	"ballista/internal/telemetry/span"
 )
 
@@ -125,6 +126,32 @@ func (sf *SpanFlags) Recorder() (*span.Recorder, error) {
 		o.Sink = f
 	}
 	return span.New(o), nil
+}
+
+// StoreFlags is the shared content-addressed result-store flag group.
+type StoreFlags struct {
+	Path string
+	Max  int
+}
+
+// AddStoreFlags registers -store and -store-max on fs.
+func AddStoreFlags(fs *flag.FlagSet) *StoreFlags {
+	sf := &StoreFlags{}
+	fs.StringVar(&sf.Path, "store", "",
+		"content-addressed result store segment file: cached MuT shard results are replayed instead of re-executed (empty = no persistence)")
+	fs.IntVar(&sf.Max, "store-max", 0,
+		fmt.Sprintf("result store entry bound, LRU-evicted (0 = off unless -store is set, then default %d)", store.DefaultMaxEntries))
+	return sf
+}
+
+// Open resolves the flag group into a result store, or nil when neither
+// flag is set (cache off).  -store-max alone gives a memory-only store.
+// The caller owns the store and must Close it to release the segment.
+func (sf *StoreFlags) Open() (*store.Store, error) {
+	if sf.Path == "" && sf.Max <= 0 {
+		return nil, nil
+	}
+	return store.Open(store.Options{Path: sf.Path, MaxEntries: sf.Max})
 }
 
 // AddPprofFlag registers -pprof-addr on fs.

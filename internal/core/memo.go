@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"ballista/internal/catalog"
+	"ballista/internal/chaos"
+	"ballista/internal/store"
+	"ballista/internal/version"
+)
+
+// The packed wire form for per-case outcomes — one class digit and one
+// exceptional flag per case — is shared by the checkpoint journals and
+// the content-addressed result store, so a cached shard round-trips
+// through exactly the bytes a resumed checkpoint would.
+
+// PackClasses packs per-case outcome classes into digits.
+func PackClasses(cs []RawClass) string {
+	b := make([]byte, len(cs))
+	for i, c := range cs {
+		b[i] = '0' + byte(c)
+	}
+	return string(b)
+}
+
+// UnpackClasses decodes a packed class string, rejecting digits outside
+// the CRASH scale.
+func UnpackClasses(s string) ([]RawClass, error) {
+	out := make([]RawClass, len(s))
+	for i := 0; i < len(s); i++ {
+		d := s[i] - '0'
+		if d > uint8(RawSkip) {
+			return nil, fmt.Errorf("core: bad class digit %q", s[i])
+		}
+		out[i] = RawClass(d)
+	}
+	return out, nil
+}
+
+// PackFlags packs per-case exceptional flags into '0'/'1' digits.
+func PackFlags(fs []bool) string {
+	b := make([]byte, len(fs))
+	for i, f := range fs {
+		if f {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// UnpackFlags decodes a packed flag string.
+func UnpackFlags(s string) []bool {
+	out := make([]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = s[i] == '1'
+	}
+	return out
+}
+
+// shardIdentity is everything a MuT shard's outcome is a function of.
+// Execution is deterministic end-to-end (sequential ≡ farm ≡ fleet), so
+// a shard that starts on a freshly booted machine is a pure function of
+// this struct; its canonical JSON hashes into the store key.  The code
+// version is part of the identity — a result cached by one binary is
+// unsound under another.
+type shardIdentity struct {
+	V          int          `json:"v"`
+	Code       string       `json:"code"`
+	OS         string       `json:"os"`
+	MuT        string       `json:"mut"`
+	Wide       bool         `json:"wide,omitempty"`
+	Cap        int          `json:"cap"`
+	Isolated   bool         `json:"isolated,omitempty"`
+	Continue   bool         `json:"continue,omitempty"`
+	DeadlineMS int64        `json:"deadline_ms,omitempty"`
+	Load       *LoadProfile `json:"load,omitempty"`
+	Chaos      *chaos.Plan  `json:"chaos,omitempty"`
+}
+
+// memoIdentityVersion bumps when identity or packing semantics change.
+const memoIdentityVersion = 1
+
+// storeKey hashes one shard's identity into a content address.
+func (r *Runner) storeKey(m catalog.MuT, wide bool) (store.Key, error) {
+	return store.KeyOf(shardIdentity{
+		V:          memoIdentityVersion,
+		Code:       version.Stamp(),
+		OS:         r.cfg.OS.WireName(),
+		MuT:        m.Name,
+		Wide:       wide,
+		Cap:        r.cfg.Cap,
+		Isolated:   r.cfg.Isolated,
+		Continue:   !r.cfg.StopMuTOnCrash,
+		DeadlineMS: r.cfg.CaseDeadline.Milliseconds(),
+		Load:       r.cfg.Load,
+		Chaos:      r.cfg.Chaos,
+	})
+}
+
+// storeCacheable reports whether this RunMuT invocation is addressable
+// by its shard identity: a store is configured, the OS profile is the
+// canonical one (a custom Profile override has no stable fingerprint),
+// and no machine is booted — the shard starts from the same fresh state
+// a farm or fleet worker would give it.  A served hit leaves the
+// machine unbooted, so in a warm sequential sweep every MuT stays
+// cacheable.
+func (r *Runner) storeCacheable() bool {
+	return r.cfg.Store != nil && r.cfg.Profile == nil && r.kernel == nil
+}
+
+// storeEntry packs a completed shard result for the cache.
+func storeEntry(res *MuTResult, reboots int) store.Entry {
+	return store.Entry{
+		Classes:     PackClasses(res.Cases),
+		Exceptional: PackFlags(res.Exceptional),
+		Incomplete:  res.Incomplete,
+		Reboots:     reboots,
+	}
+}
+
+// storeResult unpacks a cached entry into the result execution would
+// have produced.  A corrupted entry returns an error and the caller
+// falls back to executing — the cache can degrade to a miss, never to a
+// wrong answer.
+func storeResult(m catalog.MuT, wide bool, e store.Entry) (*MuTResult, error) {
+	classes, err := UnpackClasses(e.Classes)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.Exceptional) != len(e.Classes) {
+		return nil, fmt.Errorf("core: cached shard has %d classes but %d flags", len(e.Classes), len(e.Exceptional))
+	}
+	return &MuTResult{
+		MuT:         m,
+		Wide:        wide,
+		Cases:       classes,
+		Exceptional: UnpackFlags(e.Exceptional),
+		Incomplete:  e.Incomplete,
+	}, nil
+}

@@ -11,6 +11,7 @@ import (
 	"ballista/internal/chaos"
 	"ballista/internal/osprofile"
 	"ballista/internal/sim/kern"
+	"ballista/internal/store"
 	"ballista/internal/telemetry/span"
 )
 
@@ -72,6 +73,12 @@ type Config struct {
 	// sites.  Recording is observation only — results are byte-identical
 	// with spans on or off — and a nil recorder costs one pointer check.
 	Spans *span.Recorder
+	// Store, when non-nil, is the content-addressed result cache: a MuT
+	// shard starting on a fresh machine is consulted before executing and
+	// populated after, keyed by the shard identity (OS, MuT, cap, chaos
+	// plan, code version — see memo.go).  The cache is pure observation:
+	// hit or miss, the merged report is byte-identical.
+	Store *store.Store
 }
 
 // LoadProfile describes the heavy-load conditions a campaign runs under.
@@ -193,6 +200,28 @@ func (r *Runner) RunMuT(ctx context.Context, m catalog.MuT, wide bool) (*MuTResu
 	if err != nil {
 		return nil, err
 	}
+	// Content-addressed cache consult: a shard starting on a fresh
+	// machine is a pure function of its identity, so a valid cached
+	// entry is served without generating or executing a single case.
+	// The cached reboot count banks into carryEpoch so epoch() — and
+	// with it OSResult.Reboots and the farm journal — reads exactly as
+	// if the shard had executed.
+	var memoKey store.Key
+	memo := r.storeCacheable()
+	if memo {
+		if memoKey, err = r.storeKey(m, wide); err != nil {
+			memo = false
+		} else if e, ok := r.cfg.Store.Get(memoKey); ok {
+			if res, derr := storeResult(m, wide, e); derr == nil {
+				r.carryEpoch += e.Reboots
+				r.spans.Start("mut", m.Name).SetParent(r.spanParent).
+					SetOS(r.cfg.OS.WireName()).SetDetail("store hit").End()
+				return res, nil
+			}
+			// A corrupted entry degrades to a miss, never a wrong answer.
+		}
+	}
+	epoch0 := r.epoch()
 	sizes := make([]int, len(types))
 	for i, dt := range types {
 		sizes[i] = len(dt.Values)
@@ -232,6 +261,11 @@ func (r *Runner) RunMuT(ctx context.Context, m catalog.MuT, wide bool) (*MuTResu
 				break
 			}
 		}
+	}
+	if memo {
+		// A structurally invalid entry is rejected by the store; drop it
+		// rather than fail the shard that just executed fine.
+		_ = r.cfg.Store.Put(memoKey, storeEntry(res, r.epoch()-epoch0))
 	}
 	return res, nil
 }

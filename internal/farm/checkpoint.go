@@ -34,46 +34,17 @@ type journalRecord struct {
 	Stolen bool `json:"stolen,omitempty"`
 }
 
+// The packed wire form is shared with the content-addressed result
+// store; core owns the pack/unpack helpers so the two stay identical.
+
 // encodeClasses packs a shard's per-case outcome classes into digits.
-func encodeClasses(cs []core.RawClass) string {
-	b := make([]byte, len(cs))
-	for i, c := range cs {
-		b[i] = '0' + byte(c)
-	}
-	return string(b)
-}
+func encodeClasses(cs []core.RawClass) string { return core.PackClasses(cs) }
 
-func decodeClasses(s string) ([]core.RawClass, error) {
-	out := make([]core.RawClass, len(s))
-	for i := 0; i < len(s); i++ {
-		d := s[i] - '0'
-		if d > uint8(core.RawSkip) {
-			return nil, fmt.Errorf("farm: bad class digit %q", s[i])
-		}
-		out[i] = core.RawClass(d)
-	}
-	return out, nil
-}
+func decodeClasses(s string) ([]core.RawClass, error) { return core.UnpackClasses(s) }
 
-func encodeFlags(fs []bool) string {
-	b := make([]byte, len(fs))
-	for i, f := range fs {
-		if f {
-			b[i] = '1'
-		} else {
-			b[i] = '0'
-		}
-	}
-	return string(b)
-}
+func encodeFlags(fs []bool) string { return core.PackFlags(fs) }
 
-func decodeFlags(s string) []bool {
-	out := make([]bool, len(s))
-	for i := 0; i < len(s); i++ {
-		out[i] = s[i] == '1'
-	}
-	return out
-}
+func decodeFlags(s string) []bool { return core.UnpackFlags(s) }
 
 // Journal appends completed-shard records to a checkpoint file,
 // serialized across writers and fsynced per record so a kill at any

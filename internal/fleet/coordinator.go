@@ -14,6 +14,7 @@ import (
 	"ballista/internal/osprofile"
 	"ballista/internal/telemetry"
 	"ballista/internal/telemetry/span"
+	"ballista/internal/version"
 )
 
 // exploreChunk is how many fuzzer candidates travel in one lease: small
@@ -108,6 +109,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Spec.V != SpecVersion {
 		return nil, fmt.Errorf("fleet: unsupported spec version %d", cfg.Spec.V)
+	}
+	if cfg.Spec.Code == "" {
+		cfg.Spec.Code = version.Stamp()
 	}
 	if cfg.TTL <= 0 {
 		cfg.TTL = 15 * time.Second

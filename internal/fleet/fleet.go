@@ -60,6 +60,11 @@ const SpecVersion = 1
 type CampaignSpec struct {
 	V    int    `json:"v"`
 	Kind string `json:"kind"` // "farm" or "explore"
+	// Code is the coordinator's code-version stamp (git revision or
+	// catalog hash; see internal/version).  It folds the build into the
+	// campaign identity, so workers running a different build are turned
+	// away at join instead of merging incompatible results.
+	Code string `json:"code,omitempty"`
 	// OS is the campaign OS wire name ("farm" kind).
 	OS string `json:"os,omitempty"`
 	// Cap bounds test cases per MuT.

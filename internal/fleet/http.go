@@ -23,7 +23,7 @@ const maxBodyBytes = 8 << 20
 //	POST /fleet/v1/upload     UploadRequest    -> UploadResponse
 //	POST /fleet/v1/heartbeat  HeartbeatRequest -> HeartbeatResponse
 //	GET  /fleet/v1/status                      -> StatusResponse
-//	GET  /fleet/v1/spans[?n=N]                 -> SpansResponse
+//	GET  /fleet/v1/spans[?limit=N&phase=P]     -> SpansResponse
 //
 // The handler is cached; it stays valid for the coordinator's lifetime
 // and can be mounted under a larger mux (the testing service mounts it
@@ -57,17 +57,20 @@ func (c *Coordinator) Handler() http.Handler {
 				return
 			}
 			limit := 0
-			if s := r.URL.Query().Get("n"); s != "" {
-				v, err := strconv.Atoi(s)
-				if err != nil || v < 0 {
-					httpError(w, http.StatusBadRequest, "n must be a non-negative integer")
-					return
+			for _, key := range []string{"n", "limit"} { // ?limit= is the documented alias
+				if s := r.URL.Query().Get(key); s != "" {
+					v, err := strconv.Atoi(s)
+					if err != nil || v < 0 {
+						httpError(w, http.StatusBadRequest, key+" must be a non-negative integer")
+						return
+					}
+					limit = v
 				}
-				limit = v
 			}
 			rec := c.cfg.Spans
 			n := writeJSON(w, http.StatusOK, &SpansResponse{
-				Trace: rec.Trace(), Seen: rec.Seen(), Spans: rec.Last(limit),
+				Trace: rec.Trace(), Seen: rec.Seen(),
+				Spans: rec.LastFiltered(limit, r.URL.Query().Get("phase")),
 			})
 			c.emit(core.FleetEvent{Kind: "rpc", BytesOut: n})
 		})

@@ -60,6 +60,7 @@ import (
 	"ballista/internal/fleet"
 	"ballista/internal/osprofile"
 	"ballista/internal/report"
+	"ballista/internal/store"
 	"ballista/internal/telemetry"
 	"ballista/internal/telemetry/span"
 )
@@ -284,6 +285,16 @@ type Server struct {
 	// serves /fleet/v1/ while a campaign is in flight.
 	fleetMu    sync.Mutex
 	fleetCoord *fleet.Coordinator
+
+	// store, when set, is the content-addressed result cache threaded
+	// through every campaign the server runs; its counters surface at
+	// /metrics as ballista_store_* and on GET /api/status.
+	store *store.Store
+	// queue is the multi-tenant campaign queue (always present); its
+	// journal, when configured, makes accepted campaigns survive
+	// restarts.
+	queue        *queue
+	queueJournal *QueueJournal
 }
 
 // ServerOption configures NewServer.
@@ -336,6 +347,41 @@ func WithSpanRecorder(rec *span.Recorder) ServerOption {
 	return func(s *Server) { s.spans = rec }
 }
 
+// WithStore threads a content-addressed result cache through every
+// campaign the server runs.  The caller owns the store and closes it
+// after the server shuts down.
+func WithStore(st *store.Store) ServerOption {
+	return func(s *Server) { s.store = st }
+}
+
+// WithQueueJournal makes the campaign queue persistent: qj's replayed
+// records rebuild history and re-enqueue acknowledged-but-unfinished
+// campaigns, and every subsequent submission/outcome appends to it.
+// Server.Close closes the journal.
+func WithQueueJournal(qj *QueueJournal) ServerOption {
+	return func(s *Server) { s.queueJournal = qj }
+}
+
+// WithTenantQuota bounds one tenant's active (queued + running)
+// campaigns; n <= 0 keeps DefaultTenantQuota.
+func WithTenantQuota(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.queue.quota = n
+		}
+	}
+}
+
+// WithQueueExecutors sets how many queued campaigns execute at once
+// (default 1: strict priority order).
+func WithQueueExecutors(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.queue.executors = n
+		}
+	}
+}
+
 // NewServer builds the service with all routes installed.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
@@ -344,6 +390,7 @@ func NewServer(opts ...ServerOption) *Server {
 		ring:       telemetry.NewRing(DefaultEventRing),
 		sem:        make(chan struct{}, DefaultMaxCampaigns),
 		chaosStats: chaos.NewStats(),
+		queue:      newQueue(0, 0),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -356,6 +403,13 @@ func NewServer(opts ...ServerOption) *Server {
 	}
 	s.metrics.SetChaosStats(s.chaosStats)
 	s.metrics.SetSpanRecorder(s.spans)
+	s.metrics.SetQueueStats(s.queue.stats)
+	if s.store != nil {
+		s.metrics.SetStore(s.store)
+	}
+	if s.queueJournal != nil {
+		s.resumeQueue()
+	}
 	s.mux.HandleFunc("GET /api/oses", s.handleOSes)
 	s.mux.HandleFunc("GET /api/muts", s.handleMuTs)
 	s.mux.HandleFunc("POST /api/campaign", s.handleCampaign)
@@ -364,6 +418,12 @@ func NewServer(opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
 	s.mux.HandleFunc("GET /api/events", s.handleEvents)
 	s.mux.HandleFunc("GET /api/spans", s.handleSpans)
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	s.mux.HandleFunc("POST /api/campaigns", s.handleQueueSubmit)
+	s.mux.HandleFunc("GET /api/campaigns", s.handleQueueList)
+	s.mux.HandleFunc("GET /api/campaigns/{id}", s.handleQueueGet)
+	s.mux.HandleFunc("GET /api/campaigns/{id}/csv", s.handleQueueCSV)
+	s.mux.HandleFunc("GET /api/campaigns/{id}/events", s.handleQueueEvents)
 	s.mux.HandleFunc("POST /api/fleet/campaign", s.handleFleetCampaign)
 	s.mux.HandleFunc("GET /api/fleet/status", s.handleFleetStatus)
 	s.mux.Handle("/fleet/v1/", http.HandlerFunc(s.serveFleet))
@@ -468,15 +528,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	n := 100
-	if v := r.URL.Query().Get("n"); v != "" {
-		parsed, err := strconv.Atoi(v)
-		if err != nil || parsed <= 0 {
-			s.httpError(w, http.StatusBadRequest, "bad n")
-			return
+	for _, key := range []string{"n", "limit"} { // ?limit= is the documented alias
+		if v := r.URL.Query().Get(key); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed <= 0 {
+				s.httpError(w, http.StatusBadRequest, "bad "+key)
+				return
+			}
+			n = parsed
 		}
-		n = parsed
 	}
-	spans := s.spans.Last(n)
+	spans := s.spans.LastFiltered(n, r.URL.Query().Get("phase"))
 	if spans == nil {
 		spans = []span.Record{}
 	}
@@ -521,6 +583,9 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := []ballista.Option{ballista.WithObserver(s.observer()), ballista.WithSpans(s.spans)}
+	if s.store != nil {
+		opts = append(opts, ballista.WithStore(s.store))
+	}
 	if req.Cap > 0 {
 		opts = append(opts, ballista.WithCap(req.Cap))
 	}
@@ -700,8 +765,15 @@ func (s *Server) handleFleetCampaign(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	s.fleetMu.Lock()
 	if s.fleetCoord != nil {
+		active := s.fleetCoord.ID()
 		s.fleetMu.Unlock()
-		s.httpError(w, http.StatusConflict, "a fleet campaign is already active")
+		// Tell the queued client which campaign holds the slot and when
+		// to come back, so it can back off intelligently.
+		w.Header().Set("Retry-After", strconv.Itoa(DefaultRetryAfter))
+		s.writeJSON(w, http.StatusConflict, map[string]string{
+			"error":           "a fleet campaign is already active",
+			"active_campaign": active,
+		})
 		return
 	}
 	s.fleetCoord = coord
@@ -858,6 +930,9 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		workers = n
 	}
 	opts := []ballista.Option{ballista.WithCap(cap), ballista.WithObserver(s.observer())}
+	if s.store != nil {
+		opts = append(opts, ballista.WithStore(s.store))
+	}
 	if !s.acquire(w) {
 		return
 	}

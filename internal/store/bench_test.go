@@ -1,0 +1,49 @@
+package store_test
+
+import (
+	"context"
+	"testing"
+
+	"ballista"
+)
+
+// BenchmarkStoreWarm measures warm-cache campaign throughput: the store
+// is populated by one cold full-catalog WinNT run outside the timer,
+// then every timed iteration replays the whole campaign from cache.
+// The cases/sec metric feeds the benchgate baseline (BENCH_store.json);
+// a regression here means hits stopped being cheap.  CI runs this with
+// -benchtime=100x: a warm iteration is ~1ms, so a single iteration
+// would be too noisy to gate on.
+func BenchmarkStoreWarm(b *testing.B) {
+	st, err := ballista.OpenStore(ballista.StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold, err := ballista.RunFarm(context.Background(), ballista.WinNT,
+		ballista.FarmConfig{Workers: 4}, ballista.WithStore(st))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if hits := st.Snapshot().Hits; hits != 0 {
+		b.Fatalf("cold fill already hit %d times", hits)
+	}
+	b.ResetTimer()
+	var cases int
+	for i := 0; i < b.N; i++ {
+		res, err := ballista.RunFarm(context.Background(), ballista.WinNT,
+			ballista.FarmConfig{Workers: 4}, ballista.WithStore(st))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = res.CasesRun
+	}
+	b.StopTimer()
+	if cases != cold.CasesRun {
+		b.Fatalf("warm run reports %d cases, cold %d", cases, cold.CasesRun)
+	}
+	s := st.Snapshot()
+	if s.Hits == 0 || s.Misses != s.Puts {
+		b.Fatalf("warm iterations were not served from the store: %+v", s)
+	}
+	b.ReportMetric(float64(cases)*float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
+}

@@ -11,6 +11,7 @@ import (
 
 	"ballista/internal/chaos"
 	"ballista/internal/core"
+	"ballista/internal/store"
 	"ballista/internal/telemetry/span"
 )
 
@@ -104,6 +105,27 @@ type Metrics struct {
 	// spans, when set, is snapshotted into ballista_span_* series at
 	// scrape time (the flight recorder owns the live histograms).
 	spans *span.Recorder
+
+	// store, when set, is snapshotted into ballista_store_* series at
+	// scrape time (the result cache owns the live counters).
+	store *store.Store
+
+	// queueStats, when set, is called at scrape time to render the
+	// ballista_queue_* series (the campaign queue owns the live state; a
+	// closure avoids a telemetry→service dependency).
+	queueStats func() QueueStats
+}
+
+// QueueStats is a point-in-time snapshot of the campaign queue,
+// rendered into the ballista_queue_* series.
+type QueueStats struct {
+	Queued    int
+	Running   int
+	Submitted uint64
+	Rejected  uint64
+	Done      uint64
+	Failed    uint64
+	Canceled  uint64
 }
 
 // NewMetrics creates an empty registry.
@@ -257,6 +279,23 @@ func (m *Metrics) SetChaosStats(s *chaos.Stats) {
 func (m *Metrics) SetSpanRecorder(r *span.Recorder) {
 	m.mu.Lock()
 	m.spans = r
+	m.mu.Unlock()
+}
+
+// SetStore attaches the content-addressed result cache; its hit/miss
+// counters are rendered into the ballista_store_* series on every
+// scrape.
+func (m *Metrics) SetStore(s *store.Store) {
+	m.mu.Lock()
+	m.store = s
+	m.mu.Unlock()
+}
+
+// SetQueueStats attaches a campaign-queue snapshot source; it is called
+// on every scrape to render the ballista_queue_* series.
+func (m *Metrics) SetQueueStats(fn func() QueueStats) {
+	m.mu.Lock()
+	m.queueStats = fn
 	m.mu.Unlock()
 }
 
@@ -433,6 +472,54 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP ballista_fleet_workers_live Fleet workers seen within the liveness window.\n")
 	fmt.Fprintf(w, "# TYPE ballista_fleet_workers_live gauge\n")
 	fmt.Fprintf(w, "ballista_fleet_workers_live %d\n", m.fleetWorkersLive)
+
+	// Result-store series (only when a content-addressed cache is attached).
+	if m.store != nil {
+		snap := m.store.Snapshot()
+		for _, series := range []struct {
+			metric, help string
+			v            uint64
+		}{
+			{"ballista_store_hits_total", "Shards served from the content-addressed result cache.", snap.Hits},
+			{"ballista_store_misses_total", "Shard lookups the result cache could not serve.", snap.Misses},
+			{"ballista_store_puts_total", "Shards written into the result cache.", snap.Puts},
+			{"ballista_store_evictions_total", "Entries evicted from the result cache by the LRU bound.", snap.Evictions},
+		} {
+			fmt.Fprintf(w, "# HELP %s %s\n", series.metric, series.help)
+			fmt.Fprintf(w, "# TYPE %s counter\n", series.metric)
+			fmt.Fprintf(w, "%s %d\n", series.metric, series.v)
+		}
+		fmt.Fprintf(w, "# HELP ballista_store_entries Entries resident in the result cache.\n")
+		fmt.Fprintf(w, "# TYPE ballista_store_entries gauge\n")
+		fmt.Fprintf(w, "ballista_store_entries %d\n", snap.Entries)
+	}
+
+	// Campaign-queue series (only when the multi-tenant queue is attached).
+	if m.queueStats != nil {
+		qs := m.queueStats()
+		for _, series := range []struct {
+			metric, help string
+			v            uint64
+		}{
+			{"ballista_queue_submitted_total", "Campaigns accepted into the queue.", qs.Submitted},
+			{"ballista_queue_rejected_total", "Campaign submissions rejected (quota or validation).", qs.Rejected},
+		} {
+			fmt.Fprintf(w, "# HELP %s %s\n", series.metric, series.help)
+			fmt.Fprintf(w, "# TYPE %s counter\n", series.metric)
+			fmt.Fprintf(w, "%s %d\n", series.metric, series.v)
+		}
+		fmt.Fprintf(w, "# HELP ballista_queue_completed_total Campaigns that reached a terminal state, by state.\n")
+		fmt.Fprintf(w, "# TYPE ballista_queue_completed_total counter\n")
+		fmt.Fprintf(w, "ballista_queue_completed_total{state=\"done\"} %d\n", qs.Done)
+		fmt.Fprintf(w, "ballista_queue_completed_total{state=\"failed\"} %d\n", qs.Failed)
+		fmt.Fprintf(w, "ballista_queue_completed_total{state=\"canceled\"} %d\n", qs.Canceled)
+		fmt.Fprintf(w, "# HELP ballista_queue_depth Campaigns waiting in the queue.\n")
+		fmt.Fprintf(w, "# TYPE ballista_queue_depth gauge\n")
+		fmt.Fprintf(w, "ballista_queue_depth %d\n", qs.Queued)
+		fmt.Fprintf(w, "# HELP ballista_queue_running Campaigns currently executing.\n")
+		fmt.Fprintf(w, "# TYPE ballista_queue_running gauge\n")
+		fmt.Fprintf(w, "ballista_queue_running %d\n", qs.Running)
+	}
 
 	// Chaos-injection series (only when a campaign carries a fault plan).
 	if m.chaosStats != nil {

@@ -391,6 +391,43 @@ func (r *Recorder) lastLocked(n int) []Record {
 	return out
 }
 
+// LastFiltered returns up to n most recent records whose Phase matches
+// phase, oldest first (phase "" matches everything, n <= 0 means no
+// bound).  The scan walks the ring newest-to-oldest so a small n over a
+// large ring stays cheap.
+func (r *Recorder) LastFiltered(n int, phase string) []Record {
+	if r == nil {
+		return nil
+	}
+	if phase == "" {
+		return r.Last(n)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	var out []Record
+	for i := size - 1; i >= 0 && len(out) < n; i-- {
+		idx := i
+		if r.full {
+			idx = (r.next + i) % len(r.buf)
+		}
+		if r.buf[idx].Phase == phase {
+			out = append(out, r.buf[idx])
+		}
+	}
+	// Reverse to oldest-first, matching Last.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
 // PhaseStats snapshots the per-phase latency summaries, keyed by phase
 // name (the ballista_span_* metrics feed).
 func (r *Recorder) PhaseStats() map[string]PhaseStat {

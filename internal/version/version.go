@@ -1,0 +1,74 @@
+// Package version stamps the running code so campaign identities and
+// content-addressed store keys are sound across binary versions: a
+// cached result is only reusable by the code that would reproduce it.
+//
+// Resolution order:
+//  1. an explicit -ldflags "-X ballista/internal/version.override=..."
+//  2. the VCS revision embedded by the Go toolchain (debug.ReadBuildInfo)
+//  3. a hash of the MuT catalog content — test binaries and non-VCS
+//     builds still get a stamp that moves when the tested surface moves.
+package version
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"runtime/debug"
+	"sync"
+
+	"ballista/internal/catalog"
+)
+
+// override is set at link time; it wins over everything.
+var override string
+
+var (
+	once  sync.Once
+	stamp string
+)
+
+// Stamp returns the code-version stamp, computed once per process.
+func Stamp() string {
+	once.Do(func() { stamp = resolve() })
+	return stamp
+}
+
+func resolve() string {
+	if override != "" {
+		return override
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	return "catalog-" + catalogHash()
+}
+
+// catalogHash fingerprints the full MuT catalog: every surface's MuT
+// names, groups and parameter types.  Any catalog change — which would
+// change case generation — moves the stamp.
+func catalogHash() string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, a := range []catalog.API{catalog.CLib, catalog.Win32, catalog.POSIX} {
+		for _, m := range catalog.ForAPI(a) {
+			_ = enc.Encode(m)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}
