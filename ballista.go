@@ -18,6 +18,7 @@ import (
 	"ballista/internal/chaos"
 	"ballista/internal/clib"
 	"ballista/internal/core"
+	"ballista/internal/crashsim"
 	"ballista/internal/explore"
 	"ballista/internal/farm"
 	"ballista/internal/fleet"
@@ -109,11 +110,17 @@ type (
 	ShardEvent    = core.ShardEvent
 	ChainEvent    = core.ChainEvent
 	ChainStep     = core.ChainStep
+	CrashEvent    = core.CrashEvent
 )
 
 // ChainObserver re-exports the sequence-fuzzer event hook (an optional
 // extension of Observer; the internal/telemetry observers implement it).
 type ChainObserver = core.ChainObserver
+
+// CrashObserver re-exports the crash-consistency sweep event hook (an
+// optional extension of Observer; the internal/telemetry observers
+// implement it).
+type CrashObserver = core.CrashObserver
 
 // WithObserver attaches a telemetry observer to the campaign.  The
 // observer sees every case (OnCaseDone), MuT campaign start, machine
@@ -593,6 +600,45 @@ func NewSpanRecorder(o SpanOptions) *SpanRecorder { return span.New(o) }
 func WithSpans(rec *SpanRecorder) Option {
 	return func(c *core.Config) { c.Spans = rec }
 }
+
+// CrashConfig re-exports the crash-consistency sweep configuration (see
+// internal/crashsim): the bounded B3-style workload enumerator, per-OS
+// durability policies, legal post-crash state enumeration and the
+// invariant checker, run as a differential oracle across profiles.
+type CrashConfig = crashsim.Config
+
+// CrashReport re-exports the crash-sweep report.  The report is
+// deterministic: the same Config (seed, OS set, bound, budget) yields
+// byte-identical JSON for any worker count.
+type CrashReport = crashsim.Report
+
+// CrashFinding re-exports one deduplicated, minimized crash-oracle
+// finding.
+type CrashFinding = crashsim.Finding
+
+// CrashReproducer re-exports the self-contained minimized crash-finding
+// document (the crash half of the golden regression corpus).
+type CrashReproducer = crashsim.Reproducer
+
+// CrashSweep runs one bounded crash-consistency sweep: every enumerated
+// workload is executed against the persistence model of each OS profile,
+// every crash point's legal post-crash states are enumerated under that
+// profile's durability policy, and the invariant checker's verdicts are
+// compared across profiles.
+func CrashSweep(ctx context.Context, cfg CrashConfig) (*CrashReport, error) {
+	return crashsim.Sweep(ctx, cfg)
+}
+
+// LoadCrashReproducer parses a minimized crash-finding document from a
+// JSON file.
+func LoadCrashReproducer(path string) (*CrashReproducer, error) {
+	return crashsim.LoadReproducer(path)
+}
+
+// VerifyCrashReproducer re-evaluates a crash reproducer's workload and
+// checks the recorded per-OS verdicts still hold (the golden corpus
+// regression check).
+func VerifyCrashReproducer(rep *CrashReproducer) error { return rep.Verify() }
 
 // HinderResult re-exports the Hindering-failure probe outcome.
 type HinderResult = hinder.Result

@@ -13,6 +13,8 @@
 //	ballista -os winnt -workers 8 -checkpoint nt.ckpt  # resumable
 //	ballista -explore -chains 2000 -seed 7             # sequence fuzzer
 //	ballista -explore -diff-os linux,win98,winnt -repro-dir findings/
+//	ballista -crashcheck -seed 7                       # crash-consistency oracle
+//	ballista -crashcheck -workers 8 -crash-out crash.json -repro-dir findings/
 //	ballista -os winnt -chaos-seed 42                  # seeded fault sweep
 //	ballista -os winnt -chaos-seed 42 -chaos-preset disk -csv report.csv
 //	ballista -os winnt -chaos-plan faults.json -case-deadline 100ms
@@ -31,10 +33,22 @@
 // deterministic for a given -seed regardless of -workers; -checkpoint
 // journals every candidate so a killed run resumes exactly; -repro-dir
 // writes the minimized findings as self-contained JSON reproducers.
+//
+// -crashcheck runs the crash-consistency differential oracle: the
+// bounded B3-style workload set (chains of create/write/fsync/rename/
+// link/remove) is executed against the persistence model of each OS
+// profile, every crash point's legal post-crash states are enumerated
+// under that profile's durability policy (FAT's torn renames, ext2's
+// data-only fsync, NTFS's metadata journal, CE's transactional store),
+// and an invariant checker's verdicts are compared across profiles.
+// The sweep is deterministic for a given -seed regardless of -workers;
+// -checkpoint journals per-workload results for kill+resume; -crash-out
+// writes the report as a diffable JSON artifact.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -107,11 +121,16 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "journal completed MuT shards to this JSONL file and resume from it")
 	exploreFlag := flag.Bool("explore", false, "run the coverage-guided sequence fuzzer with the cross-OS differential oracle")
 	chains := flag.Int("chains", 2000, "explore: candidate chain budget")
-	seed := flag.Uint64("seed", 1, "explore: campaign seed (same seed = same report)")
+	seed := flag.Uint64("seed", 1, "explore/crashcheck: campaign seed (same seed = same report)")
 	maxLen := flag.Int("maxlen", 8, "explore: maximum chain length (2-8)")
 	diffOS := flag.String("diff-os", "", "explore: comma-separated differential-oracle OS set (default: all seven)")
 	exploreMuTs := flag.String("explore-muts", "", "explore: comma-separated chain alphabet (default: cross-OS intersection)")
-	reproDir := flag.String("repro-dir", "", "explore: write minimized reproducer JSON files to this directory")
+	reproDir := flag.String("repro-dir", "", "explore/crashcheck: write minimized reproducer JSON files to this directory")
+	crashFlag := flag.Bool("crashcheck", false, "run the crash-consistency differential oracle over the simulated filesystem")
+	crashMaxOps := flag.Int("crash-maxops", 2, "crashcheck: workload chain-length bound (B3's seq bound)")
+	crashBudget := flag.Int("crash-budget", 0, "crashcheck: cap the enumerated workload set (0 = exhaustive)")
+	crashOS := flag.String("crash-os", "", "crashcheck: comma-separated differential OS set (default: all seven)")
+	crashOut := flag.String("crash-out", "", "crashcheck: write the report JSON to this file (a deterministic artifact, diffable across runs)")
 	chaosFlags := cliutil.AddChaosFlags(flag.CommandLine)
 	fleetFlags := cliutil.AddFleetFlags(flag.CommandLine)
 	spanFlags := cliutil.AddSpanFlags(flag.CommandLine)
@@ -232,6 +251,16 @@ func main() {
 			plan: plan, chaosStats: chaosStats, observers: observers,
 			ttl: fleetFlags.TTL, heartbeat: fleetFlags.Heartbeat,
 			csv: *csvFlag, verbose: *verbose, spans: spanRec,
+		})
+		return
+	}
+
+	if *crashFlag {
+		runCrashCheck(crashOpts{
+			seed: *seed, maxOps: *crashMaxOps, budget: *crashBudget,
+			osSet: *crashOS, workers: *workers, checkpoint: *checkpoint,
+			reproDir: *reproDir, out: *crashOut, verbose: *verbose,
+			observers: observers, spans: spanRec,
 		})
 		return
 	}
@@ -688,6 +717,95 @@ func runExplore(primary ballista.OS, eo exploreOpts) {
 			}
 		}
 		fmt.Printf("wrote %d reproducers to %s\n", len(reps), eo.reproDir)
+	}
+}
+
+// crashOpts carries the -crashcheck flag set.
+type crashOpts struct {
+	seed                    uint64
+	maxOps, budget, workers int
+	osSet, checkpoint       string
+	reproDir, out           string
+	verbose                 bool
+	observers               []ballista.Observer
+	spans                   *ballista.SpanRecorder
+}
+
+func runCrashCheck(co crashOpts) {
+	cfg := ballista.CrashConfig{
+		Seed: co.seed, MaxOps: co.maxOps, Budget: co.budget,
+		Workers: co.workers, Checkpoint: co.checkpoint, Spans: co.spans,
+	}
+	if co.osSet != "" {
+		for _, name := range strings.Split(co.osSet, ",") {
+			o, ok := osprofile.Parse(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ballista: unknown OS %q in -crash-os\n", name)
+				exit(2)
+			}
+			cfg.OSes = append(cfg.OSes, o)
+		}
+	}
+	if len(co.observers) > 0 {
+		cfg.Observer = telemetry.Multi(co.observers...)
+	}
+
+	ctx, stop, caught := signalContext()
+	defer stop()
+
+	start := time.Now()
+	rep, err := ballista.CrashSweep(ctx, cfg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ballista: crash sweep interrupted")
+			if co.checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "ballista: evaluated workloads journaled; re-run with -checkpoint %s to resume\n", co.checkpoint)
+			}
+			exit(signalExitCode(caught))
+		}
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		exit(1)
+	}
+
+	fmt.Printf("crashcheck (oracle: %s): %d workloads, %d crash points, %d legal states, %d divergent, %d violating, %v\n",
+		strings.Join(rep.OSes, " "), rep.Workloads, rep.CrashPoints, rep.States,
+		rep.Divergent, rep.Violating, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("findings: %d distinct (op kinds x result pattern x violations)\n", len(rep.Findings))
+	for i, f := range rep.Findings {
+		if !co.verbose && i >= 10 {
+			fmt.Printf("  ... %d more (use -v for all)\n", len(rep.Findings)-i)
+			break
+		}
+		fmt.Printf("  %-36s %s\n", f.Workload.Key(), f.Signature)
+	}
+
+	if co.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			exit(1)
+		}
+		if err := os.WriteFile(co.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			exit(1)
+		}
+		fmt.Printf("wrote report to %s\n", co.out)
+	}
+	if co.reproDir != "" {
+		if err := os.MkdirAll(co.reproDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			exit(1)
+		}
+		reps := rep.Reproducers()
+		for i, r := range reps {
+			r.Name = fmt.Sprintf("crash-%03d", i)
+			path := fmt.Sprintf("%s/crash-%03d.json", strings.TrimRight(co.reproDir, "/"), i)
+			if err := r.WriteFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "ballista:", err)
+				exit(1)
+			}
+		}
+		fmt.Printf("wrote %d reproducers to %s\n", len(reps), co.reproDir)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	curl localhost:8717/api/muts?os=wince
 //	curl -d '{"os":"win98","mut":"ReadFile","cap":1000}' localhost:8717/api/campaign
 //	curl -d '{"os":"win98","mut":"GetThreadContext","case":[5,0]}' localhost:8717/api/case
+//	curl -d '{"seed":7,"workers":4}' localhost:8717/api/crashcheck
 //	curl 'localhost:8717/api/summary?os=winnt&cap=500'
 //	curl 'localhost:8717/api/events?n=50'
 //	curl 'localhost:8717/api/spans?limit=50&phase=mut'

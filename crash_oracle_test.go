@@ -1,0 +1,140 @@
+package ballista_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ballista"
+)
+
+func crashReportJSON(t *testing.T, rep *ballista.CrashReport) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCrashSweepDeterminismOracle is the facade-level determinism
+// oracle, the crash-consistency twin of TestStoreWarmRerunIsPure-
+// Observation: the seeded sweep must produce a byte-identical report at
+// one worker and at eight, and a sweep killed mid-run must resume from
+// its checkpoint journal to that same report.
+func TestCrashSweepDeterminismOracle(t *testing.T) {
+	ref, err := ballista.CrashSweep(context.Background(), ballista.CrashConfig{Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Workloads == 0 || len(ref.Findings) == 0 {
+		t.Fatalf("reference sweep is empty: %d workloads, %d findings", ref.Workloads, len(ref.Findings))
+	}
+	want := crashReportJSON(t, ref)
+
+	for _, workers := range []int{2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rep, err := ballista.CrashSweep(context.Background(),
+				ballista.CrashConfig{Seed: 7, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, crashReportJSON(t, rep)) {
+				t.Errorf("report at %d workers is not byte-identical to 1 worker", workers)
+			}
+		})
+	}
+
+	t.Run("kill+resume", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "crash.ckpt")
+		cfg := ballista.CrashConfig{Seed: 7, Workers: 4, Checkpoint: path}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := ballista.CrashSweep(ctx, cfg); err == nil {
+			t.Fatal("cancelled sweep reported no error")
+		}
+		resumed, err := ballista.CrashSweep(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, crashReportJSON(t, resumed)) {
+			t.Error("resumed report is not byte-identical to the uninterrupted run")
+		}
+	})
+}
+
+// TestCrashSweepMatchesGolden pins the default seed-7 sweep to the
+// committed artifact.  A change to any durability policy, the state
+// enumerator, or an invariant shifts the findings and must come with a
+// regenerated golden: go run ./cmd/ballista -crashcheck -seed 7
+// -crash-out testdata/crashsweep-golden.json
+func TestCrashSweepMatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "crashsweep-golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ballista.CrashSweep(context.Background(), ballista.CrashConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if !bytes.Equal(golden, got) {
+		t.Error("seed-7 sweep diverges from testdata/crashsweep-golden.json; " +
+			"if intentional, regenerate with -crashcheck -crash-out")
+	}
+}
+
+// TestCrashReproducerRoundTrip: a reproducer written by the sweep loads
+// back and re-verifies through the facade, and rejects tampering.
+func TestCrashReproducerRoundTrip(t *testing.T) {
+	rep, err := ballista.CrashSweep(context.Background(), ballista.CrashConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	reps := rep.Reproducers()
+	if len(reps) != len(rep.Findings) {
+		t.Fatalf("%d reproducers from %d findings", len(reps), len(rep.Findings))
+	}
+	r := reps[0]
+	r.Name = "rt-000"
+	path := filepath.Join(dir, "rt-000.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ballista.LoadCrashReproducer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ballista.VerifyCrashReproducer(loaded); err != nil {
+		t.Fatalf("round-tripped reproducer fails verification: %v", err)
+	}
+
+	// Tamper with a recorded state count: verification must notice.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"states"`, `"states_x"`, 1)
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := ballista.LoadCrashReproducer(bad)
+	if err != nil {
+		// A load-time rejection is equally fine.
+		return
+	}
+	if err := ballista.VerifyCrashReproducer(lb); err == nil {
+		t.Error("tampered reproducer verified cleanly")
+	}
+}

@@ -47,6 +47,51 @@ func TestGoldenCorpus(t *testing.T) {
 	}
 }
 
+// TestGoldenCrashCorpus replays every minimized crash-consistency
+// reproducer in testdata/corpus/crash and asserts each workload still
+// produces the recorded per-OS verdict: op results, legal post-crash
+// state counts, and invariant violations at every crash point.  A
+// change to a durability policy, the persistence model, or the state
+// enumerator that shifts any profile's crash behaviour shows up here as
+// a named, replayable failure.
+func TestGoldenCrashCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "crash", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("golden crash corpus too small: %d files, want at least 10", len(files))
+	}
+	var divergent, violating int
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			rep, err := ballista.LoadCrashReproducer(path)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if rep.Divergent {
+				divergent++
+			}
+			if rep.Violating {
+				violating++
+			}
+			if !rep.Divergent && !rep.Violating {
+				t.Error("reproducer is neither divergent nor violating; it is not a finding")
+			}
+			if err := ballista.VerifyCrashReproducer(rep); err != nil {
+				t.Errorf("replay mismatch: %v", err)
+			}
+		})
+	}
+	if divergent == 0 {
+		t.Error("crash corpus contains no cross-OS divergences")
+	}
+	if violating == 0 {
+		t.Error("crash corpus contains no invariant violations")
+	}
+}
+
 // TestGoldenCorpusSignatures asserts each reproducer earns its place:
 // either some machine crashed (catastrophic), or the final step's
 // classes disagree across OS variants.  A file with uniform, crash-free

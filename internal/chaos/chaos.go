@@ -99,6 +99,12 @@ const (
 	KindFail = "fail"
 )
 
+// TornSplit returns how many of n bytes land when a KindShort fault
+// tears a write.  Every consumer of the torn-write model (the fs.write
+// fault point, crash-state enumeration of torn tails) must share this
+// split so enumerated post-crash states match injected ones.
+func TornSplit(n int) int { return n / 2 }
+
 // Rule arms one fault class.  Rules are evaluated in plan order; the
 // first rule that fires at a decision point wins.
 type Rule struct {

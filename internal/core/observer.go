@@ -222,6 +222,42 @@ type FleetObserver interface {
 	OnFleetEvent(ev FleetEvent)
 }
 
+// CrashEvent reports one bounded workload evaluated by the
+// crash-consistency differential oracle (internal/crashsim): the
+// workload chain, how many legal post-crash states the OS profiles'
+// durability policies admitted, and whether any invariant was violated
+// or any profile diverged.  Events fire in deterministic workload order
+// from the sweep's merge loop, never concurrently from its workers.
+type CrashEvent struct {
+	// Seq is the workload ordinal within the sweep's enumeration.
+	Seq int
+	// Workload is the compact op-chain key ("create(f1);rename(f1,f0)").
+	Workload string
+	// OSes lists the wire names checked.
+	OSes []string
+	// CrashPoints is the number of crash points enumerated (one per op).
+	CrashPoints int
+	// States is the total count of legal post-crash states checked
+	// across all OSes and crash points.
+	States int
+	// Violations counts (OS, crash point) pairs with at least one
+	// invariant violation.
+	Violations int
+	// Divergent marks a workload whose op results or violation sets
+	// differ across the OS set.
+	Divergent bool
+	// Violating marks a workload with at least one invariant violation
+	// on at least one OS.
+	Violating bool
+}
+
+// CrashObserver is an optional extension interface: Observers that also
+// implement it receive per-workload events from crash-consistency
+// sweeps.
+type CrashObserver interface {
+	OnCrashDone(ev CrashEvent)
+}
+
 // NopObserver implements Observer with no-ops; embed it to implement a
 // subset of the hooks.
 type NopObserver struct{}

@@ -1,0 +1,115 @@
+package crashsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+
+	"ballista/internal/osprofile"
+)
+
+// The checkpoint journal is append-only JSONL: an identity header, then
+// one line per completed workload.  Torn tails from a mid-write kill
+// are tolerated — an unparseable line is skipped, and the workload just
+// re-evaluates on resume (evaluation is pure, so the report cannot
+// drift).
+
+type ckptHeader struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+}
+
+type ckptLine struct {
+	I int `json:"i"`
+	*wlResult
+}
+
+// sweepID fingerprints the sweep identity so a journal from a different
+// configuration cannot silently poison a resume.
+func sweepID(cfg Config, names []string, oses []osprofile.OS, workloads int) string {
+	h := fnv.New64a()
+	var wire []string
+	for _, o := range oses {
+		wire = append(wire, o.WireName())
+	}
+	fmt.Fprintf(h, "%d|%d|%d|%s|%s|%d",
+		cfg.Seed, cfg.MaxOps, cfg.Budget, strings.Join(names, ","), strings.Join(wire, ","), workloads)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+type ckptJournal struct {
+	f *os.File
+}
+
+// openJournal opens (or creates) the checkpoint at path and returns the
+// journal plus the workload results already completed.  A header that
+// identifies a different sweep is an error, not a silent restart.
+func openJournal(path string, cfg Config, names []string, oses []osprofile.OS, workloads int) (*ckptJournal, map[int]*wlResult, error) {
+	id := sweepID(cfg, names, oses, workloads)
+	done := make(map[int]*wlResult)
+
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(data) > 0:
+		lines := strings.Split(string(data), "\n")
+		var hdr ckptHeader
+		if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+			return nil, nil, fmt.Errorf("crashsim: checkpoint %s: unreadable header: %w", path, err)
+		}
+		if hdr.Kind != "crashsweep" || hdr.V != 1 {
+			return nil, nil, fmt.Errorf("crashsim: checkpoint %s is not a crashsweep journal", path)
+		}
+		if hdr.ID != id {
+			return nil, nil, fmt.Errorf("crashsim: checkpoint %s belongs to a different sweep (id %s, want %s)", path, hdr.ID, id)
+		}
+		for _, line := range lines[1:] {
+			if line == "" {
+				continue
+			}
+			var l ckptLine
+			// A torn tail parses as garbage: skip it, the workload will
+			// simply re-run.
+			if err := json.Unmarshal([]byte(line), &l); err != nil || l.wlResult == nil {
+				continue
+			}
+			if l.I >= 0 && l.I < workloads {
+				done[l.I] = l.wlResult
+			}
+		}
+	case err != nil && !os.IsNotExist(err):
+		return nil, nil, fmt.Errorf("crashsim: reading checkpoint: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crashsim: opening checkpoint: %w", err)
+	}
+	j := &ckptJournal{f: f}
+	if len(data) == 0 {
+		hdr, _ := json.Marshal(ckptHeader{V: 1, Kind: "crashsweep", ID: id})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("crashsim: writing checkpoint header: %w", err)
+		}
+		_ = f.Sync()
+	}
+	return j, done, nil
+}
+
+// append journals one completed workload and fsyncs, so a kill loses at
+// most the line being written (whose torn tail resume skips).
+func (j *ckptJournal) append(i int, r *wlResult) {
+	line, err := json.Marshal(ckptLine{I: i, wlResult: r})
+	if err != nil {
+		return
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return
+	}
+	_ = j.f.Sync()
+}
+
+func (j *ckptJournal) Close() error { return j.f.Close() }

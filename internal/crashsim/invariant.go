@@ -1,0 +1,146 @@
+package crashsim
+
+import (
+	"bytes"
+	"sort"
+
+	"ballista/internal/sim/fs"
+)
+
+// Invariant names, the vocabulary of violation reports.
+const (
+	// InvFsyncUnreachable: a file was fsync'd but no directory entry
+	// reaches it post-crash — the ext2-era "fsync the file, lose the
+	// create" hazard.
+	InvFsyncUnreachable = "fsync-unreachable"
+	// InvFsyncData: an fsync'd file's bytes do not match the content
+	// that was durable-committed by the barrier.
+	InvFsyncData = "fsync-data"
+	// InvRenameDup: a completed rename left the file under both names.
+	InvRenameDup = "rename-dup"
+	// InvRenameLoss: a rename of a durably-existing file left it under
+	// neither name.
+	InvRenameLoss = "rename-loss"
+	// InvOrphanEntry: a directory entry references a missing or freed
+	// file object.
+	InvOrphanEntry = "orphan-entry"
+	// InvOrphanInode: a file object holds a positive link count but no
+	// directory entry reaches it (lost storage, fsck's lost+found).
+	InvOrphanInode = "orphan-inode"
+	// InvLinkCount: a file object's stored link count disagrees with
+	// its actual entry count.
+	InvLinkCount = "link-count"
+)
+
+// checkState runs every persistence invariant against one post-crash
+// state and returns the sorted, deduplicated violation names.
+func checkState(st *DiskState, base *DiskState, pending []fs.PersistRecord, pol Policy) []string {
+	found := make(map[string]bool)
+
+	for i, r := range pending {
+		switch r.Kind {
+		case fs.PersistFsync:
+			// Durability promised at the barrier: the file must still be
+			// reachable (unless the workload itself removed it later) and
+			// must hold the bytes the barrier committed (unless a later
+			// write legitimately overwrote them).
+			removedLater := false
+			dataLater := false
+			for _, p := range pending[i+1:] {
+				if p.Kind == fs.PersistRemove && p.Node == r.Node {
+					removedLater = true
+				}
+				if isData(p.Kind) && p.Node == r.Node {
+					dataLater = true
+				}
+			}
+			if !removedLater && st.entryCount(r.Node) == 0 {
+				found[InvFsyncUnreachable] = true
+			}
+			if !dataLater {
+				want := syncedData(base, pending[:i], r.Node)
+				f := st.Files[r.Node]
+				// A missing file object with nothing synced is the
+				// unreachable case, not a data-loss case.
+				if f == nil && len(want) > 0 || f != nil && !bytes.Equal(f.Data, want) {
+					found[InvFsyncData] = true
+				}
+			}
+		case fs.PersistRename:
+			// Both names present is only a torn rename if nothing later
+			// legitimately re-established the old name for this node.
+			reMade := false
+			for _, p := range pending[i+1:] {
+				if p.Node != r.Node {
+					continue
+				}
+				if (p.Kind == fs.PersistCreate && p.Path == r.Path) ||
+					(p.Kind == fs.PersistLink || p.Kind == fs.PersistRename) && p.Path2 == r.Path {
+					reMade = true
+				}
+			}
+			if id, ok := st.Entries[r.Path]; !reMade && ok && id == r.Node {
+				if id2, ok2 := st.Entries[r.Path2]; ok2 && id2 == r.Node {
+					found[InvRenameDup] = true
+				}
+			}
+			removed := false
+			for _, p := range pending {
+				if p.Kind == fs.PersistRemove && p.Node == r.Node {
+					removed = true
+				}
+			}
+			if !removed && base.entryCount(r.Node) > 0 && st.entryCount(r.Node) == 0 {
+				found[InvRenameLoss] = true
+			}
+		}
+	}
+
+	for _, id := range sortedEntryTargets(st) {
+		f := st.Files[id]
+		if f == nil || (pol.Links && f.Nlink <= 0) {
+			found[InvOrphanEntry] = true
+		}
+	}
+	for id, f := range st.Files {
+		cnt := st.entryCount(id)
+		if f.Nlink > 0 && cnt == 0 {
+			found[InvOrphanInode] = true
+		}
+		if pol.Links && cnt > 0 && cnt != f.Nlink {
+			found[InvLinkCount] = true
+		}
+	}
+
+	out := make([]string, 0, len(found))
+	for v := range found {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// syncedData computes the content the barrier committed: the base image
+// plus every earlier data record on the node, applied whole.
+func syncedData(base *DiskState, before []fs.PersistRecord, node int) []byte {
+	var data []byte
+	if f := base.Files[node]; f != nil {
+		data = append(data, f.Data...)
+	}
+	tmp := &DiskState{Entries: map[string]int{}, Files: map[int]*fileState{node: {Data: data}}}
+	for _, r := range before {
+		if isData(r.Kind) && r.Node == node {
+			tmp.apply(r, modeFull, false)
+		}
+	}
+	return tmp.Files[node].Data
+}
+
+func sortedEntryTargets(st *DiskState) []int {
+	out := make([]int, 0, len(st.Entries))
+	for _, id := range st.Entries {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

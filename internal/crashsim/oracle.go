@@ -1,0 +1,183 @@
+package crashsim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"ballista/internal/osprofile"
+)
+
+// Verdict is one OS profile's view of a workload: the per-op outcome
+// tokens, and per crash point the count of legal post-crash states and
+// the union of invariant violations found across them.
+type Verdict struct {
+	Results    []string   `json:"results"`
+	States     []int      `json:"states"`
+	Violations [][]string `json:"violations"`
+}
+
+// violationUnion flattens a verdict's violations into one sorted set.
+func (v *Verdict) violationUnion() []string {
+	set := make(map[string]bool)
+	for _, vs := range v.Violations {
+		for _, name := range vs {
+			set[name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// violating reports whether any crash point violated any invariant.
+func (v *Verdict) violating() bool {
+	for _, vs := range v.Violations {
+		if len(vs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one evaluated workload: its per-OS verdicts and the
+// differential analysis over them.
+type Finding struct {
+	Workload  Workload            `json:"workload"`
+	Verdicts  map[string]*Verdict `json:"verdicts"`
+	Divergent bool                `json:"divergent,omitempty"`
+	Violating bool                `json:"violating,omitempty"`
+	Signature string              `json:"signature"`
+}
+
+// Interesting reports whether the finding earns a place in a report:
+// either the OS set diverged, or an invariant was violated somewhere.
+func (f *Finding) Interesting() bool { return f.Divergent || f.Violating }
+
+// Evaluate replays one workload across the OS set and runs the full
+// crash-state enumeration and invariant check on each profile.  It is a
+// pure function of (w, names, oses): sweeps stay deterministic for any
+// worker count because evaluation order cannot matter.
+func Evaluate(w Workload, names []string, oses []osprofile.OS) *Finding {
+	if len(names) == 0 {
+		names = DefaultNames()
+	}
+	if len(oses) == 0 {
+		oses = osprofile.All()
+	}
+	f := &Finding{Workload: w, Verdicts: make(map[string]*Verdict, len(oses))}
+	for _, o := range oses {
+		pol := PolicyFor(o)
+		ex := run(w, names, pol)
+		v := &Verdict{Results: ex.results}
+		base := baseState(ex)
+		for cp := 1; cp <= len(w.Ops); cp++ {
+			states := enumerateStates(ex, cp, pol)
+			pending := ex.log.Records()[ex.baseLen:ex.marks[cp-1]]
+			union := make(map[string]bool)
+			for _, st := range states {
+				for _, viol := range checkState(st, base, pending, pol) {
+					union[viol] = true
+				}
+			}
+			vs := make([]string, 0, len(union))
+			for name := range union {
+				vs = append(vs, name)
+			}
+			sort.Strings(vs)
+			v.States = append(v.States, len(states))
+			v.Violations = append(v.Violations, vs)
+		}
+		f.Verdicts[o.WireName()] = v
+		if v.violating() {
+			f.Violating = true
+		}
+	}
+	first := f.Verdicts[oses[0].WireName()]
+	for _, o := range oses[1:] {
+		v := f.Verdicts[o.WireName()]
+		if !reflect.DeepEqual(v.Results, first.Results) ||
+			!reflect.DeepEqual(v.Violations, first.Violations) {
+			f.Divergent = true
+			break
+		}
+	}
+	f.Signature = signature(w, f.Verdicts, oses)
+	return f
+}
+
+// signature abstracts a finding to its bug class — the op-kind chain,
+// the cross-OS equivalence pattern of op results, and each profile's
+// violation set — so near-identical findings (same chain shape over
+// different names) deduplicate.
+func signature(w Workload, verdicts map[string]*Verdict, oses []osprofile.OS) string {
+	var b strings.Builder
+	b.WriteString(w.Kinds())
+	b.WriteString("|")
+	classes := make(map[string]byte)
+	for _, o := range oses {
+		key := strings.Join(verdicts[o.WireName()].Results, ",")
+		c, ok := classes[key]
+		if !ok {
+			c = byte('a' + len(classes))
+			classes[key] = c
+		}
+		b.WriteByte(c)
+	}
+	b.WriteString("|")
+	for i, o := range oses {
+		if i > 0 {
+			b.WriteString("/")
+		}
+		b.WriteString(strings.Join(verdicts[o.WireName()].violationUnion(), ","))
+	}
+	return b.String()
+}
+
+// essence is the part of a finding minimization must preserve: the
+// divergence bit plus each profile's violation set.
+func essence(f *Finding, oses []osprofile.OS) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|", f.Divergent)
+	for i, o := range oses {
+		if i > 0 {
+			b.WriteString("/")
+		}
+		b.WriteString(strings.Join(f.Verdicts[o.WireName()].violationUnion(), ","))
+	}
+	return b.String()
+}
+
+// Minimize greedily drops workload ops while the finding's essence
+// (divergence and per-OS violation sets) is preserved, re-evaluating
+// after each candidate drop.  Deterministic: ops are tried in order,
+// first successful drop wins each round.
+func Minimize(f *Finding, names []string, oses []osprofile.OS) *Finding {
+	if len(oses) == 0 {
+		oses = osprofile.All()
+	}
+	want := essence(f, oses)
+	cur := f
+	for len(cur.Workload.Ops) > 1 {
+		dropped := false
+		for i := range cur.Workload.Ops {
+			ops := make([]Op, 0, len(cur.Workload.Ops)-1)
+			ops = append(ops, cur.Workload.Ops[:i]...)
+			ops = append(ops, cur.Workload.Ops[i+1:]...)
+			cand := Evaluate(Workload{Seed: cur.Workload.Seed, Ops: ops}, names, oses)
+			if cand.Interesting() && essence(cand, oses) == want {
+				cur = cand
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,62 @@
+// Package crashsim is the crash-consistency differential oracle: it
+// enumerates bounded filesystem workloads (B3-style, after Mohan et
+// al., "Finding Crash-Consistency Bugs with Bounded Black-Box Crash
+// Testing"), replays each against the simulated FS of every OS profile,
+// enumerates the legal post-crash disk states each profile's durability
+// policy admits at every crash point, and checks persistence invariants
+// on each state.  Invariant violations and cross-OS divergences become
+// minimized JSON reproducers in the golden-corpus format.
+package crashsim
+
+import "ballista/internal/osprofile"
+
+// Policy captures one OS profile's on-disk durability semantics — the
+// "application persistence model" that bounds which reorderings of the
+// persistence log can survive a crash.  The matrices are grounded in
+// the filesystems the paper's seven systems actually shipped with:
+// ext2 on Linux, FAT on the 9x line, journaled NTFS on NT/2000, and
+// the transactional object store on CE.
+type Policy struct {
+	// RenameReplaces: renaming onto an existing file replaces it (POSIX
+	// rename).  Win32 MoveFile instead fails with "already exists".
+	RenameReplaces bool
+	// Links: hard links exist (ext2, NTFS); FAT and the CE object store
+	// have no link counts.
+	Links bool
+	// AtomicRename: a crashed rename leaves the old entry or the new
+	// one, never both or neither.  FAT's delete-then-insert is not
+	// atomic; ext2 (same-directory), NTFS and CE are.
+	AtomicRename bool
+	// OrderedMeta: metadata updates persist in operation order (a
+	// journal), so a crash exposes a single prefix cut of the entry
+	// log.  ext2 and FAT write metadata back in arbitrary order.
+	OrderedMeta bool
+	// SplitMeta: one operation's sub-updates (directory entry vs link
+	// count) can persist independently, the classic fsck inconsistency
+	// source on non-journaled filesystems.
+	SplitMeta bool
+	// TornWrites: a crashed data write can land a torn prefix of its
+	// bytes (chaos.TornSplit); the CE object store commits a record
+	// whole or not at all.
+	TornWrites bool
+	// FsyncEntries: flushing a file also commits the metadata journal
+	// through that file's entry updates (NTFS); ext2-era fsync flushed
+	// data only, leaving a created file's entry volatile.
+	FsyncEntries bool
+}
+
+// PolicyFor returns the durability policy of one OS profile.
+func PolicyFor(os osprofile.OS) Policy {
+	switch os {
+	case osprofile.Linux: // ext2: async metadata, hard links, POSIX rename
+		return Policy{RenameReplaces: true, Links: true, AtomicRename: true,
+			SplitMeta: true, TornWrites: true}
+	case osprofile.WinNT, osprofile.Win2000: // NTFS: journaled metadata
+		return Policy{Links: true, AtomicRename: true, OrderedMeta: true,
+			TornWrites: true, FsyncEntries: true}
+	case osprofile.WinCE: // transactional object store
+		return Policy{AtomicRename: true, OrderedMeta: true, FsyncEntries: true}
+	default: // Win95/98/98SE: FAT
+		return Policy{SplitMeta: true, TornWrites: true}
+	}
+}

@@ -1,0 +1,160 @@
+package crashsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"ballista/internal/osprofile"
+)
+
+// reproVersion is the crash-reproducer document schema version.
+const reproVersion = 1
+
+// Reproducer is a self-contained, minimized crash-consistency finding:
+// the bounded workload, the OS set it was judged on, and each profile's
+// verdict (op results, legal-state counts, invariant violations per
+// crash point).  The document is everything needed to replay the
+// finding byte-for-byte through Evaluate — the golden corpus under
+// testdata/corpus/crash/ is a directory of these.
+type Reproducer struct {
+	V int `json:"v"`
+	// Name is an optional short label (corpus files use the file stem).
+	Name string `json:"name,omitempty"`
+	// Description is optional prose about what the finding shows.
+	Description string `json:"description,omitempty"`
+	// OSes lists the wire names the workload was judged on; Verdicts
+	// must hold an entry for each.
+	OSes     []string `json:"oses"`
+	Workload Workload `json:"workload"`
+	// Verdicts maps OS wire name to the expected verdict.
+	Verdicts map[string]*Verdict `json:"verdicts"`
+	// Signature is the finding's bug-class signature (informational).
+	Signature string `json:"signature,omitempty"`
+	// Divergent marks findings whose profiles disagree; Violating marks
+	// findings with at least one invariant violation.
+	Divergent bool `json:"divergent,omitempty"`
+	Violating bool `json:"violating,omitempty"`
+}
+
+// NewReproducer packages a finding as a reproducer document.
+func NewReproducer(f *Finding, oses []osprofile.OS) *Reproducer {
+	rep := &Reproducer{
+		V: reproVersion, Workload: f.Workload, Verdicts: f.Verdicts,
+		Signature: f.Signature, Divergent: f.Divergent, Violating: f.Violating,
+	}
+	for _, o := range oses {
+		rep.OSes = append(rep.OSes, o.WireName())
+	}
+	return rep
+}
+
+// Reproducers packages a sweep report's findings as reproducer
+// documents, in report order.
+func (rep *Report) Reproducers() []*Reproducer {
+	out := make([]*Reproducer, 0, len(rep.Findings))
+	for _, f := range rep.Findings {
+		r := &Reproducer{
+			V: reproVersion, OSes: rep.OSes, Workload: f.Workload,
+			Verdicts: f.Verdicts, Signature: f.Signature,
+			Divergent: f.Divergent, Violating: f.Violating,
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ParseReproducer decodes and sanity-checks a reproducer document.
+func ParseReproducer(data []byte) (*Reproducer, error) {
+	var rep Reproducer
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("crashsim: bad reproducer JSON: %w", err)
+	}
+	if rep.V != reproVersion {
+		return nil, fmt.Errorf("crashsim: reproducer version %d (want %d)", rep.V, reproVersion)
+	}
+	if len(rep.Workload.Ops) == 0 {
+		return nil, fmt.Errorf("crashsim: reproducer has an empty workload")
+	}
+	if len(rep.OSes) == 0 {
+		return nil, fmt.Errorf("crashsim: reproducer names no OSes")
+	}
+	for _, name := range rep.OSes {
+		if _, ok := osprofile.Parse(name); !ok {
+			return nil, fmt.Errorf("crashsim: reproducer names unknown OS %q", name)
+		}
+		v, ok := rep.Verdicts[name]
+		if !ok {
+			return nil, fmt.Errorf("crashsim: reproducer has no verdict for %s", name)
+		}
+		n := len(rep.Workload.Ops)
+		if len(v.Results) != n || len(v.States) != n || len(v.Violations) != n {
+			return nil, fmt.Errorf("crashsim: reproducer verdict for %s does not cover all %d ops", name, n)
+		}
+	}
+	return &rep, nil
+}
+
+// LoadReproducer reads a reproducer document from disk.
+func LoadReproducer(path string) (*Reproducer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ParseReproducer(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Marshal renders the document in the corpus's canonical indented form.
+func (rep *Reproducer) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile stores the document at path in canonical form.
+func (rep *Reproducer) WriteFile(path string) error {
+	data, err := rep.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Verify re-evaluates the workload on every recorded OS and compares
+// the fresh verdicts against the recorded ones.  A nil return means the
+// finding still reproduces byte-for-byte.
+func (rep *Reproducer) Verify() error {
+	var oses []osprofile.OS
+	for _, name := range rep.OSes {
+		o, ok := osprofile.Parse(name)
+		if !ok {
+			return fmt.Errorf("unknown OS %q", name)
+		}
+		oses = append(oses, o)
+	}
+	f := Evaluate(rep.Workload, DefaultNames(), oses)
+	for _, name := range rep.OSes {
+		got, want := f.Verdicts[name], rep.Verdicts[name]
+		if !reflect.DeepEqual(got.Results, want.Results) {
+			return fmt.Errorf("on %s: op results %v, recorded %v", name, got.Results, want.Results)
+		}
+		if !reflect.DeepEqual(got.States, want.States) {
+			return fmt.Errorf("on %s: state counts %v, recorded %v", name, got.States, want.States)
+		}
+		if !reflect.DeepEqual(got.Violations, want.Violations) {
+			return fmt.Errorf("on %s: violations %v, recorded %v", name, got.Violations, want.Violations)
+		}
+	}
+	if f.Divergent != rep.Divergent || f.Violating != rep.Violating {
+		return fmt.Errorf("divergent/violating now %v/%v, recorded %v/%v",
+			f.Divergent, f.Violating, rep.Divergent, rep.Violating)
+	}
+	return nil
+}

@@ -1,0 +1,414 @@
+package crashsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ballista/internal/chaos"
+	"ballista/internal/sim/fs"
+)
+
+// fileState is one file object (inode analogue) as persisted: its data
+// bytes and its stored link count.
+type fileState struct {
+	Data  []byte
+	Nlink int
+}
+
+// DiskState is one legal post-crash disk image: directory entries
+// (path → file object id) plus file objects.  Ids are the persistence
+// log's node ids.
+type DiskState struct {
+	Entries map[string]int
+	Files   map[int]*fileState
+}
+
+func newDiskState() *DiskState {
+	return &DiskState{Entries: make(map[string]int), Files: make(map[int]*fileState)}
+}
+
+func (st *DiskState) clone() *DiskState {
+	c := newDiskState()
+	for p, id := range st.Entries {
+		c.Entries[p] = id
+	}
+	for id, f := range st.Files {
+		nf := &fileState{Nlink: f.Nlink, Data: make([]byte, len(f.Data))}
+		copy(nf.Data, f.Data)
+		c.Files[id] = nf
+	}
+	return c
+}
+
+func (st *DiskState) ensure(id int) *fileState {
+	f, ok := st.Files[id]
+	if !ok {
+		f = &fileState{}
+		st.Files[id] = f
+	}
+	return f
+}
+
+// entryCount counts directory entries referencing a file object.
+func (st *DiskState) entryCount(id int) int {
+	n := 0
+	for _, e := range st.Entries {
+		if e == id {
+			n++
+		}
+	}
+	return n
+}
+
+// Key renders a canonical fingerprint of the state for deduplication.
+func (st *DiskState) Key() string {
+	paths := make([]string, 0, len(st.Entries))
+	for p := range st.Entries {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	ids := make([]int, 0, len(st.Files))
+	for id := range st.Files {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&b, "%s=%d;", p, st.Entries[p])
+	}
+	b.WriteString("|")
+	for _, id := range ids {
+		f := st.Files[id]
+		fmt.Fprintf(&b, "%d:%d:%x;", id, f.Nlink, f.Data)
+	}
+	return b.String()
+}
+
+// Application modes for one metadata record in a partial state.
+type metaMode int
+
+const (
+	modeAbsent metaMode = iota
+	modeFull
+	modeAddOnly    // rename: new entry added, old kept; link/remove: entry half only
+	modeRemoveOnly // rename: old entry dropped, new never added
+	modeNlinkOnly  // link/remove: link-count half only
+)
+
+// isData reports whether the record is node-scoped data (vs an entry
+// update or a barrier).
+func isData(k fs.PersistKind) bool {
+	return k == fs.PersistWrite || k == fs.PersistTruncate
+}
+
+func isMeta(k fs.PersistKind) bool {
+	switch k {
+	case fs.PersistCreate, fs.PersistMkdir, fs.PersistRename, fs.PersistLink, fs.PersistRemove:
+		return true
+	}
+	return false
+}
+
+// apply lands one record on the state under a mode (meta records) or
+// torn flag (write records).  Entry removals only fire when the entry
+// still references the record's node: an unapplied earlier op may have
+// left a different object under that name, and physically the dir block
+// holding our update would not touch it.
+func (st *DiskState) apply(r fs.PersistRecord, mode metaMode, torn bool) {
+	switch r.Kind {
+	case fs.PersistWrite:
+		data := r.Data
+		if torn {
+			data = data[:chaos.TornSplit(len(data))]
+		}
+		f := st.ensure(r.Node)
+		end := r.Off + int64(len(data))
+		if end > int64(len(f.Data)) {
+			grown := make([]byte, end)
+			copy(grown, f.Data)
+			f.Data = grown
+		}
+		copy(f.Data[r.Off:], data)
+	case fs.PersistTruncate:
+		f := st.ensure(r.Node)
+		if r.Size <= int64(len(f.Data)) {
+			f.Data = f.Data[:r.Size]
+		} else {
+			grown := make([]byte, r.Size)
+			copy(grown, f.Data)
+			f.Data = grown
+		}
+	case fs.PersistCreate, fs.PersistMkdir:
+		if mode == modeAbsent {
+			return
+		}
+		st.Entries[r.Path] = r.Node
+		f := st.ensure(r.Node)
+		f.Nlink = 1
+	case fs.PersistRemove:
+		if mode == modeAbsent {
+			return
+		}
+		if mode == modeFull || mode == modeAddOnly {
+			if id, ok := st.Entries[r.Path]; ok && id == r.Node {
+				delete(st.Entries, r.Path)
+			}
+		}
+		if mode == modeFull || mode == modeNlinkOnly {
+			st.ensure(r.Node).Nlink--
+		}
+	case fs.PersistLink:
+		if mode == modeAbsent {
+			return
+		}
+		if mode == modeFull || mode == modeAddOnly {
+			st.Entries[r.Path2] = r.Node
+		}
+		if mode == modeFull || mode == modeNlinkOnly {
+			st.ensure(r.Node).Nlink++
+		}
+	case fs.PersistRename:
+		if mode == modeAbsent {
+			return
+		}
+		if mode == modeFull || mode == modeRemoveOnly {
+			if id, ok := st.Entries[r.Path]; ok && id == r.Node {
+				delete(st.Entries, r.Path)
+			}
+		}
+		if mode == modeFull || mode == modeAddOnly {
+			st.Entries[r.Path2] = r.Node
+			if mode == modeFull && r.Prev >= 0 {
+				// Replacing renames are atomic in every profile that
+				// allows them, so the target's unlink rides along.
+				st.ensure(r.Prev).Nlink--
+			}
+		}
+	case fs.PersistFsync:
+	}
+}
+
+// baseState replays the fixture's records — always durable — into the
+// pre-workload disk image.
+func baseState(ex *execution) *DiskState {
+	st := newDiskState()
+	for _, r := range ex.log.Records()[:ex.baseLen] {
+		st.apply(r, modeFull, false)
+	}
+	return st
+}
+
+// dataCut is one per-node data choice: the first Full records applied
+// whole, plus — when Torn — the next record's torn prefix.
+type dataCut struct {
+	Full int
+	Torn bool
+}
+
+// enumerateStates returns every legal post-crash disk state at crash
+// point cp (1-based: the crash lands after op cp-1), deduplicated, in
+// deterministic first-generation order.  The fully-persisted state is
+// always a member: "no reordering happened" is legal under every
+// policy.
+func enumerateStates(ex *execution, cp int, pol Policy) []*DiskState {
+	recs := ex.log.Records()
+	pending := recs[ex.baseLen:ex.marks[cp-1]]
+	base := baseState(ex)
+
+	// Forced records: an fsync barrier commits every earlier data record
+	// on its node; under FsyncEntries it also commits the node's entry
+	// updates, and an ordered journal drags every earlier metadata
+	// record along with them.
+	forced := make([]bool, len(pending))
+	for i, r := range pending {
+		if r.Kind != fs.PersistFsync {
+			continue
+		}
+		maxMeta := -1
+		for j := 0; j < i; j++ {
+			p := pending[j]
+			if isData(p.Kind) && p.Node == r.Node {
+				forced[j] = true
+			}
+			if pol.FsyncEntries && isMeta(p.Kind) && (p.Node == r.Node || p.Prev == r.Node) {
+				forced[j] = true
+				maxMeta = j
+			}
+		}
+		if pol.OrderedMeta && maxMeta >= 0 {
+			for j := 0; j < maxMeta; j++ {
+				if isMeta(pending[j].Kind) {
+					forced[j] = true
+				}
+			}
+		}
+	}
+
+	// Per-node data choices: a prefix of that node's data records, with
+	// an optional torn tail on the first unapplied write.
+	dataIdx := make(map[int][]int) // node id → indices into pending
+	var dataNodes []int
+	for i, r := range pending {
+		if !isData(r.Kind) {
+			continue
+		}
+		if _, ok := dataIdx[r.Node]; !ok {
+			dataNodes = append(dataNodes, r.Node)
+		}
+		dataIdx[r.Node] = append(dataIdx[r.Node], i)
+	}
+	dataChoices := make([][]dataCut, len(dataNodes))
+	for ni, node := range dataNodes {
+		idx := dataIdx[node]
+		floor := 0
+		for k, i := range idx {
+			if forced[i] {
+				floor = k + 1
+			}
+		}
+		var cuts []dataCut
+		for k := floor; k <= len(idx); k++ {
+			cuts = append(cuts, dataCut{Full: k})
+			if k < len(idx) && pol.TornWrites {
+				if r := pending[idx[k]]; r.Kind == fs.PersistWrite && len(r.Data) > 1 {
+					cuts = append(cuts, dataCut{Full: k, Torn: true})
+				}
+			}
+		}
+		dataChoices[ni] = cuts
+	}
+
+	// Metadata choices: a single journal cut under OrderedMeta,
+	// otherwise an independent mode per record, split where the policy
+	// lets one op's halves persist separately.
+	var metaIdx []int
+	for i, r := range pending {
+		if isMeta(r.Kind) {
+			metaIdx = append(metaIdx, i)
+		}
+	}
+	var metaCombos [][]metaMode
+	if pol.OrderedMeta {
+		floor := 0
+		for k, i := range metaIdx {
+			if forced[i] {
+				floor = k + 1
+			}
+		}
+		for cut := floor; cut <= len(metaIdx); cut++ {
+			modes := make([]metaMode, len(metaIdx))
+			for k := range modes {
+				if k < cut {
+					modes[k] = modeFull
+				} else {
+					modes[k] = modeAbsent
+				}
+			}
+			metaCombos = append(metaCombos, modes)
+		}
+	} else {
+		options := make([][]metaMode, len(metaIdx))
+		for k, i := range metaIdx {
+			r := pending[i]
+			switch {
+			case forced[i]:
+				options[k] = []metaMode{modeFull}
+			case r.Kind == fs.PersistRename && !pol.AtomicRename && pol.SplitMeta:
+				options[k] = []metaMode{modeAbsent, modeAddOnly, modeRemoveOnly, modeFull}
+			case r.Kind == fs.PersistLink && pol.SplitMeta && pol.Links:
+				options[k] = []metaMode{modeAbsent, modeAddOnly, modeNlinkOnly, modeFull}
+			case r.Kind == fs.PersistRemove && pol.SplitMeta && pol.Links:
+				options[k] = []metaMode{modeAbsent, modeAddOnly, modeNlinkOnly, modeFull}
+			default:
+				options[k] = []metaMode{modeAbsent, modeFull}
+			}
+		}
+		metaCombos = cartesian(options)
+	}
+	if len(metaCombos) == 0 {
+		metaCombos = [][]metaMode{nil}
+	}
+
+	dataCombos := cartesianCuts(dataChoices)
+	if len(dataCombos) == 0 {
+		dataCombos = [][]dataCut{nil}
+	}
+
+	seen := make(map[string]bool)
+	var out []*DiskState
+	for _, mc := range metaCombos {
+		for _, dc := range dataCombos {
+			st := base.clone()
+			// Resolve each record's application from the combination,
+			// then land them in log order.
+			metaAt := make(map[int]metaMode)
+			for k, i := range metaIdx {
+				metaAt[i] = mc[k]
+			}
+			fullAt := make(map[int]bool)
+			tornAt := make(map[int]bool)
+			for ni := range dataNodes {
+				cut := dc[ni]
+				idx := dataIdx[dataNodes[ni]]
+				for k := 0; k < cut.Full; k++ {
+					fullAt[idx[k]] = true
+				}
+				if cut.Torn {
+					tornAt[idx[cut.Full]] = true
+				}
+			}
+			for i, r := range pending {
+				switch {
+				case isData(r.Kind):
+					if fullAt[i] {
+						st.apply(r, modeFull, false)
+					} else if tornAt[i] {
+						st.apply(r, modeFull, true)
+					}
+				case isMeta(r.Kind):
+					st.apply(r, metaAt[i], false)
+				}
+			}
+			if k := st.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, st)
+			}
+		}
+	}
+	return out
+}
+
+func cartesian(options [][]metaMode) [][]metaMode {
+	combos := [][]metaMode{nil}
+	for _, opts := range options {
+		var next [][]metaMode
+		for _, c := range combos {
+			for _, o := range opts {
+				nc := make([]metaMode, len(c)+1)
+				copy(nc, c)
+				nc[len(c)] = o
+				next = append(next, nc)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+func cartesianCuts(options [][]dataCut) [][]dataCut {
+	combos := [][]dataCut{nil}
+	for _, opts := range options {
+		var next [][]dataCut
+		for _, c := range combos {
+			for _, o := range opts {
+				nc := make([]dataCut, len(c)+1)
+				copy(nc, c)
+				nc[len(c)] = o
+				next = append(next, nc)
+			}
+		}
+		combos = next
+	}
+	return combos
+}

@@ -1,0 +1,217 @@
+package crashsim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ballista/internal/core"
+	"ballista/internal/osprofile"
+	"ballista/internal/telemetry/span"
+)
+
+// Config parameterizes one crash-consistency sweep.
+type Config struct {
+	// OSes is the differential set (default: all seven profiles).
+	OSes []osprofile.OS
+	// Seed parameterizes the data bytes workloads write; the chain set
+	// itself is exhaustive and seed-independent.
+	Seed uint64
+	// MaxOps bounds workload chain length (default 2, B3's seq-2).
+	MaxOps int
+	// Names is the bounded file-name set (default f0, f1; the first
+	// exists in the fixture).
+	Names []string
+	// Budget caps the number of workloads (0 = the full enumeration).
+	Budget int
+	// Workers sets evaluation parallelism (default 1).  The report is
+	// byte-identical for any value: evaluation is pure and the merge is
+	// in enumeration order.
+	Workers int
+	// Checkpoint, when non-empty, journals per-workload results to this
+	// JSONL file so a killed sweep resumes without re-evaluating.
+	Checkpoint string
+	// Observer receives CrashEvents if it implements core.CrashObserver.
+	Observer core.Observer
+	// Spans, when non-nil, records sweep/workload spans.
+	Spans *span.Recorder
+}
+
+// Report is one sweep's deterministic summary: totals plus the deduped,
+// minimized findings in enumeration order.
+type Report struct {
+	Seed        uint64     `json:"seed"`
+	OSes        []string   `json:"oses"`
+	MaxOps      int        `json:"max_ops"`
+	Names       []string   `json:"names"`
+	Workloads   int        `json:"workloads"`
+	CrashPoints int        `json:"crash_points"`
+	States      int        `json:"states"`
+	Divergent   int        `json:"divergent"`
+	Violating   int        `json:"violating"`
+	Findings    []*Finding `json:"findings"`
+}
+
+// wlResult is one workload's evaluation, as journaled and merged.
+type wlResult struct {
+	CrashPoints int      `json:"cp"`
+	States      int      `json:"st"`
+	Violations  int      `json:"vi"`
+	Finding     *Finding `json:"f,omitempty"` // only when interesting
+}
+
+func evalOne(w Workload, names []string, oses []osprofile.OS) *wlResult {
+	f := Evaluate(w, names, oses)
+	r := &wlResult{CrashPoints: len(w.Ops)}
+	for _, v := range f.Verdicts {
+		for cp, n := range v.States {
+			r.States += n
+			if len(v.Violations[cp]) > 0 {
+				r.Violations++
+			}
+		}
+	}
+	if f.Interesting() {
+		r.Finding = f
+	}
+	return r
+}
+
+// Sweep enumerates the bounded workload set and evaluates every chain
+// across the OS set: per-profile crash-state enumeration, invariant
+// checks, differential comparison.  Findings are deduplicated by
+// signature and minimized.  The report is identical for any worker
+// count and across a kill+resume through the checkpoint journal.
+func Sweep(ctx context.Context, cfg Config) (*Report, error) {
+	oses := cfg.OSes
+	if len(oses) == 0 {
+		oses = osprofile.All()
+	}
+	names := cfg.Names
+	if len(names) == 0 {
+		names = DefaultNames()
+	}
+	maxOps := cfg.MaxOps
+	if maxOps <= 0 {
+		maxOps = 2
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	workloads := Enumerate(names, maxOps, cfg.Seed, cfg.Budget)
+
+	var journal *ckptJournal
+	done := make(map[int]*wlResult)
+	if cfg.Checkpoint != "" {
+		var err error
+		journal, done, err = openJournal(cfg.Checkpoint, cfg, names, oses, len(workloads))
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	parent := cfg.Spans.Start("crashsweep",
+		fmt.Sprintf("seed=%d max_ops=%d oses=%d workloads=%d", cfg.Seed, maxOps, len(oses), len(workloads)))
+	defer parent.End()
+
+	results := make([]*wlResult, len(workloads))
+	var todo []int
+	for i := range workloads {
+		if r, ok := done[i]; ok {
+			results[i] = r
+		} else {
+			todo = append(todo, i)
+		}
+	}
+
+	jobs := make(chan int)
+	var mu sync.Mutex // guards results writes and journal appends
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ws := cfg.Spans.StartSampled("crashwl", workloads[i].Key()).SetParent(parent.ID())
+				r := evalOne(workloads[i], names, oses)
+				ws.End()
+				mu.Lock()
+				results[i] = r
+				if journal != nil {
+					journal.append(i, r)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	var cancelled error
+feed:
+	for _, i := range todo {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			cancelled = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Merge in enumeration order: totals, observer events, and findings
+	// deduplicated by signature then minimized (and re-deduplicated —
+	// minimization can collapse distinct chains onto one witness).
+	rep := &Report{Seed: cfg.Seed, MaxOps: maxOps, Names: names, Workloads: len(workloads)}
+	for _, o := range oses {
+		rep.OSes = append(rep.OSes, o.WireName())
+	}
+	obs, _ := cfg.Observer.(core.CrashObserver)
+	seen := make(map[string]bool)
+	var raw []*Finding
+	for i, r := range results {
+		rep.CrashPoints += r.CrashPoints
+		rep.States += r.States
+		f := r.Finding
+		if f != nil {
+			if f.Divergent {
+				rep.Divergent++
+			}
+			if f.Violating {
+				rep.Violating++
+			}
+			if !seen[f.Signature] {
+				seen[f.Signature] = true
+				raw = append(raw, f)
+			}
+		}
+		if obs != nil {
+			ev := core.CrashEvent{
+				Seq: i, Workload: workloads[i].Key(), OSes: rep.OSes,
+				CrashPoints: r.CrashPoints, States: r.States, Violations: r.Violations,
+			}
+			if f != nil {
+				ev.Divergent, ev.Violating = f.Divergent, f.Violating
+			}
+			obs.OnCrashDone(ev)
+		}
+	}
+	minSeen := make(map[string]bool)
+	for _, f := range raw {
+		m := Minimize(f, names, oses)
+		if !minSeen[m.Signature] {
+			minSeen[m.Signature] = true
+			rep.Findings = append(rep.Findings, m)
+		}
+	}
+	cfg.Spans.Instant("crashsweep", "done",
+		fmt.Sprintf("findings=%d divergent=%d violating=%d states=%d",
+			len(rep.Findings), rep.Divergent, rep.Violating, rep.States))
+	return rep, nil
+}

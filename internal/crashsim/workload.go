@@ -1,0 +1,156 @@
+package crashsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// OpKind is one bounded-workload operation.
+type OpKind int
+
+// Workload operations, in enumeration order.
+const (
+	OpCreate OpKind = iota
+	OpWrite
+	OpFsync
+	OpRename
+	OpLink
+	OpRemove
+	numOpKinds
+)
+
+var opKindNames = [...]string{"create", "write", "fsync", "rename", "link", "remove"}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its name so reproducers read
+// naturally.
+func (k OpKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses a kind name.
+func (k *OpKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, n := range opKindNames {
+		if n == s {
+			*k = OpKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("crashsim: unknown op kind %q", s)
+}
+
+// Op is one workload step: an operation on File, targeting To for the
+// two-name operations (rename destination, link alias).
+type Op struct {
+	Kind OpKind `json:"op"`
+	File string `json:"file"`
+	To   string `json:"to,omitempty"`
+}
+
+func (o Op) String() string {
+	if o.To != "" {
+		return fmt.Sprintf("%s(%s,%s)", o.Kind, o.File, o.To)
+	}
+	return fmt.Sprintf("%s(%s)", o.Kind, o.File)
+}
+
+// Workload is one bounded operation chain.  The fixture is implicit:
+// the first name in the name set exists with fixtureSize seeded bytes;
+// the rest do not.  Seed parameterizes the bytes written, never the
+// shape, so two sweeps with different seeds cover the same chains.
+type Workload struct {
+	Seed uint64 `json:"seed"`
+	Ops  []Op   `json:"ops"`
+}
+
+// Key renders the chain compactly ("create(f1);rename(f1,f0)") for
+// spans, signatures and logs.
+func (w Workload) Key() string {
+	parts := make([]string, len(w.Ops))
+	for i, op := range w.Ops {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Kinds renders just the operation kinds ("create;rename").
+func (w Workload) Kinds() string {
+	parts := make([]string, len(w.Ops))
+	for i, op := range w.Ops {
+		parts[i] = op.Kind.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// DefaultNames is the bounded name set: f0 exists in the fixture, f1
+// does not.  Two names suffice for every two-name operation shape the
+// invariants distinguish (B3's "few files" bound).
+func DefaultNames() []string { return []string{"f0", "f1"} }
+
+// opSlots enumerates every single operation over the name set, in
+// deterministic (kind, file, target) order.
+func opSlots(names []string) []Op {
+	var out []Op
+	for k := OpKind(0); k < numOpKinds; k++ {
+		for _, f := range names {
+			switch k {
+			case OpRename, OpLink:
+				for _, to := range names {
+					if to != f {
+						out = append(out, Op{Kind: k, File: f, To: to})
+					}
+				}
+			default:
+				out = append(out, Op{Kind: k, File: f})
+			}
+		}
+	}
+	return out
+}
+
+// Enumerate generates every workload of length 1..maxOps over the name
+// set, in deterministic order: all seq-1 chains first, then seq-2, each
+// in lexicographic slot order.  budget > 0 truncates the list.  The
+// enumeration is seeded only through the data bytes each workload
+// writes; the chain set itself is exhaustive, per B3's argument that
+// bounded exhaustion beats sampling for crash-consistency bugs.
+func Enumerate(names []string, maxOps int, seed uint64, budget int) []Workload {
+	if len(names) == 0 {
+		names = DefaultNames()
+	}
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	slots := opSlots(names)
+	var out []Workload
+	// Emit strictly by length so a budget cut keeps the cheapest
+	// (shortest) chains.
+	for l := 1; l <= maxOps; l++ {
+		var gen func(prefix []Op)
+		gen = func(prefix []Op) {
+			if budget > 0 && len(out) >= budget {
+				return
+			}
+			if len(prefix) == l {
+				ops := make([]Op, len(prefix))
+				copy(ops, prefix)
+				out = append(out, Workload{Seed: seed, Ops: ops})
+				return
+			}
+			for _, s := range slots {
+				gen(append(prefix, s))
+			}
+		}
+		gen(nil)
+	}
+	return out
+}

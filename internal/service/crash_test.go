@@ -1,0 +1,104 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ballista"
+)
+
+func TestCrashcheckEndpoint(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	var rep ballista.CrashReport
+	req := CrashcheckRequest{Seed: 7, Workers: 2}
+	if code := postJSON(t, ts.URL+"/api/crashcheck", req, &rep); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if rep.Workloads != 156 || rep.CrashPoints != 300 {
+		t.Errorf("sweep covered %d workloads / %d crash points, want 156/300",
+			rep.Workloads, rep.CrashPoints)
+	}
+	if len(rep.OSes) != 7 {
+		t.Errorf("oracle set %v, want all seven", rep.OSes)
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("sweep returned no findings")
+	}
+
+	// The sweep streamed crash events into the server's metrics registry.
+	if got := srv.Metrics().CrashWorkloadCount(); got != 156 {
+		t.Errorf("metrics saw %d crash workloads, want 156", got)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := string(body)
+	for _, series := range []string{
+		"ballista_crash_workloads_total 156",
+		"ballista_crash_divergent_total",
+		"ballista_crash_violations_total",
+	} {
+		if !strings.Contains(rec, series) {
+			t.Errorf("/metrics is missing %q", series)
+		}
+	}
+
+	// Identical requests yield identical reports (the endpoint is a pure
+	// function of the request).
+	var again ballista.CrashReport
+	if code := postJSON(t, ts.URL+"/api/crashcheck", req, &again); code != http.StatusOK {
+		t.Fatalf("second status %d", code)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		t.Error("identical crashcheck requests returned different reports")
+	}
+}
+
+func TestCrashcheckEndpointValidation(t *testing.T) {
+	ts := testServer(t)
+	for name, req := range map[string]CrashcheckRequest{
+		"unknown os":      {OSes: []string{"beos"}},
+		"max_ops too big": {MaxOps: MaxCrashOps + 1},
+		"budget too big":  {Budget: MaxCrashWorkloads + 1},
+		"bad workers":     {Workers: -1},
+	} {
+		var out map[string]string
+		if code := postJSON(t, ts.URL+"/api/crashcheck", req, &out); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", name, code, out)
+		}
+	}
+}
+
+// TestCrashcheckRestrictedOSSet: a two-profile oracle still diverges on
+// the FAT-vs-ext2 rename story, and the report names exactly those
+// profiles.
+func TestCrashcheckRestrictedOSSet(t *testing.T) {
+	ts := testServer(t)
+	var rep ballista.CrashReport
+	req := CrashcheckRequest{OSes: []string{"linux", "win98"}, Seed: 7, Budget: 24}
+	if code := postJSON(t, ts.URL+"/api/crashcheck", req, &rep); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if want := []string{"linux", "win98"}; !reflect.DeepEqual(rep.OSes, want) {
+		t.Errorf("oracle set %v, want %v", rep.OSes, want)
+	}
+	if rep.Workloads != 24 {
+		t.Errorf("budget 24 swept %d workloads", rep.Workloads)
+	}
+	if rep.Divergent == 0 {
+		t.Error("linux/win98 oracle found no divergence")
+	}
+}

@@ -13,6 +13,8 @@
 //	POST /api/campaign                  run one MuT's capped campaign
 //	                                    (mut "*": full catalog, farmed
 //	                                    across parallel workers)
+//	POST /api/crashcheck                run a bounded crash-consistency
+//	                                    sweep across the OS profiles
 //	POST /api/case                      run one identified test case
 //	GET  /api/summary?os=<name>&cap=N&workers=W   Table 1 row for one OS
 //	GET  /api/events?n=K                most recent K trace events
@@ -178,6 +180,30 @@ type ExploreRequest struct {
 // MaxExploreChains bounds the per-request fuzzing budget so one HTTP
 // call cannot monopolize the server.
 const MaxExploreChains = 20000
+
+// CrashcheckRequest asks for a bounded crash-consistency sweep (see
+// internal/crashsim): every workload in the B3-style bounded set is
+// executed against the simulated filesystem's persistence model, each
+// crash point's legal post-crash states are enumerated under the OS
+// profile's durability policy, and the invariant checker's verdicts are
+// compared across profiles.
+type CrashcheckRequest struct {
+	// OSes is the differential set; empty selects all seven.
+	OSes []string `json:"oses,omitempty"`
+	Seed uint64   `json:"seed,omitempty"`
+	// MaxOps bounds workload chain length (1-3; default 2, B3's seq-2).
+	MaxOps int `json:"max_ops,omitempty"`
+	// Budget caps the enumerated workload set (bounded server-side).
+	Budget  int `json:"budget,omitempty"`
+	Workers int `json:"workers,omitempty"`
+}
+
+// MaxCrashWorkloads bounds the per-request crash-sweep workload budget.
+const MaxCrashWorkloads = 2000
+
+// MaxCrashOps bounds the workload chain length a crashcheck request may
+// ask for (the state enumeration is exponential in chain length).
+const MaxCrashOps = 3
 
 // CaseRequest asks for one identified test case (the paper's
 // single-test-program mode; Listing 1 is {"os":"win98",
@@ -414,6 +440,7 @@ func NewServer(opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /api/muts", s.handleMuTs)
 	s.mux.HandleFunc("POST /api/campaign", s.handleCampaign)
 	s.mux.HandleFunc("POST /api/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /api/crashcheck", s.handleCrashcheck)
 	s.mux.HandleFunc("POST /api/case", s.handleCase)
 	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
 	s.mux.HandleFunc("GET /api/events", s.handleEvents)
@@ -688,6 +715,63 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusBadRequest
 		}
 		s.httpError(w, status, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// handleCrashcheck runs one bounded crash-consistency sweep and returns
+// the full deterministic report.  Per-workload crash events stream into
+// the server's metrics registry (ballista_crash_*) as the sweep runs.
+func (s *Server) handleCrashcheck(w http.ResponseWriter, r *http.Request) {
+	var req CrashcheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	var oses []ballista.OS
+	for _, name := range req.OSes {
+		o, ok := parseOS(name)
+		if !ok {
+			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown os %q in oses", name))
+			return
+		}
+		oses = append(oses, o)
+	}
+	if req.MaxOps < 0 || req.MaxOps > MaxCrashOps {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("max_ops %d exceeds the server bound %d", req.MaxOps, MaxCrashOps))
+		return
+	}
+	if req.Budget < 0 || req.Budget > MaxCrashWorkloads {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("budget %d exceeds the server bound %d", req.Budget, MaxCrashWorkloads))
+		return
+	}
+	if req.Budget == 0 {
+		// The exhaustive seq-3 set outruns the request bound; cap it so an
+		// unbudgeted request cannot monopolize the slot.  The default
+		// seq-2 set (156 workloads) fits under the cap untouched.
+		req.Budget = MaxCrashWorkloads
+	}
+	if req.Workers < 0 {
+		s.httpError(w, http.StatusBadRequest, "bad workers")
+		return
+	}
+	cfg := ballista.CrashConfig{
+		OSes: oses, Seed: req.Seed, MaxOps: req.MaxOps,
+		Budget: req.Budget, Workers: req.Workers,
+		Observer: s.observer(), Spans: s.spans,
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.campaignCtx(r)
+	defer cancel()
+	rep, err := ballista.CrashSweep(ctx, cfg)
+	if err != nil {
+		s.httpError(w, campaignErrStatus(err), err.Error())
 		return
 	}
 	s.writeJSON(w, http.StatusOK, rep)

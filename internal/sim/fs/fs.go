@@ -101,6 +101,9 @@ type FileSystem struct {
 	// inj, when non-nil, deterministically injects disk faults (ENOSPC,
 	// short writes, transient EIO) at the Create and Write fault points.
 	inj *chaos.Injector
+	// plog, when non-nil, records durable effects (writes, entry
+	// updates, fsync barriers) for crash-state enumeration.
+	plog *PersistLog
 }
 
 // SetInjector attaches a chaos injector session; nil detaches it.
@@ -213,6 +216,7 @@ func (f *FileSystem) Create(path string, mode uint16, trunc bool) (*Node, error)
 		if trunc {
 			c.Data = nil
 			c.WriteTime = f.clock()
+			f.logTruncate(c, 0)
 		}
 		return c, nil
 	}
@@ -227,6 +231,7 @@ func (f *FileSystem) Create(path string, mode uint16, trunc bool) (*Node, error)
 		CreateTime: now, AccessTime: now, WriteTime: now,
 	}
 	dir.children[base] = n
+	f.logCreate(dir, base, n)
 	return n, nil
 }
 
@@ -240,11 +245,13 @@ func (f *FileSystem) Mkdir(path string, mode uint16) error {
 		return ErrExists
 	}
 	now := f.clock()
-	dir.children[base] = &Node{
+	n := &Node{
 		name: base, parent: dir, dir: true, children: make(map[string]*Node),
 		Mode: mode, Attrs: AttrDirectory, nlink: 1,
 		CreateTime: now, AccessTime: now, WriteTime: now,
 	}
+	dir.children[base] = n
+	f.logMkdir(dir, base, n)
 	return nil
 }
 
@@ -285,6 +292,7 @@ func (f *FileSystem) Remove(path string) error {
 	}
 	n.nlink--
 	delete(dir.children, base)
+	f.logRemove(dir, base, n)
 	return nil
 }
 
@@ -324,6 +332,7 @@ func (f *FileSystem) Rename(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
+	var replaced *Node
 	if c, ok := dir.children[base]; ok {
 		if c == n {
 			return nil // rename onto itself (same entry) is a no-op
@@ -331,12 +340,17 @@ func (f *FileSystem) Rename(oldPath, newPath string) error {
 		if c.dir {
 			return ErrExists
 		}
+		// Replacing the target unlinks its entry: the node loses a name,
+		// so its link count drops like a Remove of that one entry.
+		c.nlink--
 		delete(dir.children, base)
+		replaced = c
 	}
 	delete(oldDir.children, oldBase)
 	n.name = base
 	n.parent = dir
 	dir.children[base] = n
+	f.logRename(oldDir, oldBase, dir, base, n, replaced)
 	return nil
 }
 
@@ -360,6 +374,7 @@ func (f *FileSystem) Link(oldPath, newPath string) error {
 	// modelled; we copy the reference by aliasing the node map entry.
 	dir.children[base] = n
 	n.nlink++
+	f.logLink(dir, base, n)
 	return nil
 }
 

@@ -69,8 +69,14 @@ func (o *OpenFile) Close() error {
 		}
 	}
 	o.node.locks = kept
-	if o.DeleteOnC && o.node.parent != nil {
+	// Delete-on-close removes the entry the node is canonically known
+	// by — but only if that entry still points at this node.  A rename
+	// or create may have replaced it since the open, and deleting the
+	// successor's entry would unlink the wrong file.
+	if o.DeleteOnC && o.node.parent != nil && o.node.parent.children[o.node.name] == o.node {
+		o.node.nlink--
 		delete(o.node.parent.children, o.node.name)
+		o.fs.logRemove(o.node.parent, o.node.name, o.node)
 	}
 	return nil
 }
@@ -117,7 +123,7 @@ func (o *OpenFile) Write(p []byte) (int, error) {
 			// A torn write: half the bytes land and the short count is
 			// reported without an error (POSIX short-write semantics).
 			if len(p) > 1 {
-				p = p[:len(p)/2]
+				p = p[:chaos.TornSplit(len(p))]
 			} else {
 				return 0, ErrNoSpace
 			}
@@ -132,6 +138,9 @@ func (o *OpenFile) Write(p []byte) (int, error) {
 		o.node.Data = grown
 	}
 	copy(o.node.Data[o.pos:], p)
+	// The log records the bytes that actually landed, so a torn write's
+	// shortened slice is what crash-state enumeration sees.
+	o.fs.logWrite(o.node, end-int64(len(p)), p)
 	o.pos = end
 	o.node.WriteTime = o.fs.clock()
 	return len(p), nil
@@ -189,6 +198,7 @@ func (o *OpenFile) Truncate(n int64) error {
 		copy(grown, o.node.Data)
 		o.node.Data = grown
 	}
+	o.fs.logTruncate(o.node, n)
 	o.node.WriteTime = o.fs.clock()
 	return nil
 }

@@ -82,6 +82,17 @@ type Metrics struct {
 	exploreCatastrophic uint64
 	exploreCorpusSize   int
 
+	// Crash-consistency oracle counters: workloads swept, crash points
+	// and legal post-crash states enumerated, invariant violations, and
+	// the workloads that diverged across profiles or violated an
+	// invariant anywhere.
+	crashWorkloads   uint64
+	crashPoints      uint64
+	crashStates      uint64
+	crashViolations  uint64
+	crashDivergent   uint64
+	crashViolatingWl uint64
+
 	// Fleet control-plane counters: lease lifecycle, idempotent-upload
 	// dedup hits, worker liveness and transport byte totals.
 	fleetLeasesGranted uint64
@@ -209,6 +220,30 @@ func (m *Metrics) OnChainDone(ev core.ChainEvent) {
 		m.exploreCatastrophic++
 	}
 	m.exploreCorpusSize = ev.CorpusSize
+}
+
+// OnCrashDone implements core.CrashObserver: crash-consistency sweeps
+// report each workload's legal-state enumeration and oracle verdict.
+func (m *Metrics) OnCrashDone(ev core.CrashEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashWorkloads++
+	m.crashPoints += uint64(ev.CrashPoints)
+	m.crashStates += uint64(ev.States)
+	m.crashViolations += uint64(ev.Violations)
+	if ev.Divergent {
+		m.crashDivergent++
+	}
+	if ev.Violating {
+		m.crashViolatingWl++
+	}
+}
+
+// CrashWorkloadCount returns the total crash-sweep workloads observed.
+func (m *Metrics) CrashWorkloadCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashWorkloads
 }
 
 // OnFleetEvent implements core.FleetObserver: distributed campaigns
@@ -451,6 +486,23 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP ballista_explore_corpus_size Coverage-corpus size (frontier) of the latest fuzzing campaign.\n")
 	fmt.Fprintf(w, "# TYPE ballista_explore_corpus_size gauge\n")
 	fmt.Fprintf(w, "ballista_explore_corpus_size %d\n", m.exploreCorpusSize)
+
+	// Crash-consistency oracle series.
+	for _, series := range []struct {
+		metric, help string
+		v            uint64
+	}{
+		{"ballista_crash_workloads_total", "Bounded workloads evaluated by the crash-consistency oracle.", m.crashWorkloads},
+		{"ballista_crash_points_total", "Crash points (op boundaries) examined across all workloads.", m.crashPoints},
+		{"ballista_crash_states_total", "Legal post-crash states enumerated across all crash points.", m.crashStates},
+		{"ballista_crash_violations_total", "Crash states that violated a durability invariant.", m.crashViolations},
+		{"ballista_crash_divergent_total", "Workloads whose crash behavior diverged across OS profiles.", m.crashDivergent},
+		{"ballista_crash_violating_workloads_total", "Workloads with at least one invariant-violating crash state.", m.crashViolatingWl},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n", series.metric, series.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", series.metric)
+		fmt.Fprintf(w, "%s %d\n", series.metric, series.v)
+	}
 
 	// Fleet coordinator series.
 	for _, series := range []struct {

@@ -103,6 +103,16 @@ func (m multi) OnFleetEvent(ev core.FleetEvent) {
 	}
 }
 
+// OnCrashDone implements core.CrashObserver, forwarding crash-sweep
+// workload completions to every member that cares.
+func (m multi) OnCrashDone(ev core.CrashEvent) {
+	for _, o := range m {
+		if co, ok := o.(core.CrashObserver); ok {
+			co.OnCrashDone(ev)
+		}
+	}
+}
+
 // Logger is the shared harness logger: a thin prefix-per-component
 // wrapper so server and CLI log lines are uniform and testable.
 type Logger struct {

@@ -32,8 +32,14 @@ func registerIO(m map[string]Impl) {
 	}
 	m["DuplicateHandle"] = dupHandle
 	m["FlushFileBuffers"] = func(c *api.Call) {
-		if fileObject(c, 0, winTrue) == nil {
+		o := fileObject(c, 0, winTrue)
+		if o == nil {
 			return
+		}
+		// Record the commit barrier in the persistence model (pipe-backed
+		// objects have no file and nothing durable to flush).
+		if o.File != nil {
+			_ = o.File.Sync()
 		}
 		c.Ret(winTrue)
 	}
