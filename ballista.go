@@ -26,6 +26,7 @@ import (
 	"ballista/internal/osprofile"
 	"ballista/internal/posixapi"
 	"ballista/internal/report"
+	"ballista/internal/scarce"
 	"ballista/internal/store"
 	"ballista/internal/suite"
 	"ballista/internal/telemetry/span"
@@ -639,6 +640,71 @@ func LoadCrashReproducer(path string) (*CrashReproducer, error) {
 // checks the recorded per-OS verdicts still hold (the golden corpus
 // regression check).
 func VerifyCrashReproducer(rep *CrashReproducer) error { return rep.Verify() }
+
+// ScarceConfig re-exports the resource-scarcity sweep configuration
+// (see internal/scarce): the depleted-environment matrix, the MuT
+// union, and the three oracles — CRASH severity under scarcity,
+// graceful degradation, error-path leaks — run differentially across
+// OS profiles.  ScarceSweep fills the Deps field; callers configure
+// everything else.
+type ScarceConfig = scarce.Config
+
+// ScarceReport re-exports the scarcity-sweep report.  The report is
+// deterministic: the same Config (seed, OS set, environments, budget)
+// yields byte-identical JSON for any worker count.
+type ScarceReport = scarce.Report
+
+// ScarceFinding re-exports one deduplicated, minimized scarce-oracle
+// finding.
+type ScarceFinding = scarce.Finding
+
+// ScarceEnv re-exports a depleted-resource environment description.
+type ScarceEnv = scarce.Env
+
+// ScarceReproducer re-exports the self-contained minimized scarcity
+// finding document (the scarce third of the golden regression corpus).
+type ScarceReproducer = scarce.Reproducer
+
+// scarceDeps wires the scarce engine to the real suite: fresh runners
+// over the full registry and dispatcher, the per-OS supported catalog,
+// and the shared data-type registry.
+func scarceDeps() *scarce.Deps {
+	return &scarce.Deps{
+		NewRunner: func(o OS) *core.Runner { return NewRunner(o) },
+		MuTs:      catalog.MuTsFor,
+		Registry:  Registry(),
+	}
+}
+
+// DefaultScarceEnvs returns the standard scarcity-environment matrix
+// (each axis exhausted, the multi-allocation brink variants, and a
+// composite thrashing machine).
+func DefaultScarceEnvs() []ScarceEnv { return scarce.DefaultEnvs() }
+
+// ParseScarceEnv resolves a default scarcity environment by name.
+func ParseScarceEnv(name string) (ScarceEnv, error) { return scarce.ParseEnv(name) }
+
+// ScarceSweep runs one resource-scarcity sweep: every catalog MuT (or
+// a budget-capped prefix) executes its all-valid test case inside each
+// depleted environment on every supporting OS profile, and the three
+// scarce oracles judge the outcomes differentially.
+func ScarceSweep(ctx context.Context, cfg ScarceConfig) (*ScarceReport, error) {
+	cfg.Deps = scarceDeps()
+	return scarce.Sweep(ctx, cfg)
+}
+
+// LoadScarceReproducer parses a minimized scarcity-finding document
+// from a JSON file.
+func LoadScarceReproducer(path string) (*ScarceReproducer, error) {
+	return scarce.LoadReproducer(path)
+}
+
+// VerifyScarceReproducer re-probes a scarcity reproducer's MuT inside
+// its recorded environment and checks the recorded per-OS verdicts
+// still hold (the golden corpus regression check).
+func VerifyScarceReproducer(rep *ScarceReproducer, seed uint64) error {
+	return rep.Verify(scarceDeps(), seed)
+}
 
 // HinderResult re-exports the Hindering-failure probe outcome.
 type HinderResult = hinder.Result

@@ -15,6 +15,8 @@
 //	ballista -explore -diff-os linux,win98,winnt -repro-dir findings/
 //	ballista -crashcheck -seed 7                       # crash-consistency oracle
 //	ballista -crashcheck -workers 8 -crash-out crash.json -repro-dir findings/
+//	ballista -scarce -seed 7                           # resource-scarcity oracle
+//	ballista -scarce -scarce-env fd-full,thrashing -scarce-csv scarce.csv
 //	ballista -os winnt -chaos-seed 42                  # seeded fault sweep
 //	ballista -os winnt -chaos-seed 42 -chaos-preset disk -csv report.csv
 //	ballista -os winnt -chaos-plan faults.json -case-deadline 100ms
@@ -44,6 +46,18 @@
 // The sweep is deterministic for a given -seed regardless of -workers;
 // -checkpoint journals per-workload results for kill+resume; -crash-out
 // writes the report as a diffable JSON artifact.
+//
+// -scarce runs the resource-scarcity differential oracle: every catalog
+// MuT executes its all-valid test case inside depleted-resource
+// environments (handle table full, descriptor table saturated, heap
+// pages from commit failure, disk out of blocks, no free process slots)
+// on every supporting OS profile, and three oracles judge the outcome —
+// CRASH severity under scarcity, graceful degradation (documented
+// scarcity code vs crash or lie), and error-path resource leaks.  The
+// sweep is deterministic for a given -seed regardless of -workers;
+// -checkpoint journals per-item results for kill+resume; -scarce-out /
+// -scarce-csv write diffable artifacts; -repro-dir writes minimized
+// reproducers.
 package main
 
 import (
@@ -131,6 +145,12 @@ func main() {
 	crashBudget := flag.Int("crash-budget", 0, "crashcheck: cap the enumerated workload set (0 = exhaustive)")
 	crashOS := flag.String("crash-os", "", "crashcheck: comma-separated differential OS set (default: all seven)")
 	crashOut := flag.String("crash-out", "", "crashcheck: write the report JSON to this file (a deterministic artifact, diffable across runs)")
+	scarceFlag := flag.Bool("scarce", false, "run the resource-scarcity differential oracle (depleted handle/FD/heap/disk/process environments)")
+	scarceEnv := flag.String("scarce-env", "", "scarce: environment names or raw axis specs like handles=0,fds=1 (';'-separated; default: the full matrix)")
+	scarceOS := flag.String("scarce-os", "", "scarce: comma-separated differential OS set (default: all seven)")
+	scarceBudget := flag.Int("scarce-budget", 0, "scarce: cap the MuT union (0 = the full catalog)")
+	scarceOut := flag.String("scarce-out", "", "scarce: write the report JSON to this file (a deterministic artifact, diffable across runs)")
+	scarceCSV := flag.String("scarce-csv", "", "scarce: write the findings CSV to this file (byte-identical for any -workers)")
 	chaosFlags := cliutil.AddChaosFlags(flag.CommandLine)
 	fleetFlags := cliutil.AddFleetFlags(flag.CommandLine)
 	spanFlags := cliutil.AddSpanFlags(flag.CommandLine)
@@ -261,6 +281,16 @@ func main() {
 			osSet: *crashOS, workers: *workers, checkpoint: *checkpoint,
 			reproDir: *reproDir, out: *crashOut, verbose: *verbose,
 			observers: observers, spans: spanRec,
+		})
+		return
+	}
+
+	if *scarceFlag {
+		runScarceCheck(scarceOpts{
+			seed: *seed, budget: *scarceBudget, workers: *workers,
+			envSet: *scarceEnv, osSet: *scarceOS, checkpoint: *checkpoint,
+			reproDir: *reproDir, out: *scarceOut, csv: *scarceCSV,
+			verbose: *verbose, observers: observers, spans: spanRec,
 		})
 		return
 	}
@@ -806,6 +836,133 @@ func runCrashCheck(co crashOpts) {
 			}
 		}
 		fmt.Printf("wrote %d reproducers to %s\n", len(reps), co.reproDir)
+	}
+}
+
+// scarceOpts carries the -scarce flag set.
+type scarceOpts struct {
+	seed                    uint64
+	budget, workers         int
+	envSet, osSet           string
+	checkpoint              string
+	reproDir, out, csv      string
+	verbose                 bool
+	observers               []ballista.Observer
+	spans                   *ballista.SpanRecorder
+}
+
+func runScarceCheck(so scarceOpts) {
+	cfg := ballista.ScarceConfig{
+		Seed: so.seed, Budget: so.budget,
+		Workers: so.workers, Checkpoint: so.checkpoint, Spans: so.spans,
+	}
+	if so.osSet != "" {
+		for _, name := range strings.Split(so.osSet, ",") {
+			o, ok := osprofile.Parse(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ballista: unknown OS %q in -scarce-os\n", name)
+				exit(2)
+			}
+			cfg.OSes = append(cfg.OSes, o)
+		}
+	}
+	if so.envSet != "" {
+		// Semicolons separate environments; a segment containing '=' is
+		// one raw axis spec (whose own commas separate axes), anything
+		// else is a comma-separated list of matrix names.
+		for _, seg := range strings.Split(so.envSet, ";") {
+			names := []string{seg}
+			if !strings.Contains(seg, "=") {
+				names = strings.Split(seg, ",")
+			}
+			for _, name := range names {
+				e, err := ballista.ParseScarceEnv(strings.TrimSpace(name))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ballista:", err)
+					exit(2)
+				}
+				cfg.Envs = append(cfg.Envs, e)
+			}
+		}
+	}
+	if len(so.observers) > 0 {
+		cfg.Observer = telemetry.Multi(so.observers...)
+	}
+
+	ctx, stop, caught := signalContext()
+	defer stop()
+
+	start := time.Now()
+	rep, err := ballista.ScarceSweep(ctx, cfg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ballista: scarcity sweep interrupted")
+			if so.checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "ballista: evaluated items journaled; re-run with -checkpoint %s to resume\n", so.checkpoint)
+			}
+			exit(signalExitCode(caught))
+		}
+		fmt.Fprintln(os.Stderr, "ballista:", err)
+		exit(1)
+	}
+
+	fmt.Printf("scarce (oracle: %s): %d MuTs x %d envs = %d items, %d probes, %d crashed, %d leaked, %d ungraceful, %d divergent, %d violating, %v\n",
+		strings.Join(rep.OSes, " "), rep.MuTs, len(rep.Envs), rep.Items, rep.Probes,
+		rep.Crashed, rep.Leaked, rep.Ungraceful, rep.Divergent, rep.Violating,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("findings: %d distinct (MuT x environment x verdict pattern)\n", len(rep.Findings))
+	for i, f := range rep.Findings {
+		if !so.verbose && i >= 10 {
+			fmt.Printf("  ... %d more (use -v for all)\n", len(rep.Findings)-i)
+			break
+		}
+		fmt.Printf("  %-28s %s\n", f.MuT, f.Signature)
+	}
+
+	if so.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			exit(1)
+		}
+		if err := os.WriteFile(so.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			exit(1)
+		}
+		fmt.Printf("wrote report to %s\n", so.out)
+	}
+	if so.csv != "" {
+		f, err := os.Create(so.csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			exit(1)
+		}
+		if err := report.WriteScarceCSV(f, rep); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			exit(1)
+		}
+		fmt.Printf("wrote findings CSV to %s\n", so.csv)
+	}
+	if so.reproDir != "" {
+		if err := os.MkdirAll(so.reproDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ballista:", err)
+			exit(1)
+		}
+		reps := rep.Reproducers()
+		for i, r := range reps {
+			r.Name = fmt.Sprintf("scarce-%03d", i)
+			path := fmt.Sprintf("%s/scarce-%03d.json", strings.TrimRight(so.reproDir, "/"), i)
+			if err := r.WriteFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "ballista:", err)
+				exit(1)
+			}
+		}
+		fmt.Printf("wrote %d reproducers to %s\n", len(reps), so.reproDir)
 	}
 }
 

@@ -145,6 +145,52 @@ const (
 	ErrorStillActive  uint32 = 259
 )
 
+// Win32 resource-scarcity codes (winerror.h values) the scarce sweep's
+// graceful-degradation oracle accepts.  Gaps found by the PR-9 audit:
+// the surface previously had no way to report a full handle table
+// (39/113/1450) distinctly from bad arguments.
+const (
+	// ErrorHandleDiskFull is the disk-full variant raised when the
+	// allocation that failed was a directory/handle structure rather
+	// than file data (ERROR_HANDLE_DISK_FULL).
+	ErrorHandleDiskFull uint32 = 39
+	// ErrorNoMoreSearchHandles: the FindFirstFile search-handle table
+	// is exhausted (ERROR_NO_MORE_SEARCH_HANDLES).
+	ErrorNoMoreSearchHandles uint32 = 113
+	// ErrorNoSystemResources: generic kernel-object scarcity
+	// (ERROR_NO_SYSTEM_RESOURCES), the NT-line catch-all for a
+	// saturated handle table.
+	ErrorNoSystemResources uint32 = 1450
+)
+
+// ScarcityCodesWin is the set of GetLastError values that count as a
+// *documented* graceful answer to resource exhaustion on the Win32
+// surface.  Anything else returned from a depleted-environment run is a
+// wrong-code finding.
+func ScarcityCodesWin() map[uint32]bool {
+	return map[uint32]bool{
+		ErrorTooManyOpenFiles:    true, // 4
+		ErrorNotEnoughMemory:     true, // 8
+		ErrorOutOfMemory:         true, // 14
+		ErrorNoMoreFiles:         true, // 18
+		ErrorHandleDiskFull:      true, // 39
+		ErrorDiskFull:            true, // 112
+		ErrorNoMoreSearchHandles: true, // 113
+		ErrorNoSystemResources:   true, // 1450
+	}
+}
+
+// ScarcityCodesPOSIX is the errno equivalent of ScarcityCodesWin.
+func ScarcityCodesPOSIX() map[uint32]bool {
+	return map[uint32]bool{
+		EAGAIN: true, // 11 — fork: RLIMIT_NPROC reached
+		ENOMEM: true, // 12
+		ENFILE: true, // 23 — system file table full
+		EMFILE: true, // 24 — per-process descriptor table full
+		ENOSPC: true, // 28
+	}
+}
+
 // StatusNoMemory is the SEH code HeapAlloc raises under
 // HEAP_GENERATE_EXCEPTIONS.
 const StatusNoMemory uint32 = 0xC0000017

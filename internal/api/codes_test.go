@@ -1,0 +1,102 @@
+package api
+
+import "testing"
+
+// TestScarcityCodeValues pins every scarcity constant to its winerror.h
+// / errno value, so a typo'd constant cannot silently shift what the
+// graceful-degradation oracle accepts.
+func TestScarcityCodeValues(t *testing.T) {
+	tests := []struct {
+		name string
+		got  uint32
+		want uint32
+	}{
+		{"ERROR_TOO_MANY_OPEN_FILES", ErrorTooManyOpenFiles, 4},
+		{"ERROR_NOT_ENOUGH_MEMORY", ErrorNotEnoughMemory, 8},
+		{"ERROR_OUTOFMEMORY", ErrorOutOfMemory, 14},
+		{"ERROR_NO_MORE_FILES", ErrorNoMoreFiles, 18},
+		{"ERROR_HANDLE_DISK_FULL", ErrorHandleDiskFull, 39},
+		{"ERROR_DISK_FULL", ErrorDiskFull, 112},
+		{"ERROR_NO_MORE_SEARCH_HANDLES", ErrorNoMoreSearchHandles, 113},
+		{"ERROR_NO_SYSTEM_RESOURCES", ErrorNoSystemResources, 1450},
+		{"EAGAIN", EAGAIN, 11},
+		{"ENOMEM", ENOMEM, 12},
+		{"ENFILE", ENFILE, 23},
+		{"EMFILE", EMFILE, 24},
+		{"ENOSPC", ENOSPC, 28},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.got != tc.want {
+				t.Errorf("%s = %d, want %d", tc.name, tc.got, tc.want)
+			}
+		})
+	}
+}
+
+// TestScarcityCodeSets checks membership both ways: every documented
+// scarcity answer is accepted, and the codes a lying or confused
+// implementation would plausibly return are not.
+func TestScarcityCodeSets(t *testing.T) {
+	win := ScarcityCodesWin()
+	posix := ScarcityCodesPOSIX()
+
+	winTests := []struct {
+		name string
+		code uint32
+		want bool
+	}{
+		{"too_many_open_files", ErrorTooManyOpenFiles, true},
+		{"not_enough_memory", ErrorNotEnoughMemory, true},
+		{"outofmemory", ErrorOutOfMemory, true},
+		{"no_more_files", ErrorNoMoreFiles, true},
+		{"handle_disk_full", ErrorHandleDiskFull, true},
+		{"disk_full", ErrorDiskFull, true},
+		{"no_more_search_handles", ErrorNoMoreSearchHandles, true},
+		{"no_system_resources", ErrorNoSystemResources, true},
+		{"success_is_not_scarcity", ErrorSuccess, false},
+		{"invalid_parameter_is_not_scarcity", ErrorInvalidParameter, false},
+		{"invalid_handle_is_not_scarcity", ErrorInvalidHandle, false},
+		{"access_denied_is_not_scarcity", ErrorAccessDenied, false},
+	}
+	for _, tc := range winTests {
+		t.Run("win/"+tc.name, func(t *testing.T) {
+			if win[tc.code] != tc.want {
+				t.Errorf("ScarcityCodesWin()[%d] = %v, want %v", tc.code, win[tc.code], tc.want)
+			}
+		})
+	}
+
+	posixTests := []struct {
+		name string
+		code uint32
+		want bool
+	}{
+		{"eagain", EAGAIN, true},
+		{"enomem", ENOMEM, true},
+		{"enfile", ENFILE, true},
+		{"emfile", EMFILE, true},
+		{"enospc", ENOSPC, true},
+		{"einval_is_not_scarcity", EINVAL, false},
+		{"ebadf_is_not_scarcity", EBADF, false},
+		{"eio_is_not_scarcity", EIO, false},
+	}
+	for _, tc := range posixTests {
+		t.Run("posix/"+tc.name, func(t *testing.T) {
+			if posix[tc.code] != tc.want {
+				t.Errorf("ScarcityCodesPOSIX()[%d] = %v, want %v", tc.code, posix[tc.code], tc.want)
+			}
+		})
+	}
+
+	// The sets are fresh maps per call: a caller mutating its copy must
+	// not poison the oracle for everyone else.
+	win[ErrorInvalidParameter] = true
+	if ScarcityCodesWin()[ErrorInvalidParameter] {
+		t.Error("ScarcityCodesWin returns a shared map; mutation leaked")
+	}
+	posix[EINVAL] = true
+	if ScarcityCodesPOSIX()[EINVAL] {
+		t.Error("ScarcityCodesPOSIX returns a shared map; mutation leaked")
+	}
+}

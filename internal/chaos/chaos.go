@@ -82,6 +82,34 @@ const (
 	// (harness domain, site "heartbeat"), long enough delays force lease
 	// expiry and a steal by another worker.
 	OpNetDelay Op = "net.delay"
+
+	// Scarcity fault points.  Unlike the per-name sites above, each of
+	// these reports a single fixed site, so a rule's After field is a
+	// machine-wide slack budget: "After: N, RatePerMille: 1000" models a
+	// resource table that is exactly N allocations from full and then
+	// stays full.  The scarce sweep engine builds its environments from
+	// these rules, which is what makes depleted-resource runs replayable
+	// from a plan alone.
+
+	// OpKernHandle faults handle-table insertions (site "handle"): the
+	// process handle table is saturated and AddHandle returns the null
+	// handle.
+	OpKernHandle Op = "kern.handle"
+	// OpKernFD faults descriptor allocation (site "fd"): the descriptor
+	// table is full and AddFD returns -1.
+	OpKernFD Op = "kern.fd"
+	// OpKernSpawn faults process creation (site "spawn"): the machine is
+	// out of process slots and NewProcess returns nil.
+	OpKernSpawn Op = "kern.spawn"
+	// OpFSDisk faults any filesystem block allocation (site "disk"):
+	// creating an entry or growing file data fails with ErrNoSpace.  It
+	// complements fs.create/fs.write, whose per-name sites make After
+	// per-file rather than a global free-space budget.
+	OpFSDisk Op = "fs.disk"
+	// OpMemPage faults page commits one page at a time (site "page"), so
+	// After is literally "M pages from commit failure" regardless of how
+	// commits are batched.
+	OpMemPage Op = "mem.page"
 )
 
 // Fault kinds, selecting the failure mode of a fired rule.
@@ -151,6 +179,11 @@ var validKinds = map[Op]map[string]bool{
 	OpNetDrop:     {"": true},
 	OpNetDupe:     {"": true},
 	OpNetDelay:    {"": true},
+	OpKernHandle:  {"": true},
+	OpKernFD:      {"": true},
+	OpKernSpawn:   {"": true},
+	OpFSDisk:      {"": true},
+	OpMemPage:     {"": true},
 }
 
 // Validate checks the plan's rules for unknown ops, bad kinds and

@@ -100,6 +100,12 @@ func openStream(c *api.Call, path, mode string) (int64, bool) {
 	}
 	of.Append = appendTo
 	fd := c.P.AddFD(&kern.FD{File: of, Read: readable, Write: writable})
+	if fd < 0 {
+		// Descriptor table full: fopen returns NULL with errno EMFILE.
+		_ = of.Close()
+		c.FailErrnoRet(0, api.EMFILE)
+		return 0, false
+	}
 	f, ferr := MakeFile(c.P, fd, readable, writable)
 	if ferr != nil {
 		c.FailErrnoRet(0, api.ENOMEM)
@@ -158,6 +164,11 @@ func cFreopen(c *api.Call) {
 	}
 	of.Append = appendTo
 	fd := c.P.AddFD(&kern.FD{File: of, Read: readable, Write: writable})
+	if fd < 0 {
+		_ = of.Close()
+		c.FailErrnoRet(0, api.EMFILE)
+		return
+	}
 	var flags uint32
 	if readable {
 		flags |= fFlagRead

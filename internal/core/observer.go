@@ -258,6 +258,40 @@ type CrashObserver interface {
 	OnCrashDone(ev CrashEvent)
 }
 
+// ScarceEvent reports one (MuT, environment) item evaluated by the
+// resource-scarcity sweep (internal/scarce): which depleted environment
+// the MuT ran inside, and how the differential oracles judged it across
+// the OS set.  Events fire in deterministic enumeration order from the
+// sweep's merge loop, never concurrently from its workers.
+type ScarceEvent struct {
+	// Seq is the item ordinal within the sweep's enumeration.
+	Seq int
+	// MuT / API name the module under test.
+	MuT string
+	API string
+	// Env names the scarcity environment (e.g. "handle-starved").
+	Env string
+	// OSes lists the wire names that support the MuT and were probed.
+	OSes []string
+	// Crashed counts OSes whose machine went down under scarcity.
+	Crashed int
+	// Leaked counts OSes where the error path left resources allocated.
+	Leaked int
+	// Ungraceful counts OSes that failed the degradation oracle without
+	// crashing: a wrong error code, or a silent success that lied.
+	Ungraceful int
+	// Divergent marks an item whose verdict pattern differs across OSes.
+	Divergent bool
+	// Violating marks an item with at least one oracle violation.
+	Violating bool
+}
+
+// ScarceObserver is an optional extension interface: Observers that
+// also implement it receive per-item events from scarcity sweeps.
+type ScarceObserver interface {
+	OnScarceDone(ev ScarceEvent)
+}
+
 // NopObserver implements Observer with no-ops; embed it to implement a
 // subset of the hooks.
 type NopObserver struct{}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"ballista/internal/api"
+	"ballista/internal/catalog"
+	"ballista/internal/chaos"
+)
+
+// LeakDelta is the change in live-resource counters across one probed
+// call: positive fields mean the call left resources allocated.  The
+// scarce sweep's leak oracle flags a positive delta on an error path —
+// a call that failed but kept the resources it acquired on the way.
+type LeakDelta struct {
+	Handles int `json:"handles,omitempty"`
+	FDs     int `json:"fds,omitempty"`
+	Pages   int `json:"pages,omitempty"`
+	Nodes   int `json:"nodes,omitempty"`
+}
+
+// Leaked reports whether any counter finished above its baseline.
+func (d LeakDelta) Leaked() bool {
+	return d.Handles > 0 || d.FDs > 0 || d.Pages > 0 || d.Nodes > 0
+}
+
+func (d LeakDelta) String() string {
+	return fmt.Sprintf("handles%+d fds%+d pages%+d nodes%+d", d.Handles, d.FDs, d.Pages, d.Nodes)
+}
+
+// ScarceProbe is the observation from one call executed inside a
+// depleted-resource environment.
+type ScarceProbe struct {
+	// Class is the CRASH severity of the call under scarcity.
+	Class RawClass `json:"class"`
+	// Code is the errno / GetLastError value the call reported.
+	Code uint32 `json:"code,omitempty"`
+	// ErrReported says the call signalled an error to its caller.
+	ErrReported bool `json:"err_reported,omitempty"`
+	// Fired counts scarcity faults injected during the call itself: zero
+	// means the call never touched a depleted resource.
+	Fired uint64 `json:"fired,omitempty"`
+	// Leak is the live-counter delta across the call (crashed machines
+	// report a zero delta: there is nothing left to measure).
+	Leak LeakDelta `json:"leak,omitempty"`
+}
+
+// scarceCounters is a point-in-time copy of the live-resource gauges
+// the leak oracle tracks.
+type scarceCounters struct {
+	handles, fds, pages, nodes int
+}
+
+func scarceSnapshot(env *Env) scarceCounters {
+	return scarceCounters{
+		handles: env.P.HandleCount(),
+		fds:     env.P.FDCount(),
+		pages:   int(env.K.MemStats().LivePages()),
+		nodes:   env.K.FS.NodeCount(),
+	}
+}
+
+func (before scarceCounters) delta(after scarceCounters) LeakDelta {
+	return LeakDelta{
+		Handles: after.handles - before.handles,
+		FDs:     after.fds - before.fds,
+		Pages:   after.pages - before.pages,
+		Nodes:   after.nodes - before.nodes,
+	}
+}
+
+// scarceFired sums the scarcity-op injection counters in a snapshot.
+func scarceFired(snap chaos.Snapshot) uint64 {
+	var n uint64
+	for _, op := range []chaos.Op{
+		chaos.OpKernHandle, chaos.OpKernFD, chaos.OpKernSpawn,
+		chaos.OpFSDisk, chaos.OpMemPage,
+	} {
+		n += snap.Injected[op]
+	}
+	return n
+}
+
+// RunScarceProbe executes one identified test case inside a depleted-
+// resource environment described by plan, and reports the CRASH class,
+// the error code, how many scarcity faults fired, and the leak delta.
+//
+// The environment is armed late, after fixtures, the probe process's
+// standard plumbing and the case's constructors have run: the plan's
+// slack budgets (rule After fields) describe headroom at the moment of
+// the call, so bootstrap allocations must not consume them.  The
+// injector is detached again before Env cleanup for the same reason.
+func (r *Runner) RunScarceProbe(m catalog.MuT, tc Case, wide bool, plan *chaos.Plan) (*ScarceProbe, error) {
+	impl, ok := r.dispatch(m)
+	if !ok {
+		return nil, fmt.Errorf("%w for %s %q", ErrNoImpl, m.API, m.Name)
+	}
+	types, err := r.bind(m)
+	if err != nil {
+		return nil, err
+	}
+	for i, dt := range types {
+		if tc[i] < 0 || tc[i] >= len(dt.Values) {
+			return nil, fmt.Errorf("core: case index out of range for %s param %d", m.Name, i)
+		}
+	}
+
+	k := r.machine()
+	if r.fixture != nil {
+		r.fixture(k)
+	}
+	env := &Env{K: k, P: k.NewProcess(), Profile: r.profile, Wide: wide}
+	defer env.Cleanup()
+	r.applyLoad(env)
+
+	args := make([]api.Arg, len(types))
+	for i, dt := range types {
+		a, err := dt.Values[tc[i]].Make(env)
+		if err != nil {
+			return &ScarceProbe{Class: RawSkip}, nil
+		}
+		args[i] = a
+	}
+
+	// Arm the scarcity session for exactly the call under test.  This
+	// defer runs before env.Cleanup's (LIFO), so teardown never consumes
+	// the environment's remaining slack either.
+	var stats chaos.Stats
+	inj := plan.NewInjector(&stats)
+	k.SetInjector(inj)
+	env.P.AS.SetInjector(inj)
+	defer func() {
+		k.SetInjector(nil)
+		env.P.AS.SetInjector(nil)
+	}()
+
+	before := scarceSnapshot(env)
+
+	call := &api.Call{
+		K:      k,
+		P:      env.P,
+		Name:   m.Name,
+		Args:   args,
+		Traits: r.profile.Traits,
+		Def:    r.profile.Defect(m.Name),
+		Wide:   wide,
+	}
+	k.EnterSyscall(call.Name)
+	impl(call)
+	if !call.Done() {
+		call.Ret(0)
+	}
+	if k.Crashed() && !call.Out.Crashed {
+		call.Out.Crashed = true
+		call.Out.CrashReason = k.CrashReason()
+	}
+
+	probe := &ScarceProbe{
+		Class:       Classify(&call.Out),
+		Code:        call.Out.Err,
+		ErrReported: call.Out.ErrReported,
+		Fired:       scarceFired(stats.Snapshot()),
+	}
+	if !k.Crashed() {
+		// Measured before cleanup: resources the case's constructors made
+		// are inside the baseline, so the delta is what the call itself
+		// held on to.
+		probe.Leak = before.delta(scarceSnapshot(env))
+	}
+	if k.Crashed() {
+		r.reboot(m.Name)
+	}
+	return probe, nil
+}

@@ -22,9 +22,12 @@ type ckptHeader struct {
 	ID   string `json:"id"`
 }
 
+// ckptLine holds the result in a named field: json cannot unmarshal
+// into an embedded pointer to an unexported type, which would silently
+// turn every resume into a full re-evaluation.
 type ckptLine struct {
-	I int `json:"i"`
-	*wlResult
+	I int       `json:"i"`
+	R *wlResult `json:"r"`
 }
 
 // sweepID fingerprints the sweep identity so a journal from a different
@@ -72,11 +75,11 @@ func openJournal(path string, cfg Config, names []string, oses []osprofile.OS, w
 			var l ckptLine
 			// A torn tail parses as garbage: skip it, the workload will
 			// simply re-run.
-			if err := json.Unmarshal([]byte(line), &l); err != nil || l.wlResult == nil {
+			if err := json.Unmarshal([]byte(line), &l); err != nil || l.R == nil {
 				continue
 			}
 			if l.I >= 0 && l.I < workloads {
-				done[l.I] = l.wlResult
+				done[l.I] = l.R
 			}
 		}
 	case err != nil && !os.IsNotExist(err):
@@ -102,7 +105,7 @@ func openJournal(path string, cfg Config, names []string, oses []osprofile.OS, w
 // append journals one completed workload and fsyncs, so a kill loses at
 // most the line being written (whose torn tail resume skips).
 func (j *ckptJournal) append(i int, r *wlResult) {
-	line, err := json.Marshal(ckptLine{I: i, wlResult: r})
+	line, err := json.Marshal(ckptLine{I: i, R: r})
 	if err != nil {
 		return
 	}

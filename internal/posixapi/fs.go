@@ -53,7 +53,15 @@ func registerFileDir(m map[string]Impl) {
 			return
 		}
 		of.Append = flags&0x400 != 0
-		c.Ret(int64(c.P.AddFD(&kern.FD{File: of, Read: readable, Write: writable, Flags: int(flags)})))
+		fd := c.P.AddFD(&kern.FD{File: of, Read: readable, Write: writable, Flags: int(flags)})
+		if fd < 0 {
+			// Descriptor table full (kern.fd scarcity): back the open out
+			// and report the documented code.
+			_ = of.Close()
+			c.FailErrno(api.EMFILE)
+			return
+		}
+		c.Ret(int64(fd))
 	}
 	m["creat"] = func(c *api.Call) {
 		path, ok := pathArg(c, 0)
@@ -69,7 +77,13 @@ func registerFileDir(m map[string]Impl) {
 			c.FailErrno(errnoFor(err))
 			return
 		}
-		c.Ret(int64(c.P.AddFD(&kern.FD{File: of, Write: true})))
+		fd := c.P.AddFD(&kern.FD{File: of, Write: true})
+		if fd < 0 {
+			_ = of.Close()
+			c.FailErrno(api.EMFILE)
+			return
+		}
+		c.Ret(int64(fd))
 	}
 	m["unlink"] = pathOp(func(f *fs.FileSystem, p string) error { return f.Remove(p) })
 	m["rmdir"] = pathOp(func(f *fs.FileSystem, p string) error { return f.Rmdir(p) })

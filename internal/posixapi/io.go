@@ -20,7 +20,12 @@ func registerIOPrim(m map[string]Impl) {
 			return
 		}
 		nf := *f
-		c.Ret(int64(c.P.AddFD(&nf)))
+		fd := c.P.AddFD(&nf)
+		if fd < 0 {
+			c.FailErrno(api.EMFILE)
+			return
+		}
+		c.Ret(int64(fd))
 	}
 	m["dup2"] = func(c *api.Call) {
 		f := fdArg(c, 0)
@@ -49,7 +54,12 @@ func registerIOPrim(m map[string]Impl) {
 		switch c.Int(1) {
 		case 0: // F_DUPFD
 			nf := *f
-			c.Ret(int64(c.P.AddFD(&nf)))
+			fd := c.P.AddFD(&nf)
+			if fd < 0 {
+				c.FailErrno(api.EMFILE)
+				return
+			}
+			c.Ret(int64(fd))
 		case 1: // F_GETFD
 			if f.CloseOnExec {
 				c.Ret(1)
@@ -94,7 +104,17 @@ func registerIOPrim(m map[string]Impl) {
 	m["pipe"] = func(c *api.Call) {
 		p := &kern.Pipe{ReadersOpen: 1, WritersOpen: 1, Capacity: 65536, Input: true}
 		rfd := c.P.AddFD(&kern.FD{Pipe: p, Read: true})
+		if rfd < 0 {
+			c.FailErrno(api.EMFILE)
+			return
+		}
 		wfd := c.P.AddFD(&kern.FD{Pipe: p, Write: true})
+		if wfd < 0 {
+			// Two slots are needed; give back the first rather than leak it.
+			c.P.CloseFD(rfd)
+			c.FailErrno(api.EMFILE)
+			return
+		}
 		out := append(u32b(uint32(rfd)), u32b(uint32(wfd))...)
 		if !c.CopyOut(0, c.PtrArg(0), out) {
 			c.P.CloseFD(rfd)

@@ -11,10 +11,18 @@ const maxSignal = 31 // classic Linux range before RT signals
 func registerProc(m map[string]Impl) {
 	m["fork"] = func(c *api.Call) {
 		child := c.K.NewProcess()
+		if child == nil {
+			c.FailErrno(api.EAGAIN)
+			return
+		}
 		c.Ret(int64(child.PID))
 	}
 	m["vfork"] = func(c *api.Call) {
 		child := c.K.NewProcess()
+		if child == nil {
+			c.FailErrno(api.EAGAIN)
+			return
+		}
 		c.Ret(int64(child.PID))
 	}
 	m["execv"] = execImpl(false)

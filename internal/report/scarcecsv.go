@@ -1,0 +1,57 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+
+	"ballista/internal/scarce"
+)
+
+// WriteScarceCSV emits one row per (finding, OS) verdict from a
+// scarcity-sweep report, in report order with OS names sorted inside a
+// finding — the machine-readable artifact the CI determinism oracle
+// byte-diffs across worker counts.  The output always ends with a
+// newline.
+func WriteScarceCSV(w io.Writer, rep *scarce.Report) error {
+	tw := &tailWriter{w: w}
+	cw := csv.NewWriter(tw)
+	header := []string{
+		"api", "mut", "env", "env_key", "os",
+		"class", "code", "fired", "degrade",
+		"leak_handles", "leak_fds", "leak_pages", "leak_nodes", "leaked",
+		"divergent", "violating", "signature",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, f := range rep.Findings {
+		var oses []string
+		for name := range f.Verdicts {
+			oses = append(oses, name)
+		}
+		sort.Strings(oses)
+		for _, name := range oses {
+			v := f.Verdicts[name]
+			row := []string{
+				f.API, f.MuT, f.Env.Name, f.Env.Key(), name,
+				v.Class.String(), strconv.FormatUint(uint64(v.Code), 10),
+				strconv.FormatUint(v.Fired, 10), v.Degrade,
+				strconv.Itoa(v.Leak.Handles), strconv.Itoa(v.Leak.FDs),
+				strconv.Itoa(v.Leak.Pages), strconv.Itoa(v.Leak.Nodes),
+				strconv.FormatBool(v.Leaked),
+				strconv.FormatBool(f.Divergent), strconv.FormatBool(f.Violating),
+				f.Signature,
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return tw.finish()
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ballista/internal/core"
+	"ballista/internal/scarce"
+)
+
+func TestWriteScarceCSV(t *testing.T) {
+	env := scarce.Env{Name: "fd-full", Handles: -1, FDs: 0, HeapPages: -1, DiskOps: -1, Procs: -1}
+	rep := &scarce.Report{
+		Findings: []*scarce.Finding{{
+			API: "posix", MuT: "open", Env: env, Case: core.Case{0, 0},
+			Verdicts: map[string]*scarce.Verdict{
+				"linux": {
+					Class: core.RawError, Code: 24, Fired: 1,
+					Degrade: scarce.DegradeGraceful,
+					Leak:    core.LeakDelta{Handles: 1}, Leaked: true,
+				},
+			},
+			Violating: true,
+			Signature: "posix|open|fds=0|linux=graceful+leak",
+		}},
+	}
+	var sb strings.Builder
+	if err := WriteScarceCSV(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1 row:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "api,mut,env,env_key,os,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	row := lines[1]
+	for _, want := range []string{"posix", "open", "fd-full", "fds=0", "linux", "graceful", "true"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("row %q missing %q", row, want)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("output not newline-terminated")
+	}
+
+	// An empty report still renders a terminated header.
+	sb.Reset()
+	if err := WriteScarceCSV(&sb, &scarce.Report{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); !strings.HasSuffix(got, "\n") || strings.Count(got, "\n") != 1 {
+		t.Errorf("empty report output = %q", got)
+	}
+}

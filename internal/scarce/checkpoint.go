@@ -1,0 +1,121 @@
+package scarce
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+
+	"ballista/internal/osprofile"
+)
+
+// The checkpoint journal is append-only JSONL: an identity header, then
+// one line per completed item.  Torn tails from a mid-write kill are
+// tolerated — an unparseable line is skipped, and the item just
+// re-evaluates on resume (evaluation is pure, so the report cannot
+// drift).
+
+type ckptHeader struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+}
+
+// ckptLine holds the result in a named field: json cannot unmarshal
+// into an embedded pointer to an unexported type, which would silently
+// turn every resume into a full re-evaluation.
+type ckptLine struct {
+	I int         `json:"i"`
+	R *itemResult `json:"r"`
+}
+
+// sweepID fingerprints the sweep identity so a journal from a different
+// configuration cannot silently poison a resume.
+func sweepID(cfg Config, envs []Env, oses []osprofile.OS, items int) string {
+	h := fnv.New64a()
+	var wire, keys []string
+	for _, o := range oses {
+		wire = append(wire, o.WireName())
+	}
+	for _, e := range envs {
+		keys = append(keys, e.Key())
+	}
+	fmt.Fprintf(h, "%d|%d|%s|%s|%d",
+		cfg.Seed, cfg.Budget, strings.Join(keys, ";"), strings.Join(wire, ","), items)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+type ckptJournal struct {
+	f *os.File
+}
+
+// openJournal opens (or creates) the checkpoint at path and returns the
+// journal plus the item results already completed.  A header that
+// identifies a different sweep is an error, not a silent restart.
+func openJournal(path string, cfg Config, envs []Env, oses []osprofile.OS, items int) (*ckptJournal, map[int]*itemResult, error) {
+	id := sweepID(cfg, envs, oses, items)
+	done := make(map[int]*itemResult)
+
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(data) > 0:
+		lines := strings.Split(string(data), "\n")
+		var hdr ckptHeader
+		if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+			return nil, nil, fmt.Errorf("scarce: checkpoint %s: unreadable header: %w", path, err)
+		}
+		if hdr.Kind != "scarcesweep" || hdr.V != 1 {
+			return nil, nil, fmt.Errorf("scarce: checkpoint %s is not a scarcesweep journal", path)
+		}
+		if hdr.ID != id {
+			return nil, nil, fmt.Errorf("scarce: checkpoint %s belongs to a different sweep (id %s, want %s)", path, hdr.ID, id)
+		}
+		for _, line := range lines[1:] {
+			if line == "" {
+				continue
+			}
+			var l ckptLine
+			// A torn tail parses as garbage: skip it, the item will simply
+			// re-run.
+			if err := json.Unmarshal([]byte(line), &l); err != nil || l.R == nil {
+				continue
+			}
+			if l.I >= 0 && l.I < items {
+				done[l.I] = l.R
+			}
+		}
+	case err != nil && !os.IsNotExist(err):
+		return nil, nil, fmt.Errorf("scarce: reading checkpoint: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scarce: opening checkpoint: %w", err)
+	}
+	j := &ckptJournal{f: f}
+	if len(data) == 0 {
+		hdr, _ := json.Marshal(ckptHeader{V: 1, Kind: "scarcesweep", ID: id})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("scarce: writing checkpoint header: %w", err)
+		}
+		_ = f.Sync()
+	}
+	return j, done, nil
+}
+
+// append journals one completed item and fsyncs, so a kill loses at
+// most the line being written (whose torn tail resume skips).
+func (j *ckptJournal) append(i int, r *itemResult) {
+	line, err := json.Marshal(ckptLine{I: i, R: r})
+	if err != nil {
+		return
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return
+	}
+	_ = j.f.Sync()
+}
+
+func (j *ckptJournal) Close() error { return j.f.Close() }

@@ -1,0 +1,239 @@
+// Package scarce is the resource-scarcity robustness dimension: it runs
+// every catalog MuT inside depleted-resource environments — handle
+// table at N-from-full, descriptor table saturated, heap pages from
+// commit failure, disk out of blocks, no free process slots — and
+// scores three oracles differentially across the OS profiles: CRASH
+// severity under scarcity, graceful degradation (did the call return
+// the documented scarcity code rather than crash or lie), and resource
+// leaks on the error path.
+//
+// Scarcity is driven entirely through the seeded chaos-plan machinery
+// (internal/chaos), so every depleted environment is replayable from a
+// plan value alone and the sweep inherits the chaos layer's determinism
+// guarantees: byte-identical reports for any worker count and across a
+// kill+resume.
+package scarce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ballista/internal/chaos"
+)
+
+// Env describes one depleted-resource environment as remaining slack
+// per axis: -1 disables the axis, 0 means the resource is already
+// exhausted, and N > 0 means exactly N allocations succeed before the
+// axis runs dry.  Slack is measured at the moment of the probed call —
+// the sweep arms the environment after fixtures and constructors have
+// run, so bootstrap allocations never consume it.
+type Env struct {
+	// Name labels the environment in reports and reproducers; axis
+	// values, not the name, define identity (see Key).
+	Name string `json:"name"`
+	// Handles is handle-table slack (kern.handle).
+	Handles int `json:"handles"`
+	// FDs is descriptor-table slack (kern.fd).
+	FDs int `json:"fds"`
+	// HeapPages is page-commit slack (mem.page).
+	HeapPages int `json:"heap_pages"`
+	// DiskOps is volume block slack (fs.disk).
+	DiskOps int `json:"disk_ops"`
+	// Procs is process-slot slack (kern.spawn).
+	Procs int `json:"procs"`
+}
+
+// axis pairs one Env field with its chaos op and short label.
+type axis struct {
+	label string
+	op    chaos.Op
+	slack int
+}
+
+func (e Env) axes() []axis {
+	return []axis{
+		{"handles", chaos.OpKernHandle, e.Handles},
+		{"fds", chaos.OpKernFD, e.FDs},
+		{"heap_pages", chaos.OpMemPage, e.HeapPages},
+		{"disk_ops", chaos.OpFSDisk, e.DiskOps},
+		{"procs", chaos.OpKernSpawn, e.Procs},
+	}
+}
+
+// Enabled reports whether at least one axis is armed.
+func (e Env) Enabled() bool {
+	for _, a := range e.axes() {
+		if a.slack >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Key is the environment's canonical identity: the axis values alone,
+// independent of Name.  Finding signatures and post-minimization
+// deduplication use it, so a composite environment minimized down to
+// one axis collapses onto the equivalent single-axis environment.
+func (e Env) Key() string {
+	var parts []string
+	for _, a := range e.axes() {
+		if a.slack >= 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", a.label, a.slack))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Plan compiles the environment into a replayable chaos plan: one
+// always-firing rule per enabled axis whose After field is the axis
+// slack.  Every scarcity op reports a single fixed site, so After is a
+// machine-wide budget — "After: N, rate 1000" is a table exactly N
+// allocations from full, deterministically, for any seed.
+func (e Env) Plan(seed uint64) *chaos.Plan {
+	p := &chaos.Plan{Seed: seed}
+	for _, a := range e.axes() {
+		if a.slack < 0 {
+			continue
+		}
+		p.Rules = append(p.Rules, chaos.Rule{
+			Op: a.op, RatePerMille: 1000, After: a.slack,
+		})
+	}
+	return p
+}
+
+// Split decomposes the environment into its enabled single-axis
+// sub-environments, canonically named — the minimization lattice.
+func (e Env) Split() []Env {
+	disabled := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1}
+	var out []Env
+	for i, a := range e.axes() {
+		if a.slack < 0 {
+			continue
+		}
+		sub := disabled
+		switch i {
+		case 0:
+			sub.Handles = a.slack
+		case 1:
+			sub.FDs = a.slack
+		case 2:
+			sub.HeapPages = a.slack
+		case 3:
+			sub.DiskOps = a.slack
+		case 4:
+			sub.Procs = a.slack
+		}
+		sub.Name = fmt.Sprintf("%s=%d", a.label, a.slack)
+		out = append(out, sub)
+	}
+	return out
+}
+
+// maxSlack bounds normalized axis slack; environments beyond it would
+// never fire inside a single probed call anyway.
+const maxSlack = 1 << 16
+
+// Normalize clamps axis values into [-1, maxSlack] and fills an empty
+// name from the key, so arbitrary (fuzzed) inputs become valid
+// environments whose Plan always validates.
+func (e Env) Normalize() Env {
+	clamp := func(v int) int {
+		if v < 0 {
+			return -1
+		}
+		if v > maxSlack {
+			return maxSlack
+		}
+		return v
+	}
+	e.Handles = clamp(e.Handles)
+	e.FDs = clamp(e.FDs)
+	e.HeapPages = clamp(e.HeapPages)
+	e.DiskOps = clamp(e.DiskOps)
+	e.Procs = clamp(e.Procs)
+	if e.Name == "" {
+		e.Name = e.Key()
+	}
+	return e
+}
+
+// DefaultEnvs is the standard scarcity matrix: each axis fully
+// exhausted, the multi-allocation "brink" variants (slack smaller than
+// some calls' own allocation count, so the call runs out partway), and
+// a composite thrashing machine.
+func DefaultEnvs() []Env {
+	d := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1}
+	with := func(name string, f func(*Env)) Env {
+		e := d
+		e.Name = name
+		f(&e)
+		return e
+	}
+	return []Env{
+		with("handle-full", func(e *Env) { e.Handles = 0 }),
+		with("handle-brink", func(e *Env) { e.Handles = 1 }),
+		with("fd-full", func(e *Env) { e.FDs = 0 }),
+		with("fd-brink", func(e *Env) { e.FDs = 1 }),
+		with("heap-full", func(e *Env) { e.HeapPages = 0 }),
+		with("heap-brink", func(e *Env) { e.HeapPages = 2 }),
+		with("disk-full", func(e *Env) { e.DiskOps = 0 }),
+		with("proc-full", func(e *Env) { e.Procs = 0 }),
+		with("thrashing", func(e *Env) {
+			e.Handles, e.FDs, e.HeapPages, e.DiskOps, e.Procs = 1, 1, 2, 0, 0
+		}),
+	}
+}
+
+// ParseEnv resolves an environment for the -scarce-env flag: a default
+// environment by name, or a raw axis spec in Key syntax
+// ("handles=1,fds=1,heap_pages=2"; unnamed axes stay disabled).
+func ParseEnv(name string) (Env, error) {
+	var known []string
+	for _, e := range DefaultEnvs() {
+		if e.Name == name {
+			return e, nil
+		}
+		known = append(known, e.Name)
+	}
+	if strings.Contains(name, "=") {
+		return parseEnvSpec(name)
+	}
+	return Env{}, fmt.Errorf("scarce: unknown environment %q (have %s, or an axis spec like handles=0,fds=1)", name, strings.Join(known, ", "))
+}
+
+// parseEnvSpec parses the raw "label=slack,..." form.  The result is
+// normalized, so its name is its canonical key and findings in a
+// hand-specified environment dedupe against the named matrix.
+func parseEnvSpec(spec string) (Env, error) {
+	e := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1}
+	for _, part := range strings.Split(spec, ",") {
+		label, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Env{}, fmt.Errorf("scarce: bad axis %q in %q (want label=slack)", part, spec)
+		}
+		slack, err := strconv.Atoi(val)
+		if err != nil || slack < 0 || slack > maxSlack {
+			return Env{}, fmt.Errorf("scarce: bad slack %q for axis %q (want 0..%d)", val, label, maxSlack)
+		}
+		switch label {
+		case "handles":
+			e.Handles = slack
+		case "fds":
+			e.FDs = slack
+		case "heap_pages":
+			e.HeapPages = slack
+		case "disk_ops":
+			e.DiskOps = slack
+		case "procs":
+			e.Procs = slack
+		default:
+			return Env{}, fmt.Errorf("scarce: unknown axis %q in %q (have handles, fds, heap_pages, disk_ops, procs)", label, spec)
+		}
+	}
+	return e.Normalize(), nil
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ballista"
+)
+
+func TestScarcecheckEndpoint(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	var rep ballista.ScarceReport
+	req := ScarcecheckRequest{
+		OSes: []string{"linux", "winnt"}, Envs: []string{"fd-full", "handle-full"},
+		Seed: 7, Budget: 40, Workers: 2,
+	}
+	if code := postJSON(t, ts.URL+"/api/scarcecheck", req, &rep); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if rep.MuTs != 40 {
+		t.Errorf("budget 40 swept %d MuTs", rep.MuTs)
+	}
+	if want := []string{"linux", "winnt"}; !reflect.DeepEqual(rep.OSes, want) {
+		t.Errorf("oracle set %v, want %v", rep.OSes, want)
+	}
+	if want := []string{"fd-full", "handle-full"}; !reflect.DeepEqual(rep.Envs, want) {
+		t.Errorf("env set %v, want %v", rep.Envs, want)
+	}
+	if rep.Items != 80 || rep.Probes == 0 {
+		t.Errorf("items=%d probes=%d", rep.Items, rep.Probes)
+	}
+
+	// The sweep streamed scarce events into the server's metrics registry.
+	if got := srv.Metrics().ScarceItemCount(); got != 80 {
+		t.Errorf("metrics saw %d scarce items, want 80", got)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := string(body)
+	for _, series := range []string{
+		"ballista_scarce_items_total 80",
+		fmt.Sprintf("ballista_scarce_probes_total %d", rep.Probes),
+		"ballista_scarce_leaked_total",
+		"ballista_scarce_violating_total",
+	} {
+		if !strings.Contains(rec, series) {
+			t.Errorf("/metrics is missing %q", series)
+		}
+	}
+
+	// Identical requests yield identical reports (the endpoint is a pure
+	// function of the request).
+	var again ballista.ScarceReport
+	if code := postJSON(t, ts.URL+"/api/scarcecheck", req, &again); code != http.StatusOK {
+		t.Fatalf("second status %d", code)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		t.Error("identical scarcecheck requests returned different reports")
+	}
+}
+
+func TestScarcecheckEndpointValidation(t *testing.T) {
+	ts := testServer(t)
+	for name, req := range map[string]ScarcecheckRequest{
+		"unknown os":     {OSes: []string{"beos"}},
+		"unknown env":    {Envs: []string{"ram-full"}},
+		"budget too big": {Budget: MaxScarceMuTs + 1},
+		"bad workers":    {Workers: -1},
+	} {
+		var out map[string]string
+		if code := postJSON(t, ts.URL+"/api/scarcecheck", req, &out); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", name, code, out)
+		}
+	}
+}
+
+func TestHinderEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	var results []ballista.HinderResult
+	if code := postJSON(t, ts.URL+"/api/hinder", HinderRequest{OS: "win98"}, &results); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(results) == 0 {
+		t.Fatal("hinder audit returned no probes")
+	}
+	hindering := 0
+	for _, r := range results {
+		if r.Hindering {
+			hindering++
+		}
+	}
+	if hindering == 0 {
+		t.Error("win98 audit found no Hindering failures (the paper found several)")
+	}
+
+	// Unknown OS is a client error, not a 500.
+	var out map[string]string
+	if code := postJSON(t, ts.URL+"/api/hinder", HinderRequest{OS: "beos"}, &out); code != http.StatusBadRequest {
+		t.Errorf("unknown os: status %d, want 400 (%v)", code, out)
+	}
+	// Garbage JSON is a client error too.
+	resp, err := http.Post(ts.URL+"/api/hinder", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -15,6 +15,10 @@
 //	                                    across parallel workers)
 //	POST /api/crashcheck                run a bounded crash-consistency
 //	                                    sweep across the OS profiles
+//	POST /api/scarcecheck               run a bounded resource-scarcity
+//	                                    sweep across the OS profiles
+//	POST /api/hinder                    run the Hindering-failure oracle
+//	                                    for one OS
 //	POST /api/case                      run one identified test case
 //	GET  /api/summary?os=<name>&cap=N&workers=W   Table 1 row for one OS
 //	GET  /api/events?n=K                most recent K trace events
@@ -204,6 +208,28 @@ const MaxCrashWorkloads = 2000
 // MaxCrashOps bounds the workload chain length a crashcheck request may
 // ask for (the state enumeration is exponential in chain length).
 const MaxCrashOps = 3
+
+// ScarcecheckRequest parameterizes POST /api/scarcecheck.
+type ScarcecheckRequest struct {
+	// OSes is the differential set; empty selects all seven.
+	OSes []string `json:"oses,omitempty"`
+	// Envs names default scarcity environments; empty selects the full
+	// matrix.
+	Envs []string `json:"envs,omitempty"`
+	Seed uint64   `json:"seed,omitempty"`
+	// Budget caps the MuT union (bounded server-side).
+	Budget  int `json:"budget,omitempty"`
+	Workers int `json:"workers,omitempty"`
+}
+
+// MaxScarceMuTs bounds the per-request scarcity-sweep MuT budget (each
+// MuT costs environments x OSes machine boots).
+const MaxScarceMuTs = 500
+
+// HinderRequest parameterizes POST /api/hinder.
+type HinderRequest struct {
+	OS string `json:"os"`
+}
 
 // CaseRequest asks for one identified test case (the paper's
 // single-test-program mode; Listing 1 is {"os":"win98",
@@ -441,6 +467,8 @@ func NewServer(opts ...ServerOption) *Server {
 	s.mux.HandleFunc("POST /api/campaign", s.handleCampaign)
 	s.mux.HandleFunc("POST /api/explore", s.handleExplore)
 	s.mux.HandleFunc("POST /api/crashcheck", s.handleCrashcheck)
+	s.mux.HandleFunc("POST /api/scarcecheck", s.handleScarcecheck)
+	s.mux.HandleFunc("POST /api/hinder", s.handleHinder)
 	s.mux.HandleFunc("POST /api/case", s.handleCase)
 	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
 	s.mux.HandleFunc("GET /api/events", s.handleEvents)
@@ -775,6 +803,92 @@ func (s *Server) handleCrashcheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// handleScarcecheck runs one bounded resource-scarcity sweep and
+// returns the full deterministic report.  Per-item scarce events stream
+// into the server's metrics registry (ballista_scarce_*) as the sweep
+// runs.
+func (s *Server) handleScarcecheck(w http.ResponseWriter, r *http.Request) {
+	var req ScarcecheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	var oses []ballista.OS
+	for _, name := range req.OSes {
+		o, ok := parseOS(name)
+		if !ok {
+			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown os %q in oses", name))
+			return
+		}
+		oses = append(oses, o)
+	}
+	var envs []ballista.ScarceEnv
+	for _, name := range req.Envs {
+		e, err := ballista.ParseScarceEnv(name)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		envs = append(envs, e)
+	}
+	if req.Budget < 0 || req.Budget > MaxScarceMuTs {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("budget %d exceeds the server bound %d", req.Budget, MaxScarceMuTs))
+		return
+	}
+	if req.Budget == 0 {
+		// An unbudgeted request must not monopolize the heavy slot: every
+		// MuT in the union costs environments x OSes machine boots.
+		req.Budget = MaxScarceMuTs
+	}
+	if req.Workers < 0 {
+		s.httpError(w, http.StatusBadRequest, "bad workers")
+		return
+	}
+	cfg := ballista.ScarceConfig{
+		OSes: oses, Envs: envs, Seed: req.Seed,
+		Budget: req.Budget, Workers: req.Workers,
+		Observer: s.observer(), Spans: s.spans,
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.campaignCtx(r)
+	defer cancel()
+	rep, err := ballista.ScarceSweep(ctx, cfg)
+	if err != nil {
+		s.httpError(w, campaignErrStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// handleHinder runs the Hindering-failure oracle (wrong error codes)
+// for one OS and returns the probe results.
+func (s *Server) handleHinder(w http.ResponseWriter, r *http.Request) {
+	var req HinderRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	o, ok := parseOS(req.OS)
+	if !ok {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown os %q", req.OS))
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	results, err := ballista.AuditHindering(o)
+	if err != nil {
+		s.httpError(w, campaignErrStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, results)
 }
 
 // handleFarmCampaign runs the full catalog for one OS across a farm of

@@ -199,6 +199,19 @@ func (f *FileSystem) lookupParent(path string) (dir *Node, base string, err erro
 // Stat returns the node at path.
 func (f *FileSystem) Stat(path string) (*Node, error) { return f.lookup(path) }
 
+// NodeCount walks the tree and reports how many nodes exist (files and
+// directories, root included).  The scarce sweep's leak oracle compares
+// it before and after a call to catch error paths that strand entries.
+func (f *FileSystem) NodeCount() int { return countNodes(f.root) }
+
+func countNodes(n *Node) int {
+	total := 1
+	for _, c := range n.children {
+		total += countNodes(c)
+	}
+	return total
+}
+
 // Create creates (or truncates, if it exists and trunc is set) a regular
 // file and returns its node.
 func (f *FileSystem) Create(path string, mode uint16, trunc bool) (*Node, error) {
@@ -225,6 +238,12 @@ func (f *FileSystem) Create(path string, mode uint16, trunc bool) (*Node, error)
 	if _, ok := f.fault(chaos.OpFSCreate, base); ok {
 		return nil, ErrNoSpace
 	}
+	// fs.disk is the volume-wide budget: unlike the per-name fs.create
+	// site above, every allocating operation shares the one "disk" site,
+	// so a rule's After counts total free blocks, not per-file retries.
+	if _, ok := f.fault(chaos.OpFSDisk, "disk"); ok {
+		return nil, ErrNoSpace
+	}
 	now := f.clock()
 	n := &Node{
 		name: base, parent: dir, Mode: mode, Attrs: AttrArchive, nlink: 1,
@@ -243,6 +262,11 @@ func (f *FileSystem) Mkdir(path string, mode uint16) error {
 	}
 	if _, ok := dir.children[base]; ok {
 		return ErrExists
+	}
+	// A new directory consumes a block from the same volume-wide budget
+	// as file creation and data growth.
+	if _, ok := f.fault(chaos.OpFSDisk, "disk"); ok {
+		return ErrNoSpace
 	}
 	now := f.clock()
 	n := &Node{

@@ -133,6 +133,11 @@ func (o *OpenFile) Write(p []byte) (int, error) {
 	}
 	end := o.pos + int64(len(p))
 	if end > int64(len(o.node.Data)) {
+		// Growing the file draws on the volume-wide fs.disk budget (the
+		// same site as entry creation); rewrites in place are free.
+		if _, ok := o.fs.fault(chaos.OpFSDisk, "disk"); ok {
+			return 0, ErrNoSpace
+		}
 		grown := make([]byte, end)
 		copy(grown, o.node.Data)
 		o.node.Data = grown

@@ -240,6 +240,12 @@ func (k *Kernel) Reboot() {
 // NewProcess creates a fresh process with its own address space, standard
 // handles and an empty descriptor table.
 func (k *Kernel) NewProcess() *Process {
+	// An armed kern.spawn scarcity rule models a machine out of process
+	// slots: creation is refused outright and callers (fork,
+	// CreateProcess) must surface the documented scarcity error.
+	if _, ok := k.chaos.Fault(chaos.OpKernSpawn, "spawn"); ok {
+		return nil
+	}
 	k.stats.Processes++
 	p := &Process{
 		K:       k,

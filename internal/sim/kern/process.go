@@ -1,6 +1,7 @@
 package kern
 
 import (
+	"ballista/internal/chaos"
 	"ballista/internal/sim/fs"
 	"ballista/internal/sim/mem"
 )
@@ -78,8 +79,13 @@ type Process struct {
 func (p *Process) Object() *Object { return p.object }
 
 // AddHandle inserts an object into the handle table and returns its new
-// handle.
+// handle.  Under an armed kern.handle scarcity rule the table is full:
+// the insert is refused and the null handle returned, leaving the table
+// and counters untouched.
 func (p *Process) AddHandle(o *Object) Handle {
+	if _, ok := p.K.chaos.Fault(chaos.OpKernHandle, "handle"); ok {
+		return 0
+	}
 	h := p.nextH
 	p.nextH += 4
 	o.refs++
@@ -148,8 +154,14 @@ func (p *Process) Std(slot int) Handle {
 	return p.std[slot]
 }
 
-// AddFD inserts a descriptor at the lowest free slot >= 0.
+// AddFD inserts a descriptor at the lowest free slot >= 0.  Under an
+// armed kern.fd scarcity rule the descriptor table is full and -1 is
+// returned.  AddFDAt (dup2 semantics) stays infallible: replacing an
+// occupied slot allocates nothing.
 func (p *Process) AddFD(f *FD) int {
+	if _, ok := p.K.chaos.Fault(chaos.OpKernFD, "fd"); ok {
+		return -1
+	}
 	fd := 0
 	for {
 		if _, ok := p.fds[fd]; !ok {

@@ -1,0 +1,156 @@
+package kern
+
+import (
+	"testing"
+
+	"ballista/internal/chaos"
+)
+
+// armScarcity boots a kernel, creates a process (bootstrap allocations
+// run fault-free), then arms the given scarcity plan — the same late-
+// arming order the scarce sweep uses.
+func armScarcity(t *testing.T, rules ...chaos.Rule) (*Kernel, *Process) {
+	t.Helper()
+	k := New(ArchNT)
+	p := k.NewProcess()
+	plan := &chaos.Plan{Seed: 1, Rules: rules}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k.SetInjector(plan.NewInjector(nil))
+	return k, p
+}
+
+// TestHandleAllocateAtFull: with zero slack every AddHandle refuses,
+// the table does not grow, and the open counter does not advance — a
+// refused allocation must not look like an open in the leak baseline.
+func TestHandleAllocateAtFull(t *testing.T) {
+	k, p := armScarcity(t, chaos.Rule{Op: chaos.OpKernHandle, RatePerMille: 1000, After: 0})
+	base := p.HandleCount()
+	opened := k.Stats().HandlesOpened
+	for i := 0; i < 3; i++ {
+		if h := p.AddHandle(&Object{Kind: KEvent}); h != 0 {
+			t.Fatalf("AddHandle at full returned %#x, want 0", h)
+		}
+	}
+	if p.HandleCount() != base {
+		t.Errorf("handle table grew from %d to %d under refusal", base, p.HandleCount())
+	}
+	if got := k.Stats().HandlesOpened; got != opened {
+		t.Errorf("HandlesOpened advanced %d -> %d on refused allocations", opened, got)
+	}
+}
+
+// TestHandleSlackBudget: slack N admits exactly N allocations before
+// the table runs dry, machine-wide.
+func TestHandleSlackBudget(t *testing.T) {
+	const slack = 2
+	_, p := armScarcity(t, chaos.Rule{Op: chaos.OpKernHandle, RatePerMille: 1000, After: slack})
+	var got int
+	for i := 0; i < slack+3; i++ {
+		if p.AddHandle(&Object{Kind: KEvent}) != 0 {
+			got++
+		}
+	}
+	if got != slack {
+		t.Errorf("%d allocations succeeded under slack %d", got, slack)
+	}
+}
+
+// TestDoubleCloseUnderScarcity: close bookkeeping stays balanced at the
+// table-full boundary — a double close (and a close of the null
+// handle) must not decrement live counters below baseline.
+func TestDoubleCloseUnderScarcity(t *testing.T) {
+	k, p := armScarcity(t, chaos.Rule{Op: chaos.OpKernHandle, RatePerMille: 1000, After: 1})
+	h := p.AddHandle(&Object{Kind: KEvent})
+	if h == 0 {
+		t.Fatal("slack-1 allocation refused")
+	}
+	if p.AddHandle(&Object{Kind: KEvent}) != 0 {
+		t.Fatal("second allocation admitted past the budget")
+	}
+	live := k.Stats().LiveHandles()
+	if !p.CloseHandle(h) {
+		t.Fatal("CloseHandle failed")
+	}
+	if p.CloseHandle(h) {
+		t.Error("double CloseHandle succeeded")
+	}
+	if p.CloseHandle(0) {
+		t.Error("CloseHandle(0) succeeded")
+	}
+	if got := k.Stats().LiveHandles(); got != live-1 {
+		t.Errorf("LiveHandles = %d after close storm, want %d", got, live-1)
+	}
+}
+
+// TestFDTableAtFull: AddFD refuses with -1 and no slot is consumed;
+// AddFDAt (the dup2 path) stays infallible because POSIX dup2 onto a
+// chosen slot replaces rather than allocates.
+func TestFDTableAtFull(t *testing.T) {
+	_, p := armScarcity(t, chaos.Rule{Op: chaos.OpKernFD, RatePerMille: 1000, After: 0})
+	base := p.FDCount()
+	if fd := p.AddFD(&FD{}); fd != -1 {
+		t.Fatalf("AddFD at full returned %d, want -1", fd)
+	}
+	if p.FDCount() != base {
+		t.Errorf("fd table grew from %d to %d under refusal", base, p.FDCount())
+	}
+	p.AddFDAt(7, &FD{Read: true})
+	if p.FD(7) == nil {
+		t.Error("AddFDAt refused under fd scarcity; dup2 must stay infallible")
+	}
+}
+
+// TestSpawnRefusedAtFull: an exhausted process table refuses creation
+// outright and the process counter does not advance.
+func TestSpawnRefusedAtFull(t *testing.T) {
+	k, _ := armScarcity(t, chaos.Rule{Op: chaos.OpKernSpawn, RatePerMille: 1000, After: 0})
+	procs := k.Stats().Processes
+	if child := k.NewProcess(); child != nil {
+		t.Fatal("NewProcess succeeded with zero process slots")
+	}
+	if got := k.Stats().Processes; got != procs {
+		t.Errorf("process counter advanced %d -> %d on refused spawn", procs, got)
+	}
+}
+
+// TestCountersRestoreAfterReboot: a crash under scarcity, a reboot, and
+// a detached injector must put a fresh process back at the bootstrap
+// baseline — the leak oracle's snapshots depend on reboot restoring a
+// clean counter baseline.
+func TestCountersRestoreAfterReboot(t *testing.T) {
+	k, p := armScarcity(t, chaos.Rule{Op: chaos.OpKernHandle, RatePerMille: 1000, After: 0})
+	if p.AddHandle(&Object{Kind: KEvent}) != 0 {
+		t.Fatal("allocation admitted at full")
+	}
+	k.Crash("test: wedged under scarcity")
+	if !k.Crashed() {
+		t.Fatal("machine not down")
+	}
+	k.SetInjector(nil)
+	k.Reboot()
+	if k.Crashed() {
+		t.Fatal("machine still down after reboot")
+	}
+
+	fresh := k.NewProcess()
+	if fresh == nil {
+		t.Fatal("NewProcess refused after injector detach")
+	}
+	if got := fresh.HandleCount(); got != 3 {
+		t.Errorf("fresh process boots with %d handles, want 3 (std pipes)", got)
+	}
+	if got := fresh.FDCount(); got != 3 {
+		t.Errorf("fresh process boots with %d fds, want 3", got)
+	}
+	h := fresh.AddHandle(&Object{Kind: KEvent})
+	if h == 0 {
+		t.Fatal("allocation still refused after detach+reboot")
+	}
+	live := k.Stats().LiveHandles()
+	fresh.CloseHandle(h)
+	if got := k.Stats().LiveHandles(); got != live-1 {
+		t.Errorf("LiveHandles = %d, want %d: baseline drifted across reboot", got, live-1)
+	}
+}

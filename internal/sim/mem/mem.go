@@ -279,6 +279,16 @@ func (as *AddressSpace) Map(addr Addr, size uint32, prot Prot) error {
 	if as.quota != 0 && as.mapped+fresh > as.quota {
 		return ErrNoSpace
 	}
+	// Scarcity accounting is per page: a mem.page rule with After=M
+	// means exactly M more pages commit machine-wide before the backing
+	// store runs dry, however the commits are batched.
+	if as.inj != nil {
+		for consumed := uint64(0); consumed < fresh; consumed += PageSize {
+			if _, ok := as.inj.Fault(chaos.OpMemPage, "page"); ok {
+				return ErrNoSpace
+			}
+		}
+	}
 	// Committing fresh pages is the fault point: remapping already-
 	// resident pages cannot fail for lack of memory.  Multi-page commits
 	// report a distinct site so page-pressure rules (large commits fail

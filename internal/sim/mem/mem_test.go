@@ -248,6 +248,14 @@ func TestReadAfterWriteProperty(t *testing.T) {
 		if len(data) > 4096 {
 			data = data[:4096]
 		}
+		// Keep the write inside the 16-page region: running off the end
+		// faults by design, which is not what this property tests.
+		if max := 16*PageSize - int(off); len(data) > max {
+			data = data[:max]
+		}
+		if len(data) == 0 {
+			return true
+		}
 		at := base + Addr(off)
 		if f := as.Write(at, data); f != nil {
 			return false

@@ -93,6 +93,18 @@ type Metrics struct {
 	crashDivergent   uint64
 	crashViolatingWl uint64
 
+	// Resource-scarcity oracle counters: (MuT, environment) items swept,
+	// probes run, machines crashed under scarcity, error-path leaks,
+	// ungraceful degradations, and the items that diverged across
+	// profiles or violated any scarce oracle.
+	scarceItems      uint64
+	scarceProbes     uint64
+	scarceCrashed    uint64
+	scarceLeaked     uint64
+	scarceUngraceful uint64
+	scarceDivergent  uint64
+	scarceViolating  uint64
+
 	// Fleet control-plane counters: lease lifecycle, idempotent-upload
 	// dedup hits, worker liveness and transport byte totals.
 	fleetLeasesGranted uint64
@@ -237,6 +249,31 @@ func (m *Metrics) OnCrashDone(ev core.CrashEvent) {
 	if ev.Violating {
 		m.crashViolatingWl++
 	}
+}
+
+// OnScarceDone implements core.ScarceObserver: scarcity sweeps report
+// each (MuT, environment) item's differential oracle verdicts.
+func (m *Metrics) OnScarceDone(ev core.ScarceEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.scarceItems++
+	m.scarceProbes += uint64(len(ev.OSes))
+	m.scarceCrashed += uint64(ev.Crashed)
+	m.scarceLeaked += uint64(ev.Leaked)
+	m.scarceUngraceful += uint64(ev.Ungraceful)
+	if ev.Divergent {
+		m.scarceDivergent++
+	}
+	if ev.Violating {
+		m.scarceViolating++
+	}
+}
+
+// ScarceItemCount returns the total scarcity-sweep items observed.
+func (m *Metrics) ScarceItemCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scarceItems
 }
 
 // CrashWorkloadCount returns the total crash-sweep workloads observed.
@@ -498,6 +535,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"ballista_crash_violations_total", "Crash states that violated a durability invariant.", m.crashViolations},
 		{"ballista_crash_divergent_total", "Workloads whose crash behavior diverged across OS profiles.", m.crashDivergent},
 		{"ballista_crash_violating_workloads_total", "Workloads with at least one invariant-violating crash state.", m.crashViolatingWl},
+		{"ballista_scarce_items_total", "(MuT, environment) items evaluated by the resource-scarcity oracle.", m.scarceItems},
+		{"ballista_scarce_probes_total", "Per-OS probes run inside depleted-resource environments.", m.scarceProbes},
+		{"ballista_scarce_crashed_total", "Probes whose simulated machine crashed under scarcity.", m.scarceCrashed},
+		{"ballista_scarce_leaked_total", "Probes that leaked resources on an error path.", m.scarceLeaked},
+		{"ballista_scarce_ungraceful_total", "Probes that degraded ungracefully (wrong code or silent lie).", m.scarceUngraceful},
+		{"ballista_scarce_divergent_total", "Items whose scarcity verdicts diverged across OS profiles.", m.scarceDivergent},
+		{"ballista_scarce_violating_total", "Items with at least one scarce-oracle violation.", m.scarceViolating},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n", series.metric, series.help)
 		fmt.Fprintf(w, "# TYPE %s counter\n", series.metric)

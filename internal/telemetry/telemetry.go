@@ -113,6 +113,16 @@ func (m multi) OnCrashDone(ev core.CrashEvent) {
 	}
 }
 
+// OnScarceDone implements core.ScarceObserver, forwarding scarcity-
+// sweep item completions to every member that cares.
+func (m multi) OnScarceDone(ev core.ScarceEvent) {
+	for _, o := range m {
+		if so, ok := o.(core.ScarceObserver); ok {
+			so.OnScarceDone(ev)
+		}
+	}
+}
+
 // Logger is the shared harness logger: a thin prefix-per-component
 // wrapper so server and CLI log lines are uniform and testable.
 type Logger struct {

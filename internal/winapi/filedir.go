@@ -574,6 +574,9 @@ func createFile(c *api.Call) {
 		return
 	}
 	h := c.P.AddHandle(&kern.Object{Kind: kern.KFile, File: of})
+	if scarceHandle(c, h, invalidHandleRet, api.ErrorTooManyOpenFiles) {
+		return
+	}
 	c.Ret(int64(uint32(h)))
 }
 
@@ -671,6 +674,9 @@ func findFirstFile(c *api.Call) {
 		return
 	}
 	h := c.P.AddHandle(&kern.Object{Kind: kern.KFind, Find: &kern.FindState{Matches: nodes, Next: 1}})
+	if scarceHandle(c, h, invalidHandleRet, api.ErrorNoMoreSearchHandles) {
+		return
+	}
 	c.Ret(int64(uint32(h)))
 }
 

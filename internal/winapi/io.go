@@ -197,6 +197,12 @@ func dupHandle(c *api.Call) {
 		return
 	}
 	nh := c.P.AddHandle(src)
+	if nh == 0 && c.Traits.ProbeKernel {
+		c.FailWin(api.ErrorNoSystemResources)
+		return
+	}
+	// On the 9x family the null handle is written out below and the call
+	// still reports TRUE — a handle-table lie under scarcity.
 	if !c.CopyOut(3, c.PtrArg(3), u32b(uint32(nh))) {
 		return
 	}

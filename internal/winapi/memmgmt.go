@@ -322,6 +322,14 @@ func heapCreate(c *api.Call) {
 	}
 	hp := kern.NewHeap(uint32(base), span, maxSize, flags&0x01 == 0)
 	h := c.P.AddHandle(&kern.Object{Kind: kern.KHeap, Heap: hp})
+	if h == 0 && c.Traits.ProbeKernel {
+		// NT backs the arena out before failing; leaving it mapped would
+		// be exactly the error-path leak the scarce oracle hunts.
+		_ = c.P.AS.Free(base)
+	}
+	if scarceHandle(c, h, 0, api.ErrorNotEnoughMemory) {
+		return
+	}
 	c.Ret(int64(uint32(h)))
 }
 

@@ -13,7 +13,10 @@ func registerProcess(m map[string]Impl) {
 	m["OpenProcess"] = func(c *api.Call) {
 		pid := int(c.Int(2))
 		if pid == c.P.PID {
-			c.Ret(int64(uint32(c.P.AddHandle(c.P.Object()))))
+			h := c.P.AddHandle(c.P.Object())
+			if !scarceHandle(c, h, 0, api.ErrorNoSystemResources) {
+				c.Ret(int64(uint32(h)))
+			}
 			return
 		}
 		c.FailWinRet(0, api.ErrorInvalidParameter)
@@ -203,6 +206,9 @@ func registerProcess(m map[string]Impl) {
 			ManualReset: c.Int(1) != 0,
 			Signaled:    c.Int(2) != 0,
 		})
+		if scarceHandle(c, h, 0, api.ErrorNoSystemResources) {
+			return
+		}
 		c.Ret(int64(uint32(h)))
 	}
 	m["SetEvent"] = eventOp(func(o *kern.Object) { o.Signaled = true })
@@ -225,7 +231,11 @@ func registerProcess(m map[string]Impl) {
 		} else {
 			o.Signaled = true
 		}
-		c.Ret(int64(uint32(c.P.AddHandle(o))))
+		h := c.P.AddHandle(o)
+		if scarceHandle(c, h, 0, api.ErrorNoSystemResources) {
+			return
+		}
+		c.Ret(int64(uint32(h)))
 	}
 	m["ReleaseMutex"] = func(c *api.Call) {
 		o := object(c, 0, kern.KMutex, winTrue)
@@ -259,6 +269,9 @@ func registerProcess(m map[string]Impl) {
 			Kind: kern.KSemaphore, Count: initial, MaxCount: maxCount,
 			Signaled: initial > 0,
 		})
+		if scarceHandle(c, h, 0, api.ErrorNoSystemResources) {
+			return
+		}
 		c.Ret(int64(uint32(h)))
 	}
 	m["ReleaseSemaphore"] = func(c *api.Call) {
@@ -496,8 +509,25 @@ func createProcess(c *api.Call) {
 		return
 	}
 	child := c.K.NewProcess()
+	if child == nil {
+		// Out of process slots (kern.spawn scarcity): every family reports
+		// the documented code — there is no child to lie about.
+		c.FailWin(api.ErrorNotEnoughMemory)
+		return
+	}
 	hp := c.P.AddHandle(child.Object())
 	ht := c.P.AddHandle(child.Thread.Object())
+	if (hp == 0 || ht == 0) && c.Traits.ProbeKernel {
+		// NT backs out any partial insert rather than leak a child handle.
+		if hp != 0 {
+			c.P.CloseHandle(hp)
+		}
+		if ht != 0 {
+			c.P.CloseHandle(ht)
+		}
+		c.FailWin(api.ErrorNoSystemResources)
+		return
+	}
 	pi := make([]byte, 16)
 	copy(pi[0:], u32b(uint32(hp)))
 	copy(pi[4:], u32b(uint32(ht)))
@@ -537,6 +567,9 @@ func createThread(c *api.Call) {
 	}
 	t := &kern.Thread{Proc: c.P, TID: c.P.Thread.TID + 2, State: state}
 	h := c.P.AddHandle(&kern.Object{Kind: kern.KThread, Thread: t})
+	if scarceHandle(c, h, 0, api.ErrorNoSystemResources) {
+		return
+	}
 	if tid := c.PtrArg(5); tid != 0 {
 		if !c.CopyOut(5, tid, u32b(uint32(t.TID))) {
 			return

@@ -38,6 +38,25 @@ const (
 // invalidHandleRet is INVALID_HANDLE_VALUE as a signed return.
 const invalidHandleRet = -1
 
+// scarceHandle reacts to a refused handle-table insertion: under an
+// armed kern.handle scarcity rule AddHandle returns the null handle
+// instead of inserting.  The NT line checks the insert and reports the
+// documented scarcity code; the 9x/CE stubs never check, so the null
+// handle flows back to the caller as an apparent success — the lie the
+// scarce sweep's degradation oracle exists to flag.  It reports whether
+// it terminated the call.
+func scarceHandle(c *api.Call, h kern.Handle, failRet int64, code uint32) bool {
+	if h != 0 {
+		return false
+	}
+	if c.Traits.ProbeKernel {
+		c.FailWinRet(failRet, code)
+	} else {
+		c.Ret(int64(uint32(h)))
+	}
+	return true
+}
+
 // object resolves a handle argument to a kernel object of a specific
 // kind (kern.KInvalid accepts any kind).  On failure it reports
 // ERROR_INVALID_HANDLE — possibly silently on the 9x family — and

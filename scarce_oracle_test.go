@@ -1,0 +1,200 @@
+package ballista_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ballista"
+)
+
+func scarceReportJSON(t *testing.T, rep *ballista.ScarceReport) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestScarceSweepDeterminismOracle is the facade-level determinism
+// oracle for the resource-scarcity dimension: the seeded sweep must
+// produce a byte-identical report at one worker and at eight, and a
+// sweep killed mid-run must resume from its checkpoint journal to that
+// same report.
+func TestScarceSweepDeterminismOracle(t *testing.T) {
+	cfg := ballista.ScarceConfig{Seed: 7, Budget: 60, Workers: 1}
+	ref, err := ballista.ScarceSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Probes == 0 || len(ref.Findings) == 0 {
+		t.Fatalf("reference sweep is empty: %d probes, %d findings", ref.Probes, len(ref.Findings))
+	}
+	want := scarceReportJSON(t, ref)
+
+	for _, workers := range []int{2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c := cfg
+			c.Workers = workers
+			rep, err := ballista.ScarceSweep(context.Background(), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, scarceReportJSON(t, rep)) {
+				t.Errorf("report at %d workers is not byte-identical to 1 worker", workers)
+			}
+		})
+	}
+
+	t.Run("kill+resume", func(t *testing.T) {
+		c := cfg
+		c.Workers = 4
+		c.Checkpoint = filepath.Join(t.TempDir(), "scarce.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := ballista.ScarceSweep(ctx, c); err == nil {
+			t.Fatal("cancelled sweep reported no error")
+		}
+		resumed, err := ballista.ScarceSweep(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, scarceReportJSON(t, resumed)) {
+			t.Error("resumed report is not byte-identical to the uninterrupted run")
+		}
+	})
+}
+
+// TestScarceSweepMatchesGolden pins the default seed-7 sweep (full
+// catalog union, full environment matrix, all seven profiles) to the
+// committed artifact.  A change to any depletion hook, oracle grading,
+// or environment definition shifts the findings and must come with a
+// regenerated golden: go run ./cmd/ballista -scarce -seed 7 -workers 8
+// -scarce-out testdata/scarcesweep-golden.json
+func TestScarceSweepMatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "scarcesweep-golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ballista.ScarceSweep(context.Background(), ballista.ScarceConfig{Seed: 7, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if !bytes.Equal(golden, got) {
+		t.Error("seed-7 sweep diverges from testdata/scarcesweep-golden.json; " +
+			"if intentional, regenerate with -scarce -scarce-out")
+	}
+}
+
+// TestScarceReproducerRoundTrip: a reproducer written by the sweep
+// loads back and re-verifies through the facade, and rejects tampering.
+func TestScarceReproducerRoundTrip(t *testing.T) {
+	rep, err := ballista.ScarceSweep(context.Background(),
+		ballista.ScarceConfig{Seed: 7, Budget: 60, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("budgeted sweep found nothing to round-trip")
+	}
+	reps := rep.Reproducers()
+	if len(reps) != len(rep.Findings) {
+		t.Fatalf("%d reproducers from %d findings", len(reps), len(rep.Findings))
+	}
+	dir := t.TempDir()
+	r := reps[0]
+	r.Name = "rt-000"
+	path := filepath.Join(dir, "rt-000.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ballista.LoadScarceReproducer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ballista.VerifyScarceReproducer(loaded, rep.Seed); err != nil {
+		t.Fatalf("round-tripped reproducer fails verification: %v", err)
+	}
+
+	// Tamper with a recorded verdict: verification must notice.
+	loaded.Verdicts[loaded.OSes[0]].Fired += 17
+	if err := ballista.VerifyScarceReproducer(loaded, rep.Seed); err == nil {
+		t.Error("tampered reproducer verified cleanly")
+	}
+
+	// A version bump is rejected at load time.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(strings.Replace(string(data), `"v": 1`, `"v": 99`, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ballista.LoadScarceReproducer(bad); err == nil {
+		t.Error("versioned-up reproducer loaded cleanly")
+	}
+}
+
+// TestGoldenScarceCorpus replays every minimized scarcity reproducer in
+// testdata/corpus/scarce and asserts each MuT still earns the recorded
+// per-OS verdict inside its depleted environment.  A change to a
+// depletion hook, an implementation's error path, or an oracle grading
+// rule shows up here as a named, replayable failure.
+func TestGoldenScarceCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "scarce", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("golden scarce corpus too small: %d files, want at least 5", len(files))
+	}
+	var violating, divergent, leaked int
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			rep, err := ballista.LoadScarceReproducer(path)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if rep.Violating {
+				violating++
+			}
+			if rep.Divergent {
+				divergent++
+			}
+			for _, v := range rep.Verdicts {
+				if v.Leaked {
+					leaked++
+					break
+				}
+			}
+			if !rep.Divergent && !rep.Violating {
+				t.Error("reproducer is neither divergent nor violating; it is not a finding")
+			}
+			if err := ballista.VerifyScarceReproducer(rep, 7); err != nil {
+				t.Errorf("replay mismatch: %v", err)
+			}
+		})
+	}
+	if violating == 0 {
+		t.Error("scarce corpus contains no oracle violations")
+	}
+	if divergent == 0 {
+		t.Error("scarce corpus contains no cross-OS divergences")
+	}
+	if leaked == 0 {
+		t.Error("scarce corpus contains no error-path leak findings")
+	}
+}
