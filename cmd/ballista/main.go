@@ -84,6 +84,7 @@ import (
 	"ballista/internal/osprofile"
 	"ballista/internal/report"
 	"ballista/internal/telemetry"
+	"ballista/internal/version"
 )
 
 // atExit holds cleanups (trace/span sink flushes) that must run on
@@ -160,7 +161,13 @@ func main() {
 	joinURL := flag.String("join", "", "join a fleet coordinator at this URL (e.g. http://host:8719) and work its campaign")
 	caseDeadline := flag.Duration("case-deadline", 0, "per-case watchdog: a call exceeding this is classified Restart and its machine condemned (required for hang plans)")
 	csvFlag := flag.String("csv", "", "write the per-MuT campaign report as CSV to this file (a deterministic artifact, diffable across runs)")
+	versionFlag := flag.Bool("version", false, "print the code-version stamp and exit without running a campaign")
 	flag.Parse()
+
+	if *versionFlag {
+		fmt.Println(version.Stamp())
+		return
+	}
 
 	target, ok := osprofile.Parse(*osFlag)
 	if !ok {

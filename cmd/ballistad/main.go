@@ -43,6 +43,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
@@ -53,6 +54,7 @@ import (
 	"ballista/internal/cliutil"
 	"ballista/internal/service"
 	"ballista/internal/telemetry"
+	"ballista/internal/version"
 )
 
 func main() {
@@ -70,7 +72,13 @@ func main() {
 	queueJournal := flag.String("queue-journal", "", "journal the campaign queue to this JSONL file and resume it on restart")
 	tenantQuota := flag.Int("tenant-quota", 0, "max queued+running campaigns per tenant (0 = default)")
 	queueWorkers := flag.Int("queue-workers", 0, "concurrent queued-campaign executors (0 = default 1)")
+	versionFlag := flag.Bool("version", false, "print the code-version stamp and exit without serving")
 	flag.Parse()
+
+	if *versionFlag {
+		fmt.Println(version.Stamp())
+		return
+	}
 
 	logger := telemetry.NewLogger(os.Stderr, "ballistad")
 

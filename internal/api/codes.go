@@ -135,6 +135,55 @@ const (
 	ENOTEMPTY    uint32 = 39
 )
 
+// POSIX socket errno values (Linux x86 values).
+const (
+	ENOTSOCK        uint32 = 88
+	EDESTADDRREQ    uint32 = 89
+	EMSGSIZE        uint32 = 90
+	EPROTOTYPE      uint32 = 91
+	ENOPROTOOPT     uint32 = 92
+	EPROTONOSUPPORT uint32 = 93
+	EOPNOTSUPP      uint32 = 95
+	EAFNOSUPPORT    uint32 = 97
+	EADDRINUSE      uint32 = 98
+	EADDRNOTAVAIL   uint32 = 99
+	ENETUNREACH     uint32 = 101
+	ECONNRESET      uint32 = 104
+	ENOBUFS         uint32 = 105
+	EISCONN         uint32 = 106
+	ENOTCONN        uint32 = 107
+	ETIMEDOUT       uint32 = 110
+	ECONNREFUSED    uint32 = 111
+)
+
+// Winsock error codes for WSAGetLastError (winsock.h values: the BSD
+// errno plus the WSABASEERR 10000 bias, frozen since Winsock 1.1 so
+// they are identical across the 95/98/NT/2000/CE profiles).
+const (
+	WSAEINTR           uint32 = 10004
+	WSAEBADF           uint32 = 10009
+	WSAEFAULT          uint32 = 10014
+	WSAEINVAL          uint32 = 10022
+	WSAEMFILE          uint32 = 10024
+	WSAEWOULDBLOCK     uint32 = 10035
+	WSAEMSGSIZE        uint32 = 10040
+	WSAENOTSOCK        uint32 = 10038
+	WSAEPROTOTYPE      uint32 = 10041
+	WSAEPROTONOSUPPORT uint32 = 10043
+	WSAEOPNOTSUPP      uint32 = 10045
+	WSAEAFNOSUPPORT    uint32 = 10047
+	WSAEADDRINUSE      uint32 = 10048
+	WSAEADDRNOTAVAIL   uint32 = 10049
+	WSAENETUNREACH     uint32 = 10051
+	WSAECONNRESET      uint32 = 10054
+	WSAENOBUFS         uint32 = 10055
+	WSAEISCONN         uint32 = 10056
+	WSAENOTCONN        uint32 = 10057
+	WSAESHUTDOWN       uint32 = 10058
+	WSAETIMEDOUT       uint32 = 10060
+	WSAECONNREFUSED    uint32 = 10061
+)
+
 // Additional Win32 error codes used by the API surface.
 const (
 	ErrorNoMoreFiles  uint32 = 18
@@ -177,17 +226,21 @@ func ScarcityCodesWin() map[uint32]bool {
 		ErrorDiskFull:            true, // 112
 		ErrorNoMoreSearchHandles: true, // 113
 		ErrorNoSystemResources:   true, // 1450
+		WSAEMFILE:                true, // 10024 — socket table full
+		WSAENOBUFS:               true, // 10055 — no buffer space / ports
 	}
 }
 
 // ScarcityCodesPOSIX is the errno equivalent of ScarcityCodesWin.
 func ScarcityCodesPOSIX() map[uint32]bool {
 	return map[uint32]bool{
-		EAGAIN: true, // 11 — fork: RLIMIT_NPROC reached
-		ENOMEM: true, // 12
-		ENFILE: true, // 23 — system file table full
-		EMFILE: true, // 24 — per-process descriptor table full
-		ENOSPC: true, // 28
+		EAGAIN:        true, // 11 — fork: RLIMIT_NPROC reached
+		ENOMEM:        true, // 12
+		ENFILE:        true, // 23 — system file table full
+		EMFILE:        true, // 24 — per-process descriptor table full
+		ENOSPC:        true, // 28
+		ENOBUFS:       true, // 105 — socket buffer space exhausted
+		EADDRNOTAVAIL: true, // 99 — ephemeral-port range depleted
 	}
 }
 

@@ -55,13 +55,22 @@ const (
 	GrpCMath
 	GrpCTime
 	GrpCString
+
+	// GrpSockets extends the catalog beyond the paper's twelve groups:
+	// the Winsock surface on Windows profiles and the BSD sockets surface
+	// on Linux, both backed by the sim/net substrate.  It is declared
+	// after the paper groups so their values (and every wire format keyed
+	// on them) are unchanged.
+	GrpSockets
 )
 
-// Groups lists all twelve groups in reporting order.
+// Groups lists all groups in reporting order: the paper's system-call
+// groups, then sockets (the post-paper system-call extension), then the
+// C library groups.
 func Groups() []Group {
 	return []Group{
 		GrpMemoryManagement, GrpFileDirAccess, GrpIOPrimitives,
-		GrpProcessPrimitives, GrpProcessEnvironment,
+		GrpProcessPrimitives, GrpProcessEnvironment, GrpSockets,
 		GrpCChar, GrpCFileIO, GrpCMemory, GrpCStreamIO,
 		GrpCMath, GrpCTime, GrpCString,
 	}
@@ -94,6 +103,8 @@ func (g Group) String() string {
 		return "C time"
 	case GrpCString:
 		return "C string"
+	case GrpSockets:
+		return "Sockets"
 	default:
 		return fmt.Sprintf("Group(%d)", int(g))
 	}
@@ -104,7 +115,7 @@ func (g Group) String() string {
 func (g Group) SystemCallGroup() bool {
 	switch g {
 	case GrpMemoryManagement, GrpFileDirAccess, GrpIOPrimitives,
-		GrpProcessPrimitives, GrpProcessEnvironment:
+		GrpProcessPrimitives, GrpProcessEnvironment, GrpSockets:
 		return true
 	default:
 		return false

@@ -1,9 +1,10 @@
 package catalog
 
-// POSIXMuTs returns the 91 POSIX system calls tested on Linux, grouped
-// into the same five system-call categories for the paper's normalized
-// comparison.  The I/O Primitives group is the paper's own published
-// list.
+// POSIXMuTs returns the POSIX system calls tested on Linux: the paper's
+// 91 calls grouped into the same five system-call categories for the
+// normalized comparison, plus the BSD sockets group added after the
+// paper reproduction was complete.  The I/O Primitives group is the
+// paper's own published list.
 func POSIXMuTs() []MuT {
 	var m []MuT
 	m = append(m, posixIOPrimitives()...)
@@ -11,6 +12,7 @@ func POSIXMuTs() []MuT {
 	m = append(m, posixFileDirAccess()...)
 	m = append(m, posixProcessPrimitives()...)
 	m = append(m, posixProcessEnvironment()...)
+	m = append(m, posixSocketMuTs()...)
 	return m
 }
 

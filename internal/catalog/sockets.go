@@ -1,0 +1,50 @@
+package catalog
+
+// The sockets group extends the catalog beyond the paper's Table 1: a
+// Winsock 1.1 surface for the Windows profiles and the matching BSD
+// sockets surface for Linux, both implemented over the sim/net
+// substrate.  The eight shared names (socket bind listen accept connect
+// send recv shutdown) are deliberately identical across the two
+// surfaces so the cross-OS differential voter and the explore chain
+// fuzzer can intersect them; closesocket and WSAGetLastError exist only
+// in the Winsock model (POSIX closes sockets with close(2) and reports
+// through errno).
+//
+// Because the explore fuzzer replays one case-index vector across every
+// OS in the differential set, the shared names must be
+// ordinal-compatible: the same parameter count with the same pool size
+// at every position (SOCKET and SOCKFD are distinct pools — handle
+// table vs descriptor table — but are kept the same size with parallel
+// value ordinals; suite.TestSocketPoolOrdinalCompat pins this).
+
+// win32SocketMuTs returns the Winsock system calls.
+func win32SocketMuTs() []MuT {
+	g := GrpSockets
+	return []MuT{
+		mut(Win32, g, "socket", "AF", "SOCKTYPE", "PROTO"),
+		mut(Win32, g, "bind", "SOCKET", "SOCKADDR", "NAMELEN"),
+		mut(Win32, g, "listen", "SOCKET", "BACKLOG"),
+		mut(Win32, g, "accept", "SOCKET", "SOCKADDR_OUT", "NAMELENPTR"),
+		mut(Win32, g, "connect", "SOCKET", "SOCKADDR", "NAMELEN"),
+		mut(Win32, g, "send", "SOCKET", "CBUF", "SIZE_T", "SENDFLAGS"),
+		mut(Win32, g, "recv", "SOCKET", "BUF", "SIZE_T", "SENDFLAGS"),
+		mut(Win32, g, "shutdown", "SOCKET", "HOW"),
+		mut(Win32, g, "closesocket", "SOCKET"),
+		mut(Win32, g, "WSAGetLastError"),
+	}
+}
+
+// posixSocketMuTs returns the BSD socket system calls.
+func posixSocketMuTs() []MuT {
+	g := GrpSockets
+	return []MuT{
+		mut(POSIX, g, "socket", "AF", "SOCKTYPE", "PROTO"),
+		mut(POSIX, g, "bind", "SOCKFD", "SOCKADDR", "NAMELEN"),
+		mut(POSIX, g, "listen", "SOCKFD", "BACKLOG"),
+		mut(POSIX, g, "accept", "SOCKFD", "SOCKADDR_OUT", "NAMELENPTR"),
+		mut(POSIX, g, "connect", "SOCKFD", "SOCKADDR", "NAMELEN"),
+		mut(POSIX, g, "send", "SOCKFD", "CBUF", "SIZE_T", "SENDFLAGS"),
+		mut(POSIX, g, "recv", "SOCKFD", "BUF", "SIZE_T", "SENDFLAGS"),
+		mut(POSIX, g, "shutdown", "SOCKFD", "HOW"),
+	}
+}

@@ -15,9 +15,13 @@ func Supported(o osprofile.OS, m MuT) bool {
 		case osprofile.Linux:
 			return false
 		case osprofile.Win95:
-			return !win95Missing[m.Name]
+			// Winsock 1.1 shipped with Windows 95; the sockets group is
+			// outside the paper's support census, which only covers the
+			// 143 paper MuTs.
+			return m.Group == GrpSockets || !win95Missing[m.Name]
 		case osprofile.WinCE:
-			return ceSystemCalls[m.Name]
+			// winsock.dll is part of every CE configuration.
+			return m.Group == GrpSockets || ceSystemCalls[m.Name]
 		default:
 			return true
 		}

@@ -1,11 +1,12 @@
 package catalog
 
-// Win32MuTs returns the 143 Win32 system calls under test, grouped per
-// the paper's five system-call categories.  The I/O Primitives group is
-// the paper's own published list; the other groups were reconstructed to
-// the paper's counts from the common kernel services named in its §1
-// (memory management, file and directory management, I/O, and process
-// execution/control).
+// Win32MuTs returns the Win32 system calls under test: the paper's 143
+// calls grouped per its five system-call categories, plus the Winsock
+// sockets group added after the paper reproduction was complete.  The
+// I/O Primitives group is the paper's own published list; the other
+// paper groups were reconstructed to the paper's counts from the common
+// kernel services named in its §1 (memory management, file and
+// directory management, I/O, and process execution/control).
 func Win32MuTs() []MuT {
 	var m []MuT
 	m = append(m, win32IOPrimitives()...)
@@ -13,6 +14,7 @@ func Win32MuTs() []MuT {
 	m = append(m, win32FileDirAccess()...)
 	m = append(m, win32ProcessPrimitives()...)
 	m = append(m, win32ProcessEnvironment()...)
+	m = append(m, win32SocketMuTs()...)
 	return m
 }
 

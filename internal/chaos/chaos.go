@@ -83,6 +83,26 @@ const (
 	// expiry and a steal by another worker.
 	OpNetDelay Op = "net.delay"
 
+	// Simulated-network fault points (substrate domain).  These perturb
+	// deliveries inside the in-machine network (internal/sim/net) that
+	// the sockets API surface runs over; they are distinct ops from the
+	// fleet-transport net.* rules above, so arming one plane structurally
+	// cannot perturb the other's decision stream.  Sites are the socket
+	// operation names ("send", "connect").
+
+	// OpSimNetDrop drops one delivery: the sender reports success but the
+	// bytes never reach the peer's receive buffer.
+	OpSimNetDrop Op = "simnet.drop"
+	// OpSimNetDupe delivers one payload twice (datagram duplication; on
+	// streams the bytes repeat in sequence).
+	OpSimNetDupe Op = "simnet.dupe"
+	// OpSimNetDelay delays one delivery by StallTicks simulated
+	// milliseconds before it lands in the peer's buffer.
+	OpSimNetDelay Op = "simnet.delay"
+	// OpSimNetReset resets the connection mid-operation: both endpoints
+	// drop to a reset state and the call reports ECONNRESET/WSAECONNRESET.
+	OpSimNetReset Op = "simnet.reset"
+
 	// Scarcity fault points.  Unlike the per-name sites above, each of
 	// these reports a single fixed site, so a rule's After field is a
 	// machine-wide slack budget: "After: N, RatePerMille: 1000" models a
@@ -110,6 +130,12 @@ const (
 	// After is literally "M pages from commit failure" regardless of how
 	// commits are batched.
 	OpMemPage Op = "mem.page"
+	// OpNetSock faults simulated-network allocations.  Two sites: "sock"
+	// (the machine socket table is full and NewSocket is refused) and
+	// "port" (the ephemeral-port range is depleted and an implicit bind
+	// fails).  After is per-site, so one rule gives each table its own
+	// slack budget.
+	OpNetSock Op = "net.sock"
 )
 
 // Fault kinds, selecting the failure mode of a fired rule.
@@ -184,6 +210,11 @@ var validKinds = map[Op]map[string]bool{
 	OpKernSpawn:   {"": true},
 	OpFSDisk:      {"": true},
 	OpMemPage:     {"": true},
+	OpNetSock:     {"": true},
+	OpSimNetDrop:  {"": true},
+	OpSimNetDupe:  {"": true},
+	OpSimNetDelay: {"": true},
+	OpSimNetReset: {"": true},
 }
 
 // Validate checks the plan's rules for unknown ops, bad kinds and
@@ -208,6 +239,9 @@ func (p *Plan) Validate() error {
 		}
 		if r.Op == OpNetDelay && r.StallTicks == 0 {
 			return fmt.Errorf("chaos: rule %d: net.delay needs stall_ticks > 0", i)
+		}
+		if r.Op == OpSimNetDelay && r.StallTicks == 0 {
+			return fmt.Errorf("chaos: rule %d: simnet.delay needs stall_ticks > 0", i)
 		}
 	}
 	return nil
@@ -266,8 +300,13 @@ var ErrUnknownPreset = errors.New("chaos: unknown preset")
 //	"net"     fleet-transport faults: transient dropped RPCs, duplicated
 //	          uploads, delayed heartbeats (the retryable plan the fleet
 //	          determinism oracle runs under)
-//	"all"     every single-process preset at once ("net" stays separate:
-//	          it only has decision points when a fleet client is running)
+//	"simnet"  simulated-network faults inside the machine: sparse dropped,
+//	          duplicated, delayed and reset socket deliveries (substrate
+//	          domain — deterministically changes socket-call results)
+//	"all"     disk+mem+hang+harness at once ("net" stays separate: it
+//	          only has decision points when a fleet client is running;
+//	          "simnet" stays separate so pre-sockets plans replay
+//	          unchanged)
 func Preset(name string, seed uint64) (*Plan, error) {
 	disk := []Rule{
 		{Op: OpFSCreate, RatePerMille: 8, Transient: true},
@@ -293,6 +332,12 @@ func Preset(name string, seed uint64) (*Plan, error) {
 		{Op: OpNetDupe, RatePerMille: 150},
 		{Op: OpNetDelay, RatePerMille: 100, StallTicks: 40},
 	}
+	simnet := []Rule{
+		{Op: OpSimNetDrop, RatePerMille: 60},
+		{Op: OpSimNetDupe, RatePerMille: 40},
+		{Op: OpSimNetDelay, RatePerMille: 80, StallTicks: 30},
+		{Op: OpSimNetReset, RatePerMille: 20},
+	}
 	p := &Plan{Seed: seed}
 	switch name {
 	case "disk":
@@ -305,13 +350,17 @@ func Preset(name string, seed uint64) (*Plan, error) {
 		p.Rules = harness
 	case "net":
 		p.Rules = netr
+	case "simnet":
+		p.Rules = simnet
 	case "all":
 		p.Rules = append(append(append(append(p.Rules, disk...), memr...), hang...), harness...)
 	default:
-		return nil, fmt.Errorf("%w %q (have disk, mem, hang, harness, net, all)", ErrUnknownPreset, name)
+		return nil, fmt.Errorf("%w %q (have disk, mem, hang, harness, net, simnet, all)", ErrUnknownPreset, name)
 	}
 	return p, nil
 }
 
 // PresetNames lists the Preset plans in documentation order.
-func PresetNames() []string { return []string{"disk", "mem", "hang", "harness", "net", "all"} }
+func PresetNames() []string {
+	return []string{"disk", "mem", "hang", "harness", "net", "simnet", "all"}
+}

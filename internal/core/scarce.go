@@ -17,15 +17,17 @@ type LeakDelta struct {
 	FDs     int `json:"fds,omitempty"`
 	Pages   int `json:"pages,omitempty"`
 	Nodes   int `json:"nodes,omitempty"`
+	Socks   int `json:"socks,omitempty"`
 }
 
 // Leaked reports whether any counter finished above its baseline.
 func (d LeakDelta) Leaked() bool {
-	return d.Handles > 0 || d.FDs > 0 || d.Pages > 0 || d.Nodes > 0
+	return d.Handles > 0 || d.FDs > 0 || d.Pages > 0 || d.Nodes > 0 || d.Socks > 0
 }
 
 func (d LeakDelta) String() string {
-	return fmt.Sprintf("handles%+d fds%+d pages%+d nodes%+d", d.Handles, d.FDs, d.Pages, d.Nodes)
+	return fmt.Sprintf("handles%+d fds%+d pages%+d nodes%+d socks%+d",
+		d.Handles, d.FDs, d.Pages, d.Nodes, d.Socks)
 }
 
 // ScarceProbe is the observation from one call executed inside a
@@ -48,7 +50,7 @@ type ScarceProbe struct {
 // scarceCounters is a point-in-time copy of the live-resource gauges
 // the leak oracle tracks.
 type scarceCounters struct {
-	handles, fds, pages, nodes int
+	handles, fds, pages, nodes, socks int
 }
 
 func scarceSnapshot(env *Env) scarceCounters {
@@ -57,6 +59,7 @@ func scarceSnapshot(env *Env) scarceCounters {
 		fds:     env.P.FDCount(),
 		pages:   int(env.K.MemStats().LivePages()),
 		nodes:   env.K.FS.NodeCount(),
+		socks:   env.K.Net.Live(),
 	}
 }
 
@@ -66,6 +69,7 @@ func (before scarceCounters) delta(after scarceCounters) LeakDelta {
 		FDs:     after.fds - before.fds,
 		Pages:   after.pages - before.pages,
 		Nodes:   after.nodes - before.nodes,
+		Socks:   after.socks - before.socks,
 	}
 }
 
@@ -74,7 +78,7 @@ func scarceFired(snap chaos.Snapshot) uint64 {
 	var n uint64
 	for _, op := range []chaos.Op{
 		chaos.OpKernHandle, chaos.OpKernFD, chaos.OpKernSpawn,
-		chaos.OpFSDisk, chaos.OpMemPage,
+		chaos.OpFSDisk, chaos.OpMemPage, chaos.OpNetSock,
 	} {
 		n += snap.Injected[op]
 	}

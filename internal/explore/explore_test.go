@@ -260,4 +260,59 @@ func TestUnknownMuTRejected(t *testing.T) {
 	}); err == nil {
 		t.Fatal("unknown MuT accepted")
 	}
+	// A glob that matches nothing tested on every OS is equally an error.
+	if _, err := ballista.Explore(context.Background(), ballista.ExploreConfig{
+		Primary: ballista.Win98, MuTs: []string{"no_such_*"}, Budget: 10,
+	}); err == nil {
+		t.Fatal("dead glob pattern accepted")
+	}
+}
+
+// TestSocketExploreDeterminism: a socket-only alphabet selected by glob
+// runs the full differential chain fuzzer and stays byte-identical
+// across worker counts — the ordinal-compatible socket pools replay one
+// case-index vector on every OS surface without per-engine special
+// casing.
+func TestSocketExploreDeterminism(t *testing.T) {
+	base := ballista.ExploreConfig{
+		Primary: ballista.Win98,
+		MuTs:    []string{"socket*", "bind", "listen", "accept", "connect", "send", "recv"},
+		Seed:    7,
+		Budget:  150,
+	}
+
+	cfg1 := base
+	cfg1.Workers = 1
+	rep1, err := ballista.Explore(context.Background(), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg8 := base
+	cfg8.Workers = 8
+	rep8, err := ballista.Explore(context.Background(), cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b1, b8 := mustMarshal(t, rep1), mustMarshal(t, rep8)
+	if string(b1) != string(b8) {
+		t.Fatalf("socket reports differ between 1 and 8 workers:\n1: %s\n8: %s", b1, b8)
+	}
+	if rep1.CorpusSize == 0 {
+		t.Fatal("socket campaign found no novel fingerprints — coverage signal is dead")
+	}
+	// Every chain step must come from the requested alphabet: the glob
+	// expansion never smuggles in non-socket MuTs.
+	allowed := map[string]bool{
+		"socket": true, "bind": true, "listen": true, "accept": true,
+		"connect": true, "send": true, "recv": true,
+	}
+	for _, ch := range rep1.Corpus {
+		for _, s := range ch.Steps {
+			if !allowed[s.MuT] {
+				t.Fatalf("chain step %q outside the socket alphabet", s.MuT)
+			}
+		}
+	}
 }

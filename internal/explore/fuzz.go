@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"path"
 	"runtime"
 	"sort"
 	"strings"
@@ -168,20 +169,59 @@ func New(cfg Config, reg *core.Registry, newRunner func(osprofile.OS) *core.Runn
 }
 
 // buildAlphabet resolves the chain alphabet and samples its case pools.
+// Entries in cfg.MuTs may be glob patterns ('socket*', 'conn?ct'): a
+// pattern expands, in the primary's stable catalog order, to every
+// matching name tested on all OSes in the set, and errors only when
+// nothing qualifies.  Exact names keep strict semantics — naming a MuT
+// missing from any OS in the set is an error, not a silent drop.
 func (f *Fuzzer) buildAlphabet() error {
 	if len(f.cfg.MuTs) > 0 {
 		idx := mutIndex(f.cfg.Primary)
+		seen := make(map[string]bool, len(f.cfg.MuTs))
+		add := func(m catalog.MuT) {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				f.alphabet = append(f.alphabet, m)
+			}
+		}
+		everywhere := func(name string) (osprofile.OS, bool) {
+			for _, o := range f.cfg.OSes {
+				if _, ok := mutIndex(o)[name]; !ok {
+					return o, false
+				}
+			}
+			return 0, true
+		}
 		for _, name := range f.cfg.MuTs {
+			if strings.ContainsAny(name, "*?[") {
+				matched := false
+				for _, m := range catalog.MuTsFor(f.cfg.Primary) {
+					ok, err := path.Match(name, m.Name)
+					if err != nil {
+						return fmt.Errorf("explore: bad MuT pattern %q: %w", name, err)
+					}
+					if !ok {
+						continue
+					}
+					if _, ok := everywhere(m.Name); !ok {
+						continue
+					}
+					matched = true
+					add(m)
+				}
+				if !matched {
+					return fmt.Errorf("explore: pattern %q matches no MuT tested on every OS in the set", name)
+				}
+				continue
+			}
 			m, ok := idx[name]
 			if !ok {
 				return fmt.Errorf("explore: %q is not tested on %s", name, f.cfg.Primary)
 			}
-			for _, o := range f.cfg.OSes {
-				if _, ok := mutIndex(o)[name]; !ok {
-					return fmt.Errorf("explore: %q is not tested on %s (differential oracle needs every OS)", name, o)
-				}
+			if o, ok := everywhere(name); !ok {
+				return fmt.Errorf("explore: %q is not tested on %s (differential oracle needs every OS)", name, o)
 			}
-			f.alphabet = append(f.alphabet, m)
+			add(m)
 		}
 	} else {
 		// Cross-OS intersection in the primary's stable catalog order.

@@ -1,0 +1,104 @@
+package explore_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ballista"
+	"ballista/internal/catalog"
+	"ballista/internal/explore"
+	"ballista/internal/suite"
+)
+
+// socketAlphabet is the cross-surface socket chain alphabet: every name
+// exists in both the Winsock and BSD catalog groups with
+// ordinal-compatible pools (see suite.TestSocketPoolOrdinalCompat), so
+// one case-index vector replays on all seven OS profiles.
+var socketAlphabet = []string{
+	"socket", "bind", "listen", "accept", "connect", "send", "recv",
+}
+
+// socketPoolSizes maps each alphabet name to its per-position pool
+// value counts against the primary (Win32) registry.
+var socketPoolSizes = sync.OnceValue(func() map[string][]int {
+	r := suite.NewRegistry()
+	out := make(map[string][]int)
+	byName := make(map[string]catalog.MuT)
+	for _, m := range catalog.MuTsFor(ballista.Win98) {
+		byName[m.Name] = m
+	}
+	for _, name := range socketAlphabet {
+		m, ok := byName[name]
+		if !ok {
+			panic(fmt.Sprintf("alphabet name %q missing from the primary catalog", name))
+		}
+		sizes := make([]int, len(m.Params))
+		for i, tn := range m.Params {
+			dt, ok := r.Lookup(tn)
+			if !ok {
+				panic(fmt.Sprintf("unknown data type %q (MuT %s param %d)", tn, name, i))
+			}
+			sizes[i] = len(dt.Values)
+		}
+		out[name] = sizes
+	}
+	return out
+})
+
+// FuzzSocketChain drives arbitrary socket-call chains through the
+// cross-OS replay path.  Two guarantees under fuzz: the replay never
+// panics on any OS profile, and index portability holds — a chain whose
+// case indices are valid against the primary's pools replays without a
+// resolution error on every other profile too (the ordinal-compatibility
+// contract the differential oracle depends on).
+func FuzzSocketChain(f *testing.F) {
+	f.Add(uint8(0), uint8(5), uint8(0), uint8(0), uint8(0), uint8(0), false)
+	f.Add(uint8(3), uint8(7), uint8(1), uint8(9), uint8(2), uint8(4), true)
+	f.Add(uint8(6), uint8(6), uint8(6), uint8(6), uint8(6), uint8(6), false)
+	f.Add(uint8(1), uint8(0), uint8(255), uint8(128), uint8(64), uint8(32), true)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g uint8, wide bool) {
+		raw := []uint8{a, b, c, d, e, g}
+		chainLen := 2 + int(a)%4
+		sizes := socketPoolSizes()
+		var steps []string
+		for i := 0; i < chainLen; i++ {
+			name := socketAlphabet[int(raw[i%len(raw)])%len(socketAlphabet)]
+			var cases []string
+			for p, n := range sizes[name] {
+				cases = append(cases, fmt.Sprintf("%d", int(raw[(i+p+1)%len(raw)])%n))
+			}
+			steps = append(steps, fmt.Sprintf(`{"mut":%q,"case":[%s]}`, name, joinComma(cases)))
+		}
+		doc := fmt.Sprintf(`{"wide":%v,"steps":[%s]}`, wide, joinComma(steps))
+		ch, err := explore.ParseChain([]byte(doc))
+		if err != nil {
+			t.Fatalf("generated chain does not parse: %v\n%s", err, doc)
+		}
+		for _, o := range ballista.AllOSes() {
+			classes, err := ballista.ReplayChain(o, ch)
+			if err != nil {
+				t.Fatalf("%s: in-range socket chain failed to replay: %v\n%s", o, err, doc)
+			}
+			if len(classes) != len(ch.Steps) {
+				t.Fatalf("%s: %d classes for %d steps", o, len(classes), len(ch.Steps))
+			}
+			for i, cl := range classes {
+				if cl.String() == "" {
+					t.Fatalf("%s: step %d classified to unnamed class %d", o, i, cl)
+				}
+			}
+		}
+	})
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}

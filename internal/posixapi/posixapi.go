@@ -24,6 +24,7 @@ func Impls() map[string]Impl {
 	registerFileDir(m)
 	registerProc(m)
 	registerEnv(m)
+	registerSockets(m)
 	return m
 }
 

@@ -1,0 +1,296 @@
+package posixapi
+
+import (
+	"errors"
+
+	"ballista/internal/api"
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/net"
+)
+
+// sockErrno maps simulated-network errors onto errno values.
+func sockErrno(err error) uint32 {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, net.ErrInUse):
+		return api.EADDRINUSE
+	case errors.Is(err, net.ErrNoPorts):
+		return api.EADDRNOTAVAIL
+	case errors.Is(err, net.ErrNotConn):
+		return api.ENOTCONN
+	case errors.Is(err, net.ErrIsConn):
+		return api.EISCONN
+	case errors.Is(err, net.ErrRefused):
+		return api.ECONNREFUSED
+	case errors.Is(err, net.ErrReset):
+		return api.ECONNRESET
+	case errors.Is(err, net.ErrShutdown):
+		return api.EPIPE
+	case errors.Is(err, net.ErrClosed):
+		return api.EBADF
+	default:
+		return api.EINVAL
+	}
+}
+
+// sockArg resolves a descriptor argument to a socket descriptor.
+func sockArg(c *api.Call, param int) *kern.FD {
+	f := fdArg(c, param)
+	if f == nil {
+		return nil
+	}
+	if f.Sock == nil {
+		c.FailErrno(api.ENOTSOCK)
+		return nil
+	}
+	return f
+}
+
+// readSockaddr validates the (addr, namelen) pair and returns the
+// requested port.  A short or negative namelen is EINVAL before the
+// copy, as the Linux kernel orders it.
+func readSockaddr(c *api.Call, addrParam, lenParam int) (port uint16, ok bool) {
+	if nl := int32(c.Int(lenParam)); nl < 16 {
+		c.FailErrno(api.EINVAL)
+		return 0, false
+	}
+	b, ok := c.CopyIn(addrParam, c.PtrArg(addrParam), 16)
+	if !ok {
+		return 0, false
+	}
+	if fam := uint16(b[0]) | uint16(b[1])<<8; fam != 2 { // AF_INET
+		c.FailErrno(api.EAFNOSUPPORT)
+		return 0, false
+	}
+	return uint16(b[2])<<8 | uint16(b[3]), true // network byte order
+}
+
+func registerSockets(m map[string]Impl) {
+	m["socket"] = func(c *api.Call) {
+		af := int32(c.Int(0))
+		typ := int32(c.Int(1))
+		proto := int32(c.Int(2))
+		if af != 2 {
+			c.FailErrno(api.EAFNOSUPPORT)
+			return
+		}
+		var kind net.SockKind
+		switch typ {
+		case 1:
+			kind = net.Stream
+		case 2:
+			kind = net.Dgram
+		default:
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		switch {
+		case proto == 0:
+		case proto == 6 && kind == net.Stream: // IPPROTO_TCP
+		case proto == 17 && kind == net.Dgram: // IPPROTO_UDP
+		default:
+			c.FailErrno(api.EPROTONOSUPPORT)
+			return
+		}
+		s := c.K.Net.NewSocket(kind)
+		if s == nil {
+			c.FailErrno(api.EMFILE) // socket table full
+			return
+		}
+		fd := c.P.AddFD(&kern.FD{Sock: s, Read: true, Write: true})
+		if fd < 0 {
+			s.Close()
+			c.FailErrno(api.EMFILE)
+			return
+		}
+		c.Ret(int64(fd))
+	}
+	m["bind"] = func(c *api.Call) {
+		f := sockArg(c, 0)
+		if f == nil {
+			return
+		}
+		port, ok := readSockaddr(c, 1, 2)
+		if !ok {
+			return
+		}
+		if err := f.Sock.Bind(port); err != nil {
+			c.FailErrno(sockErrno(err))
+			return
+		}
+		c.Ret(0)
+	}
+	m["listen"] = func(c *api.Call) {
+		f := sockArg(c, 0)
+		if f == nil {
+			return
+		}
+		if f.Sock.Kind != net.Stream {
+			c.FailErrno(api.EOPNOTSUPP)
+			return
+		}
+		if err := f.Sock.Listen(int(int32(c.Int(1)))); err != nil {
+			c.FailErrno(sockErrno(err))
+			return
+		}
+		c.Ret(0)
+	}
+	m["accept"] = func(c *api.Call) {
+		f := sockArg(c, 0)
+		if f == nil {
+			return
+		}
+		if f.Sock.Kind != net.Stream {
+			c.FailErrno(api.EOPNOTSUPP)
+			return
+		}
+		// When a peer address is requested, the addrlen in/out pointer is
+		// read up front, EFAULT before the queue is consumed.
+		addr := c.PtrArg(1)
+		var alen uint32
+		if addr != 0 {
+			b, ok := c.CopyIn(2, c.PtrArg(2), 4)
+			if !ok {
+				return
+			}
+			alen = le32(b)
+		}
+		srv, err := f.Sock.Accept()
+		if err != nil {
+			c.FailErrno(sockErrno(err))
+			return
+		}
+		if srv == nil {
+			c.Hang() // empty backlog; no other thread can ever connect
+			return
+		}
+		fd := c.P.AddFD(&kern.FD{Sock: srv, Read: true, Write: true})
+		if fd < 0 {
+			srv.Close()
+			c.FailErrno(api.EMFILE)
+			return
+		}
+		if addr != 0 {
+			out := make([]byte, 16)
+			out[0] = 2
+			out[2], out[3] = byte(srv.RemotePort>>8), byte(srv.RemotePort)
+			out[4], out[5], out[6], out[7] = 127, 0, 0, 1
+			if alen < 16 {
+				out = out[:alen]
+			}
+			if len(out) > 0 && !c.CopyOut(1, addr, out) {
+				c.P.CloseFD(fd)
+				return
+			}
+			if !c.CopyOut(2, c.PtrArg(2), u32b(16)) {
+				c.P.CloseFD(fd)
+				return
+			}
+		}
+		c.Ret(int64(fd))
+	}
+	m["connect"] = func(c *api.Call) {
+		f := sockArg(c, 0)
+		if f == nil {
+			return
+		}
+		port, ok := readSockaddr(c, 1, 2)
+		if !ok {
+			return
+		}
+		if err := f.Sock.Connect(port); err != nil {
+			c.FailErrno(sockErrno(err))
+			return
+		}
+		c.Ret(0)
+	}
+	m["send"] = func(c *api.Call) {
+		f := sockArg(c, 0)
+		if f == nil {
+			return
+		}
+		if flags := c.U32(3); flags&^uint32(0x4) != 0 { // only MSG_DONTROUTE modeled
+			c.FailErrno(api.EOPNOTSUPP)
+			return
+		}
+		n := c.U32(2)
+		if int32(n) < 0 {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		want := minU32(n, ioClamp)
+		var data []byte
+		if want > 0 {
+			var ok bool
+			data, ok = c.CopyIn(1, c.PtrArg(1), want)
+			if !ok {
+				return
+			}
+		}
+		sent, err := f.Sock.Send(data)
+		if errors.Is(err, net.ErrShutdown) {
+			c.Signal(api.SIGPIPE) // EPIPE is delivered as the signal
+			return
+		}
+		if err != nil {
+			c.FailErrno(sockErrno(err))
+			return
+		}
+		c.Ret(int64(sent))
+	}
+	m["recv"] = func(c *api.Call) {
+		f := sockArg(c, 0)
+		if f == nil {
+			return
+		}
+		if flags := c.U32(3); flags != 0 {
+			c.FailErrno(api.EOPNOTSUPP)
+			return
+		}
+		n := c.U32(2)
+		if int32(n) < 0 {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		if n == 0 {
+			c.Ret(0)
+			return
+		}
+		want := minU32(n, ioClamp)
+		// Probe before transfer, as the kernel does.
+		if !c.K.Probe(c.P.AS, c.PtrArg(1), minU32(want, 4096), true) {
+			c.FailErrno(api.EFAULT)
+			return
+		}
+		data, wouldBlock, err := f.Sock.Recv(int(want))
+		if err != nil {
+			c.FailErrno(sockErrno(err))
+			return
+		}
+		if wouldBlock {
+			c.Hang() // blocking recv with nothing queued and a live peer
+			return
+		}
+		if len(data) > 0 && !c.CopyOut(1, c.PtrArg(1), data) {
+			return
+		}
+		c.Ret(int64(len(data)))
+	}
+	m["shutdown"] = func(c *api.Call) {
+		f := sockArg(c, 0)
+		if f == nil {
+			return
+		}
+		how := int(int32(c.Int(1)))
+		if how < 0 || how > 2 {
+			c.FailErrno(api.EINVAL)
+			return
+		}
+		if err := f.Sock.Shutdown(how); err != nil {
+			c.FailErrno(sockErrno(err))
+			return
+		}
+		c.Ret(0)
+	}
+}

@@ -126,8 +126,8 @@ func TestWriteGroupCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// header + 2 OSes × 12 groups
-	if len(rows) != 1+2*12 {
+	// header + 2 OSes × 13 groups (the paper's 12 plus sockets)
+	if len(rows) != 1+2*13 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	// The crashed C string group is flagged for Windows 98.

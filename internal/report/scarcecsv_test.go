@@ -9,7 +9,7 @@ import (
 )
 
 func TestWriteScarceCSV(t *testing.T) {
-	env := scarce.Env{Name: "fd-full", Handles: -1, FDs: 0, HeapPages: -1, DiskOps: -1, Procs: -1}
+	env := scarce.Env{Name: "fd-full", Handles: -1, FDs: 0, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
 	rep := &scarce.Report{
 		Findings: []*scarce.Finding{{
 			API: "posix", MuT: "open", Env: env, Case: core.Case{0, 0},

@@ -15,6 +15,7 @@
 package scarce
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -42,6 +43,24 @@ type Env struct {
 	DiskOps int `json:"disk_ops"`
 	// Procs is process-slot slack (kern.spawn).
 	Procs int `json:"procs"`
+	// Socks is simulated-network slack (net.sock): the budget applies
+	// per site, so it depletes both the machine socket table ("sock")
+	// and the ephemeral-port range ("port") N allocations out.
+	Socks int `json:"socks"`
+}
+
+// UnmarshalJSON decodes an environment with the socks axis defaulting
+// to disabled, so pre-sockets environment JSON (goldens, reproducers,
+// hand-written specs) keeps its meaning: a missing axis is a disabled
+// axis, never an exhausted one.
+func (e *Env) UnmarshalJSON(data []byte) error {
+	type alias Env
+	a := alias{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*e = Env(a)
+	return nil
 }
 
 // axis pairs one Env field with its chaos op and short label.
@@ -58,6 +77,7 @@ func (e Env) axes() []axis {
 		{"heap_pages", chaos.OpMemPage, e.HeapPages},
 		{"disk_ops", chaos.OpFSDisk, e.DiskOps},
 		{"procs", chaos.OpKernSpawn, e.Procs},
+		{"socks", chaos.OpNetSock, e.Socks},
 	}
 }
 
@@ -109,7 +129,7 @@ func (e Env) Plan(seed uint64) *chaos.Plan {
 // Split decomposes the environment into its enabled single-axis
 // sub-environments, canonically named — the minimization lattice.
 func (e Env) Split() []Env {
-	disabled := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1}
+	disabled := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
 	var out []Env
 	for i, a := range e.axes() {
 		if a.slack < 0 {
@@ -127,6 +147,8 @@ func (e Env) Split() []Env {
 			sub.DiskOps = a.slack
 		case 4:
 			sub.Procs = a.slack
+		case 5:
+			sub.Socks = a.slack
 		}
 		sub.Name = fmt.Sprintf("%s=%d", a.label, a.slack)
 		out = append(out, sub)
@@ -156,6 +178,7 @@ func (e Env) Normalize() Env {
 	e.HeapPages = clamp(e.HeapPages)
 	e.DiskOps = clamp(e.DiskOps)
 	e.Procs = clamp(e.Procs)
+	e.Socks = clamp(e.Socks)
 	if e.Name == "" {
 		e.Name = e.Key()
 	}
@@ -167,7 +190,7 @@ func (e Env) Normalize() Env {
 // some calls' own allocation count, so the call runs out partway), and
 // a composite thrashing machine.
 func DefaultEnvs() []Env {
-	d := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1}
+	d := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
 	with := func(name string, f func(*Env)) Env {
 		e := d
 		e.Name = name
@@ -183,8 +206,13 @@ func DefaultEnvs() []Env {
 		with("heap-brink", func(e *Env) { e.HeapPages = 2 }),
 		with("disk-full", func(e *Env) { e.DiskOps = 0 }),
 		with("proc-full", func(e *Env) { e.Procs = 0 }),
+		with("sock-full", func(e *Env) { e.Socks = 0 }),
+		// Brink slack 1: a constructor-heavy socket case (listener +
+		// connected pair) needs several allocations, so the call itself
+		// runs the table dry partway through.
+		with("sock-brink", func(e *Env) { e.Socks = 1 }),
 		with("thrashing", func(e *Env) {
-			e.Handles, e.FDs, e.HeapPages, e.DiskOps, e.Procs = 1, 1, 2, 0, 0
+			e.Handles, e.FDs, e.HeapPages, e.DiskOps, e.Procs, e.Socks = 1, 1, 2, 0, 0, 1
 		}),
 	}
 }
@@ -210,7 +238,7 @@ func ParseEnv(name string) (Env, error) {
 // normalized, so its name is its canonical key and findings in a
 // hand-specified environment dedupe against the named matrix.
 func parseEnvSpec(spec string) (Env, error) {
-	e := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1}
+	e := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
 	for _, part := range strings.Split(spec, ",") {
 		label, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
@@ -231,8 +259,10 @@ func parseEnvSpec(spec string) (Env, error) {
 			e.DiskOps = slack
 		case "procs":
 			e.Procs = slack
+		case "socks":
+			e.Socks = slack
 		default:
-			return Env{}, fmt.Errorf("scarce: unknown axis %q in %q (have handles, fds, heap_pages, disk_ops, procs)", label, spec)
+			return Env{}, fmt.Errorf("scarce: unknown axis %q in %q (have handles, fds, heap_pages, disk_ops, procs, socks)", label, spec)
 		}
 	}
 	return e.Normalize(), nil

@@ -90,11 +90,11 @@ func testDeps() *Deps {
 }
 
 func fdFull() Env {
-	return Env{Name: "fd-full", Handles: -1, FDs: 0, HeapPages: -1, DiskOps: -1, Procs: -1}
+	return Env{Name: "fd-full", Handles: -1, FDs: 0, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
 }
 
 func handleFull() Env {
-	return Env{Name: "handle-full", Handles: 0, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1}
+	return Env{Name: "handle-full", Handles: 0, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
 }
 
 // TestLeakOracleCatchesSeededLeak is the acceptance regression: the
@@ -158,7 +158,7 @@ func TestUntouchedWhenEnvironmentIdle(t *testing.T) {
 	deps := testDeps()
 	oses := []osprofile.OS{osprofile.Linux}
 	// fixed_open never spawns a process, so proc-full cannot fire.
-	procFull := Env{Name: "proc-full", Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: 0}
+	procFull := Env{Name: "proc-full", Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: 0, Socks: -1}
 	r := evalItem(deps, procFull, catalog.MuT{Name: "fixed_open", API: catalog.CLib}, oses, 7)
 	if r.Finding != nil {
 		t.Fatalf("unexpected finding: %+v", r.Finding)
@@ -173,7 +173,7 @@ func TestMinimizeCollapsesComposite(t *testing.T) {
 	oses := []osprofile.OS{osprofile.Linux}
 	leaky := catalog.MuT{Name: "leaky_open", API: catalog.CLib}
 
-	thrash := Env{Name: "thrashing", Handles: 5, FDs: 0, HeapPages: -1, DiskOps: -1, Procs: -1}
+	thrash := Env{Name: "thrashing", Handles: 5, FDs: 0, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
 	r := evalItem(deps, thrash, leaky, oses, 7)
 	if r.Finding == nil {
 		t.Fatal("no composite finding")
@@ -232,7 +232,7 @@ func TestSweepWorkerDeterminism(t *testing.T) {
 // not two.
 func TestSweepDedupeAcrossEnvs(t *testing.T) {
 	deps := testDeps()
-	thrash := Env{Name: "thrashing", Handles: 5, FDs: 0, HeapPages: -1, DiskOps: -1, Procs: -1}
+	thrash := Env{Name: "thrashing", Handles: 5, FDs: 0, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
 	rep, err := Sweep(context.Background(), sweepCfg(deps, []Env{fdFull(), thrash}))
 	if err != nil {
 		t.Fatal(err)
@@ -425,7 +425,7 @@ func TestParseEnv(t *testing.T) {
 }
 
 func TestEnvKeySplitNormalize(t *testing.T) {
-	e := Env{Name: "x", Handles: 1, FDs: -1, HeapPages: 2, DiskOps: -1, Procs: 0}
+	e := Env{Name: "x", Handles: 1, FDs: -1, HeapPages: 2, DiskOps: -1, Procs: 0, Socks: -1}
 	if got, want := e.Key(), "handles=1,heap_pages=2,procs=0"; got != want {
 		t.Errorf("Key = %q, want %q", got, want)
 	}
@@ -441,14 +441,14 @@ func TestEnvKeySplitNormalize(t *testing.T) {
 			t.Errorf("split env %q has %d rules, want 1", s.Name, len(s.Plan(1).Rules))
 		}
 	}
-	n := Env{Handles: -99, FDs: 1 << 30, HeapPages: 3}.Normalize()
-	if n.Handles != -1 || n.FDs != maxSlack || n.HeapPages != 3 {
+	n := Env{Handles: -99, FDs: 1 << 30, HeapPages: 3, Socks: 70000}.Normalize()
+	if n.Handles != -1 || n.FDs != maxSlack || n.HeapPages != 3 || n.Socks != maxSlack {
 		t.Errorf("Normalize = %+v", n)
 	}
 	if n.Name == "" {
 		t.Error("Normalize left the name empty")
 	}
-	disabled := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1}
+	disabled := Env{Handles: -1, FDs: -1, HeapPages: -1, DiskOps: -1, Procs: -1, Socks: -1}
 	if disabled.Enabled() {
 		t.Error("all-disabled env reports Enabled")
 	}
@@ -460,11 +460,11 @@ func TestEnvKeySplitNormalize(t *testing.T) {
 // FuzzScarceEnv: any normalized environment yields a plan whose rule
 // count matches its enabled axes, a stable key, and single-axis splits.
 func FuzzScarceEnv(f *testing.F) {
-	f.Add(0, -1, -1, -1, -1)
-	f.Add(1, 1, 2, 0, 0)
-	f.Add(-5, 70000, 3, -1, 2)
-	f.Fuzz(func(t *testing.T, h, fd, hp, d, p int) {
-		e := Env{Handles: h, FDs: fd, HeapPages: hp, DiskOps: d, Procs: p}.Normalize()
+	f.Add(0, -1, -1, -1, -1, -1)
+	f.Add(1, 1, 2, 0, 0, 1)
+	f.Add(-5, 70000, 3, -1, 2, 0)
+	f.Fuzz(func(t *testing.T, h, fd, hp, d, p, sk int) {
+		e := Env{Handles: h, FDs: fd, HeapPages: hp, DiskOps: d, Procs: p, Socks: sk}.Normalize()
 		if e2 := e.Normalize(); e2 != e {
 			t.Fatalf("Normalize not idempotent: %+v vs %+v", e, e2)
 		}

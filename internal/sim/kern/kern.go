@@ -30,6 +30,7 @@ import (
 	"ballista/internal/chaos"
 	"ballista/internal/sim/fs"
 	"ballista/internal/sim/mem"
+	"ballista/internal/sim/net"
 )
 
 // Arch captures the architectural traits of a simulated OS family.
@@ -76,6 +77,7 @@ const (
 type Kernel struct {
 	Arch Arch
 	FS   *fs.FileSystem
+	Net  *net.Network
 
 	ticks uint64
 
@@ -107,6 +109,22 @@ type Kernel struct {
 func (k *Kernel) SetInjector(in *chaos.Injector) {
 	k.chaos = in
 	k.FS.SetInjector(in)
+	if in == nil {
+		k.Net.SetFaulter(nil)
+	} else {
+		k.Net.SetFaulter(netFaulter{in})
+	}
+}
+
+// netFaulter adapts the chaos injector to the network substrate's
+// Faulter slice (sim/net stays chaos-agnostic so the dependency arrow
+// never points back at it).
+type netFaulter struct{ in *chaos.Injector }
+
+// FaultAt consumes one decision point on behalf of the network.
+func (f netFaulter) FaultAt(op, site string) (string, uint64, bool) {
+	flt, ok := f.in.Fault(chaos.Op(op), site)
+	return flt.Kind, flt.StallTicks, ok
 }
 
 // Injector exposes the machine's chaos session (nil when disabled).
@@ -180,6 +198,7 @@ func (k *Kernel) MemStats() *mem.Stats { return &k.memStats }
 func New(arch Arch) *Kernel {
 	k := &Kernel{Arch: arch, CorruptionLimit: DefaultCorruptionLimit, nextPID: 1}
 	k.FS = fs.New(k.Tick)
+	k.Net = net.New(k.Tick)
 	return k
 }
 

@@ -1,6 +1,9 @@
 package kern
 
-import "ballista/internal/sim/fs"
+import (
+	"ballista/internal/sim/fs"
+	"ballista/internal/sim/net"
+)
 
 // ObjectKind identifies what a kernel object is.
 type ObjectKind int
@@ -19,6 +22,7 @@ const (
 	KPipe
 	KModule
 	KTimer
+	KSocket
 
 	// KindCount sizes per-kind tables (one past the last kind).
 	KindCount
@@ -49,6 +53,8 @@ func (k ObjectKind) String() string {
 		return "module"
 	case KTimer:
 		return "timer"
+	case KSocket:
+		return "socket"
 	default:
 		return "invalid"
 	}
@@ -78,6 +84,7 @@ type Object struct {
 	Thread *Thread
 	Pipe   *Pipe
 	Module *Module
+	Sock   *net.Socket
 
 	refs   int
 	closed bool

@@ -4,6 +4,7 @@ import (
 	"ballista/internal/chaos"
 	"ballista/internal/sim/fs"
 	"ballista/internal/sim/mem"
+	"ballista/internal/sim/net"
 )
 
 // Handle is a Win32-style kernel handle value.
@@ -29,6 +30,7 @@ const (
 type FD struct {
 	File  *fs.OpenFile
 	Pipe  *Pipe
+	Sock  *net.Socket
 	Read  bool
 	Write bool
 	// CloseOnExec mirrors FD_CLOEXEC for fcntl.
@@ -132,6 +134,7 @@ func (p *Process) CloseHandle(h Handle) bool {
 			o.Pipe.ReadersOpen = 0
 			o.Pipe.WritersOpen = 0
 		}
+		o.Sock.Close()
 	}
 	return true
 }
@@ -215,6 +218,7 @@ func (p *Process) CloseFD(fd int) bool {
 			f.Pipe.WritersOpen--
 		}
 	}
+	f.Sock.Close()
 	return true
 }
 

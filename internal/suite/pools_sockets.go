@@ -1,0 +1,260 @@
+package suite
+
+import (
+	"fmt"
+
+	"ballista/internal/api"
+	"ballista/internal/core"
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/mem"
+	"ballista/internal/sim/net"
+)
+
+// unservedPort is a port no pool constructor ever binds: it lies below
+// the substrate's ephemeral range and no test value binds explicit
+// ports, so a connect to it is always refused.
+const unservedPort = 47000
+
+// sockaddrBytes renders a 16-byte sockaddr_in: family little-endian,
+// port in network byte order, 127.0.0.1, zero padding.
+func sockaddrBytes(family uint16, port uint16) []byte {
+	b := make([]byte, 16)
+	b[0] = byte(family)
+	b[1] = byte(family >> 8)
+	b[2] = byte(port >> 8)
+	b[3] = byte(port)
+	b[4], b[5], b[6], b[7] = 127, 0, 0, 1
+	return b
+}
+
+// newSock allocates a substrate socket, failing the constructor when
+// the socket table refuses (only possible under an armed net.sock rule,
+// which the scarce prober arms after constructors run).
+func newSock(e *core.Env, kind net.SockKind) (*net.Socket, error) {
+	s := e.K.Net.NewSocket(kind)
+	if s == nil {
+		return nil, fmt.Errorf("suite: socket table refused allocation")
+	}
+	return s, nil
+}
+
+// makeListener builds a substrate-level stream listener on an ephemeral
+// port (not entered in any process table; the per-case network reset
+// reclaims it).
+func makeListener(e *core.Env) (*net.Socket, error) {
+	l, err := newSock(e, net.Stream)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Bind(0); err != nil {
+		return nil, err
+	}
+	if err := l.Listen(4); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// makeConnected builds a connected client-side stream socket (its
+// server side stays queued in a throwaway listener's backlog).
+func makeConnected(e *core.Env) (*net.Socket, error) {
+	l, err := makeListener(e)
+	if err != nil {
+		return nil, err
+	}
+	c, err := newSock(e, net.Stream)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Connect(l.LocalPort); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// sockHandle enters a socket into the Win32 handle table.
+func sockHandle(e *core.Env, s *net.Socket) (api.Arg, error) {
+	return handleArg(e.P.AddHandle(&kern.Object{Kind: kern.KSocket, Sock: s}))
+}
+
+// sockFD enters a socket into the POSIX descriptor table.
+func sockFD(e *core.Env, s *net.Socket) (api.Arg, error) {
+	return api.Int(int64(e.P.AddFD(&kern.FD{Sock: s, Read: true, Write: true}))), nil
+}
+
+func registerSockets(r *core.Registry) {
+	// SOCKET is the Winsock handle pool: the shared invalid prefix plus
+	// sockets in each lifecycle state and a wrong-kind kernel object.
+	r.MustAdd(handlePool("SOCKET",
+		value("STREAM_NEW", false, func(e *core.Env) (api.Arg, error) {
+			s, err := newSock(e, net.Stream)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			return sockHandle(e, s)
+		}),
+		value("STREAM_LISTENING", false, func(e *core.Env) (api.Arg, error) {
+			l, err := makeListener(e)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			return sockHandle(e, l)
+		}),
+		value("STREAM_CONNECTED", false, func(e *core.Env) (api.Arg, error) {
+			c, err := makeConnected(e)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			return sockHandle(e, c)
+		}),
+		value("DGRAM_BOUND", false, func(e *core.Env) (api.Arg, error) {
+			s, err := newSock(e, net.Dgram)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			if err := s.Bind(0); err != nil {
+				return api.Arg{}, err
+			}
+			return sockHandle(e, s)
+		}),
+		value("WRONG_KIND_EVENT", true, func(e *core.Env) (api.Arg, error) {
+			return handleArg(makeEvent(e, false, false))
+		}),
+	))
+
+	// SOCKFD is the BSD descriptor pool: same lifecycle states through
+	// the POSIX descriptor table, plus a plain file descriptor
+	// (ENOTSOCK) and the generic bad descriptors.  Its ordinals parallel
+	// SOCKET's value-for-value (null-ish, -1, garbage, closed, odd,
+	// four lifecycle states, wrong-kind object) so the explore fuzzer's
+	// case-index vectors mean the same thing on both surfaces.
+	r.MustAdd(&core.DataType{Name: "SOCKFD", Values: []core.TestValue{
+		intVal("STDIN_FD", 0, true), // open, but not a socket
+		intVal("NEG_ONE", -1, true),
+		intVal("UNOPENED_99", 99, true),
+		value("CLOSED_SOCKFD", true, func(e *core.Env) (api.Arg, error) {
+			s, err := newSock(e, net.Stream)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			a, err := sockFD(e, s)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			e.P.CloseFD(int(int32(a.I)))
+			return a, nil
+		}),
+		intVal("INT_MAX", 0x7FFFFFFF, true),
+		value("STREAM_NEW", false, func(e *core.Env) (api.Arg, error) {
+			s, err := newSock(e, net.Stream)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			return sockFD(e, s)
+		}),
+		value("STREAM_LISTENING", false, func(e *core.Env) (api.Arg, error) {
+			l, err := makeListener(e)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			return sockFD(e, l)
+		}),
+		value("STREAM_CONNECTED", false, func(e *core.Env) (api.Arg, error) {
+			c, err := makeConnected(e)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			return sockFD(e, c)
+		}),
+		value("DGRAM_BOUND", false, func(e *core.Env) (api.Arg, error) {
+			s, err := newSock(e, net.Dgram)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			if err := s.Bind(0); err != nil {
+				return api.Arg{}, err
+			}
+			return sockFD(e, s)
+		}),
+		value("FILE_FD", true, func(e *core.Env) (api.Arg, error) {
+			fd, err := openFixtureFD(e, FixtureReadable, true, false)
+			return api.Int(int64(fd)), err
+		}),
+	}})
+
+	// SOCKADDR: the generic pointer pool sized to sockaddr_in, with the
+	// VALID value naming an unserved port (connect is refused but the
+	// struct is well-formed), plus a live-listener address and a bogus
+	// address family.
+	sa := ptrPool("SOCKADDR", 16, sockaddrBytes(2, unservedPort))
+	sa.Values = append(sa.Values,
+		value("ADDR_LISTENING", false, func(e *core.Env) (api.Arg, error) {
+			l, err := makeListener(e)
+			if err != nil {
+				return api.Arg{}, err
+			}
+			a, err := allocFilled(e, sockaddrBytes(2, l.LocalPort), mem.ProtRW)
+			return api.Ptr(a), err
+		}),
+		value("BAD_FAMILY", true, func(e *core.Env) (api.Arg, error) {
+			a, err := allocFilled(e, sockaddrBytes(0xFFFF, unservedPort), mem.ProtRW)
+			return api.Ptr(a), err
+		}),
+	)
+	r.MustAdd(sa)
+	r.MustAdd(optOutPtrPool("SOCKADDR_OUT", 16))
+	r.MustAdd(ptrPool("NAMELENPTR", 4, []byte{16, 0, 0, 0}))
+
+	r.MustAdd(&core.DataType{Name: "NAMELEN", Values: []core.TestValue{
+		intVal("SIXTEEN", 16, false),
+		intVal("LARGE_1024", 1024, false),
+		intVal("ZERO", 0, true),
+		intVal("EIGHT", 8, true),
+		intVal("NEG_ONE", -1, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "AF", Values: []core.TestValue{
+		intVal("AF_INET", 2, false),
+		intVal("AF_UNSPEC", 0, true),
+		intVal("AF_UNIX", 1, true),
+		intVal("AF_INET6", 10, true),
+		intVal("NEG_ONE", -1, true),
+		intVal("HUGE_255", 255, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "SOCKTYPE", Values: []core.TestValue{
+		intVal("SOCK_STREAM", 1, false),
+		intVal("SOCK_DGRAM", 2, false),
+		intVal("SOCK_RAW", 3, true),
+		intVal("ZERO", 0, true),
+		intVal("NEG_ONE", -1, true),
+		intVal("HUGE_255", 255, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "PROTO", Values: []core.TestValue{
+		intVal("DEFAULT", 0, false),
+		intVal("IPPROTO_TCP", 6, false),
+		intVal("IPPROTO_UDP", 17, false),
+		intVal("NEG_ONE", -1, true),
+		intVal("HUGE_255", 255, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "BACKLOG", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("ONE", 1, false),
+		intVal("FIVE", 5, false),
+		intVal("SOMAXCONN", 128, false),
+		intVal("NEG_ONE", -1, true),
+		intVal("INT_MAX", 0x7FFFFFFF, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "SENDFLAGS", Values: []core.TestValue{
+		intVal("ZERO", 0, false),
+		intVal("MSG_DONTROUTE", 4, false),
+		intVal("MSG_OOB", 1, true),
+		intVal("BAD_BITS", 0xFF00, true),
+		intVal("NEG_ONE", -1, true),
+	}})
+	r.MustAdd(&core.DataType{Name: "HOW", Values: []core.TestValue{
+		intVal("SD_RECEIVE", 0, false),
+		intVal("SD_SEND", 1, false),
+		intVal("SD_BOTH", 2, false),
+		intVal("THREE", 3, true),
+		intVal("NEG_ONE", -1, true),
+	}})
+}

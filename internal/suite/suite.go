@@ -26,6 +26,7 @@ func NewRegistry() *core.Registry {
 	registerCLib(r)
 	registerWin32(r)
 	registerPOSIX(r)
+	registerSockets(r)
 	return r
 }
 
@@ -65,6 +66,12 @@ func SetupFixtures(k *kern.Kernel) {
 	ensureDir(TempDir)
 	ensureDir("/bin")
 	ensureDir("/home/ballista")
+
+	// The network is machine state like the disk, but unlike disk
+	// fixtures, sockets leaked by a previous case would pin ports and
+	// skew the ephemeral allocator; rewind it so every case sees an
+	// identical network.
+	k.Net.Reset()
 
 	ensureFile := func(path, content string, mode uint16, attrs fs.Attr) {
 		n, err := f.Stat(path)

@@ -53,6 +53,46 @@ func TestAllConstructorsMaterialize(t *testing.T) {
 	}
 }
 
+// TestSocketPoolOrdinalCompat pins the cross-surface contract the
+// explore fuzzer depends on: a chain's case-index vector is replayed
+// verbatim on every OS in the differential set, so each name shared by
+// the Winsock and BSD catalogs must have the same parameter count and
+// the same pool size at every position.
+func TestSocketPoolOrdinalCompat(t *testing.T) {
+	r := NewRegistry()
+	posix := make(map[string]catalog.MuT)
+	for _, m := range catalog.ForAPI(catalog.POSIX) {
+		posix[m.Name] = m
+	}
+	shared := 0
+	for _, wm := range catalog.ForAPI(catalog.Win32) {
+		pm, ok := posix[wm.Name]
+		if !ok {
+			continue
+		}
+		shared++
+		if len(wm.Params) != len(pm.Params) {
+			t.Errorf("%s: %d Win32 params vs %d POSIX params", wm.Name, len(wm.Params), len(pm.Params))
+			continue
+		}
+		for i := range wm.Params {
+			wdt, _ := r.Lookup(wm.Params[i])
+			pdt, _ := r.Lookup(pm.Params[i])
+			if wdt == nil || pdt == nil {
+				t.Errorf("%s param %d: unresolved pool", wm.Name, i)
+				continue
+			}
+			if len(wdt.Values) != len(pdt.Values) {
+				t.Errorf("%s param %d: pool %s has %d values, pool %s has %d — case indices are not portable across the differential set",
+					wm.Name, i, wdt.Name, len(wdt.Values), pdt.Name, len(pdt.Values))
+			}
+		}
+	}
+	if shared != 8 {
+		t.Errorf("Win32/POSIX shared names = %d, want the 8 socket calls", shared)
+	}
+}
+
 // TestPoolsMixExceptional verifies the paper's §2 requirement that pools
 // mix exceptional and non-exceptional values (pure-scalar pools that are
 // entirely benign are permitted).

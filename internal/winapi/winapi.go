@@ -26,6 +26,7 @@ func Impls() map[string]Impl {
 	registerFileDir(m)
 	registerProcess(m)
 	registerProcEnv(m)
+	registerWinsock(m)
 	return m
 }
 

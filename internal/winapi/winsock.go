@@ -1,0 +1,320 @@
+package winapi
+
+import (
+	"errors"
+
+	"ballista/internal/api"
+	"ballista/internal/sim/kern"
+	"ballista/internal/sim/net"
+)
+
+// socketError is SOCKET_ERROR, the -1 failure return of most Winsock
+// calls; socket() and accept() fail with INVALID_SOCKET (the same bit
+// pattern, invalidHandleRet).
+const socketError = -1
+
+// wsaFor maps simulated-network errors onto WSAGetLastError codes.
+func wsaFor(err error) uint32 {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, net.ErrInUse):
+		return api.WSAEADDRINUSE
+	case errors.Is(err, net.ErrNoPorts):
+		return api.WSAENOBUFS
+	case errors.Is(err, net.ErrNotConn):
+		return api.WSAENOTCONN
+	case errors.Is(err, net.ErrIsConn):
+		return api.WSAEISCONN
+	case errors.Is(err, net.ErrRefused):
+		return api.WSAECONNREFUSED
+	case errors.Is(err, net.ErrReset):
+		return api.WSAECONNRESET
+	case errors.Is(err, net.ErrShutdown):
+		return api.WSAESHUTDOWN
+	case errors.Is(err, net.ErrClosed):
+		return api.WSAENOTSOCK
+	default:
+		return api.WSAEINVAL
+	}
+}
+
+// sockObject resolves a handle argument to a socket object, reporting
+// WSAENOTSOCK (possibly silently on the 9x family) otherwise.
+func sockObject(c *api.Call, param int) *kern.Object {
+	o := c.P.Handle(c.HandleAt(param))
+	if o == nil || o.Kind != kern.KSocket || o.Sock == nil {
+		c.FailMaybeSilent(param, api.WSAENOTSOCK, socketError)
+		return nil
+	}
+	return o
+}
+
+// readWinSockaddr validates the (name, namelen) pair and returns the
+// requested port.  Winsock reports a short namelen as WSAEFAULT — the
+// struct cannot be fully read — before touching the pointer.
+func readWinSockaddr(c *api.Call, addrParam, lenParam int) (port uint16, ok bool) {
+	if nl := int32(c.Int(lenParam)); nl < 16 {
+		c.FailWinRet(socketError, api.WSAEFAULT)
+		return 0, false
+	}
+	b, ok := c.CopyIn(addrParam, c.PtrArg(addrParam), 16)
+	if !ok {
+		return 0, false
+	}
+	if fam := uint16(b[0]) | uint16(b[1])<<8; fam != 2 { // AF_INET
+		c.FailWinRet(socketError, api.WSAEAFNOSUPPORT)
+		return 0, false
+	}
+	return uint16(b[2])<<8 | uint16(b[3]), true // network byte order
+}
+
+func registerWinsock(m map[string]Impl) {
+	m["socket"] = func(c *api.Call) {
+		af := int32(c.Int(0))
+		typ := int32(c.Int(1))
+		proto := int32(c.Int(2))
+		if af != 2 {
+			c.FailWinRet(invalidHandleRet, api.WSAEAFNOSUPPORT)
+			return
+		}
+		var kind net.SockKind
+		switch typ {
+		case 1:
+			kind = net.Stream
+		case 2:
+			kind = net.Dgram
+		default:
+			c.FailWinRet(invalidHandleRet, api.WSAEINVAL)
+			return
+		}
+		switch {
+		case proto == 0:
+		case proto == 6 && kind == net.Stream: // IPPROTO_TCP
+		case proto == 17 && kind == net.Dgram: // IPPROTO_UDP
+		default:
+			c.FailWinRet(invalidHandleRet, api.WSAEPROTONOSUPPORT)
+			return
+		}
+		s := c.K.Net.NewSocket(kind)
+		if s == nil {
+			// Full socket table: the NT line reports the documented
+			// scarcity code; the 9x/CE stubs pass the null socket back
+			// as an apparent success (the scarcity lie, see scarceHandle).
+			if c.Traits.ProbeKernel {
+				c.FailWinRet(invalidHandleRet, api.WSAEMFILE)
+			} else {
+				c.Ret(0)
+			}
+			return
+		}
+		h := c.P.AddHandle(&kern.Object{Kind: kern.KSocket, Sock: s})
+		if h == 0 {
+			if c.Traits.ProbeKernel {
+				s.Close()
+				c.FailWinRet(invalidHandleRet, api.WSAEMFILE)
+			} else {
+				c.Ret(0) // null handle as apparent success; the socket leaks
+			}
+			return
+		}
+		c.Ret(int64(uint32(h)))
+	}
+	m["bind"] = func(c *api.Call) {
+		o := sockObject(c, 0)
+		if o == nil {
+			return
+		}
+		port, ok := readWinSockaddr(c, 1, 2)
+		if !ok {
+			return
+		}
+		if err := o.Sock.Bind(port); err != nil {
+			c.FailWinRet(socketError, wsaFor(err))
+			return
+		}
+		c.Ret(0)
+	}
+	m["listen"] = func(c *api.Call) {
+		o := sockObject(c, 0)
+		if o == nil {
+			return
+		}
+		if o.Sock.Kind != net.Stream {
+			c.FailWinRet(socketError, api.WSAEOPNOTSUPP)
+			return
+		}
+		if err := o.Sock.Listen(int(int32(c.Int(1)))); err != nil {
+			c.FailWinRet(socketError, wsaFor(err))
+			return
+		}
+		c.Ret(0)
+	}
+	m["accept"] = func(c *api.Call) {
+		o := sockObject(c, 0)
+		if o == nil {
+			return
+		}
+		if o.Sock.Kind != net.Stream {
+			c.FailWinRet(invalidHandleRet, api.WSAEOPNOTSUPP)
+			return
+		}
+		addr := c.PtrArg(1)
+		var alen uint32
+		if addr != 0 {
+			b, ok := c.CopyIn(2, c.PtrArg(2), 4)
+			if !ok {
+				return
+			}
+			alen = le32(b)
+		}
+		srv, err := o.Sock.Accept()
+		if err != nil {
+			c.FailWinRet(invalidHandleRet, wsaFor(err))
+			return
+		}
+		if srv == nil {
+			c.Hang() // empty backlog; no other thread can ever connect
+			return
+		}
+		h := c.P.AddHandle(&kern.Object{Kind: kern.KSocket, Sock: srv})
+		if h == 0 {
+			if c.Traits.ProbeKernel {
+				srv.Close()
+				c.FailWinRet(invalidHandleRet, api.WSAEMFILE)
+			} else {
+				c.Ret(0)
+			}
+			return
+		}
+		if addr != 0 {
+			out := make([]byte, 16)
+			out[0] = 2
+			out[2], out[3] = byte(srv.RemotePort>>8), byte(srv.RemotePort)
+			out[4], out[5], out[6], out[7] = 127, 0, 0, 1
+			if alen < 16 {
+				out = out[:alen]
+			}
+			if len(out) > 0 && !c.CopyOut(1, addr, out) {
+				c.P.CloseHandle(h)
+				return
+			}
+			if !c.CopyOut(2, c.PtrArg(2), u32b(16)) {
+				c.P.CloseHandle(h)
+				return
+			}
+		}
+		c.Ret(int64(uint32(h)))
+	}
+	m["connect"] = func(c *api.Call) {
+		o := sockObject(c, 0)
+		if o == nil {
+			return
+		}
+		port, ok := readWinSockaddr(c, 1, 2)
+		if !ok {
+			return
+		}
+		if err := o.Sock.Connect(port); err != nil {
+			c.FailWinRet(socketError, wsaFor(err))
+			return
+		}
+		c.Ret(0)
+	}
+	m["send"] = func(c *api.Call) {
+		o := sockObject(c, 0)
+		if o == nil {
+			return
+		}
+		if flags := c.U32(3); flags&^uint32(0x4) != 0 { // only MSG_DONTROUTE modeled
+			c.FailWinRet(socketError, api.WSAEOPNOTSUPP)
+			return
+		}
+		n := c.U32(2)
+		if int32(n) < 0 {
+			c.FailWinRet(socketError, api.WSAEINVAL)
+			return
+		}
+		want := n
+		if want > ioClamp {
+			want = ioClamp
+		}
+		var data []byte
+		if want > 0 {
+			var ok bool
+			data, ok = c.CopyIn(1, c.PtrArg(1), want)
+			if !ok {
+				return
+			}
+		}
+		sent, err := o.Sock.Send(data)
+		if err != nil {
+			c.FailWinRet(socketError, wsaFor(err))
+			return
+		}
+		c.Ret(int64(sent))
+	}
+	m["recv"] = func(c *api.Call) {
+		o := sockObject(c, 0)
+		if o == nil {
+			return
+		}
+		if flags := c.U32(3); flags != 0 {
+			c.FailWinRet(socketError, api.WSAEOPNOTSUPP)
+			return
+		}
+		n := c.U32(2)
+		if int32(n) < 0 {
+			c.FailWinRet(socketError, api.WSAEINVAL)
+			return
+		}
+		if n == 0 {
+			c.Ret(0)
+			return
+		}
+		want := n
+		if want > ioClamp {
+			want = ioClamp
+		}
+		data, wouldBlock, err := o.Sock.Recv(int(want))
+		if err != nil {
+			c.FailWinRet(socketError, wsaFor(err))
+			return
+		}
+		if wouldBlock {
+			c.Hang() // blocking recv with nothing queued and a live peer
+			return
+		}
+		if len(data) > 0 && !c.CopyOut(1, c.PtrArg(1), data) {
+			return
+		}
+		c.Ret(int64(len(data)))
+	}
+	m["shutdown"] = func(c *api.Call) {
+		o := sockObject(c, 0)
+		if o == nil {
+			return
+		}
+		how := int(int32(c.Int(1)))
+		if how < 0 || how > 2 {
+			c.FailWinRet(socketError, api.WSAEINVAL)
+			return
+		}
+		if err := o.Sock.Shutdown(how); err != nil {
+			c.FailWinRet(socketError, wsaFor(err))
+			return
+		}
+		c.Ret(0)
+	}
+	m["closesocket"] = func(c *api.Call) {
+		o := sockObject(c, 0)
+		if o == nil {
+			return
+		}
+		c.P.CloseHandle(c.HandleAt(0)) // destroys the object; Close runs there
+		c.Ret(0)
+	}
+	m["WSAGetLastError"] = func(c *api.Call) {
+		c.Ret(int64(c.P.LastError))
+	}
+}
